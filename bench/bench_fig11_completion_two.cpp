@@ -1,0 +1,61 @@
+// Figure 11: completion status at window end with TWO relayers, 200 ms.
+//
+// Paper shape: like Fig. 10 but worse — even at rates where everything
+// commits, a larger share of transfers ends the window partially completed
+// or only initiated, because redundant deliveries waste both relayers' time.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Options opt =
+      bench::parse_options(argc, argv, "fig11_completion_two.csv");
+  const int reps = bench::reps_or(opt, 2, 20);
+
+  bench::print_header(
+      "Figure 11: transfer completion status at window end (two relayers)",
+      "larger partial/initiated share than Fig. 10 at equal rates");
+
+  std::vector<double> rates;
+  if (opt.full) {
+    rates = {20, 40, 60, 80, 100, 120, 140, 160, 180, 200, 220, 240, 260,
+             280, 300};
+  } else {
+    rates = {20, 100, 160, 220, 300};
+  }
+
+  util::Table table({"input rate (RPS)", "requested", "completed %",
+                     "partial %", "initiated %", "uncommitted %",
+                     "redundant msgs"});
+  for (double rps : rates) {
+    double requested = 0, completed = 0, partial = 0, initiated = 0,
+           uncommitted = 0, redundant = 0;
+    int n = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto res = bench::run_relayer_point(rps, 2, sim::millis(200), rep);
+      if (!res.ok) continue;
+      ++n;
+      requested += static_cast<double>(res.window_breakdown.requested);
+      completed += static_cast<double>(res.window_breakdown.completed);
+      partial += static_cast<double>(res.window_breakdown.partial);
+      initiated += static_cast<double>(res.window_breakdown.initiated_only);
+      uncommitted += static_cast<double>(res.window_breakdown.uncommitted);
+      for (const auto& st : res.relayers) {
+        redundant += static_cast<double>(st.redundant_errors);
+      }
+    }
+    if (n == 0 || requested == 0) continue;
+    table.add_row({util::fmt_int(static_cast<long long>(rps)),
+                   util::fmt_int(static_cast<long long>(requested / n)),
+                   util::fmt_percent(completed / requested),
+                   util::fmt_percent(partial / requested),
+                   util::fmt_percent(initiated / requested),
+                   util::fmt_percent(uncommitted / requested),
+                   util::fmt_int(static_cast<long long>(redundant / n))});
+    std::cout << "  rate " << rps << " done\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  table.write_csv(opt.csv);
+  std::cout << "\nCSV written to " << opt.csv << "\n";
+  return 0;
+}

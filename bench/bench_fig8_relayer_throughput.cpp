@@ -1,0 +1,64 @@
+// Figure 8: cross-chain transfer throughput (completed transfers per second)
+// with ONE Hermes-like relayer, input rates 20-300 RPS, 50-block window,
+// network latency 0 ms and 200 ms.
+//
+// Paper shape: throughput tracks the input rate at low rates (14 TFPS at
+// 20 RPS), peaks around 140 RPS (~90 TFPS at 0 ms / ~80 at 200 ms), then
+// declines with further input (50-56 TFPS at 300 RPS) as the serialized
+// RPC data pulls grow with block fullness.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Options opt =
+      bench::parse_options(argc, argv, "fig8_relayer_throughput.csv");
+  const int reps = bench::reps_or(opt, 2, 20);
+
+  bench::print_header(
+      "Figure 8: one-relayer cross-chain throughput vs input rate",
+      "peak ~80-90 TFPS at 140 RPS; ~14 at 20 RPS; ~50-56 at 300 RPS");
+
+  std::vector<double> rates;
+  if (opt.full) {
+    rates = {20, 40, 60, 80, 100, 120, 140, 160, 180, 200, 220, 240, 260,
+             280, 300};
+  } else {
+    rates = {20, 60, 100, 140, 180, 220, 300};
+  }
+  const std::vector<std::pair<std::string, sim::Duration>> latencies = {
+      {"0ms", sim::millis(0.5)}, {"200ms", sim::millis(200)}};
+
+  util::Table table({"input rate (RPS)", "latency", "mean TFPS", "sd",
+                     "completed", "partial", "initiated", "n"});
+  for (const auto& [lat_name, rtt] : latencies) {
+    for (double rps : rates) {
+      util::Sample tfps;
+      double completed = 0, partial = 0, initiated = 0;
+      int n = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto res = bench::run_relayer_point(rps, 1, rtt, rep);
+        if (!res.ok) continue;
+        ++n;
+        tfps.add(res.tfps);
+        completed += static_cast<double>(res.window_breakdown.completed);
+        partial += static_cast<double>(res.window_breakdown.partial);
+        initiated += static_cast<double>(res.window_breakdown.initiated_only);
+      }
+      if (n == 0) continue;
+      table.add_row({util::fmt_int(static_cast<long long>(rps)), lat_name,
+                     util::fmt_double(tfps.mean(), 1),
+                     util::fmt_double(tfps.stddev(), 1),
+                     util::fmt_int(static_cast<long long>(completed / n)),
+                     util::fmt_int(static_cast<long long>(partial / n)),
+                     util::fmt_int(static_cast<long long>(initiated / n)),
+                     std::to_string(n)});
+      std::cout << "  " << lat_name << " rate " << rps << ": "
+                << util::fmt_double(tfps.mean(), 1) << " TFPS\n";
+    }
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  table.write_csv(opt.csv);
+  std::cout << "\nCSV written to " << opt.csv << "\n";
+  return 0;
+}

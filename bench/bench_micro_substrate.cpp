@@ -1,0 +1,158 @@
+// Substrate microbenchmarks (google-benchmark): hashing, Merkle trees,
+// codecs, the KV store, the DES scheduler and the serialized RPC queue.
+// These measure the *simulator's* real CPU costs, useful for keeping the
+// experiment harness fast.
+
+#include <benchmark/benchmark.h>
+
+#include "chain/store.hpp"
+#include "chain/tx.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "ibc/msgs.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/service_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(64 * 1024);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<util::Bytes> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(util::to_bytes("leaf-" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::merkle_root(leaves));
+  }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  std::vector<util::Bytes> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(util::to_bytes("leaf-" + std::to_string(i)));
+  }
+  const crypto::Digest root = crypto::merkle_root(leaves);
+  for (auto _ : state) {
+    const auto proof = crypto::merkle_prove(leaves, 7 % leaves.size());
+    benchmark::DoNotOptimize(
+        crypto::merkle_verify(root, leaves[7 % leaves.size()], proof));
+  }
+}
+BENCHMARK(BM_MerkleProveVerify)->Arg(16)->Arg(256);
+
+void BM_TxEncodeDecode(benchmark::State& state) {
+  chain::Tx tx;
+  tx.sender = "user-42";
+  tx.gas_limit = 4'000'000;
+  tx.fee = 40'000;
+  for (int i = 0; i < state.range(0); ++i) {
+    ibc::MsgTransfer m;
+    m.source_port = "transfer";
+    m.source_channel = "channel-0";
+    m.denom = "uatom";
+    m.amount = 1;
+    m.sender = "user-42";
+    m.receiver = "recv-user-42";
+    m.timeout_height = 100'000;
+    tx.msgs.push_back(m.to_msg());
+  }
+  for (auto _ : state) {
+    const util::Bytes enc = tx.encode();
+    chain::Tx out;
+    benchmark::DoNotOptimize(chain::decode_tx(enc, out));
+  }
+}
+BENCHMARK(BM_TxEncodeDecode)->Arg(1)->Arg(100);
+
+void BM_PacketCommitment(benchmark::State& state) {
+  ibc::Packet p;
+  p.sequence = 42;
+  p.source_port = "transfer";
+  p.source_channel = "channel-0";
+  p.destination_port = "transfer";
+  p.destination_channel = "channel-0";
+  p.data = util::to_bytes(
+      R"({"amount":"1","denom":"uatom","receiver":"r","sender":"s"})");
+  p.timeout_height = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.commitment());
+  }
+}
+BENCHMARK(BM_PacketCommitment);
+
+void BM_KvStoreSet(benchmark::State& state) {
+  chain::KvStore store;
+  util::Rng rng(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    store.set("ibc/commitments/ports/transfer/channels/channel-0/sequences/" +
+                  std::to_string(i % 10'000),
+              util::to_bytes("0123456789abcdef0123456789abcdef"));
+    ++i;
+  }
+}
+BENCHMARK(BM_KvStoreSet);
+
+void BM_KvStoreProve(benchmark::State& state) {
+  chain::KvStore store;
+  for (int i = 0; i < 10'000; ++i) {
+    store.set("k/" + std::to_string(i), util::to_bytes("v"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.prove("k/5000"));
+  }
+}
+BENCHMARK(BM_KvStoreProve);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      sched.schedule_at(sim::micros(i), [&fired] { ++fired; });
+    }
+    sched.run_until(sim::seconds(1));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_ServiceQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sim::ServiceQueue q(sched);
+    int done = 0;
+    for (int i = 0; i < 1'000; ++i) {
+      q.enqueue(sim::micros(10), [&done] { ++done; });
+    }
+    sched.run_until(sim::seconds(1));
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_ServiceQueue);
+
+void BM_SignVerify(benchmark::State& state) {
+  const crypto::KeyPair kp = crypto::derive_key_pair("bench-signer");
+  const util::Bytes msg = util::to_bytes("precommit/chain/42");
+  for (auto _ : state) {
+    const crypto::Signature sig = crypto::sign(kp.priv, msg);
+    benchmark::DoNotOptimize(crypto::verify(kp.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// §III-C deployment-configuration claim: the paper runs 5 validators per
+// chain instead of a production-scale set (up to 128) and argues this is
+// sound because consensus latency (~25 ms at 5 validators, ~110 ms at 128
+// for 1 KiB payloads, citing HotStuff) is insignificant next to a complete
+// cross-chain transfer: "completing a single cross-chain transfer (requiring
+// 3 blockchain transactions) takes 21 seconds on average ... the added
+// latency for each complete cross-chain transfer is approximately 255 ms
+// (approx. 1%)".
+//
+// This bench measures exactly that: the end-to-end latency of a single
+// transfer as the validator-set size grows, and the share of it spent in
+// consensus.
+
+#include "common.hpp"
+
+#include "xcc/handshake.hpp"
+#include "xcc/workload.hpp"
+
+namespace {
+
+struct Point {
+  double transfer_latency_s = 0;  // broadcast -> ack confirmation
+  double consensus_latency_s = 0; // proposal -> commit, empty block
+  bool ok = false;
+};
+
+Point run_with_validators(int validators) {
+  xcc::TestbedConfig cfg;
+  cfg.validators_per_chain = validators;
+  cfg.user_accounts = 4;
+  xcc::Testbed tb(cfg);
+  tb.start_chains();
+  if (!tb.run_until_height(2, sim::seconds(300))) return {};
+
+  // Consensus latency: block timestamp (= proposal time) to the commit
+  // callback, measured on an empty block.
+  Point p;
+  {
+    bool measured = false;
+    tb.chain_a().engine->subscribe_block(
+        [&](const chain::Block& b, const std::vector<chain::DeliverTxResult>&) {
+          if (!measured && b.txs.empty()) {
+            p.consensus_latency_s =
+                sim::to_seconds(tb.scheduler().now() - b.header.time);
+            measured = true;
+          }
+        });
+    tb.run_until(tb.scheduler().now() + sim::seconds(12));
+  }
+
+  xcc::HandshakeDriver driver(tb);
+  const auto channel = driver.establish_channel_blocking(
+      tb.scheduler().now() + sim::seconds(900));
+  if (!channel.ok) return {};
+
+  relayer::StepLog steps;
+  relayer::ChainHandle ha{tb.chain_a().servers[0].get(), tb.chain_a().id,
+                          {tb.relayer_account_a(0)}};
+  relayer::ChainHandle hb{tb.chain_b().servers[0].get(), tb.chain_b().id,
+                          {tb.relayer_account_b(0)}};
+  relayer::Relayer relayer(tb.scheduler(), ha, hb, channel.path(), {}, &steps);
+  relayer.start();
+
+  xcc::WorkloadConfig wl;
+  wl.total_transfers = 1;
+  xcc::TransferWorkload workload(tb, channel, wl, &steps);
+  workload.start();
+  const sim::TimePoint limit = tb.scheduler().now() + sim::seconds(300);
+  while (tb.scheduler().now() < limit &&
+         relayer.stats().packets_completed < 1) {
+    if (!tb.scheduler().step()) break;
+  }
+  const auto bcast =
+      steps.completion_times_seconds(relayer::Step::kTransferBroadcast);
+  const auto ack =
+      steps.completion_times_seconds(relayer::Step::kAckConfirmation);
+  if (bcast.empty() || ack.empty()) return {};
+  p.transfer_latency_s = ack.front() - bcast.front();
+  p.ok = true;
+  relayer.stop();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt =
+      bench::parse_options(argc, argv, "validators_latency.csv");
+
+  bench::print_header(
+      "§III-C: validator count vs single-transfer latency",
+      "21 s per transfer at 5 validators; +~255 ms at 128 validators (~1%)");
+
+  std::vector<int> counts = opt.full ? std::vector<int>{5, 16, 32, 64, 128}
+                                     : std::vector<int>{5, 32, 128};
+
+  util::Table table({"validators", "consensus latency (ms)",
+                     "transfer latency (s)", "delta vs 5 validators"});
+  double base = 0;
+  for (int v : counts) {
+    const Point p = run_with_validators(v);
+    if (!p.ok) {
+      std::cout << "  " << v << " validators: FAILED\n";
+      continue;
+    }
+    if (v == 5) base = p.transfer_latency_s;
+    table.add_row(
+        {std::to_string(v), util::fmt_double(p.consensus_latency_s * 1e3, 0),
+         util::fmt_double(p.transfer_latency_s, 2),
+         base > 0 ? util::fmt_percent(
+                        (p.transfer_latency_s - base) / base)
+                  : "-"});
+    std::cout << "  " << v << " validators done ("
+              << util::fmt_double(p.transfer_latency_s, 2) << " s)\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nThe validator count moves consensus latency by ~100 ms but "
+               "the complete\ntransfer by ~1% — the paper's justification for "
+               "a 5-validator testbed.\n";
+  table.write_csv(opt.csv);
+  std::cout << "CSV written to " << opt.csv << "\n";
+  return 0;
+}

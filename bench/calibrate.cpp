@@ -1,0 +1,100 @@
+// Calibration probe (developer tool): prints the simulator's values for the
+// paper's anchor measurements so cost-model constants can be tuned.
+//
+//   anchor                          paper value
+//   Fig. 12 total completion        455 s  (5,000 transfers, 1 block)
+//   Fig. 12 transfer segment        126 s  (data pull 110 s)
+//   Fig. 12 receive segment         261 s  (data pull 207 s)
+//   Fig. 12 ack segment              68 s
+//   Fig. 8 TFPS @ 20 RPS            ~14
+//   Fig. 8 TFPS @ 140 RPS           ~80 (200 ms) / ~90 (0 ms)
+//   Fig. 8 TFPS @ 300 RPS           ~50 (200 ms)
+//   Fig. 6 inclusion TFPS @ 250     ~200
+//   Fig. 6 inclusion TFPS @ 3000    ~961 (peak)
+
+#include "common.hpp"
+
+namespace {
+
+void fig12_probe() {
+  xcc::ExperimentConfig cfg;
+  cfg.workload.total_transfers = 5'000;
+  cfg.workload.spread_blocks = 1;
+  cfg.measure_blocks = 5;
+  cfg.wait_for_drain = true;
+  cfg.max_sim_time = sim::seconds(4'000);
+  const auto res = xcc::run_experiment(cfg);
+  if (!res.ok) {
+    std::cout << "fig12 probe FAILED: " << res.error << "\n";
+    return;
+  }
+  const auto& s = res.steps;
+  auto fin = [&](relayer::Step st) { return s.step_finish_seconds(st); };
+  const auto bcasts =
+      s.completion_times_seconds(relayer::Step::kTransferBroadcast);
+  const double t0 = bcasts.empty() ? 0 : bcasts.front();
+  std::cout << "fig12: total=" << util::fmt_double(res.completion_latency_seconds, 1)
+            << "s (paper 455)\n";
+  std::cout << "  transfer segment ends (pull done): "
+            << util::fmt_double(fin(relayer::Step::kTransferDataPull) - t0, 1)
+            << "s (paper 126)\n";
+  std::cout << "  recv segment ends (recv pull done): "
+            << util::fmt_double(fin(relayer::Step::kRecvDataPull) - t0, 1)
+            << "s (paper 126+261=387)\n";
+  std::cout << "  ack conf ends: "
+            << util::fmt_double(fin(relayer::Step::kAckConfirmation) - t0, 1)
+            << "s (paper 455)\n";
+  std::cout << "  completed=" << res.final_breakdown.completed << "/5000\n";
+}
+
+void fig8_probe(double rps, sim::Duration rtt) {
+  xcc::ExperimentConfig cfg;
+  cfg.testbed.rtt = rtt;
+  cfg.workload.requests_per_second = rps;
+  cfg.measure_blocks = 50;
+  cfg.collect_steps = false;
+  cfg.max_sim_time = sim::seconds(2'000);
+  const auto res = xcc::run_experiment(cfg);
+  std::cout << "fig8 rps=" << rps << " rtt=" << sim::to_millis(rtt)
+            << "ms: tfps=" << util::fmt_double(res.tfps, 1)
+            << " completed=" << res.window_breakdown.completed
+            << " partial=" << res.window_breakdown.partial
+            << " initiated=" << res.window_breakdown.initiated_only
+            << " interval=" << util::fmt_double(res.avg_block_interval, 2)
+            << " rpcA=" << util::fmt_double(res.rpc_busy_seconds_a, 0)
+            << "s rpcB=" << util::fmt_double(res.rpc_busy_seconds_b, 0)
+            << "s\n";
+}
+
+void fig6_probe(double rps) {
+  xcc::ExperimentConfig cfg;
+  cfg.relayer_count = 0;
+  cfg.collect_steps = false;
+  cfg.workload.requests_per_second = rps;
+  cfg.measure_blocks = 15;
+  cfg.max_sim_time = sim::seconds(2'000);
+  const auto res = xcc::run_experiment(cfg);
+  std::cout << "fig6 rps=" << rps
+            << ": inclusion_tfps=" << util::fmt_double(res.inclusion_tfps, 1)
+            << " interval=" << util::fmt_double(res.avg_block_interval, 2)
+            << " committed=" << res.window_breakdown.committed()
+            << " uncommitted=" << res.window_breakdown.uncommitted << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  std::cout << "-- calibration probes --\n";
+  fig6_probe(250);
+  fig6_probe(1000);
+  fig6_probe(3000);
+  fig6_probe(6000);
+  fig8_probe(20, sim::millis(200));
+  fig8_probe(140, sim::millis(200));
+  fig8_probe(140, sim::millis(0.5));
+  fig8_probe(300, sim::millis(200));
+  fig12_probe();
+  return 0;
+}

@@ -1,0 +1,97 @@
+#pragma once
+// Shared helpers for the per-figure bench binaries.
+//
+// Every binary accepts:
+//   --full         run the paper's full sweep (20 executions per point);
+//                  default is a trimmed grid so `for b in build/bench/*`
+//                  finishes quickly
+//   --reps N       override the executions per point
+//   --csv PATH     also write the table as CSV (default: <bench>.csv in cwd)
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "xcc/experiment.hpp"
+
+namespace bench {
+
+struct Options {
+  bool full = false;
+  int reps = 0;  // 0 = per-bench default
+  std::string csv;
+};
+
+inline Options parse_options(int argc, char** argv,
+                             const std::string& default_csv) {
+  Options opt;
+  opt.csv = default_csv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      opt.full = true;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      opt.reps = std::atoi(argv[++i]);
+    } else if (arg == "--csv" && i + 1 < argc) {
+      opt.csv = argv[++i];
+    } else if (arg == "--help") {
+      std::cout << "options: --full | --reps N | --csv PATH\n";
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+inline int reps_or(const Options& opt, int trimmed, int full) {
+  if (opt.reps > 0) return opt.reps;
+  return opt.full ? full : trimmed;
+}
+
+/// Seeds: one deterministic seed per repetition.
+inline std::uint64_t seed_for(int rep) {
+  return 0xD5A7000ULL + static_cast<std::uint64_t>(rep) * 7919;
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << "paper reference: " << paper << "\n\n";
+}
+
+/// One inclusion-only run (Figs. 6-7 / Table I): submits at `rps` for 15
+/// blocks with no relayer and returns the experiment result.
+inline xcc::ExperimentResult run_inclusion_point(double rps, int rep,
+                                                 int blocks = 15,
+                                                 bool resolve_workload = false) {
+  xcc::ExperimentConfig cfg;
+  cfg.relayer_count = 0;
+  cfg.collect_steps = false;
+  cfg.workload.requests_per_second = rps;
+  cfg.measure_blocks = blocks;
+  cfg.testbed.seed = seed_for(rep);
+  // Table I needs every submission's final outcome; the Fig. 6/7 series
+  // only need the measurement window.
+  cfg.wait_for_workload = resolve_workload;
+  cfg.max_sim_time = sim::seconds(8'000);
+  return xcc::run_experiment(cfg);
+}
+
+/// One relayer-throughput run (Figs. 8-11): `relayers` instances, 50-block
+/// window, given RTT.
+inline xcc::ExperimentResult run_relayer_point(double rps, int relayers,
+                                               sim::Duration rtt, int rep,
+                                               int blocks = 50) {
+  xcc::ExperimentConfig cfg;
+  cfg.relayer_count = relayers;
+  cfg.collect_steps = false;
+  cfg.workload.requests_per_second = rps;
+  cfg.measure_blocks = blocks;
+  cfg.testbed.rtt = rtt;
+  cfg.testbed.seed = seed_for(rep);
+  cfg.max_sim_time = sim::seconds(4'000);
+  return xcc::run_experiment(cfg);
+}
+
+}  // namespace bench

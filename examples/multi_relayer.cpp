@@ -1,0 +1,72 @@
+// multi_relayer: demonstrates the paper's §IV-A finding that two relayers
+// serving one channel are SLOWER than one, because ICS-18 gives them no
+// coordination protocol — both build and pay for the same packets, and the
+// loser's transactions fail with "packet messages are redundant".
+//
+//   ./multi_relayer
+//
+// Runs the same 100 RPS workload twice (one relayer, then two) and compares
+// throughput, redundant errors and the fees burned on redundant deliveries.
+
+#include <iostream>
+
+#include "util/table.hpp"
+#include "xcc/experiment.hpp"
+
+namespace {
+
+xcc::ExperimentResult run(int relayers) {
+  xcc::ExperimentConfig cfg;
+  cfg.relayer_count = relayers;
+  cfg.collect_steps = false;
+  cfg.workload.requests_per_second = 100;
+  cfg.measure_blocks = 30;
+  cfg.max_sim_time = sim::seconds(2'000);
+  return xcc::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== multi_relayer: 1 vs 2 relayers on one channel, 100 RPS ==\n\n";
+
+  const auto one = run(1);
+  const auto two = run(2);
+  if (!one.ok || !two.ok) {
+    std::cerr << "experiment failed: " << one.error << two.error << "\n";
+    return 1;
+  }
+
+  auto redundant = [](const xcc::ExperimentResult& r) {
+    std::uint64_t n = 0;
+    for (const auto& st : r.relayers) n += st.redundant_errors;
+    return n;
+  };
+
+  util::Table table({"metric", "1 relayer", "2 relayers"});
+  table.add_row({"throughput (TFPS)", util::fmt_double(one.tfps, 1),
+                 util::fmt_double(two.tfps, 1)});
+  table.add_row({"completed in window",
+                 util::fmt_int(static_cast<long long>(
+                     one.window_breakdown.completed)),
+                 util::fmt_int(static_cast<long long>(
+                     two.window_breakdown.completed))});
+  table.add_row({"redundant message errors",
+                 util::fmt_int(static_cast<long long>(redundant(one))),
+                 util::fmt_int(static_cast<long long>(redundant(two)))});
+  table.add_row({"partial at window end",
+                 util::fmt_int(static_cast<long long>(
+                     one.window_breakdown.partial)),
+                 util::fmt_int(static_cast<long long>(
+                     two.window_breakdown.partial))});
+  table.print(std::cout);
+
+  const double change =
+      one.tfps > 0 ? (two.tfps - one.tfps) / one.tfps * 100.0 : 0;
+  std::cout << "\nadding a second relayer changed throughput by "
+            << util::fmt_double(change, 1)
+            << "% (the paper measured -33% at peak with 200 ms latency).\n"
+            << "Every redundant error is a transaction fee paid for a packet\n"
+            << "someone else already delivered (§IV-A).\n";
+  return 0;
+}

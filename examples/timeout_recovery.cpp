@@ -1,0 +1,150 @@
+// timeout_recovery: the unhappy paths of the IBC packet life cycle.
+//
+//   ./timeout_recovery
+//
+// Part 1 — packet timeout (paper Fig. 3): transfers are submitted with a
+// short timeout while no relayer is running; once the destination chain
+// passes the timeout height, a (late-started) relayer proves non-delivery
+// and refunds the escrowed tokens via MsgTimeout.
+//
+// Part 2 — the §V WebSocket failure: an oversized event frame wedges the
+// relayer's event source; packets become stuck until a packet-clearing pass
+// rediscovers them.
+
+#include <iostream>
+
+#include "ibc/host.hpp"
+#include "util/table.hpp"
+#include "xcc/analysis.hpp"
+#include "xcc/handshake.hpp"
+#include "xcc/workload.hpp"
+
+namespace {
+
+std::unique_ptr<relayer::Relayer> start_relayer(
+    xcc::Testbed& tb, const xcc::ChannelSetupResult& channel,
+    relayer::RelayerConfig rc) {
+  relayer::ChainHandle ha{tb.chain_a().servers[0].get(), tb.chain_a().id,
+                          {tb.relayer_account_a(0)}};
+  relayer::ChainHandle hb{tb.chain_b().servers[0].get(), tb.chain_b().id,
+                          {tb.relayer_account_b(0)}};
+  auto r = std::make_unique<relayer::Relayer>(tb.scheduler(), ha, hb,
+                                              channel.path(), rc, nullptr);
+  r->start();
+  return r;
+}
+
+void part1_timeouts() {
+  std::cout << "-- part 1: timeouts refund the sender (Fig. 3) --\n";
+  xcc::TestbedConfig cfg;
+  cfg.user_accounts = 4;
+  xcc::Testbed tb(cfg);
+  tb.start_chains();
+  tb.run_until_height(2, sim::seconds(120));
+  xcc::HandshakeDriver handshake(tb);
+  const auto channel =
+      handshake.establish_channel_blocking(sim::seconds(600));
+  if (!channel.ok) {
+    std::cerr << "setup failed: " << channel.error << "\n";
+    return;
+  }
+
+  const chain::Address sender = tb.user_accounts()[0];
+  const std::uint64_t before =
+      tb.chain_a().app->bank().balance(sender, cosmos::kNativeDenom);
+
+  xcc::WorkloadConfig wl;
+  wl.total_transfers = 40;
+  wl.timeout_height_offset = 2;  // expires two destination blocks out
+  xcc::TransferWorkload workload(tb, channel, wl, nullptr);
+  workload.start();
+
+  // No relayer running: let the transfers commit and expire.
+  tb.run_until(tb.scheduler().now() + sim::seconds(30));
+  const std::uint64_t escrowed = tb.chain_a().app->bank().balance(
+      ibc::escrow_address(ibc::kTransferPort, channel.channel_a),
+      cosmos::kNativeDenom);
+  std::cout << "40 transfers committed, " << escrowed
+            << "uatom escrowed, packets now expired, no relayer ran\n";
+
+  // A late relayer with clearing enabled discovers the expired packets and
+  // submits MsgTimeout for each.
+  relayer::RelayerConfig rc;
+  rc.clear_interval = 2;
+  auto relayer = start_relayer(tb, channel, rc);
+  const sim::TimePoint limit = tb.scheduler().now() + sim::seconds(600);
+  while (tb.scheduler().now() < limit &&
+         relayer->stats().packets_timed_out < 40) {
+    if (!tb.scheduler().step()) break;
+  }
+
+  const std::uint64_t after =
+      tb.chain_a().app->bank().balance(sender, cosmos::kNativeDenom);
+  std::cout << "MsgTimeout committed for " << relayer->stats().packets_timed_out
+            << "/40 packets; escrow now "
+            << tb.chain_a().app->bank().balance(
+                   ibc::escrow_address(ibc::kTransferPort, channel.channel_a),
+                   cosmos::kNativeDenom)
+            << "uatom; sender recovered "
+            << (after > before ? "MORE than" : "all but fees of")
+            << " the locked funds\n\n";
+  relayer->stop();
+}
+
+void part2_websocket() {
+  std::cout << "-- part 2: oversized WebSocket frame (16 MB limit, §V) --\n";
+  xcc::TestbedConfig cfg;
+  cfg.user_accounts = 8;
+  // Scale the frame limit down so a small burst trips it (same mechanism).
+  cfg.rpc_cost.websocket_max_frame_bytes = 64 * 1024;
+  xcc::Testbed tb(cfg);
+  tb.start_chains();
+  tb.run_until_height(2, sim::seconds(120));
+  xcc::HandshakeDriver handshake(tb);
+  const auto channel =
+      handshake.establish_channel_blocking(sim::seconds(600));
+  if (!channel.ok) {
+    std::cerr << "setup failed: " << channel.error << "\n";
+    return;
+  }
+
+  relayer::RelayerConfig rc;
+  rc.clear_interval = 0;  // the paper's configuration: stuck forever
+  auto relayer = start_relayer(tb, channel, rc);
+
+  xcc::WorkloadConfig wl;
+  wl.total_transfers = 500;
+  xcc::TransferWorkload workload(tb, channel, wl, nullptr);
+  workload.start();
+  tb.run_until(tb.scheduler().now() + sim::seconds(120));
+
+  xcc::Analyzer analyzer(tb, channel);
+  auto b = analyzer.completion_breakdown(500);
+  std::cout << "with clear_interval=0: " << b.completed << " completed, "
+            << b.initiated_only << " stuck (relayer saw "
+            << relayer->stats().frames_failed << " failed frames)\n";
+  relayer->stop();
+
+  // Restarting the relayer with clearing enabled recovers everything.
+  relayer::RelayerConfig rc2;
+  rc2.clear_interval = 2;
+  auto fixed = start_relayer(tb, channel, rc2);
+  const sim::TimePoint limit = tb.scheduler().now() + sim::seconds(2'000);
+  while (tb.scheduler().now() < limit) {
+    if (!tb.scheduler().step()) break;
+    if (analyzer.completion_breakdown(500).completed == 500) break;
+  }
+  b = analyzer.completion_breakdown(500);
+  std::cout << "after restart with clear_interval=2: " << b.completed
+            << "/500 completed\n";
+  fixed->stop();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== timeout_recovery: IBC unhappy paths ==\n\n";
+  part1_timeouts();
+  part2_websocket();
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Checkpointing bench runner: each bench's output is cached in
+# bench_results/<name>.txt; already-completed benches are skipped, so the
+# script can be re-invoked until everything is done.
+cd "$(dirname "$0")"
+mkdir -p bench_results
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  out="bench_results/$name.txt"
+  if [ -s "$out" ] && grep -q "__DONE__" "$out"; then continue; fi
+  echo "running $name..."
+  { echo "=== $name ==="; timeout 3000 "$b" 2>/dev/null; echo; echo "__DONE__"; } > "$out"
+done
+echo "all benches complete"

@@ -1,0 +1,27 @@
+#include "chain/events.hpp"
+
+namespace chain {
+
+std::string Event::attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::size_t Event::encoded_size() const {
+  // {"type":"...","attributes":[{"key":"...","value":"..."},...]}
+  std::size_t n = type.size() + 32;
+  for (const auto& [k, v] : attributes) {
+    n += k.size() + v.size() + 24;
+  }
+  return n;
+}
+
+std::size_t encoded_size(const std::vector<Event>& events) {
+  std::size_t n = 2;
+  for (const Event& e : events) n += e.encoded_size() + 1;
+  return n;
+}
+
+}  // namespace chain

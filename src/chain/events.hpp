@@ -1,0 +1,29 @@
+#pragma once
+// ABCI events.
+//
+// DeliverTx emits typed events with string attributes (e.g. `send_packet`
+// with packet data). The relayer's Supervisor subscribes to these via the
+// RPC WebSocket; their encoded size is what hits the 16 MB frame limit in
+// the paper's §V "WebSocket space limit" challenge.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chain {
+
+struct Event {
+  std::string type;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  /// First attribute value with the given key, or "" if absent.
+  std::string attribute(const std::string& key) const;
+
+  /// Approximate JSON-encoded size, used for WebSocket frame accounting.
+  std::size_t encoded_size() const;
+};
+
+/// Total encoded size of an event list.
+std::size_t encoded_size(const std::vector<Event>& events);
+
+}  // namespace chain

@@ -1,0 +1,66 @@
+#include "chain/ledger.hpp"
+
+#include <cassert>
+
+namespace chain {
+
+void Ledger::append(Block block, std::vector<DeliverTxResult> results,
+                    crypto::Digest app_hash_after, Commit seen_commit) {
+  assert(block.header.height == height() + 1 &&
+         "blocks must be appended in order");
+  assert(results.size() == block.txs.size());
+  const Height h = block.header.height;
+  for (std::uint32_t i = 0; i < block.txs.size(); ++i) {
+    tx_index_[block.txs[i].hash()] = TxLocation{h, i};
+  }
+  total_txs_ += block.txs.size();
+  std::size_t event_bytes = 0;
+  for (const DeliverTxResult& r : results) event_bytes += r.encoded_size();
+  event_bytes_.push_back(event_bytes);
+  blocks_.push_back(std::move(block));
+  results_.push_back(std::move(results));
+  app_hashes_.push_back(app_hash_after);
+  seen_commits_.push_back(std::move(seen_commit));
+}
+
+const Commit* Ledger::seen_commit(Height h) const {
+  if (h < 1 || h > height()) return nullptr;
+  return &seen_commits_[static_cast<std::size_t>(h - 1)];
+}
+
+const Block* Ledger::block_at(Height h) const {
+  if (h < 1 || h > height()) return nullptr;
+  return &blocks_[static_cast<std::size_t>(h - 1)];
+}
+
+const std::vector<DeliverTxResult>* Ledger::results_at(Height h) const {
+  if (h < 1 || h > height()) return nullptr;
+  return &results_[static_cast<std::size_t>(h - 1)];
+}
+
+const crypto::Digest* Ledger::app_hash_after(Height h) const {
+  if (h < 1 || h > height()) return nullptr;
+  return &app_hashes_[static_cast<std::size_t>(h - 1)];
+}
+
+const TxLocation* Ledger::find_tx(const TxHash& hash) const {
+  const auto it = tx_index_.find(hash);
+  if (it == tx_index_.end()) return nullptr;
+  return &it->second;
+}
+
+std::size_t Ledger::block_event_bytes(Height h) const {
+  if (h < 1 || h > height()) return 0;
+  return event_bytes_[static_cast<std::size_t>(h - 1)];
+}
+
+std::vector<double> Ledger::block_intervals_seconds() const {
+  std::vector<double> out;
+  for (std::size_t i = 1; i < blocks_.size(); ++i) {
+    out.push_back(sim::to_seconds(blocks_[i].header.time -
+                                  blocks_[i - 1].header.time));
+  }
+  return out;
+}
+
+}  // namespace chain

@@ -1,0 +1,76 @@
+#pragma once
+// Committed chain storage and transaction index.
+//
+// Holds the blocks the consensus engine commits, the DeliverTx results for
+// every transaction (consumed by RPC `tx_search`-style queries — whose large
+// response payloads are a core finding of the paper), and a hash -> location
+// index.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "chain/app.hpp"
+#include "chain/block.hpp"
+
+namespace chain {
+
+struct TxLocation {
+  Height height = 0;
+  std::uint32_t index = 0;
+};
+
+class Ledger {
+ public:
+  explicit Ledger(ChainId chain_id) : chain_id_(std::move(chain_id)) {}
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  const ChainId& chain_id() const { return chain_id_; }
+
+  /// Appends a committed block plus its execution results; `results` must be
+  /// index-aligned with `block.txs`. `seen_commit` is the +2/3 precommit set
+  /// that committed this block (Tendermint's block store keeps the same for
+  /// serving light clients before block h+1 exists).
+  void append(Block block, std::vector<DeliverTxResult> results,
+              crypto::Digest app_hash_after, Commit seen_commit);
+
+  /// The commit that finalized block `h` (nullptr if not committed).
+  const Commit* seen_commit(Height h) const;
+
+  Height height() const { return static_cast<Height>(blocks_.size()); }
+
+  /// 1-based access; returns nullptr for heights not yet committed.
+  const Block* block_at(Height h) const;
+  const std::vector<DeliverTxResult>* results_at(Height h) const;
+
+  /// App state root after executing block `h` (what a light client tracks).
+  const crypto::Digest* app_hash_after(Height h) const;
+
+  /// Looks up a transaction by hash.
+  const TxLocation* find_tx(const TxHash& hash) const;
+
+  /// Total encoded size of the DeliverTx events of block `h`; this is the
+  /// payload the WebSocket pushes to subscribers and the quantity checked
+  /// against the 16 MB frame limit (paper §V).
+  std::size_t block_event_bytes(Height h) const;
+
+  /// Total transactions committed so far.
+  std::uint64_t total_txs() const { return total_txs_; }
+
+  /// Block interval series (time between consecutive headers) for Fig. 7.
+  std::vector<double> block_intervals_seconds() const;
+
+ private:
+  ChainId chain_id_;
+  std::vector<Block> blocks_;
+  std::vector<std::vector<DeliverTxResult>> results_;
+  std::vector<crypto::Digest> app_hashes_;
+  std::vector<Commit> seen_commits_;
+  std::vector<std::size_t> event_bytes_;  // cached per-block event payload
+  std::map<TxHash, TxLocation> tx_index_;
+  std::uint64_t total_txs_ = 0;
+};
+
+}  // namespace chain

@@ -1,0 +1,84 @@
+#include "chain/mempool.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace chain {
+
+Mempool::Mempool(App& app, std::size_t max_txs)
+    : app_(app), max_txs_(max_txs) {}
+
+util::Status Mempool::add(const Tx& tx) {
+  const TxHash hash = tx.hash();
+  if (hashes_.contains(hash)) {
+    return util::Status::error(util::ErrorCode::kAlreadyExists,
+                               "tx already in mempool");
+  }
+  if (pool_.size() >= max_txs_) {
+    ++rejected_full_;
+    return util::Status::error(util::ErrorCode::kResourceExhausted,
+                               "mempool is full");
+  }
+  // Mempool-aware sequence check (the SDK's check-state): a sender may queue
+  // consecutive sequences without waiting for commits. A gap or reuse still
+  // fails with "account sequence mismatch".
+  std::uint64_t pending_same_sender = 0;
+  for (const Tx& pending : pool_) {
+    if (pending.sender == tx.sender) ++pending_same_sender;
+  }
+  CheckTxResult res = app_.check_tx_pending(tx, pending_same_sender);
+  if (!res.status.is_ok()) {
+    ++rejected_checktx_;
+    return res.status;
+  }
+  pool_.push_back(tx);
+  hashes_.insert(hash);
+  return util::Status::ok();
+}
+
+std::vector<Tx> Mempool::reap(std::uint64_t max_gas,
+                              std::size_t max_bytes) const {
+  std::vector<Tx> out;
+  std::uint64_t gas = 0;
+  std::size_t bytes = 0;
+  for (const Tx& tx : pool_) {
+    if (gas + tx.gas_limit > max_gas && !out.empty()) break;
+    if (bytes + tx.size_bytes() > max_bytes && !out.empty()) break;
+    if (gas + tx.gas_limit > max_gas || bytes + tx.size_bytes() > max_bytes) {
+      // A single oversized tx can never fit; skip it rather than stall.
+      continue;
+    }
+    out.push_back(tx);
+    gas += tx.gas_limit;
+    bytes += tx.size_bytes();
+  }
+  return out;
+}
+
+void Mempool::update_after_commit(const std::vector<Tx>& committed) {
+  std::set<TxHash> committed_hashes;
+  for (const Tx& tx : committed) committed_hashes.insert(tx.hash());
+
+  std::deque<Tx> survivors;
+  std::map<Address, std::uint64_t> pending_counts;
+  for (Tx& tx : pool_) {
+    const TxHash h = tx.hash();
+    if (committed_hashes.contains(h)) {
+      hashes_.erase(h);
+      continue;
+    }
+    // Recheck against post-block state (pending-aware, preserving FIFO
+    // chains of consecutive sequences); evict now-invalid txs.
+    CheckTxResult res = app_.check_tx_pending(tx, pending_counts[tx.sender]);
+    if (!res.status.is_ok()) {
+      hashes_.erase(h);
+      ++evicted_recheck_;
+      continue;
+    }
+    ++pending_counts[tx.sender];
+    survivors.push_back(std::move(tx));
+  }
+  pool_ = std::move(survivors);
+}
+
+}  // namespace chain

@@ -1,0 +1,59 @@
+#pragma once
+// Transaction mempool.
+//
+// Admission runs the application's CheckTx (ante handler), which enforces
+// the account-sequence rule that limits each account to one in-flight
+// transaction — the Cosmos behaviour the paper works around with multiple
+// user accounts (§III-D). Reaping selects transactions FIFO up to the block
+// gas and byte limits.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "chain/app.hpp"
+#include "chain/tx.hpp"
+#include "util/status.hpp"
+
+namespace chain {
+
+class Mempool {
+ public:
+  /// `max_txs` bounds the pool; additions beyond it fail with
+  /// RESOURCE_EXHAUSTED (mempool full).
+  Mempool(App& app, std::size_t max_txs);
+
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+
+  /// CheckTx + admission. Duplicates (by hash) are rejected.
+  util::Status add(const Tx& tx);
+
+  /// Selects transactions for a proposal, FIFO, while both budgets hold.
+  /// Does not remove them (they leave the pool on commit).
+  std::vector<Tx> reap(std::uint64_t max_gas, std::size_t max_bytes) const;
+
+  /// Drops committed transactions and re-checks the remainder against the
+  /// post-block state (stale sequence numbers get evicted, as in Tendermint's
+  /// recheck).
+  void update_after_commit(const std::vector<Tx>& committed);
+
+  std::size_t size() const { return pool_.size(); }
+  bool contains(const TxHash& hash) const { return hashes_.contains(hash); }
+
+  std::uint64_t rejected_full() const { return rejected_full_; }
+  std::uint64_t rejected_checktx() const { return rejected_checktx_; }
+  std::uint64_t evicted_recheck() const { return evicted_recheck_; }
+
+ private:
+  App& app_;
+  std::size_t max_txs_;
+  std::deque<Tx> pool_;
+  std::set<TxHash> hashes_;
+  std::uint64_t rejected_full_ = 0;
+  std::uint64_t rejected_checktx_ = 0;
+  std::uint64_t evicted_recheck_ = 0;
+};
+
+}  // namespace chain

@@ -1,0 +1,126 @@
+#include "chain/store.hpp"
+
+namespace chain {
+
+crypto::Digest KvStore::entry_hash(const std::string& key,
+                                   util::BytesView value) {
+  crypto::Sha256 h;
+  util::Bytes len;
+  util::append_u32_be(len, static_cast<std::uint32_t>(key.size()));
+  h.update(len);
+  h.update(util::to_bytes(key));
+  h.update(value);
+  return h.finalize();
+}
+
+void KvStore::xor_into_root(const crypto::Digest& h) {
+  for (std::size_t i = 0; i < root_.size(); ++i) root_[i] ^= h[i];
+}
+
+void KvStore::begin_tx() {
+  journaling_ = true;
+  journal_.clear();
+}
+
+void KvStore::commit_tx() {
+  journaling_ = false;
+  journal_.clear();
+}
+
+void KvStore::revert_tx() {
+  journaling_ = false;
+  // Undo in reverse order so repeated writes to one key restore correctly.
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    if (it->old_value.has_value()) {
+      set(it->key, std::move(*it->old_value));
+    } else {
+      erase(it->key);
+    }
+  }
+  journal_.clear();
+}
+
+void KvStore::journal_record(const std::string& key) {
+  if (!journaling_) return;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    journal_.push_back(UndoEntry{key, it->second});
+  } else {
+    journal_.push_back(UndoEntry{key, std::nullopt});
+  }
+}
+
+void KvStore::set(const std::string& key, util::Bytes value) {
+  journal_record(key);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    xor_into_root(entry_hash(key, it->second));  // remove old contribution
+    it->second = std::move(value);
+    xor_into_root(entry_hash(key, it->second));
+  } else {
+    xor_into_root(entry_hash(key, value));
+    entries_.emplace(key, std::move(value));
+  }
+}
+
+void KvStore::erase(const std::string& key) {
+  journal_record(key);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  xor_into_root(entry_hash(key, it->second));
+  entries_.erase(it);
+}
+
+std::optional<util::Bytes> KvStore::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::contains(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+std::vector<std::string> KvStore::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+StoreProof KvStore::prove(const std::string& key) const {
+  StoreProof proof;
+  proof.key = key;
+  proof.root = root_;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    proof.exists = true;
+    proof.value = it->second;
+  }
+  proof.binding = store_proof_binding(key, proof.value, proof.exists, root_);
+  return proof;
+}
+
+crypto::Digest store_proof_binding(const std::string& key,
+                                   util::BytesView value, bool exists,
+                                   const crypto::Digest& root) {
+  crypto::Sha256 h;
+  h.update(util::to_bytes("store-proof/"));
+  h.update(util::to_bytes(key));
+  h.update(value);
+  const std::uint8_t e = exists ? 1 : 0;
+  h.update(util::BytesView(&e, 1));
+  h.update(util::BytesView(root.data(), root.size()));
+  return h.finalize();
+}
+
+bool verify_store_proof(const StoreProof& proof, const crypto::Digest& root) {
+  if (proof.root != root) return false;
+  return proof.binding ==
+         store_proof_binding(proof.key, proof.value, proof.exists, proof.root);
+}
+
+}  // namespace chain

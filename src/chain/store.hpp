@@ -1,0 +1,89 @@
+#pragma once
+// Application key-value store with a commitment root.
+//
+// The Cosmos SDK keeps module state in Merkle-ised KV stores whose root goes
+// into the block header (app_hash) and against which IBC proofs are checked.
+// We keep a sorted map plus an *incrementally maintained set-hash* root:
+// root = XOR over entries of SHA-256(key || value). The XOR set-hash updates
+// in O(1) per mutation and is deterministic; it loses Merkle path proofs, so
+// existence proofs are issued explicitly via prove()/verify_proof() below,
+// which bind (key, value, root-at-height) — sufficient for the simulator's
+// honest-node verification semantics (substitution noted in DESIGN.md).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace chain {
+
+/// Existence (or non-existence) proof for a key under a store root.
+struct StoreProof {
+  std::string key;
+  util::Bytes value;       // empty + exists=false => non-existence proof
+  bool exists = false;
+  crypto::Digest root{};   // the root this proof commits to
+  crypto::Digest binding{};  // H(key || value || exists || root)
+};
+
+class KvStore {
+ public:
+  KvStore() = default;
+
+  void set(const std::string& key, util::Bytes value);
+  void erase(const std::string& key);
+  std::optional<util::Bytes> get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// All keys with the given prefix, in lexicographic order.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Current commitment root (incremental set-hash).
+  const crypto::Digest& root() const { return root_; }
+
+  /// Issues a proof of (non-)existence of `key` under the current root.
+  StoreProof prove(const std::string& key) const;
+
+  // --- transaction journal ----------------------------------------------
+  // Cosmos reverts all state writes of a failing transaction. begin_tx()
+  // starts recording undo entries; revert_tx() restores the pre-tx state;
+  // commit_tx() discards the journal. Nesting is not supported.
+  void begin_tx();
+  void commit_tx();
+  void revert_tx();
+  bool in_tx() const { return journaling_; }
+
+ private:
+  static crypto::Digest entry_hash(const std::string& key,
+                                   util::BytesView value);
+  void xor_into_root(const crypto::Digest& h);
+
+  void journal_record(const std::string& key);
+
+  std::map<std::string, util::Bytes> entries_;
+  crypto::Digest root_{};
+
+  struct UndoEntry {
+    std::string key;
+    std::optional<util::Bytes> old_value;  // nullopt = key did not exist
+  };
+  bool journaling_ = false;
+  std::vector<UndoEntry> journal_;
+};
+
+/// Verifies a proof against an expected root (e.g. the app_hash a light
+/// client tracked for the proof's height).
+bool verify_store_proof(const StoreProof& proof, const crypto::Digest& root);
+
+/// Recomputes the binding digest for a proof's fields.
+crypto::Digest store_proof_binding(const std::string& key,
+                                   util::BytesView value, bool exists,
+                                   const crypto::Digest& root);
+
+}  // namespace chain

@@ -1,0 +1,24 @@
+#pragma once
+// Shared vocabulary types for the blockchain substrate.
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace chain {
+
+/// Block height, 1-based (height 0 = empty chain / genesis state).
+using Height = std::int64_t;
+
+/// Chain identifier ("ibc-source" / "ibc-destination" in our testbed).
+using ChainId = std::string;
+
+/// Transaction hash (SHA-256 of the canonical encoding).
+using TxHash = crypto::Digest;
+
+/// Bech32-ish account address; the simulator uses plain readable strings
+/// ("user-17", "relayer-0-wallet-a").
+using Address = std::string;
+
+}  // namespace chain

@@ -1,0 +1,56 @@
+#include "chain/validator.hpp"
+
+#include <cassert>
+
+namespace chain {
+
+ValidatorSet::ValidatorSet(std::vector<Validator> validators)
+    : validators_(std::move(validators)) {
+  for (const Validator& v : validators_) {
+    assert(v.power > 0);
+    total_power_ += v.power;
+  }
+}
+
+ValidatorSet ValidatorSet::make(const std::string& prefix, int count,
+                                int machine_count) {
+  assert(count > 0 && machine_count > 0);
+  std::vector<Validator> vals;
+  vals.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Validator v;
+    v.moniker = prefix + "-val-" + std::to_string(i);
+    v.keys = crypto::derive_key_pair(v.moniker);
+    v.power = 1;
+    v.machine = i % machine_count;
+    vals.push_back(std::move(v));
+  }
+  return ValidatorSet(std::move(vals));
+}
+
+std::size_t ValidatorSet::proposer_index(Height height, int round) const {
+  assert(!validators_.empty());
+  const auto h = static_cast<std::uint64_t>(height);
+  const auto r = static_cast<std::uint64_t>(round);
+  return static_cast<std::size_t>((h + r) % validators_.size());
+}
+
+std::size_t ValidatorSet::index_of(const crypto::PublicKey& pub) const {
+  for (std::size_t i = 0; i < validators_.size(); ++i) {
+    if (validators_[i].keys.pub == pub) return i;
+  }
+  return validators_.size();
+}
+
+crypto::Digest ValidatorSet::hash() const {
+  crypto::Sha256 h;
+  for (const Validator& v : validators_) {
+    h.update(util::BytesView(v.keys.pub.id.data(), v.keys.pub.id.size()));
+    util::Bytes power;
+    util::append_u64_be(power, static_cast<std::uint64_t>(v.power));
+    h.update(power);
+  }
+  return h.finalize();
+}
+
+}  // namespace chain

@@ -1,0 +1,60 @@
+#pragma once
+// Validators and validator sets.
+//
+// A validator is a consensus participant with a signing key and a voting
+// power. The set rotates block proposers round-robin weighted by power
+// (we use equal powers, matching the paper's 5-equal-validator testbed,
+// so rotation degenerates to plain round-robin).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/types.hpp"
+#include "crypto/signature.hpp"
+#include "net/network.hpp"
+
+namespace chain {
+
+struct Validator {
+  std::string moniker;      // "src-val-3"
+  crypto::KeyPair keys;
+  std::int64_t power = 1;
+  net::MachineId machine = 0;  // which testbed machine hosts it
+};
+
+class ValidatorSet {
+ public:
+  ValidatorSet() = default;
+  explicit ValidatorSet(std::vector<Validator> validators);
+
+  /// Builds `count` equal-power validators named "<prefix>-val-<i>", hosted
+  /// on machines i % machine_count (the paper's one-validator-per-chain-per-
+  /// machine layout).
+  static ValidatorSet make(const std::string& prefix, int count,
+                           int machine_count);
+
+  std::size_t size() const { return validators_.size(); }
+  const Validator& at(std::size_t i) const { return validators_[i]; }
+  const std::vector<Validator>& validators() const { return validators_; }
+
+  std::int64_t total_power() const { return total_power_; }
+
+  /// Power needed for a 2/3 quorum: smallest p with p * 3 > total * 2.
+  std::int64_t quorum_power() const { return total_power_ * 2 / 3 + 1; }
+
+  /// Proposer index for (height, round): deterministic rotation.
+  std::size_t proposer_index(Height height, int round) const;
+
+  /// Index of the validator owning `pub`, or size() if unknown.
+  std::size_t index_of(const crypto::PublicKey& pub) const;
+
+  /// Hash of the validator set (goes into block headers).
+  crypto::Digest hash() const;
+
+ private:
+  std::vector<Validator> validators_;
+  std::int64_t total_power_ = 0;
+};
+
+}  // namespace chain

@@ -1,0 +1,34 @@
+#include "cosmos/auth.hpp"
+
+#include "util/bytes.hpp"
+
+namespace cosmos {
+
+std::string AuthKeeper::seq_key(const chain::Address& addr) {
+  return "auth/seq/" + addr;
+}
+
+bool AuthKeeper::account_exists(const chain::Address& addr) const {
+  return store_.contains(seq_key(addr));
+}
+
+void AuthKeeper::create_account(const chain::Address& addr) {
+  if (account_exists(addr)) return;
+  util::Bytes b;
+  util::append_u64_be(b, 0);
+  store_.set(seq_key(addr), std::move(b));
+}
+
+std::uint64_t AuthKeeper::sequence(const chain::Address& addr) const {
+  const auto v = store_.get(seq_key(addr));
+  if (!v || v->size() != 8) return 0;
+  return util::read_u64_be(*v, 0);
+}
+
+void AuthKeeper::increment_sequence(const chain::Address& addr) {
+  util::Bytes b;
+  util::append_u64_be(b, sequence(addr) + 1);
+  store_.set(seq_key(addr), std::move(b));
+}
+
+}  // namespace cosmos

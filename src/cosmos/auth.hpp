@@ -1,0 +1,34 @@
+#pragma once
+// Auth keeper: accounts and sequence numbers.
+//
+// Cosmos enforces transaction ordering per account through monotonically
+// increasing sequence numbers; the ante handler rejects a transaction whose
+// sequence does not equal the account's committed sequence. This is the
+// mechanism that limits each account to one transaction per block and forces
+// the paper's multi-account submission strategy (§III-D, §V).
+
+#include <cstdint>
+#include <string>
+
+#include "chain/store.hpp"
+#include "chain/types.hpp"
+
+namespace cosmos {
+
+class AuthKeeper {
+ public:
+  explicit AuthKeeper(chain::KvStore& store) : store_(store) {}
+
+  bool account_exists(const chain::Address& addr) const;
+  void create_account(const chain::Address& addr);
+
+  /// The sequence the account's *next* transaction must carry.
+  std::uint64_t sequence(const chain::Address& addr) const;
+  void increment_sequence(const chain::Address& addr);
+
+ private:
+  static std::string seq_key(const chain::Address& addr);
+  chain::KvStore& store_;
+};
+
+}  // namespace cosmos

@@ -1,0 +1,77 @@
+#include "cosmos/bank.hpp"
+
+namespace cosmos {
+
+std::string BankKeeper::balance_key(const chain::Address& addr,
+                                    const std::string& denom) {
+  return "bank/bal/" + addr + "|" + denom;
+}
+
+std::string BankKeeper::supply_key(const std::string& denom) {
+  return "bank/supply/" + denom;
+}
+
+std::uint64_t BankKeeper::read_u64(const std::string& key) const {
+  const auto v = store_.get(key);
+  if (!v || v->size() != 8) return 0;
+  return util::read_u64_be(*v, 0);
+}
+
+void BankKeeper::write_u64(const std::string& key, std::uint64_t v) {
+  if (v == 0) {
+    store_.erase(key);  // keep the state (and its root) canonical
+    return;
+  }
+  util::Bytes b;
+  util::append_u64_be(b, v);
+  store_.set(key, std::move(b));
+}
+
+std::uint64_t BankKeeper::balance(const chain::Address& addr,
+                                  const std::string& denom) const {
+  return read_u64(balance_key(addr, denom));
+}
+
+void BankKeeper::set_balance(const chain::Address& addr, const Coin& coin) {
+  const std::uint64_t before = balance(addr, coin.denom);
+  write_u64(balance_key(addr, coin.denom), coin.amount);
+  // Genesis allocations count toward supply so invariants hold from block 1.
+  write_u64(supply_key(coin.denom),
+            supply(coin.denom) - before + coin.amount);
+}
+
+util::Status BankKeeper::send(const chain::Address& from,
+                              const chain::Address& to, const Coin& coin) {
+  const std::uint64_t from_bal = balance(from, coin.denom);
+  if (from_bal < coin.amount) {
+    return util::Status::error(util::ErrorCode::kFailedPrecondition,
+                               "insufficient funds: " + from + " has " +
+                                   std::to_string(from_bal) + coin.denom +
+                                   ", needs " + coin.to_string());
+  }
+  write_u64(balance_key(from, coin.denom), from_bal - coin.amount);
+  write_u64(balance_key(to, coin.denom), balance(to, coin.denom) + coin.amount);
+  return util::Status::ok();
+}
+
+void BankKeeper::mint(const chain::Address& to, const Coin& coin) {
+  write_u64(balance_key(to, coin.denom), balance(to, coin.denom) + coin.amount);
+  write_u64(supply_key(coin.denom), supply(coin.denom) + coin.amount);
+}
+
+util::Status BankKeeper::burn(const chain::Address& from, const Coin& coin) {
+  const std::uint64_t bal = balance(from, coin.denom);
+  if (bal < coin.amount) {
+    return util::Status::error(util::ErrorCode::kFailedPrecondition,
+                               "insufficient funds to burn " + coin.to_string());
+  }
+  write_u64(balance_key(from, coin.denom), bal - coin.amount);
+  write_u64(supply_key(coin.denom), supply(coin.denom) - coin.amount);
+  return util::Status::ok();
+}
+
+std::uint64_t BankKeeper::supply(const std::string& denom) const {
+  return read_u64(supply_key(denom));
+}
+
+}  // namespace cosmos

@@ -1,0 +1,54 @@
+#pragma once
+// Bank keeper: account balances, transfers, mint/burn.
+//
+// Backed by the application KvStore so balances participate in the committed
+// state and in transaction rollback. Escrow accounts used by ICS-20 are
+// ordinary module-owned addresses; the escrow-conservation invariant
+// (sum of escrowed == sum of vouchers minted on the other side) is checked
+// by property tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/store.hpp"
+#include "chain/types.hpp"
+#include "cosmos/coin.hpp"
+#include "util/status.hpp"
+
+namespace cosmos {
+
+class BankKeeper {
+ public:
+  explicit BankKeeper(chain::KvStore& store) : store_(store) {}
+
+  std::uint64_t balance(const chain::Address& addr,
+                        const std::string& denom) const;
+
+  /// Sets a balance outright (genesis allocation only).
+  void set_balance(const chain::Address& addr, const Coin& coin);
+
+  /// Moves `coin` from `from` to `to`; fails on insufficient funds.
+  util::Status send(const chain::Address& from, const chain::Address& to,
+                    const Coin& coin);
+
+  /// Creates new supply into `to` (ICS-20 voucher minting).
+  void mint(const chain::Address& to, const Coin& coin);
+
+  /// Destroys supply held by `from` (ICS-20 voucher burning).
+  util::Status burn(const chain::Address& from, const Coin& coin);
+
+  /// Total minted minus burned per denom, maintained for invariant checks.
+  std::uint64_t supply(const std::string& denom) const;
+
+ private:
+  static std::string balance_key(const chain::Address& addr,
+                                 const std::string& denom);
+  static std::string supply_key(const std::string& denom);
+  std::uint64_t read_u64(const std::string& key) const;
+  void write_u64(const std::string& key, std::uint64_t v);
+
+  chain::KvStore& store_;
+};
+
+}  // namespace cosmos

@@ -1,0 +1,24 @@
+#pragma once
+// Coins: a denomination plus an amount.
+//
+// Native tokens have plain denoms ("uatom"); vouchers minted by IBC token
+// transfer carry a denom derived from the transfer path, which is why tokens
+// arriving through different channels are not fungible (paper §IV-A).
+
+#include <cstdint>
+#include <string>
+
+namespace cosmos {
+
+struct Coin {
+  std::string denom;
+  std::uint64_t amount = 0;
+
+  bool operator==(const Coin&) const = default;
+  std::string to_string() const { return std::to_string(amount) + denom; }
+};
+
+/// The fee/native token used by both testbed chains.
+inline const std::string kNativeDenom = "uatom";
+
+}  // namespace cosmos

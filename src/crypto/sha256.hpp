@@ -1,0 +1,43 @@
+#pragma once
+// SHA-256 (FIPS 180-4).
+//
+// Used for block hashes, transaction hashes, packet commitments and Merkle
+// trees. A real Tendermint node uses the same primitive; implementing it
+// here keeps hashes stable across platforms and avoids external deps.
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// One-shot SHA-256.
+Digest sha256(util::BytesView data);
+
+/// Incremental hashing for multi-part canonical encodings.
+class Sha256 {
+ public:
+  Sha256();
+  void update(util::BytesView data);
+  Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest helpers.
+util::Bytes digest_to_bytes(const Digest& d);
+std::string digest_hex(const Digest& d);
+
+/// Short (8-byte) hex prefix, for readable ids in logs.
+std::string digest_short_hex(const Digest& d);
+
+}  // namespace crypto

@@ -1,0 +1,56 @@
+#include "crypto/signature.hpp"
+
+#include <map>
+
+namespace crypto {
+
+namespace {
+
+Digest tagged_hash(std::string_view tag, util::BytesView a, util::BytesView b) {
+  Sha256 h;
+  h.update(util::to_bytes(tag));
+  h.update(a);
+  h.update(b);
+  return h.finalize();
+}
+
+// Trapdoor registry: public key id -> private seed. Valid because all keys
+// in the simulator are derived in-process; lets verify() recompute MACs
+// without shipping private keys around (mirroring real verification
+// semantics). Not thread-safe by design — the DES is single-threaded.
+std::map<Digest, Digest>& registry() {
+  static std::map<Digest, Digest> r;
+  return r;
+}
+
+}  // namespace
+
+KeyPair derive_key_pair(std::string_view seed) {
+  KeyPair kp;
+  kp.priv.seed = tagged_hash("ibcperf/priv", util::to_bytes(seed), {});
+  kp.pub.id = tagged_hash(
+      "ibcperf/pub",
+      util::BytesView(kp.priv.seed.data(), kp.priv.seed.size()), {});
+  registry()[kp.pub.id] = kp.priv.seed;
+  return kp;
+}
+
+Signature sign(const PrivateKey& priv, util::BytesView message) {
+  Signature sig;
+  sig.mac = tagged_hash(
+      "ibcperf/mac", util::BytesView(priv.seed.data(), priv.seed.size()),
+      message);
+  return sig;
+}
+
+bool verify(const PublicKey& pub, util::BytesView message,
+            const Signature& sig) {
+  const auto it = registry().find(pub.id);
+  if (it == registry().end()) return false;
+  const Digest expected = tagged_hash(
+      "ibcperf/mac", util::BytesView(it->second.data(), it->second.size()),
+      message);
+  return expected == sig.mac;
+}
+
+}  // namespace crypto

@@ -1,0 +1,66 @@
+#pragma once
+// Deterministic stand-in signature scheme (simulation only).
+//
+// Tendermint validators sign votes with Ed25519. For the simulation the
+// cryptographic hardness is irrelevant — what matters is that (a) a
+// signature binds a message to a key pair, (b) verification fails for a
+// different key or a tampered message, and (c) signing/verifying have a
+// modelled CPU cost. We therefore use an HMAC-SHA256-style MAC keyed by the
+// private seed. Verification is made possible without distributing private
+// keys by an explicit in-process trapdoor: derive_key_pair() records
+// pub -> priv in a registry, which verify() consults. Everything runs in one
+// address space, so this is sound for a simulator and clearly NOT a real
+// signature scheme; the substitution is documented in DESIGN.md.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace crypto {
+
+struct PrivateKey {
+  Digest seed{};
+  bool operator==(const PrivateKey&) const = default;
+};
+
+struct PublicKey {
+  Digest id{};
+
+  bool operator==(const PublicKey&) const = default;
+  std::string hex() const { return digest_hex(id); }
+  std::string short_hex() const { return digest_short_hex(id); }
+};
+
+struct Signature {
+  Digest mac{};
+  bool operator==(const Signature&) const = default;
+};
+
+struct KeyPair {
+  PrivateKey priv;
+  PublicKey pub;
+};
+
+/// Deterministically derives a key pair from a seed string ("validator-0")
+/// and registers it in the verification trapdoor registry.
+KeyPair derive_key_pair(std::string_view seed);
+
+/// MAC over (priv, message).
+Signature sign(const PrivateKey& priv, util::BytesView message);
+
+/// Recomputes the MAC via the trapdoor registry. Returns false for unknown
+/// keys, mismatched keys, or tampered messages.
+bool verify(const PublicKey& pub, util::BytesView message,
+            const Signature& sig);
+
+/// Ordering/hashing support so keys can be used in maps.
+struct PublicKeyLess {
+  bool operator()(const PublicKey& a, const PublicKey& b) const {
+    return a.id < b.id;
+  }
+};
+
+}  // namespace crypto

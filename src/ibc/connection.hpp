@@ -1,0 +1,50 @@
+#pragma once
+// ICS-03 connections.
+//
+// A connection ties a local light client to a counterparty's light client
+// and is established by a four-step handshake (Init / Try / Ack / Confirm),
+// each step proving the counterparty recorded the previous one.
+
+#include <string>
+
+#include "chain/store.hpp"
+#include "ibc/codec.hpp"
+#include "ibc/ids.hpp"
+#include "util/status.hpp"
+
+namespace ibc {
+
+enum class ConnectionPhase : std::uint8_t {
+  kInit = 1,
+  kTryOpen = 2,
+  kOpen = 3,
+};
+
+std::string connection_phase_name(ConnectionPhase s);
+
+struct ConnectionEnd {
+  ConnectionPhase phase = ConnectionPhase::kInit;
+  ClientId client_id;                   // local client of the counterparty
+  ClientId counterparty_client_id;      // their client of us
+  ConnectionId counterparty_connection; // filled in from Try/Ack
+
+  util::Bytes encode() const;
+  static bool decode(util::BytesView data, ConnectionEnd& out);
+};
+
+/// Connection keeper: CRUD over connection ends in the app store.
+class ConnectionKeeper {
+ public:
+  explicit ConnectionKeeper(chain::KvStore& store) : store_(store) {}
+
+  ConnectionId generate_id();
+  void set(const ConnectionId& id, const ConnectionEnd& end);
+  util::Result<ConnectionEnd> get(const ConnectionId& id) const;
+  bool exists(const ConnectionId& id) const;
+
+ private:
+  chain::KvStore& store_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace ibc

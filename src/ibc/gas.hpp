@@ -1,0 +1,45 @@
+#pragma once
+// Gas costs of IBC messages.
+//
+// Calibrated to the paper's §IV-A measurements: 100-message transactions
+// averaging 3,669,161 gas (transfer), 7,238,699 (recv, including the
+// client update Hermes prepends) and 3,107,462 (acknowledgement), with
+// observed variances of at most 1%, 4.1% and 7.6% respectively. The
+// variance is modelled as a deterministic per-sequence jitter.
+
+#include <cstdint>
+
+#include "crypto/sha256.hpp"
+
+namespace ibc {
+
+struct GasTable {
+  std::uint64_t create_client = 180'000;
+  std::uint64_t update_client = 100'000;
+  std::uint64_t handshake_msg = 90'000;
+
+  std::uint64_t transfer = 36'000;
+  std::uint64_t recv_packet = 70'700;
+  std::uint64_t acknowledge = 29'400;
+  std::uint64_t timeout = 33'000;
+
+  /// Maximum relative jitter per message type (paper's observed variance).
+  double transfer_jitter = 0.010;
+  double recv_jitter = 0.041;
+  double ack_jitter = 0.076;
+};
+
+/// Deterministic jitter in [-max_rel, +max_rel] keyed by packet sequence.
+inline std::uint64_t jittered_gas(std::uint64_t base, double max_rel,
+                                  std::uint64_t seq_key) {
+  // Hash the key to decorrelate adjacent sequences.
+  util::Bytes b;
+  util::append_u64_be(b, seq_key);
+  const crypto::Digest d = crypto::sha256(b);
+  const std::uint64_t r = util::read_u64_be(util::BytesView(d.data(), 8), 0);
+  const double unit = static_cast<double>(r % 10'000) / 10'000.0;  // [0,1)
+  const double factor = 1.0 + max_rel * (2.0 * unit - 1.0);
+  return static_cast<std::uint64_t>(static_cast<double>(base) * factor);
+}
+
+}  // namespace ibc

@@ -1,0 +1,59 @@
+#include "ibc/host.hpp"
+
+namespace ibc::host {
+
+std::string client_state_key(const ClientId& client) {
+  return "ibc/clients/" + client + "/clientState";
+}
+
+std::string consensus_state_key(const ClientId& client, std::int64_t height) {
+  return "ibc/clients/" + client + "/consensusStates/" + std::to_string(height);
+}
+
+std::string connection_key(const ConnectionId& connection) {
+  return "ibc/connections/" + connection;
+}
+
+std::string channel_key(const PortId& port, const ChannelId& channel) {
+  return "ibc/channelEnds/ports/" + port + "/channels/" + channel;
+}
+
+std::string packet_commitment_key(const PortId& port, const ChannelId& channel,
+                                  Sequence sequence) {
+  return packet_commitment_prefix(port, channel) + std::to_string(sequence);
+}
+
+std::string packet_receipt_key(const PortId& port, const ChannelId& channel,
+                               Sequence sequence) {
+  return "ibc/receipts/ports/" + port + "/channels/" + channel +
+         "/sequences/" + std::to_string(sequence);
+}
+
+std::string packet_ack_key(const PortId& port, const ChannelId& channel,
+                           Sequence sequence) {
+  return "ibc/acks/ports/" + port + "/channels/" + channel + "/sequences/" +
+         std::to_string(sequence);
+}
+
+std::string next_sequence_send_key(const PortId& port,
+                                   const ChannelId& channel) {
+  return "ibc/nextSequenceSend/ports/" + port + "/channels/" + channel;
+}
+
+std::string next_sequence_recv_key(const PortId& port,
+                                   const ChannelId& channel) {
+  return "ibc/nextSequenceRecv/ports/" + port + "/channels/" + channel;
+}
+
+std::string next_sequence_ack_key(const PortId& port,
+                                  const ChannelId& channel) {
+  return "ibc/nextSequenceAck/ports/" + port + "/channels/" + channel;
+}
+
+std::string packet_commitment_prefix(const PortId& port,
+                                     const ChannelId& channel) {
+  return "ibc/commitments/ports/" + port + "/channels/" + channel +
+         "/sequences/";
+}
+
+}  // namespace ibc::host

@@ -1,0 +1,27 @@
+#pragma once
+// IBC identifiers (ICS-24 host requirements).
+
+#include <cstdint>
+#include <string>
+
+namespace ibc {
+
+using ClientId = std::string;      // "07-tendermint-0"
+using ConnectionId = std::string;  // "connection-0"
+using ChannelId = std::string;     // "channel-0"
+using PortId = std::string;        // "transfer"
+using Sequence = std::uint64_t;
+
+inline ClientId make_client_id(std::uint64_t n) {
+  return "07-tendermint-" + std::to_string(n);
+}
+inline ConnectionId make_connection_id(std::uint64_t n) {
+  return "connection-" + std::to_string(n);
+}
+inline ChannelId make_channel_id(std::uint64_t n) {
+  return "channel-" + std::to_string(n);
+}
+
+inline const PortId kTransferPort = "transfer";
+
+}  // namespace ibc

@@ -1,0 +1,207 @@
+#pragma once
+// IBC transaction messages.
+//
+// Every protocol step is a message carried in a chain::Tx (paper §II-B2):
+// client lifecycle (create/update), the connection and channel handshakes,
+// the packet life cycle (recv / acknowledge / timeout) and the ICS-20
+// MsgTransfer that initiates a fungible token transfer. Each struct has a
+// type URL (mirroring the protobuf Any URLs of the real stack), a codec, and
+// a to_msg() helper producing the chain::Msg envelope.
+
+#include <string>
+
+#include "chain/store.hpp"
+#include "chain/tx.hpp"
+#include "ibc/channel.hpp"
+#include "ibc/client.hpp"
+#include "ibc/codec.hpp"
+#include "ibc/packet.hpp"
+
+namespace ibc {
+
+// Type URLs.
+inline const std::string kMsgCreateClientUrl = "/ibc.core.client.v1.MsgCreateClient";
+inline const std::string kMsgUpdateClientUrl = "/ibc.core.client.v1.MsgUpdateClient";
+inline const std::string kMsgConnOpenInitUrl = "/ibc.core.connection.v1.MsgConnectionOpenInit";
+inline const std::string kMsgConnOpenTryUrl = "/ibc.core.connection.v1.MsgConnectionOpenTry";
+inline const std::string kMsgConnOpenAckUrl = "/ibc.core.connection.v1.MsgConnectionOpenAck";
+inline const std::string kMsgConnOpenConfirmUrl = "/ibc.core.connection.v1.MsgConnectionOpenConfirm";
+inline const std::string kMsgChanOpenInitUrl = "/ibc.core.channel.v1.MsgChannelOpenInit";
+inline const std::string kMsgChanOpenTryUrl = "/ibc.core.channel.v1.MsgChannelOpenTry";
+inline const std::string kMsgChanOpenAckUrl = "/ibc.core.channel.v1.MsgChannelOpenAck";
+inline const std::string kMsgChanOpenConfirmUrl = "/ibc.core.channel.v1.MsgChannelOpenConfirm";
+inline const std::string kMsgChanCloseInitUrl = "/ibc.core.channel.v1.MsgChannelCloseInit";
+inline const std::string kMsgChanCloseConfirmUrl = "/ibc.core.channel.v1.MsgChannelCloseConfirm";
+inline const std::string kMsgRecvPacketUrl = "/ibc.core.channel.v1.MsgRecvPacket";
+inline const std::string kMsgAcknowledgementUrl = "/ibc.core.channel.v1.MsgAcknowledgement";
+inline const std::string kMsgTimeoutUrl = "/ibc.core.channel.v1.MsgTimeout";
+inline const std::string kMsgTransferUrl = "/ibc.applications.transfer.v1.MsgTransfer";
+
+/// StoreProof codec shared by proof-carrying messages.
+void write_proof(Writer& w, const chain::StoreProof& proof);
+bool read_proof(Reader& r, chain::StoreProof& proof);
+
+struct MsgCreateClient {
+  ClientState client_state;       // includes the trusted validator set
+  std::int64_t initial_height = 0;
+  ConsensusState initial_consensus;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgCreateClient& out);
+};
+
+struct MsgUpdateClient {
+  ClientId client_id;
+  Header header;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgUpdateClient& out);
+};
+
+struct MsgConnOpenInit {
+  ClientId client_id;
+  ClientId counterparty_client_id;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgConnOpenInit& out);
+};
+
+struct MsgConnOpenTry {
+  ClientId client_id;
+  ClientId counterparty_client_id;
+  ConnectionId counterparty_connection;
+  chain::StoreProof proof_init;  // counterparty stored the INIT end
+  std::int64_t proof_height = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgConnOpenTry& out);
+};
+
+struct MsgConnOpenAck {
+  ConnectionId connection_id;
+  ConnectionId counterparty_connection;
+  chain::StoreProof proof_try;
+  std::int64_t proof_height = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgConnOpenAck& out);
+};
+
+struct MsgConnOpenConfirm {
+  ConnectionId connection_id;
+  chain::StoreProof proof_ack;
+  std::int64_t proof_height = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgConnOpenConfirm& out);
+};
+
+struct MsgChanOpenInit {
+  PortId port;
+  ConnectionId connection;
+  PortId counterparty_port;
+  ChannelOrdering ordering = ChannelOrdering::kUnordered;
+  std::string version;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgChanOpenInit& out);
+};
+
+struct MsgChanOpenTry {
+  PortId port;
+  ConnectionId connection;
+  PortId counterparty_port;
+  ChannelId counterparty_channel;
+  ChannelOrdering ordering = ChannelOrdering::kUnordered;
+  std::string version;
+  chain::StoreProof proof_init;
+  std::int64_t proof_height = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgChanOpenTry& out);
+};
+
+struct MsgChanOpenAck {
+  PortId port;
+  ChannelId channel;
+  ChannelId counterparty_channel;
+  chain::StoreProof proof_try;
+  std::int64_t proof_height = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgChanOpenAck& out);
+};
+
+struct MsgChanOpenConfirm {
+  PortId port;
+  ChannelId channel;
+  chain::StoreProof proof_ack;
+  std::int64_t proof_height = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgChanOpenConfirm& out);
+};
+
+struct MsgChanCloseInit {
+  PortId port;
+  ChannelId channel;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgChanCloseInit& out);
+};
+
+struct MsgChanCloseConfirm {
+  PortId port;
+  ChannelId channel;
+  chain::StoreProof proof_init;  // counterparty end is CLOSED
+  std::int64_t proof_height = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgChanCloseConfirm& out);
+};
+
+struct MsgRecvPacket {
+  Packet packet;
+  chain::StoreProof proof_commitment;
+  std::int64_t proof_height = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgRecvPacket& out);
+};
+
+struct MsgAcknowledgementMsg {
+  Packet packet;
+  Acknowledgement ack;
+  chain::StoreProof proof_ack;
+  std::int64_t proof_height = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgAcknowledgementMsg& out);
+};
+
+struct MsgTimeout {
+  Packet packet;
+  /// Non-existence proof of the receipt (UNORDERED) at proof_height.
+  chain::StoreProof proof_unreceived;
+  std::int64_t proof_height = 0;
+  Sequence next_sequence_recv = 0;  // for ORDERED channels
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgTimeout& out);
+};
+
+struct MsgTransfer {
+  PortId source_port;
+  ChannelId source_channel;
+  std::string denom;
+  std::uint64_t amount = 0;
+  chain::Address sender;
+  chain::Address receiver;
+  std::int64_t timeout_height = 0;
+  std::int64_t timeout_timestamp = 0;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgTransfer& out);
+};
+
+}  // namespace ibc

@@ -1,0 +1,63 @@
+#pragma once
+// IBC packets (ICS-04).
+//
+// A packet is the unit of cross-chain data transfer. The sending chain
+// stores a *commitment* (hash of data + timeout) under an ICS-24 path; the
+// receiving chain verifies that commitment with a store proof, writes a
+// receipt and an acknowledgement; the sending chain finally verifies the
+// acknowledgement and deletes its commitment (paper Fig. 2). Timeouts are
+// proven by the *absence* of a receipt (paper Fig. 3).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "chain/events.hpp"
+#include "crypto/sha256.hpp"
+#include "ibc/ids.hpp"
+#include "util/bytes.hpp"
+
+namespace ibc {
+
+struct Packet {
+  Sequence sequence = 0;
+  PortId source_port;
+  ChannelId source_channel;
+  PortId destination_port;
+  ChannelId destination_channel;
+  util::Bytes data;  // opaque to IBC; ICS-20 puts FungibleTokenPacketData here
+  /// Timeout height on the *destination* chain (0 = no height timeout).
+  std::int64_t timeout_height = 0;
+  /// Timeout timestamp on the destination chain (0 = none), virtual time.
+  std::int64_t timeout_timestamp = 0;
+
+  /// Canonical encoding (used in commitments and message payloads).
+  util::Bytes encode() const;
+  static bool decode(util::BytesView bytes, Packet& out);
+
+  /// The commitment stored on the sending chain:
+  /// H(timeout_height || timeout_timestamp || H(data)).
+  crypto::Digest commitment() const;
+
+  std::size_t size_bytes() const { return 96 + data.size(); }
+};
+
+/// Reconstructs a Packet from the attributes of a packet life-cycle event
+/// ("send_packet", "recv_packet", "write_acknowledgement"); this is how the
+/// relayer recovers packet contents from queried transaction events.
+/// Returns nullopt when attributes are missing or malformed.
+std::optional<Packet> packet_from_event(const chain::Event& event);
+
+/// Acknowledgement payload: success marker or application error string.
+struct Acknowledgement {
+  bool success = true;
+  std::string error;  // set when success == false
+
+  util::Bytes encode() const;
+  static bool decode(util::BytesView bytes, Acknowledgement& out);
+
+  /// Commitment stored under the ack path: H(encoded ack).
+  crypto::Digest commitment() const;
+};
+
+}  // namespace ibc

@@ -1,0 +1,50 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace net {
+
+Network::Network(sim::Scheduler& sched, NetworkConfig config)
+    : sched_(sched), config_(config), rng_(config.seed) {
+  assert(config_.machine_count > 0);
+}
+
+sim::Duration Network::propagation_latency(MachineId from, MachineId to) const {
+  if (from == to) return config_.loopback_latency;
+  return config_.inter_machine_rtt / 2;
+}
+
+sim::Duration Network::transfer_time(MachineId from, MachineId to,
+                                     std::uint64_t payload_bytes) {
+  const sim::Duration prop = propagation_latency(from, to);
+  const double tx_seconds =
+      static_cast<double>(payload_bytes) / config_.bandwidth_bytes_per_sec;
+  sim::Duration total = prop + sim::seconds(tx_seconds);
+  if (config_.jitter_fraction > 0.0) {
+    const double jitter =
+        rng_.uniform(-config_.jitter_fraction, config_.jitter_fraction);
+    total += static_cast<sim::Duration>(static_cast<double>(prop) * jitter);
+  }
+  return std::max<sim::Duration>(total, 0);
+}
+
+void Network::send(MachineId from, MachineId to, std::uint64_t payload_bytes,
+                   std::function<void()> on_arrival) {
+  assert(from >= 0 && from < config_.machine_count);
+  assert(to >= 0 && to < config_.machine_count);
+  ++messages_sent_;
+  bytes_sent_ += payload_bytes;
+  sched_.schedule_after(transfer_time(from, to, payload_bytes),
+                        std::move(on_arrival));
+}
+
+void Network::broadcast(MachineId from, std::uint64_t payload_bytes,
+                        std::function<void(MachineId)> on_arrival) {
+  for (MachineId m = 0; m < config_.machine_count; ++m) {
+    if (m == from) continue;
+    send(from, m, payload_bytes, [on_arrival, m]() { on_arrival(m); });
+  }
+}
+
+}  // namespace net

@@ -1,0 +1,77 @@
+#pragma once
+// Simulated network.
+//
+// Reproduces the paper's testbed topology: five machines on a LAN with an
+// enforced round-trip latency between any pair of distinct machines (200 ms
+// for the WAN experiments, ~0 for the LAN baseline). Each machine hosts one
+// validator of each chain; the relayer is colocated with machine 0 and talks
+// to its full nodes over loopback — exactly the paper's §III-C deployment.
+//
+// Messages are delivered as scheduled callbacks after
+//   one_way_latency(src, dst) + payload / bandwidth (+ jitter).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace net {
+
+using MachineId = int;
+
+struct NetworkConfig {
+  int machine_count = 5;
+  /// Round-trip latency between *distinct* machines; halved per direction.
+  sim::Duration inter_machine_rtt = sim::millis(200);
+  /// Loopback latency (same machine). The paper's LAN measures < 0.5 ms.
+  sim::Duration loopback_latency = sim::micros(50);
+  /// Link bandwidth in bytes per second (1 Gbps default); bounds the cost of
+  /// shipping multi-megabyte query responses / WebSocket frames.
+  double bandwidth_bytes_per_sec = 125'000'000.0;
+  /// Relative jitter applied to propagation latency (0.05 = ±5%).
+  double jitter_fraction = 0.05;
+  std::uint64_t seed = 0x1bc0ffee;
+};
+
+class Network {
+ public:
+  Network(sim::Scheduler& sched, NetworkConfig config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int machine_count() const { return config_.machine_count; }
+  const NetworkConfig& config() const { return config_; }
+
+  /// One-way propagation latency between two machines (no payload term).
+  sim::Duration propagation_latency(MachineId from, MachineId to) const;
+
+  /// Full transfer time for `payload_bytes` from `from` to `to`, including
+  /// deterministic jitter drawn from the network's RNG stream.
+  sim::Duration transfer_time(MachineId from, MachineId to,
+                              std::uint64_t payload_bytes);
+
+  /// Schedules `on_arrival` after transfer_time(). The payload itself is
+  /// carried by the caller's closure; the network only models timing.
+  void send(MachineId from, MachineId to, std::uint64_t payload_bytes,
+            std::function<void()> on_arrival);
+
+  /// Broadcast helper: sends to every machine except `from` (validators
+  /// gossiping proposals/votes).
+  void broadcast(MachineId from, std::uint64_t payload_bytes,
+                 std::function<void(MachineId)> on_arrival);
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  sim::Scheduler& sched_;
+  NetworkConfig config_;
+  util::Rng rng_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace net

@@ -1,0 +1,72 @@
+#include "relayer/events.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace relayer {
+
+std::string_view step_name(Step s) {
+  switch (s) {
+    case Step::kTransferBroadcast: return "Transfer broadcast";
+    case Step::kTransferExtraction: return "Transfer extraction";
+    case Step::kTransferConfirmation: return "Transfer confirmation";
+    case Step::kTransferDataPull: return "Transfer data pull";
+    case Step::kRecvBuild: return "Recv build";
+    case Step::kRecvBroadcast: return "Recv broadcast";
+    case Step::kRecvExtraction: return "Recv extraction";
+    case Step::kRecvConfirmation: return "Recv confirmation";
+    case Step::kRecvDataPull: return "Recv data pull";
+    case Step::kAckBuild: return "Ack build";
+    case Step::kAckBroadcast: return "Ack broadcast";
+    case Step::kAckExtraction: return "Ack extraction";
+    case Step::kAckConfirmation: return "Ack confirmation";
+  }
+  return "?";
+}
+
+std::vector<double> StepLog::completion_times_seconds(Step step) const {
+  std::vector<double> out;
+  for (const StepRecord& r : records_) {
+    if (r.step == step) out.push_back(sim::to_seconds(r.time));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double StepLog::step_finish_seconds(Step step) const {
+  double last = 0.0;
+  for (const StepRecord& r : records_) {
+    if (r.step == step) last = std::max(last, sim::to_seconds(r.time));
+  }
+  return last;
+}
+
+bool StepLog::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "time_s,step,sequence\n";
+  for (const StepRecord& r : records_) {
+    f << sim::to_seconds(r.time) << ',' << step_name(r.step) << ','
+      << r.sequence << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+std::pair<double, double> StepLog::step_interval_seconds(Step step) const {
+  double first = 0.0, last = 0.0;
+  bool seen = false;
+  for (const StepRecord& r : records_) {
+    if (r.step != step) continue;
+    const double t = sim::to_seconds(r.time);
+    if (!seen) {
+      first = last = t;
+      seen = true;
+    } else {
+      first = std::min(first, t);
+      last = std::max(last, t);
+    }
+  }
+  return {first, last};
+}
+
+}  // namespace relayer

@@ -1,0 +1,988 @@
+#include "relayer/relayer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ibc/host.hpp"
+#include "util/log.hpp"
+
+namespace relayer {
+
+Relayer::Relayer(sim::Scheduler& sched, ChainHandle a, ChainHandle b,
+                 PathConfig path, RelayerConfig config, StepLog* step_log)
+    : sched_(sched),
+      a_(std::move(a)),
+      b_(std::move(b)),
+      path_(std::move(path)),
+      config_(std::move(config)),
+      step_log_(step_log) {
+  WalletConfig wa = config_.wallet;
+  wa.accounts = a_.wallet_accounts;
+  wa.gas_price = config_.gas_price;
+  wa.optimistic_sequencing = true;
+  wallet_a_ = std::make_unique<Wallet>(sched_, *a_.server, config_.machine, wa);
+
+  WalletConfig wb = config_.wallet;
+  wb.accounts = b_.wallet_accounts;
+  wb.gas_price = config_.gas_price;
+  wb.optimistic_sequencing = true;
+  wallet_b_ = std::make_unique<Wallet>(sched_, *b_.server, config_.machine, wb);
+}
+
+Relayer::~Relayer() {
+  stop();
+}
+
+void Relayer::start() {
+  assert(!running_);
+  running_ = true;
+  sub_a_ = a_.server->subscribe_new_block(
+      config_.machine, [this](const rpc::NewBlockFrame& f) {
+        if (running_) on_frame_a(f);
+      });
+  sub_b_ = b_.server->subscribe_new_block(
+      config_.machine, [this](const rpc::NewBlockFrame& f) {
+        if (running_) on_frame_b(f);
+      });
+}
+
+void Relayer::stop() {
+  if (!running_) return;
+  running_ = false;
+  a_.server->unsubscribe(sub_a_);
+  b_.server->unsubscribe(sub_b_);
+}
+
+void Relayer::record(Step step, ibc::Sequence seq) {
+  if (step_log_) step_log_->record(step, seq, sched_.now());
+}
+
+void Relayer::release_later(std::shared_ptr<std::function<void()>> fn) {
+  sched_.schedule_after(0, [fn] { *fn = nullptr; });
+}
+
+// --- Supervisor: frame handling ---------------------------------------------
+
+void Relayer::on_frame_a(const rpc::NewBlockFrame& frame) {
+  if (!frame.events_ok) {
+    // Paper §V: "Failed to collect events" — the event payload exceeded the
+    // WebSocket frame limit. The packets in this block are invisible to the
+    // relayer until (if ever) a clear pass rediscovers them; with the
+    // sticky-failure behaviour the event source stays broken afterwards.
+    ++stats_.frames_failed;
+    if (config_.websocket_failure_sticky) ws_wedged_a_ = true;
+    IBC_LOG(kWarn, "relayer") << "failed to collect events at height "
+                              << frame.height;
+  }
+
+  std::vector<ibc::Sequence> new_seqs;
+  if (ws_wedged_a_) {
+    // Event extraction disabled; block-height bookkeeping (below) still
+    // runs, so clearing can rediscover the packets.
+    check_timeouts();
+    if (config_.clear_interval > 0 &&
+        frame.height - last_clear_height_ >= config_.clear_interval) {
+      Op op;
+      op.kind = Op::Kind::kClear;
+      op.clear = ClearOp{1, frame.height};
+      last_clear_height_ = frame.height;
+      enqueue(std::move(op));
+    }
+    return;
+  }
+  for (const chain::Event& ev : frame.events) {
+    if (ev.type == "send_packet") {
+      if (ev.attribute("packet_src_channel") != path_.channel_a) continue;
+      const std::uint64_t seq =
+          std::strtoull(ev.attribute("packet_sequence").c_str(), nullptr, 10);
+      if (seq == 0 || packets_.contains(seq)) continue;
+      PacketState st;
+      st.stage = Stage::kExtracted;
+      st.src_height = frame.height;
+      packets_.emplace(seq, std::move(st));
+      record(Step::kTransferExtraction, seq);
+      new_seqs.push_back(seq);
+    } else if (ev.type == "acknowledge_packet") {
+      if (ev.attribute("packet_src_channel") != path_.channel_a) continue;
+      const std::uint64_t seq =
+          std::strtoull(ev.attribute("packet_sequence").c_str(), nullptr, 10);
+      record(Step::kAckExtraction, seq);
+    }
+  }
+
+  if (!new_seqs.empty()) {
+    // Confirm the transfers committed (one status round trip covers the
+    // batch — near-instant in Fig. 12).
+    const chain::Height h = frame.height;
+    auto seqs = std::make_shared<std::vector<ibc::Sequence>>(new_seqs);
+    a_.server->status(config_.machine,
+                      [this, seqs, h](rpc::Server::StatusInfo) {
+                        if (!running_) return;
+                        for (ibc::Sequence s : *seqs) {
+                          record(Step::kTransferConfirmation, s);
+                        }
+                        Op op;
+                        op.kind = Op::Kind::kRelay;
+                        op.relay = RelayBatchOp{h, *seqs};
+                        enqueue(std::move(op));
+                      });
+  }
+
+  check_timeouts();
+
+  if (config_.clear_interval > 0 &&
+      frame.height - last_clear_height_ >= config_.clear_interval) {
+    Op op;
+    op.kind = Op::Kind::kClear;
+    op.clear = ClearOp{1, frame.height};
+    last_clear_height_ = frame.height;
+    enqueue(std::move(op));
+  }
+}
+
+void Relayer::on_frame_b(const rpc::NewBlockFrame& frame) {
+  last_seen_b_height_ = std::max(last_seen_b_height_, frame.height);
+  if (!frame.events_ok) {
+    ++stats_.frames_failed;
+    if (config_.websocket_failure_sticky) ws_wedged_b_ = true;
+  }
+  if (ws_wedged_b_) return;  // ack extraction disabled; commit-callback path
+                             // still drives acks for our own recv txs
+
+  std::vector<ibc::Sequence> ack_seqs;
+  for (const chain::Event& ev : frame.events) {
+    if (ev.type != "write_acknowledgement") continue;
+    if (ev.attribute("packet_src_channel") != path_.channel_a) continue;
+    const std::uint64_t seq =
+        std::strtoull(ev.attribute("packet_sequence").c_str(), nullptr, 10);
+    const auto it = packets_.find(seq);
+    if (it == packets_.end()) continue;  // not a packet we are tracking
+    PacketState& st = it->second;
+    if (st.stage == Stage::kAckInFlight || st.stage == Stage::kDone ||
+        st.stage == Stage::kTimedOut) {
+      continue;
+    }
+    record(Step::kRecvExtraction, seq);
+    st.stage = Stage::kRecvDone;
+    st.dst_height = frame.height;
+    ack_seqs.push_back(seq);
+  }
+
+  if (!ack_seqs.empty()) {
+    Op op;
+    op.kind = Op::Kind::kAck;
+    op.ack = AckBatchOp{frame.height, std::move(ack_seqs)};
+    enqueue(std::move(op));
+  }
+}
+
+void Relayer::check_timeouts() {
+  if (last_seen_b_height_ == 0) return;
+  std::vector<ibc::Sequence> expired;
+  for (auto& [seq, st] : packets_) {
+    if (st.stage != Stage::kPulled) continue;
+    if (!st.packet || st.packet->timeout_height == 0) continue;
+    if (last_seen_b_height_ >= st.packet->timeout_height &&
+        !timeout_candidates_.contains(seq)) {
+      timeout_candidates_.insert(seq);
+      expired.push_back(seq);
+    }
+  }
+  if (!expired.empty()) {
+    Op op;
+    op.kind = Op::Kind::kTimeout;
+    op.timeout = TimeoutBatchOp{std::move(expired)};
+    enqueue(std::move(op));
+  }
+}
+
+// --- Worker loop ----------------------------------------------------------------
+
+void Relayer::enqueue(Op op) {
+  const int lane = (op.kind == Op::Kind::kRelay ||
+                    op.kind == Op::Kind::kClear ||
+                    op.kind == Op::Kind::kRetryRecv)
+                       ? 0
+                       : 1;
+  ops_[lane].push_back(std::move(op));
+  pump(lane);
+}
+
+void Relayer::pump(int lane) {
+  if (op_running_[lane] || ops_[lane].empty() || !running_) return;
+  op_running_[lane] = true;
+  Op op = std::move(ops_[lane].front());
+  ops_[lane].pop_front();
+  auto done = [this, lane]() {
+    op_running_[lane] = false;
+    // Defer through the scheduler so deep op chains do not recurse.
+    sched_.schedule_after(0, [this, lane] { pump(lane); });
+  };
+  switch (op.kind) {
+    case Op::Kind::kRelay:
+      run_relay_batch(std::move(op.relay), std::move(done));
+      break;
+    case Op::Kind::kAck:
+      run_ack_batch(std::move(op.ack), std::move(done));
+      break;
+    case Op::Kind::kTimeout:
+      run_timeout_batch(std::move(op.timeout), std::move(done));
+      break;
+    case Op::Kind::kClear:
+      run_clear(std::move(op.clear), std::move(done));
+      break;
+    case Op::Kind::kRetryRecv:
+      build_and_send_recv(std::move(op.retry.seqs), std::move(done));
+      break;
+    case Op::Kind::kRetryAck:
+      build_and_send_ack(std::move(op.retry.seqs), std::move(done));
+      break;
+  }
+}
+
+// --- Data pulls -------------------------------------------------------------------
+
+void Relayer::pull_chunks(rpc::Server* server, chain::Height height,
+                          const std::string& event_type,
+                          std::vector<ibc::Sequence> seqs,
+                          std::size_t chunk_index,
+                          std::function<void(bool)> done) {
+  const std::size_t chunk = config_.event_query_chunk;
+  const std::size_t begin = chunk_index * chunk;
+  if (begin >= seqs.size()) {
+    done(false);
+    return;
+  }
+  const std::size_t end = std::min(begin + chunk, seqs.size());
+  const ibc::Sequence lo = seqs[begin];
+  const ibc::Sequence hi = seqs[end - 1];
+  const Step pull_step = event_type == "send_packet"
+                             ? Step::kTransferDataPull
+                             : Step::kRecvDataPull;
+
+  server->query_packet_events(
+      config_.machine, height, event_type, lo, hi,
+      [this, server, height, event_type, seqs = std::move(seqs), chunk_index,
+       done = std::move(done), pull_step](
+          util::Result<rpc::TxSearchPage> res) mutable {
+        if (!running_) return;
+        if (res.is_ok()) {
+          for (const rpc::TxResponse& tx : res.value().txs) {
+            for (const chain::Event& ev : tx.result.events) {
+              if (ev.type != event_type) continue;
+              auto pkt = ibc::packet_from_event(ev);
+              if (!pkt || pkt->source_channel != path_.channel_a) continue;
+              const auto it = packets_.find(pkt->sequence);
+              if (it == packets_.end()) continue;
+              PacketState& st = it->second;
+              // A chunk query returns whole transactions, so events for
+              // sequences outside the chunk ride along; process (and log)
+              // each packet's pull exactly once.
+              if (event_type == "send_packet") {
+                if (st.stage == Stage::kExtracted) {
+                  record(pull_step, pkt->sequence);
+                  st.packet = std::move(*pkt);
+                  st.stage = Stage::kPulled;
+                }
+              } else {  // write_acknowledgement
+                if (st.ack.has_value()) continue;
+                if (!st.packet) st.packet = std::move(*pkt);
+                ibc::Acknowledgement ack;
+                if (ibc::Acknowledgement::decode(
+                        util::to_bytes(ev.attribute("packet_ack")), ack)) {
+                  record(pull_step, pkt->sequence);
+                  st.ack = std::move(ack);
+                }
+              }
+            }
+          }
+        }
+        pull_chunks(server, height, event_type, std::move(seqs),
+                    chunk_index + 1, std::move(done));
+      });
+}
+
+// --- Gas ------------------------------------------------------------------------
+
+std::uint64_t Relayer::estimate_gas(std::size_t updates,
+                                    std::size_t packet_msgs,
+                                    std::uint64_t per_packet_gas) const {
+  const double raw =
+      69'000.0 + static_cast<double>(updates) * static_cast<double>(gas_.update_client) +
+      static_cast<double>(packet_msgs) * static_cast<double>(per_packet_gas);
+  return static_cast<std::uint64_t>(std::ceil(raw * config_.gas_headroom));
+}
+
+// --- Client updates ----------------------------------------------------------------
+
+void Relayer::fetch_update(rpc::Server* server, const ibc::ClientId& client_id,
+                           chain::Height height,
+                           std::function<void(std::optional<chain::Msg>)> cb) {
+  server->query_header(
+      config_.machine, height,
+      [client_id, cb = std::move(cb)](
+          util::Result<rpc::Server::HeaderInfo> res) {
+        if (!res.is_ok()) {
+          cb(std::nullopt);
+          return;
+        }
+        const rpc::Server::HeaderInfo& info = res.value();
+        ibc::Header header;
+        header.chain_id = info.header.chain_id;
+        header.height = info.header.height;
+        header.time = info.header.time;
+        header.app_hash_after = info.app_hash_after;
+        header.validators_hash = info.header.validators_hash;
+        header.block_id = chain::BlockId{info.header.hash()};
+        header.commit = info.commit;
+        ibc::MsgUpdateClient update;
+        update.client_id = client_id;
+        update.header = std::move(header);
+        cb(update.to_msg());
+      });
+}
+
+// --- Relay batches -----------------------------------------------------------------
+
+void Relayer::run_relay_batch(RelayBatchOp op, std::function<void()> done) {
+  std::vector<ibc::Sequence> seqs;
+  for (ibc::Sequence s : op.seqs) {
+    const auto it = packets_.find(s);
+    if (it != packets_.end() && it->second.stage == Stage::kExtracted) {
+      seqs.push_back(s);
+    }
+  }
+  if (seqs.empty()) {
+    done();
+    return;
+  }
+  auto after_pull = [this, seqs, done = std::move(done)](bool) mutable {
+    std::vector<ibc::Sequence> pulled;
+    for (ibc::Sequence s : seqs) {
+      const auto it = packets_.find(s);
+      if (it != packets_.end() && it->second.stage == Stage::kPulled) {
+        pulled.push_back(s);
+      }
+    }
+    if (pulled.empty()) {
+      done();
+      return;
+    }
+    build_and_send_recv(std::move(pulled), std::move(done));
+  };
+  pull_chunks(a_.server, op.src_height, "send_packet", std::move(seqs), 0,
+              std::move(after_pull));
+}
+
+void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
+                                  std::function<void()> done) {
+  // Stage 1: per-packet commitment proof queries (sequential — the RPC node
+  // serves one request at a time anyway) + per-message CPU.
+  struct BuildState {
+    std::vector<ibc::Sequence> seqs;
+    std::size_t next = 0;
+    std::vector<ibc::MsgRecvPacket> msgs;
+    std::function<void()> done;
+  };
+  auto st = std::make_shared<BuildState>();
+  st->seqs = std::move(seqs);
+  st->done = std::move(done);
+
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, st, step]() {
+    if (!running_) return;
+    if (st->next >= st->seqs.size()) {
+      release_later(step);
+      // Stage 2: group into transactions and submit.
+      if (st->msgs.empty()) {
+        st->done();
+        return;
+      }
+      struct SendState {
+        std::vector<ibc::MsgRecvPacket> msgs;
+        std::size_t next_tx_begin = 0;
+        std::function<void()> done;
+      };
+      auto send = std::make_shared<SendState>();
+      send->msgs = std::move(st->msgs);
+      send->done = std::move(st->done);
+
+      auto send_step = std::make_shared<std::function<void()>>();
+      *send_step = [this, send, send_step]() {
+        if (!running_ || send->next_tx_begin >= send->msgs.size()) {
+          if (send->next_tx_begin >= send->msgs.size()) {
+            release_later(send_step);
+            send->done();
+          }
+          return;
+        }
+        const std::size_t begin = send->next_tx_begin;
+        const std::size_t end = std::min(
+            begin + config_.max_msgs_per_tx, send->msgs.size());
+        send->next_tx_begin = end;
+
+        // Distinct proof heights in this tx need client updates.
+        std::vector<chain::Height> heights;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto h = static_cast<chain::Height>(send->msgs[i].proof_height);
+          if (std::find(heights.begin(), heights.end(), h) == heights.end()) {
+            heights.push_back(h);
+          }
+        }
+        std::sort(heights.begin(), heights.end());
+
+        auto updates = std::make_shared<std::vector<chain::Msg>>();
+        auto fetch_next = std::make_shared<std::function<void(std::size_t)>>();
+        *fetch_next = [this, send, send_step, heights, updates, fetch_next,
+                       begin, end](std::size_t hi) {
+          if (hi >= heights.size()) {
+            // Chain complete: break the self-referential closure cycle.
+            sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
+          }
+          if (hi >= heights.size()) {
+          // Chain complete: break the self-referential closure cycle.
+          sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
+        }
+        if (hi < heights.size()) {
+            fetch_update(a_.server, path_.client_on_b, heights[hi],
+                         [updates, fetch_next, hi](std::optional<chain::Msg> u) {
+                           if (u) updates->push_back(std::move(*u));
+                           (*fetch_next)(hi + 1);
+                         });
+            return;
+          }
+          // Assemble and submit the tx.
+          std::vector<chain::Msg> msgs = *updates;
+          std::vector<ibc::Sequence> tx_seqs;
+          for (std::size_t i = begin; i < end; ++i) {
+            msgs.push_back(send->msgs[i].to_msg());
+            tx_seqs.push_back(send->msgs[i].packet.sequence);
+          }
+          const std::uint64_t gas = estimate_gas(
+              updates->size(), end - begin, gas_.recv_packet);
+          // The pipeline advances to the next tx as soon as this one is in
+          // the mempool (optimistic submission); the commit callback only
+          // does bookkeeping. `advanced` guards the pipeline continuation if
+          // the broadcast itself fails.
+          auto advanced = std::make_shared<bool>(false);
+          wallet_b_->submit(
+              std::move(msgs), gas,
+              [this, tx_seqs, send_step, advanced](const Wallet::SubmitOutcome& out) {
+                if (!running_) return;
+                std::vector<ibc::Sequence> recv_done;
+                std::vector<ibc::Sequence> retry_seqs;
+                for (ibc::Sequence s : tx_seqs) {
+                  const auto it = packets_.find(s);
+                  if (it == packets_.end()) continue;
+                  PacketState& ps = it->second;
+                  if (out.status.is_ok()) {
+                    record(Step::kRecvConfirmation, s);
+                    ++stats_.packets_relayed;
+                    if (ps.stage == Stage::kRecvInFlight) {
+                      ps.stage = Stage::kRecvDone;
+                      ps.dst_height = out.height;
+                      recv_done.push_back(s);
+                    }
+                  } else if (out.status.code() ==
+                             util::ErrorCode::kRedundantPacket) {
+                    ++stats_.redundant_errors;
+                    if (ps.stage == Stage::kRecvInFlight) {
+                      if (recv_retried_.insert(s).second) {
+                        // Hermes retries the failed batch once: rebuild the
+                        // proofs and resubmit (wasted work when another
+                        // relayer actually delivered the packets).
+                        ps.stage = Stage::kPulled;
+                        retry_seqs.push_back(s);
+                      } else {
+                        // Second failure: treat as delivered elsewhere; the
+                        // destination's write_ack event drives the ack.
+                        ps.stage = Stage::kRecvDone;
+                      }
+                    }
+                  } else if (out.status.code() == util::ErrorCode::kTimeout &&
+                             out.committed) {
+                    // Packet expired before delivery.
+                    if (ps.stage == Stage::kRecvInFlight) {
+                      ps.stage = Stage::kPulled;  // timeout path picks it up
+                    }
+                  } else {
+                    ++stats_.recv_txs_failed;
+                    IBC_LOG(kWarn, "relayer")
+                        << "recv tx failed: " << out.status.to_string();
+                    if (ps.stage == Stage::kRecvInFlight) {
+                      ps.stage = Stage::kPulled;  // retried by clearing
+                    }
+                  }
+                }
+                // Normally the destination's WebSocket frame announces the
+                // write_acks (batched per block, as Hermes sees them); the
+                // committed recv tx's own events are the fallback when that
+                // event stream is broken (oversized frames, §V).
+                if (ws_wedged_b_ && !recv_done.empty()) {
+                  Op ack_op;
+                  ack_op.kind = Op::Kind::kAck;
+                  ack_op.ack = AckBatchOp{out.height, std::move(recv_done)};
+                  enqueue(std::move(ack_op));
+                }
+                if (!retry_seqs.empty()) {
+                  Op retry;
+                  retry.kind = Op::Kind::kRetryRecv;
+                  retry.retry = RetryOp{std::move(retry_seqs)};
+                  enqueue(std::move(retry));
+                }
+                if (!*advanced) {
+                  *advanced = true;
+                  (*send_step)();
+                }
+              },
+              [this, tx_seqs, send_step, advanced]() {
+                for (ibc::Sequence s : tx_seqs) {
+                  record(Step::kRecvBroadcast, s);
+                  const auto it = packets_.find(s);
+                  if (it != packets_.end() &&
+                      it->second.stage == Stage::kPulled) {
+                    it->second.stage = Stage::kRecvInFlight;
+                  }
+                }
+                if (!*advanced) {
+                  *advanced = true;
+                  (*send_step)();
+                }
+              });
+        };
+        (*fetch_next)(0);
+      };
+      (*send_step)();
+      return;
+    }
+
+    const ibc::Sequence seq = st->seqs[st->next++];
+    const auto it = packets_.find(seq);
+    if (it == packets_.end() || it->second.stage != Stage::kPulled ||
+        !it->second.packet) {
+      (*step)();
+      return;
+    }
+    const std::string key =
+        ibc::host::packet_commitment_key(path_.port, path_.channel_a, seq);
+    a_.server->abci_query(
+        config_.machine, key, /*prove=*/true,
+        [this, st, step, seq](util::Result<rpc::Server::AbciQueryResult> res) {
+          if (!running_) return;
+          const auto it2 = packets_.find(seq);
+          if (res.is_ok() && res.value().exists && it2 != packets_.end() &&
+              it2->second.packet) {
+            ibc::MsgRecvPacket msg;
+            msg.packet = *it2->second.packet;
+            msg.proof_commitment = res.value().proof;
+            msg.proof_height = res.value().height;
+            st->msgs.push_back(std::move(msg));
+            // Per-message assembly CPU, then the next packet.
+            sched_.schedule_after(config_.build_cpu_per_msg, [this, step, seq] {
+              record(Step::kRecvBuild, seq);
+              (*step)();
+            });
+            return;
+          }
+          // Commitment gone (acked/timed out already) or query failed.
+          (*step)();
+        });
+  };
+  (*step)();
+}
+
+void Relayer::run_ack_batch(AckBatchOp op, std::function<void()> done) {
+  std::vector<ibc::Sequence> seqs;
+  for (ibc::Sequence s : op.seqs) {
+    const auto it = packets_.find(s);
+    if (it != packets_.end() && it->second.stage == Stage::kRecvDone) {
+      seqs.push_back(s);
+    }
+  }
+  if (seqs.empty()) {
+    done();
+    return;
+  }
+  auto after_pull = [this, seqs, done = std::move(done)](bool) mutable {
+    std::vector<ibc::Sequence> ready;
+    for (ibc::Sequence s : seqs) {
+      const auto it = packets_.find(s);
+      if (it != packets_.end() && it->second.stage == Stage::kRecvDone &&
+          it->second.packet && it->second.ack) {
+        ready.push_back(s);
+      }
+    }
+    if (ready.empty()) {
+      done();
+      return;
+    }
+    build_and_send_ack(std::move(ready), std::move(done));
+  };
+  pull_chunks(b_.server, op.dst_height, "write_acknowledgement",
+              std::move(seqs), 0, std::move(after_pull));
+}
+
+void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
+                                 std::function<void()> done) {
+  struct BuildState {
+    std::vector<ibc::Sequence> seqs;
+    std::size_t next = 0;
+    std::vector<ibc::MsgAcknowledgementMsg> msgs;
+    std::function<void()> done;
+  };
+  auto st = std::make_shared<BuildState>();
+  st->seqs = std::move(seqs);
+  st->done = std::move(done);
+
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, st, step]() {
+    if (!running_) return;
+    if (st->next >= st->seqs.size()) {
+      release_later(step);
+      if (st->msgs.empty()) {
+        st->done();
+        return;
+      }
+      struct SendState {
+        std::vector<ibc::MsgAcknowledgementMsg> msgs;
+        std::size_t next_tx_begin = 0;
+        std::function<void()> done;
+      };
+      auto send = std::make_shared<SendState>();
+      send->msgs = std::move(st->msgs);
+      send->done = std::move(st->done);
+
+      auto send_step = std::make_shared<std::function<void()>>();
+      *send_step = [this, send, send_step]() {
+        if (!running_ || send->next_tx_begin >= send->msgs.size()) {
+          if (send->next_tx_begin >= send->msgs.size()) {
+            release_later(send_step);
+            send->done();
+          }
+          return;
+        }
+        const std::size_t begin = send->next_tx_begin;
+        const std::size_t end = std::min(
+            begin + config_.max_msgs_per_tx, send->msgs.size());
+        send->next_tx_begin = end;
+
+        std::vector<chain::Height> heights;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto h = static_cast<chain::Height>(send->msgs[i].proof_height);
+          if (std::find(heights.begin(), heights.end(), h) == heights.end()) {
+            heights.push_back(h);
+          }
+        }
+        std::sort(heights.begin(), heights.end());
+
+        auto updates = std::make_shared<std::vector<chain::Msg>>();
+        auto fetch_next = std::make_shared<std::function<void(std::size_t)>>();
+        *fetch_next = [this, send, send_step, heights, updates, fetch_next,
+                       begin, end](std::size_t hi) {
+          if (hi >= heights.size()) {
+            // Chain complete: break the self-referential closure cycle.
+            sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
+          }
+          if (hi >= heights.size()) {
+          // Chain complete: break the self-referential closure cycle.
+          sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
+        }
+        if (hi < heights.size()) {
+            fetch_update(b_.server, path_.client_on_a, heights[hi],
+                         [updates, fetch_next, hi](std::optional<chain::Msg> u) {
+                           if (u) updates->push_back(std::move(*u));
+                           (*fetch_next)(hi + 1);
+                         });
+            return;
+          }
+          std::vector<chain::Msg> msgs = *updates;
+          std::vector<ibc::Sequence> tx_seqs;
+          for (std::size_t i = begin; i < end; ++i) {
+            msgs.push_back(send->msgs[i].to_msg());
+            tx_seqs.push_back(send->msgs[i].packet.sequence);
+          }
+          const std::uint64_t gas = estimate_gas(
+              updates->size(), end - begin, gas_.acknowledge);
+          auto advanced = std::make_shared<bool>(false);
+          wallet_a_->submit(
+              std::move(msgs), gas,
+              [this, tx_seqs, send_step, advanced](const Wallet::SubmitOutcome& out) {
+                if (!running_) return;
+                std::vector<ibc::Sequence> retry_seqs;
+                for (ibc::Sequence s : tx_seqs) {
+                  const auto it = packets_.find(s);
+                  if (it == packets_.end()) continue;
+                  PacketState& ps = it->second;
+                  if (out.status.is_ok()) {
+                    record(Step::kAckConfirmation, s);
+                    ++stats_.packets_completed;
+                    ps.stage = Stage::kDone;
+                  } else if (out.status.code() ==
+                             util::ErrorCode::kRedundantPacket) {
+                    ++stats_.redundant_errors;
+                    if (ps.stage == Stage::kAckInFlight &&
+                        ack_retried_.insert(s).second) {
+                      ps.stage = Stage::kRecvDone;  // rebuild + resubmit once
+                      retry_seqs.push_back(s);
+                    } else {
+                      ps.stage = Stage::kDone;  // other relayer completed it
+                    }
+                  } else {
+                    ++stats_.ack_txs_failed;
+                    IBC_LOG(kWarn, "relayer")
+                        << "ack tx failed: " << out.status.to_string();
+                    if (ps.stage == Stage::kAckInFlight) {
+                      ps.stage = Stage::kRecvDone;
+                    }
+                  }
+                }
+                if (!retry_seqs.empty()) {
+                  Op retry;
+                  retry.kind = Op::Kind::kRetryAck;
+                  retry.retry = RetryOp{std::move(retry_seqs)};
+                  enqueue(std::move(retry));
+                }
+                if (!*advanced) {
+                  *advanced = true;
+                  (*send_step)();
+                }
+              },
+              [this, tx_seqs, send_step, advanced]() {
+                for (ibc::Sequence s : tx_seqs) {
+                  record(Step::kAckBroadcast, s);
+                  const auto it = packets_.find(s);
+                  if (it != packets_.end() &&
+                      it->second.stage == Stage::kRecvDone) {
+                    it->second.stage = Stage::kAckInFlight;
+                  }
+                }
+                if (!*advanced) {
+                  *advanced = true;
+                  (*send_step)();
+                }
+              });
+        };
+        (*fetch_next)(0);
+      };
+      (*send_step)();
+      return;
+    }
+
+    const ibc::Sequence seq = st->seqs[st->next++];
+    const auto it = packets_.find(seq);
+    if (it == packets_.end() || it->second.stage != Stage::kRecvDone ||
+        !it->second.packet || !it->second.ack) {
+      (*step)();
+      return;
+    }
+    const std::string key =
+        ibc::host::packet_ack_key(path_.port, path_.channel_b, seq);
+    b_.server->abci_query(
+        config_.machine, key, /*prove=*/true,
+        [this, st, step, seq](util::Result<rpc::Server::AbciQueryResult> res) {
+          if (!running_) return;
+          const auto it2 = packets_.find(seq);
+          if (res.is_ok() && res.value().exists && it2 != packets_.end()) {
+            ibc::MsgAcknowledgementMsg msg;
+            msg.packet = *it2->second.packet;
+            msg.ack = *it2->second.ack;
+            msg.proof_ack = res.value().proof;
+            msg.proof_height = res.value().height;
+            st->msgs.push_back(std::move(msg));
+            sched_.schedule_after(config_.build_cpu_per_msg, [this, step, seq] {
+              record(Step::kAckBuild, seq);
+              (*step)();
+            });
+            return;
+          }
+          (*step)();
+        });
+  };
+  (*step)();
+}
+
+// --- Timeouts --------------------------------------------------------------------
+
+void Relayer::run_timeout_batch(TimeoutBatchOp op, std::function<void()> done) {
+  struct BuildState {
+    std::vector<ibc::Sequence> seqs;
+    std::size_t next = 0;
+    std::vector<ibc::MsgTimeout> msgs;
+    std::function<void()> done;
+  };
+  auto st = std::make_shared<BuildState>();
+  st->seqs = std::move(op.seqs);
+  st->done = std::move(done);
+
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, st, step]() {
+    if (!running_) return;
+    if (st->next >= st->seqs.size()) {
+      release_later(step);
+      if (st->msgs.empty()) {
+        st->done();
+        return;
+      }
+      // One tx per batch chunk; timeout volume is small in practice.
+      std::vector<chain::Height> heights;
+      for (const auto& m : st->msgs) {
+        const auto h = static_cast<chain::Height>(m.proof_height);
+        if (std::find(heights.begin(), heights.end(), h) == heights.end()) {
+          heights.push_back(h);
+        }
+      }
+      std::sort(heights.begin(), heights.end());
+      auto updates = std::make_shared<std::vector<chain::Msg>>();
+      auto fetch_next = std::make_shared<std::function<void(std::size_t)>>();
+      *fetch_next = [this, st, heights, updates, fetch_next](std::size_t hi) {
+        if (hi >= heights.size()) {
+          // Chain complete: break the self-referential closure cycle.
+          sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
+        }
+        if (hi < heights.size()) {
+          fetch_update(b_.server, path_.client_on_a, heights[hi],
+                       [updates, fetch_next, hi](std::optional<chain::Msg> u) {
+                         if (u) updates->push_back(std::move(*u));
+                         (*fetch_next)(hi + 1);
+                       });
+          return;
+        }
+        std::vector<chain::Msg> msgs = *updates;
+        std::vector<ibc::Sequence> tx_seqs;
+        for (const auto& m : st->msgs) {
+          msgs.push_back(m.to_msg());
+          tx_seqs.push_back(m.packet.sequence);
+        }
+        const std::uint64_t gas =
+            estimate_gas(updates->size(), tx_seqs.size(), gas_.timeout);
+        wallet_a_->submit(
+            std::move(msgs), gas,
+            [this, tx_seqs, done = st->done](const Wallet::SubmitOutcome& out) {
+              if (!running_) return;
+              for (ibc::Sequence s : tx_seqs) {
+                const auto it = packets_.find(s);
+                if (it == packets_.end()) continue;
+                if (out.status.is_ok()) {
+                  ++stats_.packets_timed_out;
+                  it->second.stage = Stage::kTimedOut;
+                } else if (out.status.code() ==
+                           util::ErrorCode::kRedundantPacket) {
+                  ++stats_.redundant_errors;
+                  it->second.stage = Stage::kTimedOut;
+                }
+                timeout_candidates_.erase(s);
+              }
+              done();
+            });
+      };
+      (*fetch_next)(0);
+      return;
+    }
+
+    const ibc::Sequence seq = st->seqs[st->next++];
+    const auto it = packets_.find(seq);
+    if (it == packets_.end() || it->second.stage != Stage::kPulled ||
+        !it->second.packet) {
+      (*step)();
+      return;
+    }
+    // Non-existence proof of the receipt on the destination chain.
+    const std::string key =
+        ibc::host::packet_receipt_key(path_.port, path_.channel_b, seq);
+    b_.server->abci_query(
+        config_.machine, key, /*prove=*/true,
+        [this, st, step, seq](util::Result<rpc::Server::AbciQueryResult> res) {
+          if (!running_) return;
+          const auto it2 = packets_.find(seq);
+          if (res.is_ok() && !res.value().exists && it2 != packets_.end() &&
+              it2->second.packet) {
+            ibc::MsgTimeout msg;
+            msg.packet = *it2->second.packet;
+            msg.proof_unreceived = res.value().proof;
+            msg.proof_height = res.value().height;
+            st->msgs.push_back(std::move(msg));
+          }
+          (*step)();
+        });
+  };
+  (*step)();
+}
+
+// --- Clearing ---------------------------------------------------------------------
+
+void Relayer::run_clear(ClearOp op, std::function<void()> done) {
+  // 1. Enumerate outstanding commitments on the source chain.
+  a_.server->abci_query_prefix(
+      config_.machine,
+      ibc::host::packet_commitment_prefix(path_.port, path_.channel_a),
+      [this, op, done = std::move(done)](std::vector<std::string> keys) mutable {
+        if (!running_) return;
+        std::vector<ibc::Sequence> unknown;
+        const std::string prefix =
+            ibc::host::packet_commitment_prefix(path_.port, path_.channel_a);
+        for (const std::string& key : keys) {
+          const ibc::Sequence seq =
+              std::strtoull(key.c_str() + prefix.size(), nullptr, 10);
+          if (seq == 0) continue;
+          const auto it = packets_.find(seq);
+          if (it == packets_.end()) {
+            // Never seen (e.g. lost in an oversized WebSocket frame).
+            PacketState ps;
+            ps.stage = Stage::kExtracted;
+            packets_.emplace(seq, std::move(ps));
+            unknown.push_back(seq);
+          } else if (it->second.stage == Stage::kPulled) {
+            unknown.push_back(seq);  // stalled: retry relay
+          }
+        }
+        if (unknown.empty()) {
+          done();
+          return;
+        }
+        std::sort(unknown.begin(), unknown.end());
+
+        // 2. Recover packet data with an (expensive) height-range scan.
+        const ibc::Sequence lo = unknown.front();
+        const ibc::Sequence hi = unknown.back();
+        a_.server->query_packet_events_range(
+            config_.machine, op.scan_from, op.scan_to, "send_packet", lo, hi,
+            [this, unknown, done = std::move(done)](
+                util::Result<rpc::TxSearchPage> res) mutable {
+              if (!running_) return;
+              if (res.is_ok()) {
+                for (const rpc::TxResponse& tx : res.value().txs) {
+                  for (const chain::Event& ev : tx.result.events) {
+                    if (ev.type != "send_packet") continue;
+                    auto pkt = ibc::packet_from_event(ev);
+                    if (!pkt || pkt->source_channel != path_.channel_a) {
+                      continue;
+                    }
+                    const auto it = packets_.find(pkt->sequence);
+                    if (it != packets_.end() &&
+                        it->second.stage == Stage::kExtracted) {
+                      it->second.src_height = tx.height;
+                      it->second.packet = std::move(*pkt);
+                      it->second.stage = Stage::kPulled;
+                    }
+                  }
+                }
+              }
+              std::vector<ibc::Sequence> ready;
+              for (ibc::Sequence s : unknown) {
+                const auto it = packets_.find(s);
+                if (it != packets_.end() &&
+                    it->second.stage == Stage::kPulled) {
+                  ready.push_back(s);
+                }
+              }
+              if (ready.empty()) {
+                done();
+                return;
+              }
+              build_and_send_recv(std::move(ready), std::move(done));
+            });
+      });
+}
+
+}  // namespace relayer

@@ -1,0 +1,226 @@
+#pragma once
+// Hermes-like IBC relayer (paper §II-C, Fig. 4).
+//
+// Architecture mirrors Hermes v1:
+//   * the Supervisor subscribes to new-block event frames from both chains'
+//     full nodes (WebSocket) and dispatches work per channel;
+//   * a PathWorker per direction plays the roles of Packet Command Worker +
+//     Packet Workers: it schedules operations — data pulls, message builds,
+//     broadcasts, timeouts, clearing — and executes them sequentially
+//     (Hermes handles blocks sequentially; the paper's Fig. 12 pipeline is a
+//     direct consequence);
+//   * ChainEndpoints are the wallet + RPC client pairs through which all
+//     chain interaction flows. The relayer NEVER touches chain internals
+//     directly — every read is an RPC query against the (serialized) full
+//     node, which is precisely where the paper finds 69% of the time going.
+//
+// Relayers are deliberately unaware of each other (ICS-18 gives them no
+// coordination protocol); running two on one channel duplicates deliveries
+// and burns fees — the "packet messages are redundant" failures of §IV-A.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "ibc/gas.hpp"
+#include "ibc/msgs.hpp"
+#include "relayer/events.hpp"
+#include "relayer/wallet.hpp"
+#include "rpc/server.hpp"
+
+namespace relayer {
+
+/// One side of the relay path.
+struct ChainHandle {
+  rpc::Server* server = nullptr;     // full node this relayer queries
+  chain::ChainId chain_id;
+  std::vector<chain::Address> wallet_accounts;  // funded relayer wallet(s)
+};
+
+/// Channel topology (established during setup).
+struct PathConfig {
+  ibc::PortId port = ibc::kTransferPort;
+  ibc::ChannelId channel_a;     // channel id on chain A
+  ibc::ChannelId channel_b;     // channel id on chain B
+  ibc::ClientId client_on_a;    // client of B hosted on A
+  ibc::ClientId client_on_b;    // client of A hosted on B
+};
+
+struct RelayerConfig {
+  net::MachineId machine = 0;
+  /// Hermes bundles at most 100 messages per transaction (§III-D).
+  std::size_t max_msgs_per_tx = 100;
+  /// Packet-event queries are chunked by sequence ranges of this size.
+  std::size_t event_query_chunk = 50;
+  /// CPU time to assemble one IBC message (proof decoding, encoding).
+  sim::Duration build_cpu_per_msg = sim::micros(1'500);
+  /// Gas headroom multiplier over the estimated message gas.
+  double gas_headroom = 1.15;
+  double gas_price = 0.01;
+  /// Clear (re-scan commitments for unrelayed packets) every N source
+  /// blocks; 0 disables clearing — with a failed WebSocket frame this is
+  /// what leaves packets permanently stuck (paper §V).
+  std::int64_t clear_interval = 0;
+  /// Paper §V: after a "Failed to collect events" frame, Hermes's event
+  /// source enters a bad state and later transactions are not delivered
+  /// either ("...but also impacts future transactions"). true reproduces
+  /// that: event extraction from the failed chain stays disabled (height
+  /// tracking and clearing still work). false models a fixed relayer.
+  bool websocket_failure_sticky = true;
+  WalletConfig wallet;  // accounts are filled per chain from ChainHandle
+};
+
+class Relayer {
+ public:
+  Relayer(sim::Scheduler& sched, ChainHandle a, ChainHandle b, PathConfig path,
+          RelayerConfig config, StepLog* step_log);
+  ~Relayer();
+
+  Relayer(const Relayer&) = delete;
+  Relayer& operator=(const Relayer&) = delete;
+
+  /// Subscribes to both chains and begins relaying.
+  void start();
+  void stop();
+
+  struct Stats {
+    std::uint64_t packets_relayed = 0;       // recv committed on dst
+    std::uint64_t packets_completed = 0;     // ack committed on src
+    std::uint64_t packets_timed_out = 0;     // timeout committed on src
+    std::uint64_t redundant_errors = 0;      // "packet messages are redundant"
+    std::uint64_t frames_failed = 0;         // "Failed to collect events"
+    std::uint64_t recv_txs_failed = 0;
+    std::uint64_t ack_txs_failed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  Wallet& wallet_a() { return *wallet_a_; }
+  Wallet& wallet_b() { return *wallet_b_; }
+
+ private:
+  // The relayer tracks each packet through these stages.
+  enum class Stage : std::uint8_t {
+    kExtracted,    // seen in a send_packet event
+    kPulled,       // packet data retrieved
+    kRecvInFlight, // recv tx broadcast
+    kRecvDone,     // recv committed on dst
+    kAckInFlight,  // ack tx broadcast
+    kDone,         // ack committed on src (transfer complete)
+    kTimedOut,     // MsgTimeout committed on src (refunded)
+  };
+
+  struct PacketState {
+    Stage stage = Stage::kExtracted;
+    chain::Height src_height = 0;   // block containing the send_packet event
+    chain::Height dst_height = 0;   // block containing the recv event
+    std::optional<ibc::Packet> packet;
+    std::optional<ibc::Acknowledgement> ack;
+  };
+
+  // Operations executed sequentially by the path worker.
+  struct RelayBatchOp {
+    chain::Height src_height;
+    std::vector<ibc::Sequence> seqs;
+  };
+  struct AckBatchOp {
+    chain::Height dst_height;
+    std::vector<ibc::Sequence> seqs;
+  };
+  struct TimeoutBatchOp {
+    std::vector<ibc::Sequence> seqs;
+  };
+  struct ClearOp {
+    chain::Height scan_from;
+    chain::Height scan_to;
+  };
+  struct RetryOp {
+    std::vector<ibc::Sequence> seqs;
+  };
+  struct Op {
+    enum class Kind { kRelay, kAck, kTimeout, kClear, kRetryRecv, kRetryAck }
+        kind;
+    RelayBatchOp relay;
+    AckBatchOp ack;
+    TimeoutBatchOp timeout;
+    ClearOp clear;
+    RetryOp retry;
+  };
+
+  // Frame handling (Supervisor).
+  void on_frame_a(const rpc::NewBlockFrame& frame);
+  void on_frame_b(const rpc::NewBlockFrame& frame);
+
+  // Worker loops. Hermes runs separate packet workers per direction of
+  // work; we model that as two sequential pumps running concurrently: the
+  // recv path (queries chain A, submits to B) and the ack/timeout path
+  // (queries chain B, submits to A). Each pump is internally sequential —
+  // blocks are handled in order, as the paper observes.
+  void enqueue(Op op);
+  void pump(int lane);
+  void run_relay_batch(RelayBatchOp op, std::function<void()> done);
+  void run_ack_batch(AckBatchOp op, std::function<void()> done);
+  void run_timeout_batch(TimeoutBatchOp op, std::function<void()> done);
+  void run_clear(ClearOp op, std::function<void()> done);
+
+  // Relay-batch stages.
+  void pull_chunks(rpc::Server* server, chain::Height height,
+                   const std::string& event_type,
+                   std::vector<ibc::Sequence> seqs, std::size_t chunk_index,
+                   std::function<void(bool any_failed)> done);
+  void build_and_send_recv(std::vector<ibc::Sequence> seqs,
+                           std::function<void()> done);
+  void build_and_send_ack(std::vector<ibc::Sequence> seqs,
+                          std::function<void()> done);
+
+  /// Fetches a header from `server` and assembles a MsgUpdateClient for
+  /// `client_id`.
+  void fetch_update(rpc::Server* server, const ibc::ClientId& client_id,
+                    chain::Height height,
+                    std::function<void(std::optional<chain::Msg>)> cb);
+
+  void record(Step step, ibc::Sequence seq);
+  void check_timeouts();
+
+  /// Clears a self-referential step closure once its chain has finished
+  /// (deferred one tick so the currently-executing function is not destroyed
+  /// under itself). Without this the recursive shared_ptr<function> cycles
+  /// leak.
+  void release_later(std::shared_ptr<std::function<void()>> fn);
+
+  std::uint64_t estimate_gas(std::size_t updates, std::size_t packet_msgs,
+                             std::uint64_t per_packet_gas) const;
+
+  sim::Scheduler& sched_;
+  ChainHandle a_;
+  ChainHandle b_;
+  PathConfig path_;
+  RelayerConfig config_;
+  StepLog* step_log_;
+  ibc::GasTable gas_;
+
+  std::unique_ptr<Wallet> wallet_a_;
+  std::unique_ptr<Wallet> wallet_b_;
+
+  std::map<ibc::Sequence, PacketState> packets_;
+  std::deque<Op> ops_[2];        // lane 0: relay/clear; lane 1: ack/timeout
+  bool op_running_[2] = {false, false};
+  bool running_ = false;
+  rpc::Server::SubscriptionId sub_a_ = 0;
+  rpc::Server::SubscriptionId sub_b_ = 0;
+  chain::Height last_seen_b_height_ = 0;
+  chain::Height last_clear_height_ = 0;
+  bool ws_wedged_a_ = false;  // §V sticky event-collection failure
+  bool ws_wedged_b_ = false;
+  std::set<ibc::Sequence> timeout_candidates_;
+  // Hermes retries a failed batch once (rebuilding proofs and resubmitting)
+  // before treating its packets as handled elsewhere; these sets remember
+  // which sequences already got their retry.
+  std::set<ibc::Sequence> recv_retried_;
+  std::set<ibc::Sequence> ack_retried_;
+
+  Stats stats_;
+};
+
+}  // namespace relayer

@@ -1,0 +1,103 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace sim {
+
+EventId Scheduler::schedule_at(TimePoint t, std::function<void()> fn) {
+  auto ev = std::make_shared<Event>();
+  ev->time = std::max(t, now_);
+  ev->id = next_id_++;
+  ev->fn = std::move(fn);
+  recent_.emplace_back(ev->id, ev);
+  queue_.push(std::move(ev));
+  // Garbage-collect expired weak refs occasionally so cancellation lookup
+  // stays O(log pending) rather than O(log all-time).
+  if (recent_.size() > 4096 && recent_.size() > queue_.size() * 2) {
+    std::erase_if(recent_, [](const auto& p) { return p.second.expired(); });
+  }
+  return next_id_ - 1;
+}
+
+EventId Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max<Duration>(delay, 0), std::move(fn));
+}
+
+std::weak_ptr<Scheduler::Event> Scheduler::find_pending(EventId id) {
+  const auto it = std::lower_bound(
+      recent_.begin(), recent_.end(), id,
+      [](const auto& p, EventId needle) { return p.first < needle; });
+  if (it == recent_.end() || it->first != id) return {};
+  return it->second;
+}
+
+void Scheduler::cancel(EventId id) {
+  if (auto ev = find_pending(id).lock()) {
+    ev->cancelled = true;
+  }
+}
+
+std::shared_ptr<Scheduler::Event> Scheduler::pop_next() {
+  while (!queue_.empty()) {
+    std::shared_ptr<Event> ev = queue_.top();
+    queue_.pop();
+    if (!ev->cancelled) return ev;
+  }
+  return nullptr;
+}
+
+bool Scheduler::step() {
+  auto ev = pop_next();
+  if (!ev) return false;
+  now_ = ev->time;
+  ++executed_;
+  // Move the closure out before invoking so re-entrant scheduling that
+  // happens to reallocate does not touch the running function.
+  auto fn = std::move(ev->fn);
+  fn();
+  return true;
+}
+
+void Scheduler::run_until(TimePoint t) {
+  for (;;) {
+    auto ev = pop_next();
+    if (!ev) break;
+    if (ev->time > t) {
+      // Not due yet: put it back and stop.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev->time;
+    ++executed_;
+    auto fn = std::move(ev->fn);
+    fn();
+  }
+  now_ = std::max(now_, t);
+}
+
+std::uint64_t Scheduler::run_until_idle(TimePoint hard_limit) {
+  std::uint64_t ran = 0;
+  for (;;) {
+    auto ev = pop_next();
+    if (!ev) break;
+    if (ev->time > hard_limit) {
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev->time;
+    ++executed_;
+    ++ran;
+    auto fn = std::move(ev->fn);
+    fn();
+  }
+  return ran;
+}
+
+bool Scheduler::idle() const {
+  // Cancelled events may still sit in the queue; treat them as absent.
+  // (Cheap approximation: the queue only ever holds a few cancelled stragglers
+  // because pop_next() discards them as they surface.)
+  return queue_.empty();
+}
+
+}  // namespace sim

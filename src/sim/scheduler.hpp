@@ -1,0 +1,85 @@
+#pragma once
+// Discrete-event scheduler.
+//
+// The heart of the simulator: a priority queue of (time, sequence) ordered
+// events. Every concurrent activity in the reproduced system — consensus
+// timeouts, network message deliveries, RPC queue service completions,
+// relayer worker steps — is expressed as a scheduled callback. Sequence
+// numbers break time ties in FIFO order, making execution deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (clamped to now()).
+  EventId schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (clamped to >= 0).
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event; a no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs one (non-cancelled) event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs events up to and including virtual time `t`; now() becomes `t`
+  /// even if the queue drained earlier.
+  void run_until(TimePoint t);
+
+  /// Runs until the queue is empty or `hard_limit` is exceeded. Returns the
+  /// number of events executed.
+  std::uint64_t run_until_idle(TimePoint hard_limit);
+
+  bool idle() const;
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint time;
+    EventId id;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct EventOrder {
+    // min-heap by (time, id); id order preserves scheduling FIFO within a
+    // timestamp.
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->id > b->id;
+    }
+  };
+
+  std::shared_ptr<Event> pop_next();  // skips cancelled events
+
+  TimePoint now_ = kTimeZero;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<std::shared_ptr<Event>,
+                      std::vector<std::shared_ptr<Event>>, EventOrder>
+      queue_;
+  // Pending (cancellable) events by id; entries are erased when fired.
+  std::vector<std::pair<EventId, std::weak_ptr<Event>>> recent_;
+  // Cancellation lookup: sorted insertion order == id order, binary search.
+  std::weak_ptr<Event> find_pending(EventId id);
+};
+
+}  // namespace sim

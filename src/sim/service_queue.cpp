@@ -1,0 +1,50 @@
+#include "sim/service_queue.hpp"
+
+namespace sim {
+
+bool ServiceQueue::enqueue(Duration service_time,
+                           std::function<void()> on_done) {
+  if (pending_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  pending_.push_back(Job{service_time, std::move(on_done)});
+  try_start();
+  return true;
+}
+
+void ServiceQueue::set_servers(std::size_t n) {
+  servers_ = n > 0 ? n : 1;
+  try_start();
+}
+
+void ServiceQueue::try_start() {
+  while (busy_ < servers_ && !pending_.empty()) {
+    Job job = std::move(pending_.front());
+    pending_.pop_front();
+    ++busy_;
+    const Duration st = job.service_time;
+    // The completion event re-checks the queue, so back-to-back jobs chain
+    // without gaps (work-conserving server).
+    sched_.schedule_after(st, [this, st, done = std::move(job.on_done)]() mutable {
+      finish(st, std::move(done));
+    });
+  }
+}
+
+void ServiceQueue::finish(Duration service_time,
+                          std::function<void()> on_done) {
+  --busy_;
+  ++completed_;
+  total_busy_ += service_time;
+  if (on_done) on_done();
+  try_start();
+}
+
+Duration ServiceQueue::backlog() const {
+  Duration sum = 0;
+  for (const Job& j : pending_) sum += j.service_time;
+  return sum / static_cast<Duration>(servers_);
+}
+
+}  // namespace sim

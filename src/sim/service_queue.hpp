@@ -1,0 +1,71 @@
+#pragma once
+// Single-server FIFO service queue.
+//
+// Models any resource that processes work *serially*: most importantly the
+// Tendermint RPC server, whose inability to serve queries in parallel is the
+// paper's headline bottleneck (69% of cross-chain processing time, §IV-B).
+// Jobs are enqueued with a service duration; the queue works them off one at
+// a time on the shared scheduler, invoking each job's completion callback.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+
+#include "sim/scheduler.hpp"
+
+namespace sim {
+
+class ServiceQueue {
+ public:
+  /// `capacity` bounds queued (not yet started) jobs; enqueue() fails beyond
+  /// it, modelling connection-pool / request-queue overflow under overload.
+  ServiceQueue(Scheduler& sched, std::size_t capacity =
+                                     std::numeric_limits<std::size_t>::max())
+      : sched_(sched), capacity_(capacity) {}
+
+  ServiceQueue(const ServiceQueue&) = delete;
+  ServiceQueue& operator=(const ServiceQueue&) = delete;
+
+  /// Enqueues a job needing `service_time` of server time; `on_done` runs
+  /// when service completes. Returns false (and drops the job) when the
+  /// queue is full.
+  bool enqueue(Duration service_time, std::function<void()> on_done);
+
+  /// Number of parallel servers (default 1 = fully serialized). Raising it
+  /// immediately starts waiting jobs; this is the "parallel RPC" ablation.
+  void set_servers(std::size_t n);
+  std::size_t servers() const { return servers_; }
+
+  std::size_t queued() const { return pending_.size(); }
+  std::size_t in_service() const { return busy_; }
+
+  /// Virtual time a job arriving now would wait before *starting* service
+  /// (exact for the single-server case; an estimate otherwise).
+  Duration backlog() const;
+
+  /// Total jobs completed and total busy time, for utilisation reports.
+  std::uint64_t completed() const { return completed_; }
+  Duration total_busy_time() const { return total_busy_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  struct Job {
+    Duration service_time;
+    std::function<void()> on_done;
+  };
+
+  void try_start();
+  void finish(Duration service_time, std::function<void()> on_done);
+
+  Scheduler& sched_;
+  std::size_t capacity_;
+  std::size_t servers_ = 1;
+  std::size_t busy_ = 0;
+  std::deque<Job> pending_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  Duration total_busy_ = 0;
+};
+
+}  // namespace sim

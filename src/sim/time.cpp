@@ -1,0 +1,13 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace sim {
+
+std::string format_time(TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  return buf;
+}
+
+}  // namespace sim

@@ -1,0 +1,46 @@
+#pragma once
+// Byte-buffer primitives shared by every module.
+//
+// All wire-ish data in the simulator (transactions, packet payloads, proofs)
+// is carried as `util::Bytes`. Hex encoding is used for human-readable ids
+// (tx hashes, commitment keys) in logs and reports.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace util {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (upper or lower case). Returns empty on malformed
+/// input (odd length or non-hex character).
+Bytes from_hex(std::string_view hex);
+
+/// Converts a string to its byte representation (no copy-avoidance games —
+/// simulation payloads are small).
+Bytes to_bytes(std::string_view s);
+
+/// Converts bytes back to a std::string.
+std::string to_string(BytesView data);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Appends a fixed-width big-endian integer (used by canonical encodings so
+/// that hashes are platform-independent).
+void append_u64_be(Bytes& dst, std::uint64_t v);
+void append_u32_be(Bytes& dst, std::uint32_t v);
+
+/// Reads a big-endian integer from `data` at `offset`; the caller must have
+/// validated bounds.
+std::uint64_t read_u64_be(BytesView data, std::size_t offset);
+std::uint32_t read_u32_be(BytesView data, std::size_t offset);
+
+}  // namespace util

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+namespace util {
+
+namespace {
+LogLevel g_level = LogLevel::kError;
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component, std::string_view msg) {
+  std::clog << '[' << level_name(level) << "] (" << component << ") " << msg
+            << '\n';
+}
+}  // namespace detail
+
+}  // namespace util

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal leveled logger.
+//
+// The simulator's own structured experiment logging goes through
+// xcc::EventLog; this logger is for diagnostics (deployment-challenge
+// messages, warnings) and is silent at default level during benches.
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded cheaply.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component, std::string_view msg);
+}
+
+/// Streaming log statement: LOG_AT(kWarn, "rpc") << "queue overflow";
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component)
+      : level_(level), component_(component), enabled_(level >= log_level()) {}
+  ~LogStatement() {
+    if (enabled_) detail::log_line(level_, component_, os_.str());
+  }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+}  // namespace util
+
+#define IBC_LOG(level, component) ::util::LogStatement(::util::LogLevel::level, component)

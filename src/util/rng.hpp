@@ -1,0 +1,47 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic element in the simulation (service-time jitter, gas
+// variance, workload arrival noise) draws from a seeded xoshiro256** stream
+// so that experiments are reproducible bit-for-bit. Each component derives
+// its own stream via split() to keep results independent of event ordering.
+
+#include <cstdint>
+
+namespace util {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded through splitmix64. Not cryptographic; used only for simulation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Normal(mean, stddev) via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (inter-arrival noise).
+  double exponential(double mean);
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Derives an independent child stream; deterministic in the parent state.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace util

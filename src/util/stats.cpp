@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace util {
+
+void Sample::add(double v) {
+  values_.push_back(v);
+}
+
+void Sample::add_all(const std::vector<double>& vs) {
+  values_.insert(values_.end(), vs.begin(), vs.end());
+}
+
+const std::vector<double>& Sample::sorted() const {
+  if (sorted_cache_.size() != values_.size()) {
+    sorted_cache_ = values_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+  }
+  return sorted_cache_;
+}
+
+double Sample::min() const {
+  return empty() ? 0.0 : sorted().front();
+}
+
+double Sample::max() const {
+  return empty() ? 0.0 : sorted().back();
+}
+
+double Sample::mean() const {
+  if (empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Sample::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Sample::median() const {
+  return quantile(0.5);
+}
+
+double Sample::quantile(double q) const {
+  if (empty()) return 0.0;
+  const auto& s = sorted();
+  if (s.size() == 1) return s.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+std::string Sample::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "mean=" << mean() << " sd=" << stddev() << " median=" << median()
+     << " iqr=[" << lower_quartile() << "," << upper_quartile() << "]"
+     << " n=" << count();
+  return os.str();
+}
+
+void RunningStat::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const {
+  return std::sqrt(variance());
+}
+
+}  // namespace util

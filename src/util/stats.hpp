@@ -1,0 +1,68 @@
+#pragma once
+// Summary statistics for experiment reports.
+//
+// The paper reports medians/quartiles (violin plots, Fig. 6), means with
+// standard deviation bands (Figs. 8-9) and completion-percentage breakdowns
+// (Figs. 10-11). `Sample` collects raw observations and computes those
+// summaries on demand.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace util {
+
+/// A collection of raw observations with quantile/mean summaries.
+class Sample {
+ public:
+  void add(double v);
+  void add_all(const std::vector<double>& vs);
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;  // sample standard deviation (n-1)
+  double median() const;
+
+  /// Quantile in [0,1] by linear interpolation between order statistics.
+  double quantile(double q) const;
+
+  double lower_quartile() const { return quantile(0.25); }
+  double upper_quartile() const { return quantile(0.75); }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// One-line summary: "mean=... sd=... median=... iqr=[...,...] n=...".
+  std::string summary() const;
+
+ private:
+  /// Sorts lazily; mutable cache keyed on size.
+  const std::vector<double>& sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_cache_;
+};
+
+/// Welford-style running accumulator for streams too large to retain.
+class RunningStat {
+ public:
+  void add(double v);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace util

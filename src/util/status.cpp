@@ -1,0 +1,31 @@
+#include "util/status.hpp"
+
+namespace util {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kSequenceMismatch: return "SEQUENCE_MISMATCH";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFrameTooLarge: return "FRAME_TOO_LARGE";
+    case ErrorCode::kRedundantPacket: return "REDUNDANT_PACKET";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(error_code_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace util

@@ -1,0 +1,93 @@
+#pragma once
+// Lightweight error-handling vocabulary used across the library.
+//
+// Simulation code paths are hot and failures (e.g. a rejected transaction)
+// are *data*, not exceptional conditions, so we use value-typed Status /
+// Result instead of exceptions (exceptions are reserved for programming
+// errors / unrecoverable misuse).
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace util {
+
+/// Error categories. These map onto the failure modes the paper observes
+/// (sequence mismatches, timeouts, oversized frames, ...).
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,   // e.g. channel not open
+  kSequenceMismatch,     // Cosmos "account sequence mismatch"
+  kTimeout,              // RPC timeout / packet timeout
+  kResourceExhausted,    // mempool full, gas exceeded, queue overflow
+  kFrameTooLarge,        // WebSocket 16 MB limit (paper §V)
+  kRedundantPacket,      // duplicate MsgRecvPacket (paper §IV-A)
+  kUnavailable,          // endpoint down
+  kInternal,
+};
+
+std::string_view error_code_name(ErrorCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no message
+/// allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status error(ErrorCode code, std::string message) {
+    assert(code != ErrorCode::kOk);
+    return Status(code, std::move(message));
+  }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>" — for logs and test failure output.
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error. Intentionally minimal: exactly the operations the
+/// codebase needs, with asserts guarding misuse.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "use Result(T) for success");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(is_ok());
+    return *value_;
+  }
+  T take() {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace util

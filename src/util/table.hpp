@@ -1,0 +1,41 @@
+#pragma once
+// Report output: aligned ASCII tables (printed to stdout by the bench
+// harnesses, mirroring the paper's tables/figure series) and CSV files
+// (for downstream plotting).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace util {
+
+/// A simple column-aligned text table. Cells are strings; numeric callers
+/// format via `fmt_double` / `fmt_int` helpers below to control precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule, columns padded to content width.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string fmt_double(double v, int precision = 2);
+
+/// Formats an integer with thousands separators ("1,050,000").
+std::string fmt_int(long long v);
+
+/// Formats a ratio as a percentage string ("98.3%").
+std::string fmt_percent(double ratio, int precision = 1);
+
+}  // namespace util

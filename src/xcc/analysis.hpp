@@ -1,0 +1,67 @@
+#pragma once
+// Analysis module (paper Fig. 5): Cross-chain Data Connector + Event
+// Processor.
+//
+// Interprets the state of cross-chain operations across BOTH ledgers — the
+// part the paper stresses is harder than single-chain analysis, because an
+// operation's status is spread over two chains plus the relayer's logs:
+//   completed        transfer + receive + acknowledge all recorded
+//   partial          transfer + receive recorded, no acknowledgement yet
+//   initiated        only the transfer recorded
+//   timed out        transfer recorded, then refunded via MsgTimeout
+//   uncommitted      requested but never committed on the source chain
+//
+// Status is derived from ICS-24 state (commitments on the source, receipts
+// on the destination); latency series come from the relayer StepLog (the
+// paper likewise trusts only relayer-side timestamps, §V).
+
+#include <cstdint>
+#include <vector>
+
+#include "relayer/events.hpp"
+#include "xcc/handshake.hpp"
+#include "xcc/testbed.hpp"
+
+namespace xcc {
+
+struct CompletionBreakdown {
+  std::uint64_t requested = 0;
+  std::uint64_t uncommitted = 0;
+  std::uint64_t initiated_only = 0;
+  std::uint64_t partial = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+
+  std::uint64_t committed() const {
+    return initiated_only + partial + completed + timed_out;
+  }
+};
+
+class Analyzer {
+ public:
+  Analyzer(Testbed& testbed, ChannelSetupResult channel)
+      : testbed_(testbed), channel_(std::move(channel)) {}
+
+  /// Classifies every packet sequence sent on the channel so far against
+  /// both chains' ICS-24 state. `requested` is the workload's request count
+  /// (for the uncommitted row).
+  CompletionBreakdown completion_breakdown(std::uint64_t requested) const;
+
+  /// Successful MsgTransfer messages included on the source chain in blocks
+  /// (h_begin, h_end] — the quantity of Fig. 6.
+  std::uint64_t included_transfers(chain::Height h_begin,
+                                   chain::Height h_end) const;
+
+  /// Block intervals (seconds) of the source chain in (h_begin, h_end].
+  std::vector<double> block_intervals(chain::Height h_begin,
+                                      chain::Height h_end) const;
+
+  /// Seconds between two source-chain block timestamps.
+  double window_seconds(chain::Height h_begin, chain::Height h_end) const;
+
+ private:
+  Testbed& testbed_;
+  ChannelSetupResult channel_;
+};
+
+}  // namespace xcc

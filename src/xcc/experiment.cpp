@@ -1,0 +1,194 @@
+#include "xcc/experiment.hpp"
+
+#include <cmath>
+#include <memory>
+
+namespace xcc {
+
+namespace {
+
+/// Accounts the workload will need (rate mode: rate/20; burst: batch/100).
+int accounts_needed(const WorkloadConfig& wl, sim::Duration block_interval) {
+  if (wl.total_transfers > 0) {
+    const std::uint64_t per_batch =
+        (wl.total_transfers + static_cast<std::uint64_t>(
+                                  std::max(wl.spread_blocks, 1)) - 1) /
+        static_cast<std::uint64_t>(std::max(wl.spread_blocks, 1));
+    return static_cast<int>((per_batch + wl.msgs_per_tx - 1) / wl.msgs_per_tx);
+  }
+  const double per_block =
+      wl.requests_per_second * sim::to_seconds(block_interval);
+  return static_cast<int>(
+      std::ceil(per_block / static_cast<double>(wl.msgs_per_tx)));
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+
+  // --- Setup ---------------------------------------------------------------
+  TestbedConfig tb_cfg = config.testbed;
+  tb_cfg.user_accounts = std::max(
+      tb_cfg.user_accounts,
+      accounts_needed(config.workload, tb_cfg.min_block_interval) + 4);
+  tb_cfg.relayer_wallets = std::max(tb_cfg.relayer_wallets,
+                                    std::max(config.relayer_count, 1));
+
+  Testbed tb(tb_cfg);
+  if (config.parallel_rpc_requests > 1) {
+    for (auto& s : tb.chain_a().servers) {
+      s->set_parallel_requests(config.parallel_rpc_requests);
+    }
+    for (auto& s : tb.chain_b().servers) {
+      s->set_parallel_requests(config.parallel_rpc_requests);
+    }
+  }
+  tb.start_chains();
+  const sim::TimePoint hard_limit = config.max_sim_time;
+  if (!tb.run_until_height(2, hard_limit)) {
+    result.error = "chains failed to start";
+    return result;
+  }
+
+  HandshakeDriver handshake(tb, /*relayer_wallet=*/0, /*machine=*/0);
+  ChannelSetupResult channel = handshake.establish_channel_blocking(hard_limit);
+  if (!channel.ok) {
+    result.error = "channel setup failed: " + channel.error;
+    return result;
+  }
+
+  // --- Relayers -------------------------------------------------------------
+  relayer::StepLog steps;
+  std::vector<std::unique_ptr<relayer::Relayer>> relayers;
+  for (int k = 0; k < config.relayer_count; ++k) {
+    // Relayer k is colocated with machine k and uses that machine's full
+    // nodes — the paper's deployment (one relayer instance per machine).
+    const auto machine = static_cast<std::size_t>(k % tb_cfg.machines);
+    relayer::ChainHandle ha{tb.chain_a().servers[machine].get(), tb.chain_a().id,
+                            {tb.relayer_account_a(k)}};
+    relayer::ChainHandle hb{tb.chain_b().servers[machine].get(), tb.chain_b().id,
+                            {tb.relayer_account_b(k)}};
+    relayer::RelayerConfig rc = config.relayer;
+    rc.machine = static_cast<net::MachineId>(machine);
+    // Only the first relayer feeds the step log (Fig. 12's per-step series
+    // is a single-relayer analysis).
+    relayer::StepLog* log = (k == 0 && config.collect_steps) ? &steps : nullptr;
+    relayers.push_back(std::make_unique<relayer::Relayer>(
+        tb.scheduler(), ha, hb, channel.path(), rc, log));
+    relayers.back()->start();
+  }
+
+  // --- Benchmark -------------------------------------------------------------
+  WorkloadConfig wl_cfg = config.workload;
+  if (wl_cfg.total_transfers == 0) {
+    // Rate mode submits for exactly the measurement window (the paper's
+    // "input rate R for N consecutive blocks").
+    wl_cfg.duration_blocks = config.measure_blocks;
+  }
+  TransferWorkload workload(tb, channel, wl_cfg,
+                            config.collect_steps ? &steps : nullptr);
+  const chain::Height start_height = tb.chain_a().ledger->height();
+  workload.start();
+
+  const chain::Height window_end = start_height + config.measure_blocks;
+  if (!tb.run_until_height(window_end, hard_limit)) {
+    // The chain stalled this badly only under extreme overload; report what
+    // we have rather than failing (Table I's highest rates look like this).
+  }
+
+  Analyzer analyzer(tb, channel);
+  result.window_breakdown =
+      analyzer.completion_breakdown(workload.stats().requested);
+  result.window_seconds = analyzer.window_seconds(
+      start_height, std::min(window_end, tb.chain_a().ledger->height()));
+  if (result.window_seconds > 0) {
+    result.tfps = static_cast<double>(result.window_breakdown.completed) /
+                  result.window_seconds;
+    result.inclusion_tfps =
+        static_cast<double>(analyzer.included_transfers(
+            start_height, window_end)) /
+        result.window_seconds;
+  }
+  result.block_intervals = analyzer.block_intervals(start_height, window_end);
+  if (!result.block_intervals.empty()) {
+    double sum = 0;
+    for (double v : result.block_intervals) sum += v;
+    result.avg_block_interval =
+        sum / static_cast<double>(result.block_intervals.size());
+  }
+  result.empty_blocks = tb.chain_a().engine->empty_blocks();
+
+  if (config.wait_for_workload) {
+    while (!workload.finished() && tb.scheduler().now() < hard_limit) {
+      if (!tb.scheduler().step()) break;
+    }
+  }
+
+  // --- Drain (latency experiments) --------------------------------------------
+  if (config.wait_for_drain) {
+    sim::TimePoint last_progress = tb.scheduler().now();
+    CompletionBreakdown last =
+        analyzer.completion_breakdown(workload.stats().requested);
+    std::size_t last_steps = steps.records().size();
+    while (tb.scheduler().now() < hard_limit) {
+      tb.run_until(tb.scheduler().now() + sim::seconds(5));
+      CompletionBreakdown now =
+          analyzer.completion_breakdown(workload.stats().requested);
+      const bool all_resolved = now.partial == 0 && now.initiated_only == 0 &&
+                                workload.finished();
+      if (now.completed != last.completed || now.partial != last.partial ||
+          now.initiated_only != last.initiated_only ||
+          now.timed_out != last.timed_out ||
+          steps.records().size() != last_steps) {
+        last_progress = tb.scheduler().now();
+        last = now;
+        last_steps = steps.records().size();
+      }
+      if (all_resolved) break;
+      if (tb.scheduler().now() - last_progress >
+          config.drain_no_progress_limit) {
+        break;  // stuck packets (§V) stay stuck; stop waiting
+      }
+    }
+  }
+
+  result.final_breakdown =
+      analyzer.completion_breakdown(workload.stats().requested);
+
+  // --- Collect ------------------------------------------------------------------
+  for (auto& r : relayers) {
+    result.relayers.push_back(r->stats());
+    result.sequence_mismatch_errors +=
+        r->wallet_a().sequence_mismatch_errors() +
+        r->wallet_b().sequence_mismatch_errors();
+    result.no_confirmation_errors += r->wallet_a().no_confirmation_errors() +
+                                     r->wallet_b().no_confirmation_errors();
+    result.rpc_unavailable_errors += r->wallet_a().rpc_unavailable_errors() +
+                                     r->wallet_b().rpc_unavailable_errors();
+    r->stop();
+  }
+  result.workload = workload.stats();
+  result.sequence_mismatch_errors += workload.sequence_mismatch_errors();
+  result.no_confirmation_errors += workload.no_confirmation_errors();
+  result.rpc_unavailable_errors += workload.rpc_unavailable_errors();
+  result.steps = std::move(steps);
+
+  const auto broadcasts = result.steps.completion_times_seconds(
+      relayer::Step::kTransferBroadcast);
+  const double last_ack =
+      result.steps.step_finish_seconds(relayer::Step::kAckConfirmation);
+  if (!broadcasts.empty() && last_ack > 0) {
+    result.completion_latency_seconds = last_ack - broadcasts.front();
+  }
+
+  result.rpc_busy_seconds_a =
+      sim::to_seconds(tb.chain_a().servers[0]->busy_time());
+  result.rpc_busy_seconds_b =
+      sim::to_seconds(tb.chain_b().servers[0]->busy_time());
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xcc

@@ -1,0 +1,87 @@
+#pragma once
+// Experiment runner: wires Setup + Benchmark + Analysis into one run.
+//
+// Every bench binary (one per paper table/figure) configures an
+// ExperimentConfig and calls run_experiment(); the returned ExperimentResult
+// carries all the series the paper reports.
+
+#include <string>
+#include <vector>
+
+#include "relayer/relayer.hpp"
+#include "xcc/analysis.hpp"
+#include "xcc/workload.hpp"
+
+namespace xcc {
+
+struct ExperimentConfig {
+  TestbedConfig testbed;
+  WorkloadConfig workload;
+  relayer::RelayerConfig relayer;
+
+  /// Number of independent relayer instances on the channel (0 = none:
+  /// inclusion-only experiments, Figs. 6-7 / Table I).
+  int relayer_count = 1;
+
+  /// Measurement window in source-chain blocks after workload start.
+  int measure_blocks = 50;
+
+  /// Keep simulating past the window until all packets resolve (or no
+  /// further progress) — used by the latency experiments (Figs. 12-13).
+  bool wait_for_drain = false;
+  /// Keep simulating until the workload has submitted everything and every
+  /// transaction outcome resolved — Table I's submission accounting.
+  bool wait_for_workload = false;
+  sim::Duration drain_no_progress_limit = sim::seconds(120);
+
+  /// Collect per-packet step records (disable for the very hot inclusion
+  /// sweeps where the extra confirmation queries would distort Table I).
+  bool collect_steps = true;
+
+  /// Ablation: number of requests each RPC server executes in parallel.
+  /// 1 = the real Tendermint behaviour (the paper's bottleneck); higher
+  /// values quantify how much of the latency that serialization explains.
+  std::size_t parallel_rpc_requests = 1;
+
+  sim::Duration max_sim_time = sim::seconds(14'400);
+};
+
+struct ExperimentResult {
+  bool ok = false;
+  std::string error;
+
+  // Status at the end of the measurement window (Figs. 8-11 / Table I).
+  CompletionBreakdown window_breakdown;
+  /// Completed transfers per second within the window.
+  double tfps = 0.0;
+  /// Successful MsgTransfer inclusions per second within the window (Fig 6).
+  double inclusion_tfps = 0.0;
+  double window_seconds = 0.0;
+
+  // Block production (Fig. 7).
+  std::vector<double> block_intervals;
+  double avg_block_interval = 0.0;
+  std::uint64_t empty_blocks = 0;
+
+  // Final status after draining (Figs. 12-13, §V).
+  CompletionBreakdown final_breakdown;
+  /// Last ack confirmation minus first transfer broadcast (Fig. 12's 455 s).
+  double completion_latency_seconds = 0.0;
+
+  relayer::StepLog steps;
+  TransferWorkload::Stats workload;
+  std::vector<relayer::Relayer::Stats> relayers;
+
+  // Aggregated wallet failure counters (paper §IV-A error taxonomy).
+  std::uint64_t sequence_mismatch_errors = 0;
+  std::uint64_t no_confirmation_errors = 0;
+  std::uint64_t rpc_unavailable_errors = 0;
+
+  // RPC utilisation on the machine-0 full nodes (the bottleneck analysis).
+  double rpc_busy_seconds_a = 0.0;
+  double rpc_busy_seconds_b = 0.0;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace xcc

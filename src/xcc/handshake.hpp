@@ -1,0 +1,64 @@
+#pragma once
+// Channel establishment driver (the Setup module's "hermes create channel").
+//
+// Drives the full ICS-02/03/04 establishment sequence through real
+// transactions: create a light client on each chain, run the four-step
+// connection handshake, then the four-step channel handshake — every step
+// proven to the counterparty with store proofs and client updates, exactly
+// as a relayer would do it (paper §II-B1).
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "relayer/relayer.hpp"
+#include "relayer/wallet.hpp"
+#include "xcc/testbed.hpp"
+
+namespace xcc {
+
+struct ChannelSetupResult {
+  bool ok = false;
+  std::string error;
+  ibc::ClientId client_on_a;  // client of chain B hosted on A
+  ibc::ClientId client_on_b;  // client of chain A hosted on B
+  ibc::ConnectionId connection_a;
+  ibc::ConnectionId connection_b;
+  ibc::ChannelId channel_a;
+  ibc::ChannelId channel_b;
+
+  /// Path config for relayer::Relayer.
+  relayer::PathConfig path() const;
+};
+
+class HandshakeDriver {
+ public:
+  /// Uses the given relayer wallet index's accounts for handshake txs,
+  /// talking to the full nodes on `machine`.
+  HandshakeDriver(Testbed& testbed, int relayer_wallet = 0,
+                  net::MachineId machine = 0);
+  ~HandshakeDriver();
+
+  HandshakeDriver(const HandshakeDriver&) = delete;
+  HandshakeDriver& operator=(const HandshakeDriver&) = delete;
+
+  /// Starts the handshake; `cb` fires when the channel is OPEN on both ends
+  /// (or on the first failure). Both chains must already be producing
+  /// blocks.
+  void establish_channel(std::function<void(ChannelSetupResult)> cb);
+
+  /// Convenience: runs establish_channel to completion on the testbed's
+  /// scheduler. Returns the result (ok=false on `limit` exceeded).
+  ChannelSetupResult establish_channel_blocking(sim::TimePoint limit);
+
+ private:
+  struct Flow;
+
+  Testbed& testbed_;
+  net::MachineId machine_;
+  std::unique_ptr<relayer::Wallet> wallet_a_;
+  std::unique_ptr<relayer::Wallet> wallet_b_;
+  std::shared_ptr<Flow> flow_;
+};
+
+}  // namespace xcc

@@ -1,0 +1,28 @@
+#pragma once
+// Execution reports (paper §I: "our tool generates execution reports to
+// assist in performance evaluations for different setup configurations").
+//
+// Renders an ExperimentResult as a self-contained markdown report:
+// configuration, throughput/latency metrics, the completion-status
+// breakdown, block production statistics, the 13-step latency table and
+// the error taxonomy. Bench binaries and users of the library can archive
+// one report per run.
+
+#include <string>
+
+#include "xcc/experiment.hpp"
+
+namespace xcc {
+
+/// Renders the report as a markdown string.
+std::string render_report(const ExperimentConfig& config,
+                          const ExperimentResult& result,
+                          const std::string& title = "Experiment report");
+
+/// Renders and writes to `path`; returns false if the file cannot be
+/// written.
+bool write_report(const std::string& path, const ExperimentConfig& config,
+                  const ExperimentResult& result,
+                  const std::string& title = "Experiment report");
+
+}  // namespace xcc

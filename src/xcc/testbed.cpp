@@ -1,0 +1,94 @@
+#include "xcc/testbed.hpp"
+
+namespace xcc {
+
+Testbed::Testbed(TestbedConfig config) : config_(config) {
+  net::NetworkConfig nc;
+  nc.machine_count = config_.machines;
+  nc.inter_machine_rtt = config_.rtt;
+  nc.seed = config_.seed;
+  network_ = std::make_unique<net::Network>(sched_, nc);
+
+  deploy_chain(a_, "ibc-source", "src");
+  deploy_chain(b_, "ibc-destination", "dst");
+
+  // Workload sender accounts live on the source chain.
+  users_.reserve(static_cast<std::size_t>(config_.user_accounts));
+  for (int i = 0; i < config_.user_accounts; ++i) {
+    chain::Address addr = "user-" + std::to_string(i);
+    a_.app->add_genesis_account(addr, config_.user_balance);
+    users_.push_back(std::move(addr));
+  }
+
+  // Relayer wallets funded on both chains.
+  for (int r = 0; r < config_.relayer_wallets; ++r) {
+    a_.app->add_genesis_account(relayer_account_a(r), config_.relayer_balance);
+    b_.app->add_genesis_account(relayer_account_b(r), config_.relayer_balance);
+  }
+}
+
+Testbed::~Testbed() {
+  a_.engine->stop();
+  b_.engine->stop();
+}
+
+chain::Address Testbed::relayer_account_a(int relayer_idx) const {
+  return "relayer-" + std::to_string(relayer_idx) + "-a";
+}
+
+chain::Address Testbed::relayer_account_b(int relayer_idx) const {
+  return "relayer-" + std::to_string(relayer_idx) + "-b";
+}
+
+void Testbed::deploy_chain(ChainDeployment& c, const std::string& id,
+                           const std::string& prefix) {
+  c.id = id;
+  cosmos::AppConfig app_cfg = config_.app_config;
+  c.app = std::make_unique<cosmos::CosmosApp>(id, app_cfg);
+  c.ledger = std::make_unique<chain::Ledger>(id);
+  c.mempool = std::make_unique<chain::Mempool>(*c.app, /*max_txs=*/100'000);
+
+  consensus::EngineConfig ec = config_.engine_config;
+  ec.min_block_interval = config_.min_block_interval;
+  chain::ValidatorSet validators = chain::ValidatorSet::make(
+      prefix, config_.validators_per_chain, config_.machines);
+  c.engine = std::make_unique<consensus::Engine>(
+      sched_, *network_, std::move(validators), *c.app, *c.mempool, *c.ledger,
+      ec);
+
+  c.ibc = std::make_unique<ibc::IbcKeeper>(*c.app);
+  c.transfer = std::make_unique<ibc::TransferModule>(*c.app, *c.ibc);
+
+  // One full-node RPC endpoint per machine, all wired to block events.
+  c.servers.reserve(static_cast<std::size_t>(config_.machines));
+  for (int m = 0; m < config_.machines; ++m) {
+    auto server = std::make_unique<rpc::Server>(
+        sched_, *network_, m, *c.ledger, *c.mempool, *c.app, config_.rpc_cost,
+        config_.seed * 1315423911u + static_cast<std::uint64_t>(m) +
+            (id == "ibc-source" ? 0u : 7'919u));
+    rpc::Server* raw = server.get();
+    c.engine->subscribe_block(
+        [raw](const chain::Block& block,
+              const std::vector<chain::DeliverTxResult>& results) {
+          raw->on_block_committed(block, results);
+        });
+    c.servers.push_back(std::move(server));
+  }
+}
+
+void Testbed::start_chains() {
+  a_.engine->start();
+  b_.engine->start();
+}
+
+bool Testbed::run_until_height(chain::Height height, sim::TimePoint limit) {
+  while (sched_.now() < limit) {
+    if (a_.ledger->height() >= height && b_.ledger->height() >= height) {
+      return true;
+    }
+    if (!sched_.step()) return false;
+  }
+  return a_.ledger->height() >= height && b_.ledger->height() >= height;
+}
+
+}  // namespace xcc

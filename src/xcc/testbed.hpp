@@ -1,0 +1,101 @@
+#pragma once
+// Setup module (paper Fig. 5): deploys the complete testbed.
+//
+// Reproduces the paper's §III-C deployment: five machines, each hosting one
+// validator of the source chain and one of the destination chain; a
+// configurable inter-machine RTT (200 ms WAN / ~0 LAN); RPC full-node
+// endpoints on every machine; relayers colocated with the nodes they query.
+// Chains are Gaia-like Cosmos apps with the IBC core and ICS-20 transfer
+// modules installed.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/engine.hpp"
+#include "cosmos/app.hpp"
+#include "ibc/keeper.hpp"
+#include "ibc/transfer.hpp"
+#include "net/network.hpp"
+#include "relayer/relayer.hpp"
+#include "rpc/server.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xcc {
+
+struct TestbedConfig {
+  int machines = 5;
+  int validators_per_chain = 5;
+  sim::Duration rtt = sim::millis(200);
+  sim::Duration min_block_interval = sim::seconds(5);
+  std::uint64_t seed = 42;
+
+  /// Workload sender accounts created on the source chain.
+  int user_accounts = 200;
+  std::uint64_t user_balance = 2'000'000'000'000ULL;
+  /// Relayer wallets funded on both chains.
+  int relayer_wallets = 2;
+  std::uint64_t relayer_balance = 50'000'000'000'000ULL;
+
+  rpc::CostModel rpc_cost;
+  cosmos::AppConfig app_config;
+  consensus::EngineConfig engine_config;
+};
+
+/// One deployed chain: app + consensus + per-machine RPC servers.
+struct ChainDeployment {
+  chain::ChainId id;
+  std::unique_ptr<cosmos::CosmosApp> app;
+  std::unique_ptr<chain::Ledger> ledger;
+  std::unique_ptr<chain::Mempool> mempool;
+  std::unique_ptr<consensus::Engine> engine;
+  std::unique_ptr<ibc::IbcKeeper> ibc;
+  std::unique_ptr<ibc::TransferModule> transfer;
+  /// servers[m] is the full-node RPC endpoint on machine m.
+  std::vector<std::unique_ptr<rpc::Server>> servers;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Scheduler& scheduler() { return sched_; }
+  net::Network& network() { return *network_; }
+  const TestbedConfig& config() const { return config_; }
+
+  ChainDeployment& chain_a() { return a_; }
+  ChainDeployment& chain_b() { return b_; }
+
+  /// Starts both consensus engines.
+  void start_chains();
+
+  /// Runs the simulation until virtual time `t`.
+  void run_until(sim::TimePoint t) { sched_.run_until(t); }
+
+  /// Runs until both chains have produced at least `height` blocks (bounded
+  /// by `limit`). Returns false on limit.
+  bool run_until_height(chain::Height height, sim::TimePoint limit);
+
+  /// Workload sender addresses on chain A ("user-<i>").
+  const std::vector<chain::Address>& user_accounts() const { return users_; }
+  /// Relayer wallet addresses, one pair per relayer instance.
+  chain::Address relayer_account_a(int relayer_idx) const;
+  chain::Address relayer_account_b(int relayer_idx) const;
+
+ private:
+  void deploy_chain(ChainDeployment& c, const std::string& id,
+                    const std::string& prefix);
+
+  TestbedConfig config_;
+  sim::Scheduler sched_;
+  std::unique_ptr<net::Network> network_;
+  ChainDeployment a_;
+  ChainDeployment b_;
+  std::vector<chain::Address> users_;
+};
+
+}  // namespace xcc

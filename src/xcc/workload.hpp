@@ -1,0 +1,108 @@
+#pragma once
+// Benchmark module: the Cross-chain Workload Connector (paper Fig. 5).
+//
+// Submits cross-chain fungible token transfers the way the paper does
+// through the Hermes CLI: transactions of (up to) 100 MsgTransfer each, one
+// in-flight transaction per user account (the CLI waits for commitment
+// before reusing an account — the Cosmos sequence-number limitation of
+// §III-D), with the input rate controlled by the number of concurrent user
+// accounts (rate = accounts * 100 msgs / 5 s block).
+//
+// Two modes:
+//   * rate mode — sustain `requests_per_second` for `duration_blocks`
+//     (Figs. 6-11, Table I);
+//   * burst mode — submit `total_transfers` spread evenly over
+//     `spread_blocks` consecutive blocks (Figs. 12-13, §V).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "relayer/events.hpp"
+#include "relayer/wallet.hpp"
+#include "xcc/handshake.hpp"
+#include "xcc/testbed.hpp"
+
+namespace xcc {
+
+struct WorkloadConfig {
+  /// Rate mode (used when total_transfers == 0).
+  double requests_per_second = 100.0;
+  int duration_blocks = 50;
+
+  /// Burst mode (enabled when total_transfers > 0).
+  std::uint64_t total_transfers = 0;
+  int spread_blocks = 1;
+
+  std::size_t msgs_per_tx = 100;
+  std::uint64_t transfer_amount = 1;
+  /// First user account index to use (lets two workloads — e.g. one per
+  /// channel — run concurrently without colliding on account sequences).
+  std::size_t account_offset = 0;
+  /// Packet timeout: destination height at submission + this offset.
+  std::int64_t timeout_height_offset = 100'000;
+  net::MachineId machine = 0;
+  double gas_price = 0.01;
+};
+
+class TransferWorkload {
+ public:
+  TransferWorkload(Testbed& testbed, const ChannelSetupResult& channel,
+                   WorkloadConfig config, relayer::StepLog* step_log);
+  ~TransferWorkload();
+
+  TransferWorkload(const TransferWorkload&) = delete;
+  TransferWorkload& operator=(const TransferWorkload&) = delete;
+
+  /// Begins submission; returns the virtual start time.
+  sim::TimePoint start();
+
+  /// All requested transfers have been submitted (successfully or not) and
+  /// their confirmation outcomes resolved.
+  bool finished() const;
+
+  struct Stats {
+    std::uint64_t requested = 0;        // transfers handed to the connector
+    std::uint64_t broadcast = 0;        // accepted into the mempool
+    std::uint64_t committed = 0;        // committed on the source chain
+    std::uint64_t failed_submission = 0;  // rejected / never confirmed
+  };
+  const Stats& stats() const { return stats_; }
+  sim::TimePoint start_time() const { return start_time_; }
+
+  /// Wallet-level error counters summed over all submission accounts (the
+  /// paper's "account sequence mismatch" / "failed tx: no confirmation").
+  std::uint64_t sequence_mismatch_errors() const;
+  std::uint64_t no_confirmation_errors() const;
+  std::uint64_t rpc_unavailable_errors() const;
+
+ private:
+  void submit_burst_batches();
+  void account_loop(std::size_t account_idx);
+  void submit_one_tx(std::size_t account_idx, std::uint64_t count);
+  void backfill_broadcast_records(chain::TxHash hash,
+                                  sim::TimePoint broadcast_time);
+
+  Testbed& testbed_;
+  ChannelSetupResult channel_;
+  WorkloadConfig config_;
+  relayer::StepLog* step_log_;
+  rpc::Server* server_a_;
+
+  std::vector<std::unique_ptr<relayer::Wallet>> wallets_;  // one per account
+  std::uint64_t remaining_ = 0;      // transfers not yet submitted
+  std::uint64_t outstanding_ = 0;    // txs awaiting final outcome
+  bool started_ = false;
+  sim::TimePoint start_time_ = 0;
+
+  // Burst mode bookkeeping.
+  int batches_left_ = 0;
+  std::uint64_t per_batch_ = 0;
+  chain::Height last_batch_height_ = 0;
+  rpc::Server::SubscriptionId sub_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace xcc

@@ -1,0 +1,458 @@
+// Tests for the chain substrate: tx codec, events, blocks (Fig. 1
+// structure), validator sets, the journaled KV store, mempool and ledger.
+
+#include <gtest/gtest.h>
+
+#include "chain/block.hpp"
+#include "chain/ledger.hpp"
+#include "chain/mempool.hpp"
+#include "chain/store.hpp"
+#include "chain/tx.hpp"
+#include "chain/validator.hpp"
+
+namespace {
+
+chain::Tx make_tx(const std::string& sender, std::uint64_t seq,
+                  std::size_t msgs = 1) {
+  chain::Tx tx;
+  tx.sender = sender;
+  tx.sequence = seq;
+  tx.gas_limit = 100'000;
+  tx.fee = 1'000;
+  for (std::size_t i = 0; i < msgs; ++i) {
+    tx.msgs.push_back(chain::Msg{"/test.Msg", util::to_bytes("payload")});
+  }
+  return tx;
+}
+
+TEST(TxTest, EncodeDecodeRoundTrip) {
+  chain::Tx tx = make_tx("alice", 7, 3);
+  tx.memo = "hello";
+  chain::Tx decoded;
+  ASSERT_TRUE(chain::decode_tx(tx.encode(), decoded));
+  EXPECT_EQ(decoded.sender, "alice");
+  EXPECT_EQ(decoded.sequence, 7u);
+  EXPECT_EQ(decoded.gas_limit, 100'000u);
+  EXPECT_EQ(decoded.fee, 1'000u);
+  EXPECT_EQ(decoded.msgs.size(), 3u);
+  EXPECT_EQ(decoded.msgs[0].type_url, "/test.Msg");
+  EXPECT_EQ(decoded.memo, "hello");
+  EXPECT_EQ(decoded.hash(), tx.hash());
+}
+
+TEST(TxTest, HashChangesWithContent) {
+  const chain::Tx a = make_tx("alice", 1);
+  chain::Tx b = make_tx("alice", 2);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(TxTest, DecodeRejectsTruncated) {
+  const util::Bytes enc = make_tx("a", 0).encode();
+  for (std::size_t cut : {1u, 5u, 10u}) {
+    if (cut >= enc.size()) continue;
+    chain::Tx out;
+    EXPECT_FALSE(chain::decode_tx(
+        util::BytesView(enc.data(), enc.size() - cut), out));
+  }
+}
+
+TEST(TxTest, DecodeRejectsTrailingGarbage) {
+  util::Bytes enc = make_tx("a", 0).encode();
+  enc.push_back(0xff);
+  chain::Tx out;
+  EXPECT_FALSE(chain::decode_tx(enc, out));
+}
+
+TEST(EventTest, AttributeLookup) {
+  chain::Event ev{"send_packet",
+                  {{"packet_sequence", "7"}, {"packet_src_port", "transfer"}}};
+  EXPECT_EQ(ev.attribute("packet_sequence"), "7");
+  EXPECT_EQ(ev.attribute("missing"), "");
+}
+
+TEST(EventTest, EncodedSizeGrowsWithAttributes) {
+  chain::Event small{"t", {{"k", "v"}}};
+  chain::Event big{"t", {{"k", std::string(1000, 'x')}}};
+  EXPECT_GT(big.encoded_size(), small.encoded_size() + 900);
+  EXPECT_GT(chain::encoded_size({small, big}),
+            small.encoded_size() + big.encoded_size());
+}
+
+TEST(ValidatorSetTest, MakeAssignsMachinesRoundRobin) {
+  const auto set = chain::ValidatorSet::make("src", 5, 5);
+  ASSERT_EQ(set.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(set.at(i).machine, static_cast<int>(i));
+    EXPECT_EQ(set.at(i).power, 1);
+  }
+  EXPECT_EQ(set.total_power(), 5);
+}
+
+TEST(ValidatorSetTest, QuorumIsTwoThirdsPlusOne) {
+  EXPECT_EQ(chain::ValidatorSet::make("x", 5, 5).quorum_power(), 4);
+  EXPECT_EQ(chain::ValidatorSet::make("x", 4, 4).quorum_power(), 3);
+  EXPECT_EQ(chain::ValidatorSet::make("x", 7, 5).quorum_power(), 5);
+}
+
+TEST(ValidatorSetTest, ProposerRotates) {
+  const auto set = chain::ValidatorSet::make("x", 5, 5);
+  EXPECT_EQ(set.proposer_index(1, 0), 1u);
+  EXPECT_EQ(set.proposer_index(2, 0), 2u);
+  EXPECT_EQ(set.proposer_index(5, 0), 0u);
+  // A failed round moves to the next proposer.
+  EXPECT_EQ(set.proposer_index(1, 1), 2u);
+}
+
+TEST(ValidatorSetTest, IndexOfAndHash) {
+  const auto set = chain::ValidatorSet::make("x", 3, 5);
+  EXPECT_EQ(set.index_of(set.at(2).keys.pub), 2u);
+  crypto::PublicKey unknown;
+  EXPECT_EQ(set.index_of(unknown), set.size());
+  EXPECT_NE(set.hash(), chain::ValidatorSet::make("y", 3, 5).hash());
+}
+
+TEST(BlockTest, HeaderHashCoversFields) {
+  chain::BlockHeader h;
+  h.chain_id = "test";
+  h.height = 5;
+  h.time = sim::seconds(10);
+  const crypto::Digest base = h.hash();
+  h.height = 6;
+  EXPECT_NE(h.hash(), base);
+  h.height = 5;
+  EXPECT_EQ(h.hash(), base);
+  h.app_hash[0] ^= 1;
+  EXPECT_NE(h.hash(), base);
+}
+
+TEST(BlockTest, DataHashIsMerkleRootOfTxs) {
+  chain::Block block;
+  block.txs = {make_tx("a", 0), make_tx("b", 0)};
+  std::vector<util::Bytes> leaves = {block.txs[0].encode(),
+                                     block.txs[1].encode()};
+  EXPECT_EQ(block.compute_data_hash(), crypto::merkle_root(leaves));
+}
+
+TEST(BlockTest, TxInclusionProof) {
+  chain::Block block;
+  for (int i = 0; i < 7; ++i) block.txs.push_back(make_tx("u" + std::to_string(i), 0));
+  block.header.data_hash = block.compute_data_hash();
+  const crypto::MerkleProof proof = block.prove_tx(3);
+  EXPECT_TRUE(crypto::merkle_verify(block.header.data_hash,
+                                    block.txs[3].encode(), proof));
+}
+
+TEST(BlockTest, CommittedPowerCountsOnlyCommitVotes) {
+  const auto set = chain::ValidatorSet::make("x", 5, 5);
+  chain::Commit commit;
+  commit.height = 1;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    chain::CommitSig sig;
+    sig.validator = set.at(i).keys.pub;
+    sig.flag = i < 3 ? chain::BlockIdFlag::kCommit : chain::BlockIdFlag::kAbsent;
+    commit.signatures.push_back(sig);
+  }
+  EXPECT_EQ(commit.committed_power(set), 3);
+}
+
+TEST(BlockTest, SizeGrowsWithTxs) {
+  chain::Block small;
+  chain::Block big;
+  for (int i = 0; i < 100; ++i) big.txs.push_back(make_tx("u", 0, 10));
+  EXPECT_GT(big.size_bytes(), small.size_bytes() + 10'000);
+}
+
+// --- KvStore ----------------------------------------------------------------
+
+TEST(KvStoreTest, SetGetEraseContains) {
+  chain::KvStore store;
+  EXPECT_FALSE(store.contains("k"));
+  store.set("k", util::to_bytes("v"));
+  EXPECT_TRUE(store.contains("k"));
+  EXPECT_EQ(util::to_string(*store.get("k")), "v");
+  store.erase("k");
+  EXPECT_FALSE(store.get("k").has_value());
+}
+
+TEST(KvStoreTest, RootIsOrderIndependent) {
+  chain::KvStore a, b;
+  a.set("x", util::to_bytes("1"));
+  a.set("y", util::to_bytes("2"));
+  b.set("y", util::to_bytes("2"));
+  b.set("x", util::to_bytes("1"));
+  EXPECT_EQ(a.root(), b.root());
+}
+
+TEST(KvStoreTest, RootReturnsAfterDeleteAndRestore) {
+  chain::KvStore store;
+  const crypto::Digest empty_root = store.root();
+  store.set("k", util::to_bytes("v"));
+  const crypto::Digest with_k = store.root();
+  EXPECT_NE(with_k, empty_root);
+  store.erase("k");
+  EXPECT_EQ(store.root(), empty_root);
+  store.set("k", util::to_bytes("v"));
+  EXPECT_EQ(store.root(), with_k);
+}
+
+TEST(KvStoreTest, OverwriteUpdatesRoot) {
+  chain::KvStore store;
+  store.set("k", util::to_bytes("v1"));
+  const crypto::Digest r1 = store.root();
+  store.set("k", util::to_bytes("v2"));
+  EXPECT_NE(store.root(), r1);
+  store.set("k", util::to_bytes("v1"));
+  EXPECT_EQ(store.root(), r1);
+}
+
+TEST(KvStoreTest, PrefixScan) {
+  chain::KvStore store;
+  store.set("a/1", {});
+  store.set("a/2", {});
+  store.set("b/1", {});
+  store.set("a!", {});  // '!' < '/' — outside the "a/" prefix
+  const auto keys = store.keys_with_prefix("a/");
+  EXPECT_EQ(keys, (std::vector<std::string>{"a/1", "a/2"}));
+}
+
+TEST(KvStoreTest, ProofsVerifyExistenceAndAbsence) {
+  chain::KvStore store;
+  store.set("present", util::to_bytes("data"));
+  const chain::StoreProof exist = store.prove("present");
+  EXPECT_TRUE(exist.exists);
+  EXPECT_TRUE(chain::verify_store_proof(exist, store.root()));
+
+  const chain::StoreProof absent = store.prove("missing");
+  EXPECT_FALSE(absent.exists);
+  EXPECT_TRUE(chain::verify_store_proof(absent, store.root()));
+}
+
+TEST(KvStoreTest, ProofFailsAgainstDifferentRoot) {
+  chain::KvStore store;
+  store.set("k", util::to_bytes("v"));
+  const chain::StoreProof proof = store.prove("k");
+  store.set("other", util::to_bytes("x"));  // root moved on
+  EXPECT_FALSE(chain::verify_store_proof(proof, store.root()));
+}
+
+TEST(KvStoreTest, TamperedProofBindingFails) {
+  chain::KvStore store;
+  store.set("k", util::to_bytes("v"));
+  chain::StoreProof proof = store.prove("k");
+  proof.value = util::to_bytes("forged");
+  EXPECT_FALSE(chain::verify_store_proof(proof, store.root()));
+}
+
+TEST(KvStoreTest, JournalRevertRestoresExactState) {
+  chain::KvStore store;
+  store.set("stay", util::to_bytes("1"));
+  store.set("change", util::to_bytes("old"));
+  const crypto::Digest before = store.root();
+
+  store.begin_tx();
+  store.set("change", util::to_bytes("new"));
+  store.set("added", util::to_bytes("x"));
+  store.erase("stay");
+  store.revert_tx();
+
+  EXPECT_EQ(store.root(), before);
+  EXPECT_EQ(util::to_string(*store.get("change")), "old");
+  EXPECT_EQ(util::to_string(*store.get("stay")), "1");
+  EXPECT_FALSE(store.contains("added"));
+}
+
+TEST(KvStoreTest, JournalCommitKeepsWrites) {
+  chain::KvStore store;
+  store.begin_tx();
+  store.set("k", util::to_bytes("v"));
+  store.commit_tx();
+  EXPECT_TRUE(store.contains("k"));
+}
+
+TEST(KvStoreTest, JournalHandlesRepeatedWritesToSameKey) {
+  chain::KvStore store;
+  store.set("k", util::to_bytes("orig"));
+  const crypto::Digest before = store.root();
+  store.begin_tx();
+  store.set("k", util::to_bytes("a"));
+  store.set("k", util::to_bytes("b"));
+  store.erase("k");
+  store.set("k", util::to_bytes("c"));
+  store.revert_tx();
+  EXPECT_EQ(util::to_string(*store.get("k")), "orig");
+  EXPECT_EQ(store.root(), before);
+}
+
+// --- Mempool -------------------------------------------------------------------
+
+// Minimal app for mempool tests: accepts txs whose sequence matches a
+// per-sender counter (committed on update_after_commit).
+class CountingApp : public chain::App {
+ public:
+  chain::CheckTxResult check_tx(const chain::Tx& tx) override {
+    return check_tx_pending(tx, 0);
+  }
+  chain::CheckTxResult check_tx_pending(
+      const chain::Tx& tx, std::uint64_t pending_same_sender) override {
+    chain::CheckTxResult res;
+    const std::uint64_t expected = committed_seq_[tx.sender] + pending_same_sender;
+    if (tx.sequence != expected) {
+      res.status = util::Status::error(util::ErrorCode::kSequenceMismatch,
+                                       "account sequence mismatch");
+    }
+    res.gas_wanted = tx.gas_limit;
+    return res;
+  }
+  void begin_block(const chain::BlockHeader&) override {}
+  chain::DeliverTxResult deliver_tx(const chain::Tx& tx) override {
+    ++committed_seq_[tx.sender];
+    return {};
+  }
+  std::vector<chain::Event> end_block(chain::Height) override { return {}; }
+  crypto::Digest commit() override { return {}; }
+
+  void mark_committed(const chain::Tx& tx) { ++committed_seq_[tx.sender]; }
+
+ private:
+  std::map<chain::Address, std::uint64_t> committed_seq_;
+};
+
+TEST(MempoolTest, AdmitsConsecutiveSequencesFromOneSender) {
+  CountingApp app;
+  chain::Mempool pool(app, 100);
+  EXPECT_TRUE(pool.add(make_tx("alice", 0)).is_ok());
+  EXPECT_TRUE(pool.add(make_tx("alice", 1)).is_ok());
+  EXPECT_TRUE(pool.add(make_tx("alice", 2)).is_ok());
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(MempoolTest, RejectsSequenceGap) {
+  CountingApp app;
+  chain::Mempool pool(app, 100);
+  EXPECT_TRUE(pool.add(make_tx("alice", 0)).is_ok());
+  const auto status = pool.add(make_tx("alice", 5));
+  EXPECT_EQ(status.code(), util::ErrorCode::kSequenceMismatch);
+}
+
+TEST(MempoolTest, RejectsDuplicates) {
+  CountingApp app;
+  chain::Mempool pool(app, 100);
+  const chain::Tx tx = make_tx("bob", 0);
+  EXPECT_TRUE(pool.add(tx).is_ok());
+  EXPECT_EQ(pool.add(tx).code(), util::ErrorCode::kAlreadyExists);
+}
+
+TEST(MempoolTest, RejectsWhenFull) {
+  CountingApp app;
+  chain::Mempool pool(app, 2);
+  EXPECT_TRUE(pool.add(make_tx("a", 0)).is_ok());
+  EXPECT_TRUE(pool.add(make_tx("b", 0)).is_ok());
+  EXPECT_EQ(pool.add(make_tx("c", 0)).code(),
+            util::ErrorCode::kResourceExhausted);
+  EXPECT_EQ(pool.rejected_full(), 1u);
+}
+
+TEST(MempoolTest, ReapRespectsGasBudget) {
+  CountingApp app;
+  chain::Mempool pool(app, 100);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.add(make_tx("u" + std::to_string(i), 0)).is_ok());
+  }
+  // Each tx wants 100k gas; budget of 250k fits two.
+  const auto reaped = pool.reap(250'000, 1 << 20);
+  EXPECT_EQ(reaped.size(), 2u);
+  // Reap does not remove.
+  EXPECT_EQ(pool.size(), 10u);
+}
+
+TEST(MempoolTest, ReapRespectsByteBudget) {
+  CountingApp app;
+  chain::Mempool pool(app, 100);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.add(make_tx("u" + std::to_string(i), 0, 50)).is_ok());
+  }
+  const std::size_t one_tx = make_tx("u0", 0, 50).size_bytes();
+  const auto reaped = pool.reap(1'000'000'000, one_tx * 3 + 10);
+  EXPECT_EQ(reaped.size(), 3u);
+}
+
+TEST(MempoolTest, UpdateAfterCommitRemovesAndRechecks) {
+  CountingApp app;
+  chain::Mempool pool(app, 100);
+  const chain::Tx t0 = make_tx("alice", 0);
+  const chain::Tx t1 = make_tx("alice", 1);
+  ASSERT_TRUE(pool.add(t0).is_ok());
+  ASSERT_TRUE(pool.add(t1).is_ok());
+
+  app.mark_committed(t0);  // block executed t0
+  pool.update_after_commit({t0});
+  // t1 survives: its sequence (1) now matches the committed counter.
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.contains(t1.hash()));
+}
+
+TEST(MempoolTest, RecheckEvictsStaleSequences) {
+  CountingApp app;
+  chain::Mempool pool(app, 100);
+  const chain::Tx stale = make_tx("alice", 0);
+  ASSERT_TRUE(pool.add(stale).is_ok());
+  // A competing tx with the same sequence committed out-of-band.
+  app.mark_committed(stale);
+  pool.update_after_commit({});
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.evicted_recheck(), 1u);
+}
+
+// --- Ledger -----------------------------------------------------------------------
+
+TEST(LedgerTest, AppendAndLookup) {
+  chain::Ledger ledger("test-chain");
+  chain::Block block;
+  block.header.chain_id = "test-chain";
+  block.header.height = 1;
+  block.header.time = sim::seconds(5);
+  block.txs = {make_tx("a", 0)};
+  const chain::TxHash hash = block.txs[0].hash();
+  std::vector<chain::DeliverTxResult> results(1);
+  ledger.append(std::move(block), std::move(results), crypto::Digest{},
+                chain::Commit{});
+
+  EXPECT_EQ(ledger.height(), 1);
+  ASSERT_NE(ledger.block_at(1), nullptr);
+  EXPECT_EQ(ledger.block_at(2), nullptr);
+  EXPECT_EQ(ledger.block_at(0), nullptr);
+  const chain::TxLocation* loc = ledger.find_tx(hash);
+  ASSERT_NE(loc, nullptr);
+  EXPECT_EQ(loc->height, 1);
+  EXPECT_EQ(loc->index, 0u);
+  EXPECT_EQ(ledger.total_txs(), 1u);
+}
+
+TEST(LedgerTest, EventBytesCached) {
+  chain::Ledger ledger("c");
+  chain::Block block;
+  block.header.height = 1;
+  block.txs = {make_tx("a", 0)};
+  chain::DeliverTxResult res;
+  res.events.push_back(chain::Event{"e", {{"k", std::string(500, 'x')}}});
+  const std::size_t expected = res.encoded_size();
+  ledger.append(std::move(block), {res}, crypto::Digest{}, chain::Commit{});
+  EXPECT_EQ(ledger.block_event_bytes(1), expected);
+  EXPECT_EQ(ledger.block_event_bytes(2), 0u);
+}
+
+TEST(LedgerTest, BlockIntervals) {
+  chain::Ledger ledger("c");
+  for (int i = 1; i <= 3; ++i) {
+    chain::Block b;
+    b.header.height = i;
+    b.header.time = sim::seconds(5.0 * i);
+    ledger.append(std::move(b), {}, crypto::Digest{}, chain::Commit{});
+  }
+  const auto intervals = ledger.block_intervals_seconds();
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_DOUBLE_EQ(intervals[0], 5.0);
+  EXPECT_DOUBLE_EQ(intervals[1], 5.0);
+}
+
+}  // namespace

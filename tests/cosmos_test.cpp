@@ -1,0 +1,207 @@
+// Cosmos app layer tests: bank, auth/sequences, ante handler semantics
+// (fee + sequence persist on failure), gas accounting, rollback.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmos/app.hpp"
+
+namespace {
+
+// Test message handlers: one succeeds and writes state, one fails.
+class WriteHandler : public cosmos::MsgHandler {
+ public:
+  util::Status handle(const chain::Msg& msg, cosmos::MsgContext& ctx) override {
+    ctx.app.store().set("written/" + util::to_string(msg.value),
+                        util::to_bytes("1"));
+    ctx.gas_used += 10'000;
+    ctx.events->push_back(chain::Event{"wrote", {{"key", util::to_string(msg.value)}}});
+    return util::Status::ok();
+  }
+};
+
+class FailHandler : public cosmos::MsgHandler {
+ public:
+  util::Status handle(const chain::Msg&, cosmos::MsgContext& ctx) override {
+    ctx.app.store().set("leaked", util::to_bytes("1"));
+    ctx.gas_used += 5'000;
+    return util::Status::error(util::ErrorCode::kFailedPrecondition, "boom");
+  }
+};
+
+struct AppFixture : ::testing::Test {
+  cosmos::CosmosApp app{"test-chain"};
+  WriteHandler write_handler;
+  FailHandler fail_handler;
+
+  void SetUp() override {
+    app.register_handler("/test.Write", &write_handler);
+    app.register_handler("/test.Fail", &fail_handler);
+    app.add_genesis_account("alice", 1'000'000);
+    chain::BlockHeader header;
+    header.height = 1;
+    header.time = sim::seconds(5);
+    app.begin_block(header);
+  }
+
+  chain::Tx tx_for(const std::string& sender, std::uint64_t seq,
+                   std::vector<chain::Msg> msgs,
+                   std::uint64_t gas = 200'000) {
+    chain::Tx tx;
+    tx.sender = sender;
+    tx.sequence = seq;
+    tx.gas_limit = gas;
+    tx.fee = static_cast<std::uint64_t>(std::ceil(gas * 0.01));
+    tx.msgs = std::move(msgs);
+    return tx;
+  }
+};
+
+TEST_F(AppFixture, BankSendMintBurn) {
+  cosmos::BankKeeper& bank = app.bank();
+  EXPECT_EQ(bank.balance("alice", cosmos::kNativeDenom), 1'000'000u);
+  EXPECT_TRUE(bank.send("alice", "bob", {cosmos::kNativeDenom, 300}).is_ok());
+  EXPECT_EQ(bank.balance("alice", cosmos::kNativeDenom), 999'700u);
+  EXPECT_EQ(bank.balance("bob", cosmos::kNativeDenom), 300u);
+
+  bank.mint("carol", {"ibc/ABCD", 50});
+  EXPECT_EQ(bank.supply("ibc/ABCD"), 50u);
+  EXPECT_TRUE(bank.burn("carol", {"ibc/ABCD", 20}).is_ok());
+  EXPECT_EQ(bank.supply("ibc/ABCD"), 30u);
+  EXPECT_EQ(bank.balance("carol", "ibc/ABCD"), 30u);
+}
+
+TEST_F(AppFixture, BankRejectsOverdraft) {
+  EXPECT_EQ(app.bank().send("alice", "bob", {cosmos::kNativeDenom, 2'000'000})
+                .code(),
+            util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(app.bank().burn("alice", {cosmos::kNativeDenom, 2'000'000}).code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(AppFixture, BankSupplyTracksGenesis) {
+  EXPECT_EQ(app.bank().supply(cosmos::kNativeDenom), 1'000'000u);
+}
+
+TEST_F(AppFixture, AuthSequenceLifecycle) {
+  cosmos::AuthKeeper& auth = app.auth();
+  EXPECT_TRUE(auth.account_exists("alice"));
+  EXPECT_FALSE(auth.account_exists("ghost"));
+  EXPECT_EQ(auth.sequence("alice"), 0u);
+  auth.increment_sequence("alice");
+  EXPECT_EQ(auth.sequence("alice"), 1u);
+}
+
+TEST_F(AppFixture, CheckTxValidatesSequence) {
+  auto ok = app.check_tx(tx_for("alice", 0, {{"/test.Write", {}}}));
+  EXPECT_TRUE(ok.status.is_ok());
+  auto bad = app.check_tx(tx_for("alice", 3, {{"/test.Write", {}}}));
+  EXPECT_EQ(bad.status.code(), util::ErrorCode::kSequenceMismatch);
+}
+
+TEST_F(AppFixture, CheckTxPendingShiftsExpectedSequence) {
+  auto res = app.check_tx_pending(tx_for("alice", 2, {{"/test.Write", {}}}), 2);
+  EXPECT_TRUE(res.status.is_ok());
+  auto bad = app.check_tx_pending(tx_for("alice", 2, {{"/test.Write", {}}}), 1);
+  EXPECT_EQ(bad.status.code(), util::ErrorCode::kSequenceMismatch);
+}
+
+TEST_F(AppFixture, CheckTxEnforcesMinFee) {
+  chain::Tx tx = tx_for("alice", 0, {{"/test.Write", {}}});
+  tx.fee = 1;  // gas 200k * 0.01 = 2000 required
+  EXPECT_EQ(app.check_tx(tx).status.code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(AppFixture, CheckTxUnknownAccount) {
+  EXPECT_EQ(app.check_tx(tx_for("ghost", 0, {{"/test.Write", {}}}))
+                .status.code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(AppFixture, CheckTxRejectsEmptyTx) {
+  EXPECT_EQ(app.check_tx(tx_for("alice", 0, {})).status.code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(AppFixture, DeliverTxSuccess) {
+  const auto res =
+      app.deliver_tx(tx_for("alice", 0, {{"/test.Write", util::to_bytes("k1")}}));
+  EXPECT_TRUE(res.status.is_ok());
+  EXPECT_TRUE(app.store().contains("written/k1"));
+  EXPECT_EQ(app.auth().sequence("alice"), 1u);
+  EXPECT_EQ(res.gas_used, app.config().base_tx_gas + 10'000);
+  ASSERT_EQ(res.events.size(), 1u);
+  EXPECT_EQ(res.events[0].type, "wrote");
+  EXPECT_EQ(app.txs_succeeded(), 1u);
+}
+
+TEST_F(AppFixture, FailedMsgRevertsStateButKeepsFeeAndSequence) {
+  const std::uint64_t balance_before =
+      app.bank().balance("alice", cosmos::kNativeDenom);
+  const auto res = app.deliver_tx(
+      tx_for("alice", 0,
+             {{"/test.Write", util::to_bytes("k1")}, {"/test.Fail", {}}}));
+  EXPECT_FALSE(res.status.is_ok());
+  // All message writes reverted, including the successful first message.
+  EXPECT_FALSE(app.store().contains("written/k1"));
+  EXPECT_FALSE(app.store().contains("leaked"));
+  // Ante effects persist: sequence bumped, fee paid.
+  EXPECT_EQ(app.auth().sequence("alice"), 1u);
+  EXPECT_LT(app.bank().balance("alice", cosmos::kNativeDenom), balance_before);
+  // Failed txs emit no events but still consume gas.
+  EXPECT_TRUE(res.events.empty());
+  EXPECT_GT(res.gas_used, app.config().base_tx_gas);
+  EXPECT_EQ(app.txs_failed(), 1u);
+}
+
+TEST_F(AppFixture, FeeGoesToFeeCollector) {
+  const chain::Tx tx = tx_for("alice", 0, {{"/test.Write", util::to_bytes("x")}});
+  app.deliver_tx(tx);
+  EXPECT_EQ(app.bank().balance(cosmos::CosmosApp::fee_collector(),
+                               cosmos::kNativeDenom),
+            tx.fee);
+}
+
+TEST_F(AppFixture, OutOfGasRevertsMessages) {
+  const auto res = app.deliver_tx(
+      tx_for("alice", 0, {{"/test.Write", util::to_bytes("k")}},
+             /*gas=*/app.config().base_tx_gas + 1));  // too little for 10k msg
+  EXPECT_EQ(res.status.code(), util::ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(app.store().contains("written/k"));
+}
+
+TEST_F(AppFixture, UnroutableMessageFails) {
+  const auto res = app.deliver_tx(tx_for("alice", 0, {{"/no.Handler", {}}}));
+  EXPECT_EQ(res.status.code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(AppFixture, DeliverTxRejectsWrongSequenceEvenInBlock) {
+  const auto res = app.deliver_tx(tx_for("alice", 9, {{"/test.Write", {}}}));
+  EXPECT_EQ(res.status.code(), util::ErrorCode::kSequenceMismatch);
+  EXPECT_EQ(app.auth().sequence("alice"), 0u);  // ante failed: no bump
+}
+
+TEST_F(AppFixture, CommitRootReflectsState) {
+  const crypto::Digest before = app.commit();
+  app.deliver_tx(tx_for("alice", 0, {{"/test.Write", util::to_bytes("z")}}));
+  EXPECT_NE(app.commit(), before);
+}
+
+TEST_F(AppFixture, ExecutionCostScalesWithGas) {
+  chain::Tx light = tx_for("alice", 0, {{"/test.Write", {}}}, 100'000);
+  chain::Tx heavy = tx_for("alice", 0, {{"/test.Write", {}}}, 10'000'000);
+  EXPECT_GT(app.execution_cost(heavy), app.execution_cost(light) * 50);
+}
+
+TEST_F(AppFixture, SequentialTxsFromOneAccount) {
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const auto res = app.deliver_tx(
+        tx_for("alice", s, {{"/test.Write", util::to_bytes(std::to_string(s))}}));
+    EXPECT_TRUE(res.status.is_ok()) << s;
+  }
+  EXPECT_EQ(app.auth().sequence("alice"), 5u);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Unit + property tests for the crypto substrate: SHA-256 (FIPS vectors),
+// Merkle trees with proofs, and the simulation signature scheme.
+
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+TEST(Sha256Test, EmptyInputVector) {
+  EXPECT_EQ(crypto::digest_hex(crypto::sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcVector) {
+  EXPECT_EQ(crypto::digest_hex(crypto::sha256(util::to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockVector) {
+  const std::string msg =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(crypto::digest_hex(crypto::sha256(util::to_bytes(msg))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  util::Bytes data(1'000'000, 'a');
+  EXPECT_EQ(crypto::digest_hex(crypto::sha256(data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  crypto::Sha256 h;
+  // Feed in awkward chunk sizes to cross block boundaries.
+  const util::Bytes bytes = util::to_bytes(msg);
+  std::size_t off = 0;
+  for (std::size_t chunk : {1u, 3u, 7u, 13u, 64u}) {
+    const std::size_t take = std::min(chunk, bytes.size() - off);
+    h.update(util::BytesView(bytes.data() + off, take));
+    off += take;
+    if (off == bytes.size()) break;
+  }
+  if (off < bytes.size()) {
+    h.update(util::BytesView(bytes.data() + off, bytes.size() - off));
+  }
+  EXPECT_EQ(h.finalize(), crypto::sha256(bytes));
+}
+
+TEST(Sha256Test, ShortHexIsPrefix) {
+  const crypto::Digest d = crypto::sha256(util::to_bytes("x"));
+  EXPECT_EQ(crypto::digest_short_hex(d), crypto::digest_hex(d).substr(0, 16));
+}
+
+TEST(MerkleTest, EmptyTreeRootIsEmptyHash) {
+  EXPECT_EQ(crypto::merkle_root({}), crypto::sha256({}));
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeafHash) {
+  const util::Bytes leaf = util::to_bytes("tx0");
+  EXPECT_EQ(crypto::merkle_root({leaf}), crypto::leaf_hash(leaf));
+}
+
+TEST(MerkleTest, LeafAndInnerHashesAreDomainSeparated) {
+  // A leaf containing what looks like two child hashes must not collide with
+  // the inner node of those children.
+  const crypto::Digest a = crypto::leaf_hash(util::to_bytes("a"));
+  const crypto::Digest b = crypto::leaf_hash(util::to_bytes("b"));
+  util::Bytes fake_leaf;
+  util::append(fake_leaf, util::BytesView(a.data(), a.size()));
+  util::append(fake_leaf, util::BytesView(b.data(), b.size()));
+  EXPECT_NE(crypto::leaf_hash(fake_leaf), crypto::inner_hash(a, b));
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  std::vector<util::Bytes> leaves;
+  for (int i = 0; i < 8; ++i) leaves.push_back(util::to_bytes("tx" + std::to_string(i)));
+  const crypto::Digest root = crypto::merkle_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i] = util::to_bytes("evil");
+    EXPECT_NE(crypto::merkle_root(mutated), root) << "leaf " << i;
+  }
+}
+
+// Property: proofs verify for every leaf of trees of many sizes, including
+// non-powers of two (unpaired node promotion).
+class MerkleProofProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofProperty, AllLeavesProveAndVerify) {
+  const std::size_t n = GetParam();
+  std::vector<util::Bytes> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(util::to_bytes("leaf-" + std::to_string(i)));
+  }
+  const crypto::Digest root = crypto::merkle_root(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const crypto::MerkleProof proof = crypto::merkle_prove(leaves, i);
+    EXPECT_TRUE(crypto::merkle_verify(root, leaves[i], proof)) << "leaf " << i;
+    // Wrong leaf data must fail.
+    EXPECT_FALSE(crypto::merkle_verify(root, util::to_bytes("tampered"), proof));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleProofProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 31, 33, 100, 127, 128, 129));
+
+TEST(MerkleTest, ProofForWrongIndexFails) {
+  std::vector<util::Bytes> leaves;
+  for (int i = 0; i < 10; ++i) leaves.push_back(util::to_bytes(std::to_string(i)));
+  const crypto::Digest root = crypto::merkle_root(leaves);
+  crypto::MerkleProof proof = crypto::merkle_prove(leaves, 3);
+  proof.leaf_index = 4;  // claim a different position
+  EXPECT_FALSE(crypto::merkle_verify(root, leaves[3], proof));
+}
+
+TEST(MerkleTest, ProofAgainstWrongRootFails) {
+  std::vector<util::Bytes> leaves = {util::to_bytes("a"), util::to_bytes("b")};
+  const crypto::MerkleProof proof = crypto::merkle_prove(leaves, 0);
+  const crypto::Digest other_root = crypto::sha256(util::to_bytes("other"));
+  EXPECT_FALSE(crypto::merkle_verify(other_root, leaves[0], proof));
+}
+
+TEST(MerkleTest, TruncatedProofFails) {
+  std::vector<util::Bytes> leaves;
+  for (int i = 0; i < 8; ++i) leaves.push_back(util::to_bytes(std::to_string(i)));
+  const crypto::Digest root = crypto::merkle_root(leaves);
+  crypto::MerkleProof proof = crypto::merkle_prove(leaves, 2);
+  proof.path.pop_back();
+  EXPECT_FALSE(crypto::merkle_verify(root, leaves[2], proof));
+}
+
+TEST(SignatureTest, DeterministicDerivation) {
+  const crypto::KeyPair a = crypto::derive_key_pair("validator-0");
+  const crypto::KeyPair b = crypto::derive_key_pair("validator-0");
+  EXPECT_EQ(a.pub, b.pub);
+  EXPECT_EQ(a.priv, b.priv);
+}
+
+TEST(SignatureTest, DistinctSeedsDistinctKeys) {
+  EXPECT_NE(crypto::derive_key_pair("v0").pub, crypto::derive_key_pair("v1").pub);
+}
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+  const crypto::KeyPair kp = crypto::derive_key_pair("signer");
+  const util::Bytes msg = util::to_bytes("vote for block 42");
+  const crypto::Signature sig = crypto::sign(kp.priv, msg);
+  EXPECT_TRUE(crypto::verify(kp.pub, msg, sig));
+}
+
+TEST(SignatureTest, TamperedMessageFails) {
+  const crypto::KeyPair kp = crypto::derive_key_pair("signer2");
+  const crypto::Signature sig = crypto::sign(kp.priv, util::to_bytes("msg"));
+  EXPECT_FALSE(crypto::verify(kp.pub, util::to_bytes("msG"), sig));
+}
+
+TEST(SignatureTest, WrongKeyFails) {
+  const crypto::KeyPair a = crypto::derive_key_pair("alice");
+  const crypto::KeyPair b = crypto::derive_key_pair("bob");
+  const util::Bytes msg = util::to_bytes("payload");
+  const crypto::Signature sig = crypto::sign(a.priv, msg);
+  EXPECT_FALSE(crypto::verify(b.pub, msg, sig));
+}
+
+TEST(SignatureTest, UnknownKeyFails) {
+  crypto::PublicKey unknown;
+  unknown.id = crypto::sha256(util::to_bytes("never derived"));
+  EXPECT_FALSE(crypto::verify(unknown, util::to_bytes("m"), crypto::Signature{}));
+}
+
+TEST(SignatureTest, ZeroSignatureFails) {
+  const crypto::KeyPair kp = crypto::derive_key_pair("zzz");
+  EXPECT_FALSE(crypto::verify(kp.pub, util::to_bytes("m"), crypto::Signature{}));
+}
+
+}  // namespace

@@ -1,0 +1,382 @@
+// Message-driven connection/channel handshake tests (ICS-03 / ICS-04):
+// happy four-step paths, proof rejections, state-machine ordering, and
+// cross-wiring attacks — all through real MsgConnOpen*/MsgChanOpen*
+// deliveries against two coupled chains.
+
+#include <gtest/gtest.h>
+
+#include "cosmos/app.hpp"
+#include "ibc/host.hpp"
+#include "ibc/keeper.hpp"
+#include "ibc/msgs.hpp"
+#include "ibc/transfer.hpp"
+
+namespace {
+
+// Two chains with clients installed but NO connection/channel yet.
+struct HandshakeFixture : ::testing::Test {
+  cosmos::CosmosApp app_a{"hs-a"};
+  cosmos::CosmosApp app_b{"hs-b"};
+  ibc::IbcKeeper ibc_a{app_a};
+  ibc::IbcKeeper ibc_b{app_b};
+  ibc::TransferModule transfer_a{app_a, ibc_a};
+  ibc::TransferModule transfer_b{app_b, ibc_b};
+  chain::ValidatorSet vals_a = chain::ValidatorSet::make("hs-a", 4, 4);
+  chain::ValidatorSet vals_b = chain::ValidatorSet::make("hs-b", 4, 4);
+  ibc::ClientId client_on_a;
+  ibc::ClientId client_on_b;
+  chain::Height height_a = 1;
+  chain::Height height_b = 1;
+
+  void SetUp() override {
+    app_a.add_genesis_account("relayer", 1'000'000'000);
+    app_b.add_genesis_account("relayer", 1'000'000'000);
+    begin(app_a, height_a);
+    begin(app_b, height_b);
+    client_on_a = ibc_a.clients().create_client(state_of("hs-b", vals_b),
+                                                height_b, consensus(app_b));
+    client_on_b = ibc_b.clients().create_client(state_of("hs-a", vals_a),
+                                                height_a, consensus(app_a));
+  }
+
+  static void begin(cosmos::CosmosApp& app, chain::Height h) {
+    chain::BlockHeader header;
+    header.height = h;
+    header.time = sim::seconds(5.0 * static_cast<double>(h));
+    app.begin_block(header);
+  }
+
+  static ibc::ClientState state_of(const chain::ChainId& id,
+                                   const chain::ValidatorSet& vals) {
+    ibc::ClientState cs;
+    cs.chain_id = id;
+    for (const auto& v : vals.validators()) {
+      cs.validators.push_back(ibc::ClientValidator{v.keys.pub, v.power});
+    }
+    return cs;
+  }
+
+  static ibc::ConsensusState consensus(cosmos::CosmosApp& app) {
+    ibc::ConsensusState cs;
+    cs.app_hash = app.store().root();
+    return cs;
+  }
+
+  // Advances a chain and updates the counterparty's client of it.
+  void sync(cosmos::CosmosApp& src, const chain::ChainId& id,
+            const chain::ValidatorSet& vals, chain::Height& h,
+            ibc::IbcKeeper& dst_keeper, const ibc::ClientId& client) {
+    ++h;
+    begin(src, h);
+    ibc::Header header;
+    header.chain_id = id;
+    header.height = h;
+    header.time = sim::seconds(5.0 * static_cast<double>(h));
+    header.app_hash_after = src.store().root();
+    header.block_id.hash =
+        crypto::sha256(util::to_bytes(id + std::to_string(h)));
+    header.commit.height = h;
+    header.commit.block_id = header.block_id;
+    const util::Bytes sign_bytes =
+        chain::vote_sign_bytes(id, h, 0, header.block_id);
+    for (const auto& v : vals.validators()) {
+      chain::CommitSig sig;
+      sig.validator = v.keys.pub;
+      sig.flag = chain::BlockIdFlag::kCommit;
+      sig.signature = crypto::sign(v.keys.priv, sign_bytes);
+      header.commit.signatures.push_back(sig);
+    }
+    ASSERT_TRUE(dst_keeper.clients().update_client(client, header).is_ok());
+  }
+  void sync_a_to_b() { sync(app_a, "hs-a", vals_a, height_a, ibc_b, client_on_b); }
+  void sync_b_to_a() { sync(app_b, "hs-b", vals_b, height_b, ibc_a, client_on_a); }
+
+  chain::DeliverTxResult deliver(cosmos::CosmosApp& app, chain::Msg msg) {
+    chain::Tx tx;
+    tx.sender = "relayer";
+    tx.sequence = app.auth().sequence("relayer");
+    tx.gas_limit = 10'000'000;
+    tx.fee = 100'000;
+    tx.msgs = {std::move(msg)};
+    return app.deliver_tx(tx);
+  }
+
+  static std::string event_attr(const chain::DeliverTxResult& res,
+                                const std::string& type,
+                                const std::string& key) {
+    for (const chain::Event& ev : res.events) {
+      if (ev.type == type) return ev.attribute(key);
+    }
+    return {};
+  }
+
+  // Runs the full connection handshake; returns (conn_a, conn_b).
+  std::pair<ibc::ConnectionId, ibc::ConnectionId> open_connection() {
+    ibc::MsgConnOpenInit init;
+    init.client_id = client_on_a;
+    init.counterparty_client_id = client_on_b;
+    auto res = deliver(app_a, init.to_msg());
+    EXPECT_TRUE(res.status.is_ok()) << res.status.to_string();
+    const ibc::ConnectionId conn_a =
+        event_attr(res, "connection_open_init", "connection_id");
+
+    sync_a_to_b();
+    ibc::MsgConnOpenTry try_msg;
+    try_msg.client_id = client_on_b;
+    try_msg.counterparty_client_id = client_on_a;
+    try_msg.counterparty_connection = conn_a;
+    try_msg.proof_init = app_a.store().prove(ibc::host::connection_key(conn_a));
+    try_msg.proof_height = height_a;
+    res = deliver(app_b, try_msg.to_msg());
+    EXPECT_TRUE(res.status.is_ok()) << res.status.to_string();
+    const ibc::ConnectionId conn_b =
+        event_attr(res, "connection_open_try", "connection_id");
+
+    sync_b_to_a();
+    ibc::MsgConnOpenAck ack;
+    ack.connection_id = conn_a;
+    ack.counterparty_connection = conn_b;
+    ack.proof_try = app_b.store().prove(ibc::host::connection_key(conn_b));
+    ack.proof_height = height_b;
+    res = deliver(app_a, ack.to_msg());
+    EXPECT_TRUE(res.status.is_ok()) << res.status.to_string();
+
+    sync_a_to_b();
+    ibc::MsgConnOpenConfirm confirm;
+    confirm.connection_id = conn_b;
+    confirm.proof_ack = app_a.store().prove(ibc::host::connection_key(conn_a));
+    confirm.proof_height = height_a;
+    res = deliver(app_b, confirm.to_msg());
+    EXPECT_TRUE(res.status.is_ok()) << res.status.to_string();
+    return {conn_a, conn_b};
+  }
+};
+
+TEST_F(HandshakeFixture, ConnectionHandshakeOpensBothEnds) {
+  const auto [conn_a, conn_b] = open_connection();
+  const auto end_a = ibc_a.connections().get(conn_a);
+  ASSERT_TRUE(end_a.is_ok());
+  EXPECT_EQ(end_a.value().phase, ibc::ConnectionPhase::kOpen);
+  EXPECT_EQ(end_a.value().counterparty_connection, conn_b);
+  const auto end_b = ibc_b.connections().get(conn_b);
+  ASSERT_TRUE(end_b.is_ok());
+  EXPECT_EQ(end_b.value().phase, ibc::ConnectionPhase::kOpen);
+  EXPECT_EQ(end_b.value().counterparty_connection, conn_a);
+}
+
+TEST_F(HandshakeFixture, ConnOpenInitRequiresExistingClient) {
+  ibc::MsgConnOpenInit init;
+  init.client_id = "07-tendermint-999";
+  init.counterparty_client_id = client_on_b;
+  EXPECT_EQ(deliver(app_a, init.to_msg()).status.code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(HandshakeFixture, ConnOpenTryRejectsForgedProof) {
+  ibc::MsgConnOpenInit init;
+  init.client_id = client_on_a;
+  init.counterparty_client_id = client_on_b;
+  auto res = deliver(app_a, init.to_msg());
+  const ibc::ConnectionId conn_a =
+      event_attr(res, "connection_open_init", "connection_id");
+  sync_a_to_b();
+
+  ibc::MsgConnOpenTry try_msg;
+  try_msg.client_id = client_on_b;
+  try_msg.counterparty_client_id = client_on_a;
+  try_msg.counterparty_connection = conn_a;
+  try_msg.proof_init = app_a.store().prove(ibc::host::connection_key(conn_a));
+  try_msg.proof_init.value = util::to_bytes("forged");  // breaks the binding
+  try_msg.proof_height = height_a;
+  EXPECT_FALSE(deliver(app_b, try_msg.to_msg()).status.is_ok());
+}
+
+TEST_F(HandshakeFixture, ConnOpenTryRejectsMismatchedClientRoles) {
+  // The counterparty end must reference OUR client; swapping roles must
+  // change the expected encoding and fail verification.
+  ibc::MsgConnOpenInit init;
+  init.client_id = client_on_a;
+  init.counterparty_client_id = client_on_b;
+  auto res = deliver(app_a, init.to_msg());
+  const ibc::ConnectionId conn_a =
+      event_attr(res, "connection_open_init", "connection_id");
+  sync_a_to_b();
+
+  ibc::MsgConnOpenTry try_msg;
+  try_msg.client_id = client_on_b;
+  try_msg.counterparty_client_id = "07-tendermint-77";  // wrong
+  try_msg.counterparty_connection = conn_a;
+  try_msg.proof_init = app_a.store().prove(ibc::host::connection_key(conn_a));
+  try_msg.proof_height = height_a;
+  EXPECT_FALSE(deliver(app_b, try_msg.to_msg()).status.is_ok());
+}
+
+TEST_F(HandshakeFixture, ConnOpenAckRequiresInitState) {
+  const auto [conn_a, conn_b] = open_connection();  // both already OPEN
+  sync_b_to_a();
+  ibc::MsgConnOpenAck ack;
+  ack.connection_id = conn_a;
+  ack.counterparty_connection = conn_b;
+  ack.proof_try = app_b.store().prove(ibc::host::connection_key(conn_b));
+  ack.proof_height = height_b;
+  EXPECT_EQ(deliver(app_a, ack.to_msg()).status.code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(HandshakeFixture, ChannelHandshakeOpensBothEnds) {
+  const auto [conn_a, conn_b] = open_connection();
+
+  ibc::MsgChanOpenInit init;
+  init.port = ibc::kTransferPort;
+  init.connection = conn_a;
+  init.counterparty_port = ibc::kTransferPort;
+  init.version = "ics20-1";
+  auto res = deliver(app_a, init.to_msg());
+  ASSERT_TRUE(res.status.is_ok()) << res.status.to_string();
+  const ibc::ChannelId chan_a =
+      event_attr(res, "channel_open_init", "channel_id");
+
+  sync_a_to_b();
+  ibc::MsgChanOpenTry try_msg;
+  try_msg.port = ibc::kTransferPort;
+  try_msg.connection = conn_b;
+  try_msg.counterparty_port = ibc::kTransferPort;
+  try_msg.counterparty_channel = chan_a;
+  try_msg.version = "ics20-1";
+  try_msg.proof_init =
+      app_a.store().prove(ibc::host::channel_key(ibc::kTransferPort, chan_a));
+  try_msg.proof_height = height_a;
+  res = deliver(app_b, try_msg.to_msg());
+  ASSERT_TRUE(res.status.is_ok()) << res.status.to_string();
+  const ibc::ChannelId chan_b = event_attr(res, "channel_open_try", "channel_id");
+
+  sync_b_to_a();
+  ibc::MsgChanOpenAck ack;
+  ack.port = ibc::kTransferPort;
+  ack.channel = chan_a;
+  ack.counterparty_channel = chan_b;
+  ack.proof_try =
+      app_b.store().prove(ibc::host::channel_key(ibc::kTransferPort, chan_b));
+  ack.proof_height = height_b;
+  res = deliver(app_a, ack.to_msg());
+  ASSERT_TRUE(res.status.is_ok()) << res.status.to_string();
+
+  sync_a_to_b();
+  ibc::MsgChanOpenConfirm confirm;
+  confirm.port = ibc::kTransferPort;
+  confirm.channel = chan_b;
+  confirm.proof_ack =
+      app_a.store().prove(ibc::host::channel_key(ibc::kTransferPort, chan_a));
+  confirm.proof_height = height_a;
+  res = deliver(app_b, confirm.to_msg());
+  ASSERT_TRUE(res.status.is_ok()) << res.status.to_string();
+
+  const auto end_a = ibc_a.channels().get(ibc::kTransferPort, chan_a);
+  ASSERT_TRUE(end_a.is_ok());
+  EXPECT_EQ(end_a.value().phase, ibc::ChannelPhase::kOpen);
+  EXPECT_EQ(end_a.value().counterparty_channel, chan_b);
+  // Sequence counters initialized.
+  EXPECT_EQ(ibc_a.channels().next_sequence_send(ibc::kTransferPort, chan_a), 1u);
+  EXPECT_EQ(ibc_b.channels().next_sequence_recv(ibc::kTransferPort, chan_b), 1u);
+}
+
+TEST_F(HandshakeFixture, ChanOpenInitRequiresOpenConnectionAndBoundPort) {
+  const auto [conn_a, conn_b] = open_connection();
+  (void)conn_b;
+
+  ibc::MsgChanOpenInit bad_port;
+  bad_port.port = "unbound-port";
+  bad_port.connection = conn_a;
+  bad_port.counterparty_port = ibc::kTransferPort;
+  EXPECT_EQ(deliver(app_a, bad_port.to_msg()).status.code(),
+            util::ErrorCode::kNotFound);
+
+  ibc::MsgChanOpenInit bad_conn;
+  bad_conn.port = ibc::kTransferPort;
+  bad_conn.connection = "connection-404";
+  bad_conn.counterparty_port = ibc::kTransferPort;
+  EXPECT_EQ(deliver(app_a, bad_conn.to_msg()).status.code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(HandshakeFixture, ChanOpenTryRejectsVersionMismatch) {
+  const auto [conn_a, conn_b] = open_connection();
+
+  ibc::MsgChanOpenInit init;
+  init.port = ibc::kTransferPort;
+  init.connection = conn_a;
+  init.counterparty_port = ibc::kTransferPort;
+  init.version = "ics20-1";
+  auto res = deliver(app_a, init.to_msg());
+  const ibc::ChannelId chan_a =
+      event_attr(res, "channel_open_init", "channel_id");
+  sync_a_to_b();
+
+  ibc::MsgChanOpenTry try_msg;
+  try_msg.port = ibc::kTransferPort;
+  try_msg.connection = conn_b;
+  try_msg.counterparty_port = ibc::kTransferPort;
+  try_msg.counterparty_channel = chan_a;
+  try_msg.version = "ics20-2";  // mismatch -> expected encoding differs
+  try_msg.proof_init =
+      app_a.store().prove(ibc::host::channel_key(ibc::kTransferPort, chan_a));
+  try_msg.proof_height = height_a;
+  EXPECT_FALSE(deliver(app_b, try_msg.to_msg()).status.is_ok());
+}
+
+TEST_F(HandshakeFixture, FailedHandshakeTxLeavesNoState) {
+  // A failed ConnOpenTry must not leave a TRYOPEN end behind (journal).
+  ibc::MsgConnOpenInit init;
+  init.client_id = client_on_a;
+  init.counterparty_client_id = client_on_b;
+  auto res = deliver(app_a, init.to_msg());
+  const ibc::ConnectionId conn_a =
+      event_attr(res, "connection_open_init", "connection_id");
+  sync_a_to_b();
+
+  const crypto::Digest root_before = app_b.store().root();
+  ibc::MsgConnOpenTry bad;
+  bad.client_id = client_on_b;
+  bad.counterparty_client_id = client_on_a;
+  bad.counterparty_connection = conn_a;
+  bad.proof_init = app_a.store().prove(ibc::host::connection_key(conn_a));
+  bad.proof_height = height_a + 5;  // no consensus state there
+  EXPECT_FALSE(deliver(app_b, bad.to_msg()).status.is_ok());
+  // Only ante effects (fee + sequence) differ; no connection end persisted.
+  EXPECT_FALSE(ibc_b.connections().exists("connection-0"));
+  (void)root_before;
+}
+
+TEST_F(HandshakeFixture, SendPacketRequiresOpenChannel) {
+  const auto [conn_a, conn_b] = open_connection();
+  (void)conn_b;
+  // Channel only INIT on A (no try/ack): transfers must be rejected.
+  ibc::MsgChanOpenInit init;
+  init.port = ibc::kTransferPort;
+  init.connection = conn_a;
+  init.counterparty_port = ibc::kTransferPort;
+  init.version = "ics20-1";
+  auto res = deliver(app_a, init.to_msg());
+  const ibc::ChannelId chan_a =
+      event_attr(res, "channel_open_init", "channel_id");
+
+  app_a.add_genesis_account("sender", 1'000'000);
+  ibc::MsgTransfer t;
+  t.source_port = ibc::kTransferPort;
+  t.source_channel = chan_a;
+  t.denom = cosmos::kNativeDenom;
+  t.amount = 10;
+  t.sender = "sender";
+  t.receiver = "r";
+  t.timeout_height = 100;
+  chain::Tx tx;
+  tx.sender = "sender";
+  tx.sequence = 0;
+  tx.gas_limit = 1'000'000;
+  tx.fee = 10'000;
+  tx.msgs = {t.to_msg()};
+  EXPECT_EQ(app_a.deliver_tx(tx).status.code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace

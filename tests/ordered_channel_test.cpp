@@ -1,0 +1,309 @@
+// ORDERED-channel semantics (ICS-04): strict in-order delivery, in-order
+// acknowledgements, timeout-closes-channel, and the channel close
+// handshake. The paper's testbed uses UNORDERED channels; ordered channels
+// are the other half of the ICS-04 spec (§II-B1 "Channels can be either
+// ordered ... or unordered").
+
+#include <gtest/gtest.h>
+
+#include "cosmos/app.hpp"
+#include "ibc/host.hpp"
+#include "ibc/keeper.hpp"
+#include "ibc/msgs.hpp"
+#include "ibc/transfer.hpp"
+
+namespace {
+
+constexpr const char* kUser = "user";
+
+struct OrderedChannels : ::testing::Test {
+  cosmos::CosmosApp app_a{"ord-a"};
+  cosmos::CosmosApp app_b{"ord-b"};
+  ibc::IbcKeeper ibc_a{app_a};
+  ibc::IbcKeeper ibc_b{app_b};
+  ibc::TransferModule transfer_a{app_a, ibc_a};
+  ibc::TransferModule transfer_b{app_b, ibc_b};
+  chain::ValidatorSet vals_a = chain::ValidatorSet::make("ord-a", 4, 4);
+  chain::ValidatorSet vals_b = chain::ValidatorSet::make("ord-b", 4, 4);
+  ibc::ClientId client_on_a;
+  ibc::ClientId client_on_b;
+  chain::Height height_a = 1;
+  chain::Height height_b = 1;
+
+  void SetUp() override {
+    app_a.add_genesis_account(kUser, 1'000'000'000);
+    app_b.add_genesis_account(kUser, 1'000'000'000);
+    begin(app_a, height_a);
+    begin(app_b, height_b);
+    client_on_a = ibc_a.clients().create_client(state_of("ord-b", vals_b),
+                                                height_b, consensus(app_b));
+    client_on_b = ibc_b.clients().create_client(state_of("ord-a", vals_a),
+                                                height_a, consensus(app_a));
+    install_channel(ibc_a);
+    install_channel(ibc_b);
+  }
+
+  void install_channel(ibc::IbcKeeper& k) {
+    ibc::ConnectionEnd conn;
+    conn.phase = ibc::ConnectionPhase::kOpen;
+    conn.client_id = (&k == &ibc_a) ? client_on_a : client_on_b;
+    conn.counterparty_client_id = (&k == &ibc_a) ? client_on_b : client_on_a;
+    conn.counterparty_connection = "connection-0";
+    k.connections().set(k.connections().generate_id(), conn);
+
+    ibc::ChannelEnd chan;
+    chan.phase = ibc::ChannelPhase::kOpen;
+    chan.ordering = ibc::ChannelOrdering::kOrdered;
+    chan.connection = "connection-0";
+    chan.counterparty_port = ibc::kTransferPort;
+    chan.counterparty_channel = "channel-0";
+    chan.version = "ics20-1";
+    k.channels().set(ibc::kTransferPort, k.channels().generate_id(), chan);
+    k.channels().set_next_sequence_send(ibc::kTransferPort, "channel-0", 1);
+    k.channels().set_next_sequence_recv(ibc::kTransferPort, "channel-0", 1);
+    k.channels().set_next_sequence_ack(ibc::kTransferPort, "channel-0", 1);
+  }
+
+  static void begin(cosmos::CosmosApp& app, chain::Height h) {
+    chain::BlockHeader header;
+    header.height = h;
+    header.time = sim::seconds(5.0 * static_cast<double>(h));
+    app.begin_block(header);
+  }
+  static ibc::ClientState state_of(const chain::ChainId& id,
+                                   const chain::ValidatorSet& vals) {
+    ibc::ClientState cs;
+    cs.chain_id = id;
+    for (const auto& v : vals.validators()) {
+      cs.validators.push_back(ibc::ClientValidator{v.keys.pub, v.power});
+    }
+    return cs;
+  }
+  static ibc::ConsensusState consensus(cosmos::CosmosApp& app) {
+    ibc::ConsensusState cs;
+    cs.app_hash = app.store().root();
+    return cs;
+  }
+
+  void sync(cosmos::CosmosApp& src, const chain::ChainId& id,
+            const chain::ValidatorSet& vals, chain::Height& h,
+            ibc::IbcKeeper& dst, const ibc::ClientId& client) {
+    ++h;
+    begin(src, h);
+    ibc::Header header;
+    header.chain_id = id;
+    header.height = h;
+    header.time = sim::seconds(5.0 * static_cast<double>(h));
+    header.app_hash_after = src.store().root();
+    header.block_id.hash = crypto::sha256(util::to_bytes(id + std::to_string(h)));
+    header.commit.height = h;
+    header.commit.block_id = header.block_id;
+    const util::Bytes sb = chain::vote_sign_bytes(id, h, 0, header.block_id);
+    for (const auto& v : vals.validators()) {
+      chain::CommitSig sig;
+      sig.validator = v.keys.pub;
+      sig.flag = chain::BlockIdFlag::kCommit;
+      sig.signature = crypto::sign(v.keys.priv, sb);
+      header.commit.signatures.push_back(sig);
+    }
+    ASSERT_TRUE(dst.clients().update_client(client, header).is_ok());
+  }
+  void sync_a_to_b() { sync(app_a, "ord-a", vals_a, height_a, ibc_b, client_on_b); }
+  void sync_b_to_a() { sync(app_b, "ord-b", vals_b, height_b, ibc_a, client_on_a); }
+
+  chain::DeliverTxResult deliver(cosmos::CosmosApp& app, chain::Msg msg) {
+    chain::Tx tx;
+    tx.sender = kUser;
+    tx.sequence = app.auth().sequence(kUser);
+    tx.gas_limit = 10'000'000;
+    tx.fee = 100'000;
+    tx.msgs = {std::move(msg)};
+    return app.deliver_tx(tx);
+  }
+
+  ibc::Packet send_transfer(std::int64_t timeout_height = 1'000) {
+    ibc::MsgTransfer t;
+    t.source_port = ibc::kTransferPort;
+    t.source_channel = "channel-0";
+    t.denom = cosmos::kNativeDenom;
+    t.amount = 1;
+    t.sender = kUser;
+    t.receiver = "r";
+    t.timeout_height = timeout_height;
+    const auto res = deliver(app_a, t.to_msg());
+    EXPECT_TRUE(res.status.is_ok()) << res.status.to_string();
+    for (const chain::Event& ev : res.events) {
+      if (ev.type == "send_packet") return *ibc::packet_from_event(ev);
+    }
+    ADD_FAILURE() << "no send_packet";
+    return {};
+  }
+
+  chain::DeliverTxResult relay_recv(const ibc::Packet& p) {
+    sync_a_to_b();
+    ibc::MsgRecvPacket m;
+    m.packet = p;
+    m.proof_commitment = app_a.store().prove(ibc::host::packet_commitment_key(
+        ibc::kTransferPort, "channel-0", p.sequence));
+    m.proof_height = height_a;
+    return deliver(app_b, m.to_msg());
+  }
+
+  chain::DeliverTxResult relay_ack(const ibc::Packet& p) {
+    sync_b_to_a();
+    ibc::MsgAcknowledgementMsg m;
+    m.packet = p;
+    m.ack = ibc::Acknowledgement{true, ""};
+    m.proof_ack = app_b.store().prove(ibc::host::packet_ack_key(
+        ibc::kTransferPort, "channel-0", p.sequence));
+    m.proof_height = height_b;
+    return deliver(app_a, m.to_msg());
+  }
+};
+
+TEST_F(OrderedChannels, InOrderDeliverySucceeds) {
+  const ibc::Packet p1 = send_transfer();
+  const ibc::Packet p2 = send_transfer();
+  ASSERT_TRUE(relay_recv(p1).status.is_ok());
+  ASSERT_TRUE(relay_recv(p2).status.is_ok());
+  EXPECT_EQ(
+      ibc_b.channels().next_sequence_recv(ibc::kTransferPort, "channel-0"), 3u);
+}
+
+TEST_F(OrderedChannels, OutOfOrderDeliveryRejected) {
+  const ibc::Packet p1 = send_transfer();
+  const ibc::Packet p2 = send_transfer();
+  (void)p1;
+  const auto res = relay_recv(p2);  // sequence 2 before 1
+  EXPECT_EQ(res.status.code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(
+      ibc_b.channels().next_sequence_recv(ibc::kTransferPort, "channel-0"), 1u);
+}
+
+TEST_F(OrderedChannels, ReplayRejectedAsRedundant) {
+  const ibc::Packet p1 = send_transfer();
+  ASSERT_TRUE(relay_recv(p1).status.is_ok());
+  EXPECT_EQ(relay_recv(p1).status.code(), util::ErrorCode::kRedundantPacket);
+}
+
+TEST_F(OrderedChannels, AcksMustArriveInOrder) {
+  const ibc::Packet p1 = send_transfer();
+  const ibc::Packet p2 = send_transfer();
+  ASSERT_TRUE(relay_recv(p1).status.is_ok());
+  ASSERT_TRUE(relay_recv(p2).status.is_ok());
+  // Ack for sequence 2 before sequence 1 must fail.
+  EXPECT_EQ(relay_ack(p2).status.code(), util::ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(relay_ack(p1).status.is_ok());
+  ASSERT_TRUE(relay_ack(p2).status.is_ok());
+  EXPECT_EQ(ibc_a.channels().next_sequence_ack(ibc::kTransferPort, "channel-0"),
+            3u);
+}
+
+TEST_F(OrderedChannels, TimeoutUsesNextSequenceRecvProofAndClosesChannel) {
+  const ibc::Packet p = send_transfer(/*timeout_height=*/2);
+  // Destination advances past the timeout without receiving the packet.
+  sync_b_to_a();  // height_b == 2
+
+  ibc::MsgTimeout m;
+  m.packet = p;
+  m.next_sequence_recv =
+      ibc_b.channels().next_sequence_recv(ibc::kTransferPort, "channel-0");
+  m.proof_unreceived = app_b.store().prove(
+      ibc::host::next_sequence_recv_key(ibc::kTransferPort, "channel-0"));
+  m.proof_height = height_b;
+  const auto res = deliver(app_a, m.to_msg());
+  ASSERT_TRUE(res.status.is_ok()) << res.status.to_string();
+
+  // ICS-04: a timeout on an ordered channel closes it.
+  const auto chan = ibc_a.channels().get(ibc::kTransferPort, "channel-0");
+  ASSERT_TRUE(chan.is_ok());
+  EXPECT_EQ(chan.value().phase, ibc::ChannelPhase::kClosed);
+  // Escrow refunded.
+  EXPECT_EQ(app_a.bank().balance(
+                ibc::escrow_address(ibc::kTransferPort, "channel-0"),
+                cosmos::kNativeDenom),
+            0u);
+  // Further sends are rejected.
+  ibc::MsgTransfer t;
+  t.source_port = ibc::kTransferPort;
+  t.source_channel = "channel-0";
+  t.denom = cosmos::kNativeDenom;
+  t.amount = 1;
+  t.sender = kUser;
+  t.receiver = "r";
+  t.timeout_height = 100;
+  EXPECT_EQ(deliver(app_a, t.to_msg()).status.code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(OrderedChannels, TimeoutRejectedWhenPacketWasDelivered) {
+  const ibc::Packet p = send_transfer(/*timeout_height=*/3);
+  ASSERT_TRUE(relay_recv(p).status.is_ok());
+  sync_b_to_a();
+  sync_b_to_a();  // height_b == 3: past the timeout now
+
+  ibc::MsgTimeout m;
+  m.packet = p;
+  m.next_sequence_recv =
+      ibc_b.channels().next_sequence_recv(ibc::kTransferPort, "channel-0");
+  m.proof_unreceived = app_b.store().prove(
+      ibc::host::next_sequence_recv_key(ibc::kTransferPort, "channel-0"));
+  m.proof_height = height_b;
+  // next_sequence_recv (2) > packet.sequence (1): already received.
+  EXPECT_EQ(deliver(app_a, m.to_msg()).status.code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(OrderedChannels, CloseHandshake) {
+  // A closes unilaterally; B confirms with a proof of A's CLOSED end.
+  ibc::MsgChanCloseInit init;
+  init.port = ibc::kTransferPort;
+  init.channel = "channel-0";
+  ASSERT_TRUE(deliver(app_a, init.to_msg()).status.is_ok());
+  EXPECT_EQ(ibc_a.channels().get(ibc::kTransferPort, "channel-0").value().phase,
+            ibc::ChannelPhase::kClosed);
+
+  sync_a_to_b();
+  ibc::MsgChanCloseConfirm confirm;
+  confirm.port = ibc::kTransferPort;
+  confirm.channel = "channel-0";
+  confirm.proof_init = app_a.store().prove(
+      ibc::host::channel_key(ibc::kTransferPort, "channel-0"));
+  confirm.proof_height = height_a;
+  const auto res = deliver(app_b, confirm.to_msg());
+  ASSERT_TRUE(res.status.is_ok()) << res.status.to_string();
+  EXPECT_EQ(ibc_b.channels().get(ibc::kTransferPort, "channel-0").value().phase,
+            ibc::ChannelPhase::kClosed);
+}
+
+TEST_F(OrderedChannels, CloseConfirmRejectsWithoutCounterpartyClosed) {
+  sync_a_to_b();
+  ibc::MsgChanCloseConfirm confirm;
+  confirm.port = ibc::kTransferPort;
+  confirm.channel = "channel-0";
+  confirm.proof_init = app_a.store().prove(
+      ibc::host::channel_key(ibc::kTransferPort, "channel-0"));  // still OPEN
+  confirm.proof_height = height_a;
+  EXPECT_FALSE(deliver(app_b, confirm.to_msg()).status.is_ok());
+}
+
+TEST_F(OrderedChannels, CloseInitRequiresOpenChannel) {
+  ibc::MsgChanCloseInit init;
+  init.port = ibc::kTransferPort;
+  init.channel = "channel-0";
+  ASSERT_TRUE(deliver(app_a, init.to_msg()).status.is_ok());
+  // Second close fails: channel no longer OPEN.
+  EXPECT_EQ(deliver(app_a, init.to_msg()).status.code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(OrderedChannels, RecvRejectedOnClosedChannel) {
+  const ibc::Packet p = send_transfer();
+  ibc::MsgChanCloseInit init;
+  init.port = ibc::kTransferPort;
+  init.channel = "channel-0";
+  ASSERT_TRUE(deliver(app_b, init.to_msg()).status.is_ok());
+  EXPECT_EQ(relay_recv(p).status.code(), util::ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace

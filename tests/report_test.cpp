@@ -1,0 +1,47 @@
+// Execution-report rendering tests.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "xcc/report.hpp"
+
+namespace {
+
+TEST(ReportTest, RendersAllSections) {
+  xcc::ExperimentConfig cfg;
+  cfg.workload.total_transfers = 60;
+  cfg.measure_blocks = 5;
+  cfg.wait_for_drain = true;
+  cfg.max_sim_time = sim::seconds(600);
+  const auto res = xcc::run_experiment(cfg);
+  ASSERT_TRUE(res.ok) << res.error;
+
+  const std::string md = xcc::render_report(cfg, res, "Test run");
+  EXPECT_NE(md.find("# Test run"), std::string::npos);
+  EXPECT_NE(md.find("## Configuration"), std::string::npos);
+  EXPECT_NE(md.find("## Throughput"), std::string::npos);
+  EXPECT_NE(md.find("## Completion status (final)"), std::string::npos);
+  EXPECT_NE(md.find("## Per-step latency"), std::string::npos);
+  EXPECT_NE(md.find("## Errors and relayer statistics"), std::string::npos);
+  EXPECT_NE(md.find("| completed (transfer+receive+ack) | 60 |"),
+            std::string::npos);
+  EXPECT_NE(md.find("Transfer broadcast"), std::string::npos);
+  EXPECT_NE(md.find("Ack confirmation"), std::string::npos);
+}
+
+TEST(ReportTest, WritesToFile) {
+  xcc::ExperimentConfig cfg;
+  xcc::ExperimentResult failed;
+  failed.ok = false;
+  failed.error = "synthetic failure";
+  const std::string path = "/tmp/ibc_perf_report_test.md";
+  ASSERT_TRUE(xcc::write_report(path, cfg, failed));
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("EXPERIMENT FAILED"), std::string::npos);
+  EXPECT_NE(content.find("synthetic failure"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,335 @@
+// RPC server tests: serialized request processing (the paper's core
+// bottleneck), endpoint behaviour, queue overflow, and the 16 MB WebSocket
+// frame limit (§V).
+
+#include <gtest/gtest.h>
+
+#include "consensus/engine.hpp"
+#include "cosmos/app.hpp"
+#include "rpc/server.hpp"
+
+namespace {
+
+struct RpcFixture : ::testing::Test {
+  sim::Scheduler sched;
+  net::Network network{sched, [] {
+                         net::NetworkConfig c;
+                         c.jitter_fraction = 0.0;
+                         return c;
+                       }()};
+  cosmos::CosmosApp app{"rpc-chain"};
+  chain::Ledger ledger{"rpc-chain"};
+  chain::Mempool mempool{app, 10'000};
+  rpc::CostModel cost;
+  std::unique_ptr<rpc::Server> server;
+
+  void SetUp() override {
+    app.add_genesis_account("alice", 1'000'000'000);
+    cost.service_jitter = 0.0;  // deterministic service times for assertions
+    server = std::make_unique<rpc::Server>(sched, network, /*machine=*/0,
+                                           ledger, mempool, app, cost);
+  }
+
+  chain::Tx make_tx(std::uint64_t seq, std::size_t msgs = 1) {
+    chain::Tx tx;
+    tx.sender = "alice";
+    tx.sequence = seq;
+    tx.gas_limit = 100'000;
+    tx.fee = 1'000;
+    for (std::size_t i = 0; i < msgs; ++i) {
+      tx.msgs.push_back(chain::Msg{"/x", util::to_bytes("m")});
+    }
+    return tx;
+  }
+
+  /// Commits a block with the given txs and per-tx events directly into the
+  /// ledger (no consensus needed for RPC tests).
+  void commit_block(std::vector<chain::Tx> txs,
+                    std::size_t event_bytes_per_tx = 200) {
+    chain::Block block;
+    block.header.chain_id = "rpc-chain";
+    block.header.height = ledger.height() + 1;
+    block.header.time = sched.now();
+    std::vector<chain::DeliverTxResult> results;
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      chain::DeliverTxResult r;
+      chain::Event ev;
+      ev.type = "send_packet";
+      ev.attributes = {
+          {"packet_sequence", std::to_string(i + 1)},
+          {"pad", std::string(event_bytes_per_tx, 'x')},
+      };
+      r.events.push_back(std::move(ev));
+      results.push_back(std::move(r));
+    }
+    block.txs = std::move(txs);
+    ledger.append(std::move(block), std::move(results), app.store().root(),
+                  chain::Commit{});
+    server->on_block_committed(*ledger.block_at(ledger.height()),
+                               *ledger.results_at(ledger.height()));
+  }
+};
+
+TEST_F(RpcFixture, BroadcastAdmitsValidTx) {
+  util::Status result = util::Status::error(util::ErrorCode::kInternal, "no cb");
+  server->broadcast_tx_sync(0, make_tx(0),
+                            [&](util::Status s) { result = s; });
+  sched.run_until(sim::seconds(1));
+  EXPECT_TRUE(result.is_ok());
+  EXPECT_EQ(mempool.size(), 1u);
+}
+
+TEST_F(RpcFixture, BroadcastRejectsBadSequence) {
+  util::Status result;
+  server->broadcast_tx_sync(0, make_tx(9),
+                            [&](util::Status s) { result = s; });
+  sched.run_until(sim::seconds(1));
+  EXPECT_EQ(result.code(), util::ErrorCode::kSequenceMismatch);
+}
+
+TEST_F(RpcFixture, RequestsAreServicedSerially) {
+  // Two expensive queries on a block: the second completes a full service
+  // time after the first (single-threaded RPC).
+  std::vector<chain::Tx> txs;
+  for (int i = 0; i < 20; ++i) txs.push_back(make_tx(i, 100));
+  commit_block(std::move(txs), 20'000);
+
+  std::vector<sim::TimePoint> done;
+  for (int i = 0; i < 2; ++i) {
+    server->tx_search_height(0, 1, 1, 30, [&](util::Result<rpc::TxSearchPage>) {
+      done.push_back(sched.now());
+    });
+  }
+  sched.run_until(sim::seconds(60));
+  ASSERT_EQ(done.size(), 2u);
+  const sim::Duration gap = done[1] - done[0];
+  // The gap must be at least the scan cost of the block (not just network).
+  EXPECT_GT(gap, cost.scan_cost(ledger.block_event_bytes(1)) / 2);
+}
+
+TEST_F(RpcFixture, ParallelAblationOverlapsRequests) {
+  std::vector<chain::Tx> txs;
+  for (int i = 0; i < 20; ++i) txs.push_back(make_tx(i, 100));
+  commit_block(std::move(txs), 20'000);
+  server->set_parallel_requests(8);
+
+  std::vector<sim::TimePoint> done;
+  for (int i = 0; i < 2; ++i) {
+    server->tx_search_height(0, 1, 1, 30, [&](util::Result<rpc::TxSearchPage>) {
+      done.push_back(sched.now());
+    });
+  }
+  sched.run_until(sim::seconds(60));
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_LT(done[1] - done[0], sim::millis(5));
+}
+
+TEST_F(RpcFixture, QueryTxFindsCommittedTx) {
+  const chain::Tx tx = make_tx(0);
+  const chain::TxHash hash = tx.hash();
+  commit_block({tx});
+  bool found = false;
+  server->query_tx(0, hash, [&](util::Result<rpc::TxResponse> res) {
+    ASSERT_TRUE(res.is_ok());
+    EXPECT_EQ(res.value().height, 1);
+    EXPECT_EQ(res.value().hash, hash);
+    found = true;
+  });
+  sched.run_until(sim::seconds(1));
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RpcFixture, QueryTxNotFound) {
+  bool called = false;
+  server->query_tx(0, crypto::sha256(util::to_bytes("nope")),
+                   [&](util::Result<rpc::TxResponse> res) {
+                     EXPECT_EQ(res.status().code(), util::ErrorCode::kNotFound);
+                     called = true;
+                   });
+  sched.run_until(sim::seconds(1));
+  EXPECT_TRUE(called);
+}
+
+TEST_F(RpcFixture, TxSearchPagination) {
+  std::vector<chain::Tx> txs;
+  for (int i = 0; i < 75; ++i) txs.push_back(make_tx(i));
+  commit_block(std::move(txs));
+
+  std::vector<std::size_t> page_sizes;
+  std::uint32_t total = 0;
+  for (std::uint32_t page = 1; page <= 3; ++page) {
+    server->tx_search_height(0, 1, page, 30,
+                             [&](util::Result<rpc::TxSearchPage> res) {
+                               ASSERT_TRUE(res.is_ok());
+                               page_sizes.push_back(res.value().txs.size());
+                               total = res.value().total_count;
+                             });
+  }
+  sched.run_until(sim::seconds(60));
+  EXPECT_EQ(page_sizes, (std::vector<std::size_t>{30, 30, 15}));
+  EXPECT_EQ(total, 75u);
+}
+
+TEST_F(RpcFixture, PacketEventQueryFiltersBySequenceRange) {
+  std::vector<chain::Tx> txs;
+  for (int i = 0; i < 10; ++i) txs.push_back(make_tx(i));
+  commit_block(std::move(txs));  // packet_sequence attributes 1..10
+
+  std::size_t matches = 0;
+  server->query_packet_events(0, 1, "send_packet", 3, 7,
+                              [&](util::Result<rpc::TxSearchPage> res) {
+                                ASSERT_TRUE(res.is_ok());
+                                matches = res.value().txs.size();
+                              });
+  sched.run_until(sim::seconds(30));
+  EXPECT_EQ(matches, 5u);
+}
+
+TEST_F(RpcFixture, PacketEventRangeQueryScansMultipleBlocks) {
+  commit_block({make_tx(0)});
+  commit_block({make_tx(1)});
+  commit_block({make_tx(2)});
+  std::size_t matches = 0;
+  server->query_packet_events_range(0, 1, 3, "send_packet", 1, 100,
+                                    [&](util::Result<rpc::TxSearchPage> res) {
+                                      ASSERT_TRUE(res.is_ok());
+                                      matches = res.value().txs.size();
+                                    });
+  sched.run_until(sim::seconds(60));
+  EXPECT_EQ(matches, 3u);
+}
+
+TEST_F(RpcFixture, AbciQueryReturnsValueAndProof) {
+  app.store().set("some/key", util::to_bytes("payload"));
+  bool called = false;
+  server->abci_query(0, "some/key", true,
+                     [&](util::Result<rpc::Server::AbciQueryResult> res) {
+                       ASSERT_TRUE(res.is_ok());
+                       EXPECT_TRUE(res.value().exists);
+                       EXPECT_EQ(util::to_string(res.value().value), "payload");
+                       EXPECT_TRUE(chain::verify_store_proof(
+                           res.value().proof, app.store().root()));
+                       called = true;
+                     });
+  sched.run_until(sim::seconds(1));
+  EXPECT_TRUE(called);
+}
+
+TEST_F(RpcFixture, AbciQueryNonExistence) {
+  bool called = false;
+  server->abci_query(0, "missing", true,
+                     [&](util::Result<rpc::Server::AbciQueryResult> res) {
+                       ASSERT_TRUE(res.is_ok());
+                       EXPECT_FALSE(res.value().exists);
+                       EXPECT_FALSE(res.value().proof.exists);
+                       called = true;
+                     });
+  sched.run_until(sim::seconds(1));
+  EXPECT_TRUE(called);
+}
+
+TEST_F(RpcFixture, PrefixQueryListsKeys) {
+  app.store().set("pre/a", {});
+  app.store().set("pre/b", {});
+  app.store().set("other", {});
+  std::vector<std::string> keys;
+  server->abci_query_prefix(0, "pre/",
+                            [&](std::vector<std::string> k) { keys = k; });
+  sched.run_until(sim::seconds(1));
+  EXPECT_EQ(keys, (std::vector<std::string>{"pre/a", "pre/b"}));
+}
+
+TEST_F(RpcFixture, StatusReportsHeight) {
+  commit_block({make_tx(0)});
+  chain::Height h = 0;
+  server->status(0, [&](rpc::Server::StatusInfo info) { h = info.height; });
+  sched.run_until(sim::seconds(1));
+  EXPECT_EQ(h, 1);
+}
+
+TEST_F(RpcFixture, QueueOverflowRejects) {
+  // Shrink the queue and flood it with expensive queries; late requests get
+  // UNAVAILABLE (the Table I submission-collapse mechanism).
+  cost.request_queue_capacity = 4;
+  server = std::make_unique<rpc::Server>(sched, network, 0, ledger, mempool,
+                                         app, cost);
+  std::vector<chain::Tx> txs;
+  for (int i = 0; i < 20; ++i) txs.push_back(make_tx(i, 100));
+  commit_block(std::move(txs), 50'000);
+
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < 20; ++i) {
+    server->tx_search_height(0, 1, 1, 30,
+                             [&](util::Result<rpc::TxSearchPage> res) {
+                               if (res.is_ok()) ++ok;
+                               else if (res.status().code() ==
+                                        util::ErrorCode::kUnavailable)
+                                 ++rejected;
+                             });
+  }
+  sched.run_until(sim::seconds(600));
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(ok + rejected, 20);
+  EXPECT_EQ(server->requests_rejected(), static_cast<std::uint64_t>(rejected));
+}
+
+TEST_F(RpcFixture, WebSocketDeliversEventFrames) {
+  std::vector<rpc::NewBlockFrame> frames;
+  server->subscribe_new_block(0, [&](const rpc::NewBlockFrame& f) {
+    frames.push_back(f);
+  });
+  commit_block({make_tx(0), make_tx(1)});
+  sched.run_until(sim::seconds(2));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].events_ok);
+  EXPECT_EQ(frames[0].height, 1);
+  EXPECT_EQ(frames[0].tx_count, 2u);
+  EXPECT_EQ(frames[0].events.size(), 2u);
+}
+
+TEST_F(RpcFixture, WebSocketSixteenMegabyteLimit) {
+  std::vector<rpc::NewBlockFrame> frames;
+  server->subscribe_new_block(0, [&](const rpc::NewBlockFrame& f) {
+    frames.push_back(f);
+  });
+  // 200 txs x 100 KB of events ≈ 20 MB > 16 MB.
+  std::vector<chain::Tx> txs;
+  for (int i = 0; i < 200; ++i) txs.push_back(make_tx(i));
+  commit_block(std::move(txs), 100'000);
+  sched.run_until(sim::seconds(10));
+  ASSERT_EQ(frames.size(), 1u);
+  // Paper §V: "Failed to collect events" — header arrives, events do not.
+  EXPECT_FALSE(frames[0].events_ok);
+  EXPECT_TRUE(frames[0].events.empty());
+  EXPECT_EQ(server->frames_dropped_oversize(), 1u);
+}
+
+TEST_F(RpcFixture, UnsubscribeStopsFrames) {
+  int count = 0;
+  const auto id = server->subscribe_new_block(
+      0, [&](const rpc::NewBlockFrame&) { ++count; });
+  commit_block({make_tx(0)});
+  sched.run_until(sim::seconds(2));
+  EXPECT_EQ(count, 1);
+  server->unsubscribe(id);
+  commit_block({make_tx(1)});
+  sched.run_until(sim::seconds(4));
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(RpcFixture, RemoteClientPaysNetworkLatency) {
+  commit_block({make_tx(0)});
+  sim::TimePoint local_done = 0, remote_done = 0;
+  const sim::TimePoint t0 = sched.now();
+  server->status(0, [&](rpc::Server::StatusInfo) { local_done = sched.now(); });
+  sched.run_until(sched.now() + sim::seconds(5));
+  const sim::TimePoint t1 = sched.now();
+  server->status(1, [&](rpc::Server::StatusInfo) { remote_done = sched.now(); });
+  sched.run_until(sched.now() + sim::seconds(5));
+  const sim::Duration local_rtt = local_done - t0;
+  const sim::Duration remote_rtt = remote_done - t1;
+  EXPECT_GT(remote_rtt, local_rtt + sim::millis(150));
+}
+
+}  // namespace

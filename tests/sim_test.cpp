@@ -1,0 +1,246 @@
+// Tests for the DES kernel (scheduler, service queue) and the network model.
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/service_queue.hpp"
+
+namespace {
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(sim::seconds(1.0), 1'000'000);
+  EXPECT_EQ(sim::millis(1.5), 1'500);
+  EXPECT_EQ(sim::micros(7), 7);
+  EXPECT_DOUBLE_EQ(sim::to_seconds(sim::seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(sim::to_millis(sim::millis(3.0)), 3.0);
+}
+
+TEST(TimeTest, Format) {
+  EXPECT_EQ(sim::format_time(sim::seconds(1.5)), "1.500s");
+}
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  sim::Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(sim::seconds(3), [&] { order.push_back(3); });
+  sched.schedule_at(sim::seconds(1), [&] { order.push_back(1); });
+  sched.schedule_at(sim::seconds(2), [&] { order.push_back(2); });
+  sched.run_until(sim::seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), sim::seconds(10));
+}
+
+TEST(SchedulerTest, FifoWithinSameTimestamp) {
+  sim::Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(sim::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sched.run_until(sim::seconds(1));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesNow) {
+  sim::Scheduler sched;
+  sim::TimePoint fired = -1;
+  sched.schedule_at(sim::seconds(5), [&] {
+    sched.schedule_after(sim::seconds(2), [&] { fired = sched.now(); });
+  });
+  sched.run_until(sim::seconds(10));
+  EXPECT_EQ(fired, sim::seconds(7));
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  sim::Scheduler sched;
+  sched.run_until(sim::seconds(5));
+  bool fired = false;
+  sched.schedule_at(sim::seconds(1), [&] {
+    fired = true;
+    EXPECT_EQ(sched.now(), sim::seconds(5));
+  });
+  sched.run_until(sim::seconds(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  sim::Scheduler sched;
+  bool fired = false;
+  const sim::EventId id =
+      sched.schedule_at(sim::seconds(1), [&] { fired = true; });
+  sched.cancel(id);
+  sched.run_until(sim::seconds(2));
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, CancelAfterFireIsNoOp) {
+  sim::Scheduler sched;
+  int count = 0;
+  const sim::EventId id = sched.schedule_at(sim::seconds(1), [&] { ++count; });
+  sched.run_until(sim::seconds(2));
+  sched.cancel(id);  // must not crash or re-fire
+  sched.run_until(sim::seconds(3));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SchedulerTest, RunUntilDoesNotExecuteLaterEvents) {
+  sim::Scheduler sched;
+  bool early = false, late = false;
+  sched.schedule_at(sim::seconds(1), [&] { early = true; });
+  sched.schedule_at(sim::seconds(3), [&] { late = true; });
+  sched.run_until(sim::seconds(2));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  sched.run_until(sim::seconds(3));
+  EXPECT_TRUE(late);
+}
+
+TEST(SchedulerTest, StepReturnsFalseWhenEmpty) {
+  sim::Scheduler sched;
+  EXPECT_FALSE(sched.step());
+  sched.schedule_after(0, [] {});
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+}
+
+TEST(SchedulerTest, RunUntilIdleRespectsHardLimit) {
+  sim::Scheduler sched;
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] {
+    sched.schedule_after(sim::seconds(1), tick);
+  };
+  sched.schedule_after(sim::seconds(1), tick);
+  const std::uint64_t ran = sched.run_until_idle(sim::seconds(10));
+  EXPECT_EQ(ran, 10u);
+  EXPECT_LE(sched.now(), sim::seconds(10));
+}
+
+TEST(SchedulerTest, ReentrantSchedulingDuringEvent) {
+  sim::Scheduler sched;
+  int fired = 0;
+  sched.schedule_after(0, [&] {
+    for (int i = 0; i < 100; ++i) {
+      sched.schedule_after(0, [&] { ++fired; });
+    }
+  });
+  sched.run_until(sim::seconds(1));
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(ServiceQueueTest, SerializesJobs) {
+  sim::Scheduler sched;
+  sim::ServiceQueue q(sched);
+  std::vector<sim::TimePoint> completions;
+  for (int i = 0; i < 3; ++i) {
+    q.enqueue(sim::seconds(2),
+              [&] { completions.push_back(sched.now()); });
+  }
+  sched.run_until(sim::seconds(10));
+  ASSERT_EQ(completions.size(), 3u);
+  // One server: completions at 2, 4, 6 — strictly serialized.
+  EXPECT_EQ(completions[0], sim::seconds(2));
+  EXPECT_EQ(completions[1], sim::seconds(4));
+  EXPECT_EQ(completions[2], sim::seconds(6));
+}
+
+TEST(ServiceQueueTest, ParallelServersOverlap) {
+  sim::Scheduler sched;
+  sim::ServiceQueue q(sched);
+  q.set_servers(3);
+  std::vector<sim::TimePoint> completions;
+  for (int i = 0; i < 3; ++i) {
+    q.enqueue(sim::seconds(2),
+              [&] { completions.push_back(sched.now()); });
+  }
+  sched.run_until(sim::seconds(10));
+  ASSERT_EQ(completions.size(), 3u);
+  for (sim::TimePoint t : completions) EXPECT_EQ(t, sim::seconds(2));
+}
+
+TEST(ServiceQueueTest, CapacityRejects) {
+  sim::Scheduler sched;
+  sim::ServiceQueue q(sched, /*capacity=*/2);
+  int completed = 0;
+  // First job starts service immediately (leaves the pending queue), two
+  // more fill the queue, the fourth and fifth are rejected.
+  int accepted = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (q.enqueue(sim::seconds(1), [&] { ++completed; })) ++accepted;
+  }
+  EXPECT_EQ(accepted, 3);
+  EXPECT_EQ(q.rejected(), 2u);
+  sched.run_until(sim::seconds(10));
+  EXPECT_EQ(completed, 3);
+}
+
+TEST(ServiceQueueTest, TracksBusyTimeAndBacklog) {
+  sim::Scheduler sched;
+  sim::ServiceQueue q(sched);
+  q.enqueue(sim::seconds(1), [] {});
+  q.enqueue(sim::seconds(3), [] {});
+  EXPECT_EQ(q.in_service(), 1u);
+  EXPECT_EQ(q.queued(), 1u);
+  EXPECT_EQ(q.backlog(), sim::seconds(3));
+  sched.run_until(sim::seconds(10));
+  EXPECT_EQ(q.completed(), 2u);
+  EXPECT_EQ(q.total_busy_time(), sim::seconds(4));
+}
+
+TEST(NetworkTest, LoopbackVsInterMachineLatency) {
+  sim::Scheduler sched;
+  net::NetworkConfig cfg;
+  cfg.jitter_fraction = 0.0;
+  net::Network net(sched, cfg);
+  sim::TimePoint local = -1, remote = -1;
+  net.send(0, 0, 0, [&] { local = sched.now(); });
+  net.send(0, 1, 0, [&] { remote = sched.now(); });
+  sched.run_until(sim::seconds(1));
+  EXPECT_EQ(local, cfg.loopback_latency);
+  EXPECT_EQ(remote, cfg.inter_machine_rtt / 2);
+}
+
+TEST(NetworkTest, BandwidthBoundsLargePayloads) {
+  sim::Scheduler sched;
+  net::NetworkConfig cfg;
+  cfg.jitter_fraction = 0.0;
+  cfg.bandwidth_bytes_per_sec = 1'000'000.0;  // 1 MB/s
+  net::Network net(sched, cfg);
+  sim::TimePoint done = -1;
+  net.send(0, 1, 2'000'000, [&] { done = sched.now(); });  // 2 MB
+  sched.run_until(sim::seconds(10));
+  EXPECT_EQ(done, cfg.inter_machine_rtt / 2 + sim::seconds(2.0));
+}
+
+TEST(NetworkTest, BroadcastReachesAllButSender) {
+  sim::Scheduler sched;
+  net::Network net(sched, net::NetworkConfig{});
+  std::vector<net::MachineId> arrived;
+  net.broadcast(2, 100, [&](net::MachineId m) { arrived.push_back(m); });
+  sched.run_until(sim::seconds(1));
+  std::sort(arrived.begin(), arrived.end());
+  EXPECT_EQ(arrived, (std::vector<net::MachineId>{0, 1, 3, 4}));
+}
+
+TEST(NetworkTest, CountsTraffic) {
+  sim::Scheduler sched;
+  net::Network net(sched, net::NetworkConfig{});
+  net.send(0, 1, 500, [] {});
+  net.send(1, 0, 700, [] {});
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 1200u);
+}
+
+TEST(NetworkTest, JitterIsBounded) {
+  sim::Scheduler sched;
+  net::NetworkConfig cfg;
+  cfg.jitter_fraction = 0.10;
+  net::Network net(sched, cfg);
+  const sim::Duration base = cfg.inter_machine_rtt / 2;
+  for (int i = 0; i < 200; ++i) {
+    const sim::Duration t = net.transfer_time(0, 1, 0);
+    EXPECT_GE(t, base - base / 10 - 1);
+    EXPECT_LE(t, base + base / 10 + 1);
+  }
+}
+
+}  // namespace

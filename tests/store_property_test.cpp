@@ -1,0 +1,123 @@
+// Model-based property tests: the journaled KvStore against a reference
+// std::map model under random operation sequences, including nested
+// begin/commit/revert cycles, plus root-consistency invariants.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "chain/store.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::string random_key(util::Rng& rng) {
+  return "k/" + std::to_string(rng.next_below(40));
+}
+
+util::Bytes random_value(util::Rng& rng) {
+  util::Bytes v(1 + rng.next_below(16));
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return v;
+}
+
+void expect_matches_model(const chain::KvStore& store,
+                          const std::map<std::string, util::Bytes>& model,
+                          int step) {
+  ASSERT_EQ(store.size(), model.size()) << "step " << step;
+  for (const auto& [k, v] : model) {
+    const auto got = store.get(k);
+    ASSERT_TRUE(got.has_value()) << "step " << step << " key " << k;
+    EXPECT_EQ(*got, v) << "step " << step << " key " << k;
+  }
+}
+
+class StoreModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreModelProperty, RandomOpsMatchReferenceModel) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  chain::KvStore store;
+  std::map<std::string, util::Bytes> model;
+
+  // Roots must be a pure function of contents: track roots seen per
+  // content-snapshot via a canonical serialization.
+  auto snapshot = [&]() {
+    std::string s;
+    for (const auto& [k, v] : model) {
+      s += k + '=' + util::to_hex(v) + ';';
+    }
+    return s;
+  };
+  std::map<std::string, crypto::Digest> roots_by_content;
+
+  bool in_tx = false;
+  std::map<std::string, util::Bytes> model_backup;
+
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.next_double();
+    if (dice < 0.45) {
+      const std::string k = random_key(rng);
+      const util::Bytes v = random_value(rng);
+      store.set(k, v);
+      model[k] = v;
+    } else if (dice < 0.65) {
+      const std::string k = random_key(rng);
+      store.erase(k);
+      model.erase(k);
+    } else if (dice < 0.75 && !in_tx) {
+      store.begin_tx();
+      model_backup = model;
+      in_tx = true;
+    } else if (dice < 0.85 && in_tx) {
+      store.commit_tx();
+      in_tx = false;
+    } else if (dice < 0.95 && in_tx) {
+      store.revert_tx();
+      model = model_backup;
+      in_tx = false;
+    } else {
+      // Proof spot check on a random key (present or absent).
+      const std::string k = random_key(rng);
+      const chain::StoreProof proof = store.prove(k);
+      EXPECT_EQ(proof.exists, model.contains(k)) << "step " << step;
+      EXPECT_TRUE(chain::verify_store_proof(proof, store.root()));
+    }
+
+    expect_matches_model(store, model, step);
+
+    // Root is deterministic in contents (order-independent set hash).
+    const std::string snap = snapshot();
+    const auto it = roots_by_content.find(snap);
+    if (it != roots_by_content.end()) {
+      EXPECT_EQ(it->second, store.root()) << "root drifted at step " << step;
+    } else {
+      roots_by_content.emplace(snap, store.root());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(StorePropertyTest, PrefixScanMatchesModel) {
+  util::Rng rng(99);
+  chain::KvStore store;
+  std::map<std::string, util::Bytes> model;
+  for (int i = 0; i < 200; ++i) {
+    const std::string k = "p" + std::to_string(rng.next_below(4)) + "/" +
+                          std::to_string(rng.next_below(50));
+    store.set(k, {});
+    model[k] = {};
+  }
+  for (int p = 0; p < 4; ++p) {
+    const std::string prefix = "p" + std::to_string(p) + "/";
+    const auto keys = store.keys_with_prefix(prefix);
+    std::vector<std::string> expected;
+    for (const auto& [k, v] : model) {
+      if (k.compare(0, prefix.size(), prefix) == 0) expected.push_back(k);
+    }
+    EXPECT_EQ(keys, expected);
+  }
+}
+
+}  // namespace
