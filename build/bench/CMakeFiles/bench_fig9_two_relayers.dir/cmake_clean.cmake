@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_two_relayers.dir/bench_fig9_two_relayers.cpp.o"
+  "CMakeFiles/bench_fig9_two_relayers.dir/bench_fig9_two_relayers.cpp.o.d"
+  "bench_fig9_two_relayers"
+  "bench_fig9_two_relayers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_two_relayers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

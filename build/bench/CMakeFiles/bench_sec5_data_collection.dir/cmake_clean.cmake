@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_data_collection.dir/bench_sec5_data_collection.cpp.o"
+  "CMakeFiles/bench_sec5_data_collection.dir/bench_sec5_data_collection.cpp.o.d"
+  "bench_sec5_data_collection"
+  "bench_sec5_data_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_data_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

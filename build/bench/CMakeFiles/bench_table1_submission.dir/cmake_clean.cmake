@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_submission.dir/bench_table1_submission.cpp.o"
+  "CMakeFiles/bench_table1_submission.dir/bench_table1_submission.cpp.o.d"
+  "bench_table1_submission"
+  "bench_table1_submission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_submission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

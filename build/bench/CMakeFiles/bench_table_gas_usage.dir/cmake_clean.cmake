@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_gas_usage.dir/bench_table_gas_usage.cpp.o"
+  "CMakeFiles/bench_table_gas_usage.dir/bench_table_gas_usage.cpp.o.d"
+  "bench_table_gas_usage"
+  "bench_table_gas_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_gas_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

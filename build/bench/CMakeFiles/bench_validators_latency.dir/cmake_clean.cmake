@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validators_latency.dir/bench_validators_latency.cpp.o"
+  "CMakeFiles/bench_validators_latency.dir/bench_validators_latency.cpp.o.d"
+  "bench_validators_latency"
+  "bench_validators_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validators_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_relayer.dir/multi_relayer.cpp.o"
+  "CMakeFiles/multi_relayer.dir/multi_relayer.cpp.o.d"
+  "multi_relayer"
+  "multi_relayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_relayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

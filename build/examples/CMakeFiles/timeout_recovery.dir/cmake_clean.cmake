@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeout_recovery.dir/timeout_recovery.cpp.o"
+  "CMakeFiles/timeout_recovery.dir/timeout_recovery.cpp.o.d"
+  "timeout_recovery"
+  "timeout_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeout_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_flood.dir/token_flood.cpp.o"
+  "CMakeFiles/token_flood.dir/token_flood.cpp.o.d"
+  "token_flood"
+  "token_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

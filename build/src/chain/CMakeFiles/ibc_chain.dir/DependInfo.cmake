@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/app.cpp" "src/chain/CMakeFiles/ibc_chain.dir/app.cpp.o" "gcc" "src/chain/CMakeFiles/ibc_chain.dir/app.cpp.o.d"
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/ibc_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/ibc_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/events.cpp" "src/chain/CMakeFiles/ibc_chain.dir/events.cpp.o" "gcc" "src/chain/CMakeFiles/ibc_chain.dir/events.cpp.o.d"
+  "/root/repo/src/chain/ledger.cpp" "src/chain/CMakeFiles/ibc_chain.dir/ledger.cpp.o" "gcc" "src/chain/CMakeFiles/ibc_chain.dir/ledger.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "src/chain/CMakeFiles/ibc_chain.dir/mempool.cpp.o" "gcc" "src/chain/CMakeFiles/ibc_chain.dir/mempool.cpp.o.d"
+  "/root/repo/src/chain/store.cpp" "src/chain/CMakeFiles/ibc_chain.dir/store.cpp.o" "gcc" "src/chain/CMakeFiles/ibc_chain.dir/store.cpp.o.d"
+  "/root/repo/src/chain/tx.cpp" "src/chain/CMakeFiles/ibc_chain.dir/tx.cpp.o" "gcc" "src/chain/CMakeFiles/ibc_chain.dir/tx.cpp.o.d"
+  "/root/repo/src/chain/validator.cpp" "src/chain/CMakeFiles/ibc_chain.dir/validator.cpp.o" "gcc" "src/chain/CMakeFiles/ibc_chain.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/ibc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ibc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

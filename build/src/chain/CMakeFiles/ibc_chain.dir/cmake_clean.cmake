@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_chain.dir/app.cpp.o"
+  "CMakeFiles/ibc_chain.dir/app.cpp.o.d"
+  "CMakeFiles/ibc_chain.dir/block.cpp.o"
+  "CMakeFiles/ibc_chain.dir/block.cpp.o.d"
+  "CMakeFiles/ibc_chain.dir/events.cpp.o"
+  "CMakeFiles/ibc_chain.dir/events.cpp.o.d"
+  "CMakeFiles/ibc_chain.dir/ledger.cpp.o"
+  "CMakeFiles/ibc_chain.dir/ledger.cpp.o.d"
+  "CMakeFiles/ibc_chain.dir/mempool.cpp.o"
+  "CMakeFiles/ibc_chain.dir/mempool.cpp.o.d"
+  "CMakeFiles/ibc_chain.dir/store.cpp.o"
+  "CMakeFiles/ibc_chain.dir/store.cpp.o.d"
+  "CMakeFiles/ibc_chain.dir/tx.cpp.o"
+  "CMakeFiles/ibc_chain.dir/tx.cpp.o.d"
+  "CMakeFiles/ibc_chain.dir/validator.cpp.o"
+  "CMakeFiles/ibc_chain.dir/validator.cpp.o.d"
+  "libibc_chain.a"
+  "libibc_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_consensus.dir/engine.cpp.o"
+  "CMakeFiles/ibc_consensus.dir/engine.cpp.o.d"
+  "libibc_consensus.a"
+  "libibc_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ibc_consensus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosmos/app.cpp" "src/cosmos/CMakeFiles/ibc_cosmos.dir/app.cpp.o" "gcc" "src/cosmos/CMakeFiles/ibc_cosmos.dir/app.cpp.o.d"
+  "/root/repo/src/cosmos/auth.cpp" "src/cosmos/CMakeFiles/ibc_cosmos.dir/auth.cpp.o" "gcc" "src/cosmos/CMakeFiles/ibc_cosmos.dir/auth.cpp.o.d"
+  "/root/repo/src/cosmos/bank.cpp" "src/cosmos/CMakeFiles/ibc_cosmos.dir/bank.cpp.o" "gcc" "src/cosmos/CMakeFiles/ibc_cosmos.dir/bank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/ibc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ibc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ibc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

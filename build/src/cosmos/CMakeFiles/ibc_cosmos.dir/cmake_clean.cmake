@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_cosmos.dir/app.cpp.o"
+  "CMakeFiles/ibc_cosmos.dir/app.cpp.o.d"
+  "CMakeFiles/ibc_cosmos.dir/auth.cpp.o"
+  "CMakeFiles/ibc_cosmos.dir/auth.cpp.o.d"
+  "CMakeFiles/ibc_cosmos.dir/bank.cpp.o"
+  "CMakeFiles/ibc_cosmos.dir/bank.cpp.o.d"
+  "libibc_cosmos.a"
+  "libibc_cosmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_cosmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/ibc_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/ibc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ibc_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/ibc_crypto.dir/signature.cpp.o"
+  "CMakeFiles/ibc_crypto.dir/signature.cpp.o.d"
+  "libibc_crypto.a"
+  "libibc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

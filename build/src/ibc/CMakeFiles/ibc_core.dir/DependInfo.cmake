@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ibc/channel.cpp" "src/ibc/CMakeFiles/ibc_core.dir/channel.cpp.o" "gcc" "src/ibc/CMakeFiles/ibc_core.dir/channel.cpp.o.d"
+  "/root/repo/src/ibc/client.cpp" "src/ibc/CMakeFiles/ibc_core.dir/client.cpp.o" "gcc" "src/ibc/CMakeFiles/ibc_core.dir/client.cpp.o.d"
+  "/root/repo/src/ibc/connection.cpp" "src/ibc/CMakeFiles/ibc_core.dir/connection.cpp.o" "gcc" "src/ibc/CMakeFiles/ibc_core.dir/connection.cpp.o.d"
+  "/root/repo/src/ibc/host.cpp" "src/ibc/CMakeFiles/ibc_core.dir/host.cpp.o" "gcc" "src/ibc/CMakeFiles/ibc_core.dir/host.cpp.o.d"
+  "/root/repo/src/ibc/keeper.cpp" "src/ibc/CMakeFiles/ibc_core.dir/keeper.cpp.o" "gcc" "src/ibc/CMakeFiles/ibc_core.dir/keeper.cpp.o.d"
+  "/root/repo/src/ibc/msgs.cpp" "src/ibc/CMakeFiles/ibc_core.dir/msgs.cpp.o" "gcc" "src/ibc/CMakeFiles/ibc_core.dir/msgs.cpp.o.d"
+  "/root/repo/src/ibc/packet.cpp" "src/ibc/CMakeFiles/ibc_core.dir/packet.cpp.o" "gcc" "src/ibc/CMakeFiles/ibc_core.dir/packet.cpp.o.d"
+  "/root/repo/src/ibc/transfer.cpp" "src/ibc/CMakeFiles/ibc_core.dir/transfer.cpp.o" "gcc" "src/ibc/CMakeFiles/ibc_core.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/ibc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmos/CMakeFiles/ibc_cosmos.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ibc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ibc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_core.dir/channel.cpp.o"
+  "CMakeFiles/ibc_core.dir/channel.cpp.o.d"
+  "CMakeFiles/ibc_core.dir/client.cpp.o"
+  "CMakeFiles/ibc_core.dir/client.cpp.o.d"
+  "CMakeFiles/ibc_core.dir/connection.cpp.o"
+  "CMakeFiles/ibc_core.dir/connection.cpp.o.d"
+  "CMakeFiles/ibc_core.dir/host.cpp.o"
+  "CMakeFiles/ibc_core.dir/host.cpp.o.d"
+  "CMakeFiles/ibc_core.dir/keeper.cpp.o"
+  "CMakeFiles/ibc_core.dir/keeper.cpp.o.d"
+  "CMakeFiles/ibc_core.dir/msgs.cpp.o"
+  "CMakeFiles/ibc_core.dir/msgs.cpp.o.d"
+  "CMakeFiles/ibc_core.dir/packet.cpp.o"
+  "CMakeFiles/ibc_core.dir/packet.cpp.o.d"
+  "CMakeFiles/ibc_core.dir/transfer.cpp.o"
+  "CMakeFiles/ibc_core.dir/transfer.cpp.o.d"
+  "libibc_core.a"
+  "libibc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

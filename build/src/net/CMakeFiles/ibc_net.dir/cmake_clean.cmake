@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_net.dir/network.cpp.o"
+  "CMakeFiles/ibc_net.dir/network.cpp.o.d"
+  "libibc_net.a"
+  "libibc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

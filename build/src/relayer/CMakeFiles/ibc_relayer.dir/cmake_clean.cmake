@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_relayer.dir/events.cpp.o"
+  "CMakeFiles/ibc_relayer.dir/events.cpp.o.d"
+  "CMakeFiles/ibc_relayer.dir/relayer.cpp.o"
+  "CMakeFiles/ibc_relayer.dir/relayer.cpp.o.d"
+  "CMakeFiles/ibc_relayer.dir/wallet.cpp.o"
+  "CMakeFiles/ibc_relayer.dir/wallet.cpp.o.d"
+  "libibc_relayer.a"
+  "libibc_relayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_relayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

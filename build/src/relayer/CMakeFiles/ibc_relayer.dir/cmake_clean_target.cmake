@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibc_relayer.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_rpc.dir/server.cpp.o"
+  "CMakeFiles/ibc_rpc.dir/server.cpp.o.d"
+  "libibc_rpc.a"
+  "libibc_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ibc_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ibc_sim.dir/service_queue.cpp.o"
+  "CMakeFiles/ibc_sim.dir/service_queue.cpp.o.d"
+  "CMakeFiles/ibc_sim.dir/time.cpp.o"
+  "CMakeFiles/ibc_sim.dir/time.cpp.o.d"
+  "libibc_sim.a"
+  "libibc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

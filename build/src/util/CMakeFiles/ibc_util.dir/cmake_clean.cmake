@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_util.dir/bytes.cpp.o"
+  "CMakeFiles/ibc_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ibc_util.dir/log.cpp.o"
+  "CMakeFiles/ibc_util.dir/log.cpp.o.d"
+  "CMakeFiles/ibc_util.dir/rng.cpp.o"
+  "CMakeFiles/ibc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ibc_util.dir/stats.cpp.o"
+  "CMakeFiles/ibc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ibc_util.dir/status.cpp.o"
+  "CMakeFiles/ibc_util.dir/status.cpp.o.d"
+  "CMakeFiles/ibc_util.dir/table.cpp.o"
+  "CMakeFiles/ibc_util.dir/table.cpp.o.d"
+  "libibc_util.a"
+  "libibc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

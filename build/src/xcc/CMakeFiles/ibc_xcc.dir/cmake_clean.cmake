@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_xcc.dir/analysis.cpp.o"
+  "CMakeFiles/ibc_xcc.dir/analysis.cpp.o.d"
+  "CMakeFiles/ibc_xcc.dir/data_connector.cpp.o"
+  "CMakeFiles/ibc_xcc.dir/data_connector.cpp.o.d"
+  "CMakeFiles/ibc_xcc.dir/experiment.cpp.o"
+  "CMakeFiles/ibc_xcc.dir/experiment.cpp.o.d"
+  "CMakeFiles/ibc_xcc.dir/handshake.cpp.o"
+  "CMakeFiles/ibc_xcc.dir/handshake.cpp.o.d"
+  "CMakeFiles/ibc_xcc.dir/report.cpp.o"
+  "CMakeFiles/ibc_xcc.dir/report.cpp.o.d"
+  "CMakeFiles/ibc_xcc.dir/testbed.cpp.o"
+  "CMakeFiles/ibc_xcc.dir/testbed.cpp.o.d"
+  "CMakeFiles/ibc_xcc.dir/workload.cpp.o"
+  "CMakeFiles/ibc_xcc.dir/workload.cpp.o.d"
+  "libibc_xcc.a"
+  "libibc_xcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_xcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

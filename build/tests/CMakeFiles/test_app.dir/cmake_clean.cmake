@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app.dir/cosmos_test.cpp.o"
+  "CMakeFiles/test_app.dir/cosmos_test.cpp.o.d"
+  "CMakeFiles/test_app.dir/ibc_test.cpp.o"
+  "CMakeFiles/test_app.dir/ibc_test.cpp.o.d"
+  "test_app"
+  "test_app.pdb"
+  "test_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_foundation.dir/crypto_test.cpp.o"
+  "CMakeFiles/test_foundation.dir/crypto_test.cpp.o.d"
+  "CMakeFiles/test_foundation.dir/sim_test.cpp.o"
+  "CMakeFiles/test_foundation.dir/sim_test.cpp.o.d"
+  "CMakeFiles/test_foundation.dir/util_test.cpp.o"
+  "CMakeFiles/test_foundation.dir/util_test.cpp.o.d"
+  "test_foundation"
+  "test_foundation.pdb"
+  "test_foundation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_foundation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/test_integration.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xcc/CMakeFiles/ibc_xcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/relayer/CMakeFiles/ibc_relayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/ibc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ibc/CMakeFiles/ibc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmos/CMakeFiles/ibc_cosmos.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/ibc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/ibc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ibc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ibc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol.dir/analysis_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/analysis_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/handshake_msgs_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/handshake_msgs_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/ordered_channel_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/ordered_channel_test.cpp.o.d"
+  "CMakeFiles/test_protocol.dir/report_test.cpp.o"
+  "CMakeFiles/test_protocol.dir/report_test.cpp.o.d"
+  "test_protocol"
+  "test_protocol.pdb"
+  "test_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relayer_behavior.dir/determinism_test.cpp.o"
+  "CMakeFiles/test_relayer_behavior.dir/determinism_test.cpp.o.d"
+  "CMakeFiles/test_relayer_behavior.dir/relayer_behavior_test.cpp.o"
+  "CMakeFiles/test_relayer_behavior.dir/relayer_behavior_test.cpp.o.d"
+  "test_relayer_behavior"
+  "test_relayer_behavior.pdb"
+  "test_relayer_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relayer_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpc_relayer.dir/rpc_test.cpp.o"
+  "CMakeFiles/test_rpc_relayer.dir/rpc_test.cpp.o.d"
+  "CMakeFiles/test_rpc_relayer.dir/store_property_test.cpp.o"
+  "CMakeFiles/test_rpc_relayer.dir/store_property_test.cpp.o.d"
+  "CMakeFiles/test_rpc_relayer.dir/wallet_edge_test.cpp.o"
+  "CMakeFiles/test_rpc_relayer.dir/wallet_edge_test.cpp.o.d"
+  "CMakeFiles/test_rpc_relayer.dir/wallet_test.cpp.o"
+  "CMakeFiles/test_rpc_relayer.dir/wallet_test.cpp.o.d"
+  "test_rpc_relayer"
+  "test_rpc_relayer.pdb"
+  "test_rpc_relayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpc_relayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
