@@ -104,12 +104,17 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Ablation: two relayers — one shared channel vs one channel each",
-      "§IV-A: separate channels avoid redundancy but break token fungibility");
+      "§IV-A: separate channels avoid redundancy but break token fungibility",
+      opt);
 
   const double rps = 220;  // past the single-relayer peak
-  const Outcome one = run_config(1, 1, rps);
-  const Outcome shared = run_config(2, 1, rps);
-  const Outcome split = run_config(2, 2, rps);
+  // Three self-contained testbeds — run them concurrently.
+  Outcome one, shared, split;
+  std::vector<std::function<void()>> jobs{
+      [&] { one = run_config(1, 1, rps); },
+      [&] { shared = run_config(2, 1, rps); },
+      [&] { split = run_config(2, 2, rps); }};
+  bench::run_scenarios(opt, jobs);
 
   util::Table table({"configuration", "TFPS", "completed in window",
                      "redundant msgs", "voucher denominations on B"});

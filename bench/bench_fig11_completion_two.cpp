@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Figure 11: transfer completion status at window end (two relayers)",
-      "larger partial/initiated share than Fig. 10 at equal rates");
+      "larger partial/initiated share than Fig. 10 at equal rates", opt);
 
   std::vector<double> rates;
   if (opt.full) {
@@ -23,15 +23,24 @@ int main(int argc, char** argv) {
     rates = {20, 100, 160, 220, 300};
   }
 
+  std::vector<xcc::ExperimentConfig> configs;
+  for (double rps : rates) {
+    for (int rep = 0; rep < reps; ++rep) {
+      configs.push_back(bench::relayer_config(rps, 2, sim::millis(200), rep));
+    }
+  }
+  const auto results = bench::run_sweep(opt, configs);
+
   util::Table table({"input rate (RPS)", "requested", "completed %",
                      "partial %", "initiated %", "uncommitted %",
                      "redundant msgs"});
+  std::size_t idx = 0;
   for (double rps : rates) {
     double requested = 0, completed = 0, partial = 0, initiated = 0,
            uncommitted = 0, redundant = 0;
     int n = 0;
     for (int rep = 0; rep < reps; ++rep) {
-      const auto res = bench::run_relayer_point(rps, 2, sim::millis(200), rep);
+      const auto& res = results[idx++];
       if (!res.ok) continue;
       ++n;
       requested += static_cast<double>(res.window_breakdown.requested);

@@ -19,7 +19,7 @@
 
 namespace {
 
-xcc::ExperimentResult run_fig12(bool indexed_queries) {
+xcc::ExperimentConfig fig12_config(bool indexed_queries) {
   xcc::ExperimentConfig cfg;
   cfg.workload.total_transfers = 5'000;
   cfg.workload.spread_blocks = 1;
@@ -33,7 +33,7 @@ xcc::ExperimentResult run_fig12(bool indexed_queries) {
     cfg.testbed.rpc_cost.scan_ns_per_event_byte = 0.0;
     cfg.testbed.rpc_cost.scan_quad_ms_per_mb2 = 0.0;
   }
-  return xcc::run_experiment(cfg);
+  return cfg;
 }
 
 void report(const xcc::ExperimentResult& res) {
@@ -102,9 +102,16 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Figure 12: 13-step breakdown of 5,000 transfers in one block",
-      "455 s total; data pulls = 317 s (~69%)");
+      "455 s total; data pulls = 317 s (~69%)", opt);
 
-  const auto res = run_fig12(false);
+  // Base run plus (when ablating) the indexed-queries counterfactual —
+  // independent simulations, so they run concurrently.
+  const bool run_ablation = ablate || opt.full;
+  std::vector<xcc::ExperimentConfig> configs{fig12_config(false)};
+  if (run_ablation) configs.push_back(fig12_config(true));
+  const auto results = bench::run_sweep(opt, configs);
+
+  const auto& res = results[0];
   if (!res.ok) {
     std::cout << "experiment failed: " << res.error << "\n";
     return 1;
@@ -143,9 +150,9 @@ int main(int argc, char** argv) {
     std::cout << "execution report written to fig12_report.md\n";
   }
 
-  if (ablate || opt.full) {
+  if (run_ablation) {
     std::cout << "\n-- ablation: indexed event queries (no block scans) --\n";
-    const auto par = run_fig12(true);
+    const auto& par = results[1];
     if (par.ok) {
       const auto b = par.steps.completion_times_seconds(
           relayer::Step::kTransferBroadcast);

@@ -15,10 +15,24 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Figure 13: 5,000 transfers, submission spread over k blocks",
-      "455/286/219/143/138/240/441 s for k=1/2/4/8/16/32/64; best at k=16");
+      "455/286/219/143/138/240/441 s for k=1/2/4/8/16/32/64; best at k=16",
+      opt);
 
   const std::vector<int> spreads = {1, 2, 4, 8, 16, 32, 64};
   const std::vector<double> paper = {455, 286, 219, 143, 138, 240, 441};
+
+  std::vector<xcc::ExperimentConfig> configs;
+  for (const int k : spreads) {
+    xcc::ExperimentConfig cfg;
+    cfg.workload.total_transfers = 5'000;
+    cfg.workload.spread_blocks = k;
+    cfg.measure_blocks = 5 + k;
+    cfg.wait_for_drain = true;
+    cfg.drain_no_progress_limit = sim::seconds(300);
+    cfg.max_sim_time = sim::seconds(6'000);
+    configs.push_back(cfg);
+  }
+  const auto results = bench::run_sweep(opt, configs);
 
   util::Table table({"spread (blocks)", "completion latency (s)",
                      "paper (s)", "completed", "first completion (s)"});
@@ -27,14 +41,7 @@ int main(int argc, char** argv) {
   int best_k = 1;
   for (std::size_t i = 0; i < spreads.size(); ++i) {
     const int k = spreads[i];
-    xcc::ExperimentConfig cfg;
-    cfg.workload.total_transfers = 5'000;
-    cfg.workload.spread_blocks = k;
-    cfg.measure_blocks = 5 + k;
-    cfg.wait_for_drain = true;
-    cfg.drain_no_progress_limit = sim::seconds(300);
-    cfg.max_sim_time = sim::seconds(6'000);
-    const auto res = xcc::run_experiment(cfg);
+    const auto& res = results[i];
     if (!res.ok) {
       std::cout << "  spread " << k << " FAILED: " << res.error << "\n";
       continue;

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Figure 6: Tendermint blockchain throughput (inclusion TFPS)",
-      "peak ~961 TFPS at 3,000 RPS; ~200 at 250 RPS; decline beyond 4,000");
+      "peak ~961 TFPS at 3,000 RPS; ~200 at 250 RPS; decline beyond 4,000",
+      opt);
 
   std::vector<double> rates;
   if (opt.full) {
@@ -29,12 +30,21 @@ int main(int argc, char** argv) {
     rates = {250, 500, 1000, 2000, 3000, 4000, 6000, 9000, 13000};
   }
 
+  std::vector<xcc::ExperimentConfig> configs;
+  for (double rps : rates) {
+    for (int rep = 0; rep < reps; ++rep) {
+      configs.push_back(bench::inclusion_config(rps, rep));
+    }
+  }
+  const auto results = bench::run_sweep(opt, configs);
+
   util::Table table({"input rate (RPS)", "median TFPS", "lower q", "upper q",
                      "min", "max", "n"});
+  std::size_t idx = 0;
   for (double rps : rates) {
     util::Sample tfps;
     for (int rep = 0; rep < reps; ++rep) {
-      const auto res = bench::run_inclusion_point(rps, rep);
+      const auto& res = results[idx++];
       if (res.ok) tfps.add(res.inclusion_tfps);
     }
     table.add_row({util::fmt_int(static_cast<long long>(rps)),

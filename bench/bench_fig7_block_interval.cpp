@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Figure 7: average block interval vs input rate",
-      "5 s floor at low rates; grows with block fullness beyond ~2,000 RPS");
+      "5 s floor at low rates; grows with block fullness beyond ~2,000 RPS",
+      opt);
 
   std::vector<double> rates;
   if (opt.full) {
@@ -24,13 +25,22 @@ int main(int argc, char** argv) {
     rates = {250, 1000, 2000, 3000, 4000, 6000, 9000, 13000};
   }
 
+  std::vector<xcc::ExperimentConfig> configs;
+  for (double rps : rates) {
+    for (int rep = 0; rep < reps; ++rep) {
+      configs.push_back(bench::inclusion_config(rps, rep));
+    }
+  }
+  const auto results = bench::run_sweep(opt, configs);
+
   util::Table table({"input rate (RPS)", "avg interval (s)", "sd",
                      "max interval (s)", "n runs"});
+  std::size_t idx = 0;
   for (double rps : rates) {
     util::Sample avg;
     util::Sample max_iv;
     for (int rep = 0; rep < reps; ++rep) {
-      const auto res = bench::run_inclusion_point(rps, rep);
+      const auto& res = results[idx++];
       if (!res.ok || res.block_intervals.empty()) continue;
       avg.add(res.avg_block_interval);
       double mx = 0;

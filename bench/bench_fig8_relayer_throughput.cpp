@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Figure 8: one-relayer cross-chain throughput vs input rate",
-      "peak ~80-90 TFPS at 140 RPS; ~14 at 20 RPS; ~50-56 at 300 RPS");
+      "peak ~80-90 TFPS at 140 RPS; ~14 at 20 RPS; ~50-56 at 300 RPS", opt);
 
   std::vector<double> rates;
   if (opt.full) {
@@ -28,15 +28,28 @@ int main(int argc, char** argv) {
   const std::vector<std::pair<std::string, sim::Duration>> latencies = {
       {"0ms", sim::millis(0.5)}, {"200ms", sim::millis(200)}};
 
+  std::vector<xcc::ExperimentConfig> configs;
+  for (const auto& [lat_name, rtt] : latencies) {
+    (void)lat_name;
+    for (double rps : rates) {
+      for (int rep = 0; rep < reps; ++rep) {
+        configs.push_back(bench::relayer_config(rps, 1, rtt, rep));
+      }
+    }
+  }
+  const auto results = bench::run_sweep(opt, configs);
+
   util::Table table({"input rate (RPS)", "latency", "mean TFPS", "sd",
                      "completed", "partial", "initiated", "n"});
+  std::size_t idx = 0;
   for (const auto& [lat_name, rtt] : latencies) {
+    (void)rtt;
     for (double rps : rates) {
       util::Sample tfps;
       double completed = 0, partial = 0, initiated = 0;
       int n = 0;
       for (int rep = 0; rep < reps; ++rep) {
-        const auto res = bench::run_relayer_point(rps, 1, rtt, rep);
+        const auto& res = results[idx++];
         if (!res.ok) continue;
         ++n;
         tfps.add(res.tfps);

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Figure 9: two-relayer throughput (vs one-relayer baseline)",
       "peak lower than one relayer (paper: -14% at 0 ms, -33% at 200 ms); "
-      "redundant-message errors");
+      "redundant-message errors",
+      opt);
 
   std::vector<double> rates;
   if (opt.full) {
@@ -29,16 +30,32 @@ int main(int argc, char** argv) {
   const std::vector<std::pair<std::string, sim::Duration>> latencies = {
       {"0ms", sim::millis(0.5)}, {"200ms", sim::millis(200)}};
 
+  // Interleaved 1-relayer / 2-relayer pairs, in the order the serial sweep
+  // ran them, so aggregation below reads results pairwise.
+  std::vector<xcc::ExperimentConfig> configs;
+  for (const auto& [lat_name, rtt] : latencies) {
+    (void)lat_name;
+    for (double rps : rates) {
+      for (int rep = 0; rep < reps; ++rep) {
+        configs.push_back(bench::relayer_config(rps, 1, rtt, rep));
+        configs.push_back(bench::relayer_config(rps, 2, rtt, rep));
+      }
+    }
+  }
+  const auto results = bench::run_sweep(opt, configs);
+
   util::Table table({"input rate (RPS)", "latency", "1-relayer TFPS",
                      "2-relayer TFPS", "change", "redundant msgs", "n"});
+  std::size_t idx = 0;
   for (const auto& [lat_name, rtt] : latencies) {
+    (void)rtt;
     double peak1 = 0, peak2 = 0;
     for (double rps : rates) {
       util::Sample one, two, redundant;
       for (int rep = 0; rep < reps; ++rep) {
-        const auto r1 = bench::run_relayer_point(rps, 1, rtt, rep);
+        const auto& r1 = results[idx++];
         if (r1.ok) one.add(r1.tfps);
-        const auto r2 = bench::run_relayer_point(rps, 2, rtt, rep);
+        const auto& r2 = results[idx++];
         if (r2.ok) {
           two.add(r2.tfps);
           double red = 0;

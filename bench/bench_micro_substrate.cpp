@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "chain/store.hpp"
 #include "chain/tx.hpp"
 #include "crypto/merkle.hpp"
@@ -103,6 +106,26 @@ void BM_KvStoreSet(benchmark::State& state) {
 }
 BENCHMARK(BM_KvStoreSet);
 
+// Overwriting existing keys is the store's hot path during block execution
+// (sequence counters, commitments rewritten every block). With the cached
+// per-entry digest only the NEW value is hashed on overwrite.
+void BM_KvStoreOverwrite(benchmark::State& state) {
+  chain::KvStore store;
+  for (int i = 0; i < 10'000; ++i) {
+    store.set("ibc/commitments/ports/transfer/channels/channel-0/sequences/" +
+                  std::to_string(i),
+              util::to_bytes("0123456789abcdef0123456789abcdef"));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    store.set("ibc/commitments/ports/transfer/channels/channel-0/sequences/" +
+                  std::to_string(i % 10'000),
+              util::to_bytes("fedcba9876543210fedcba9876543210"));
+    ++i;
+  }
+}
+BENCHMARK(BM_KvStoreOverwrite);
+
 void BM_KvStoreProve(benchmark::State& state) {
   chain::KvStore store;
   for (int i = 0; i < 10'000; ++i) {
@@ -127,6 +150,32 @@ void BM_SchedulerThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_SchedulerThroughput);
+
+// Timeout-style usage: most scheduled events are cancelled before firing
+// (e.g. the consensus engine re-arming its round timer). The slab scheduler
+// makes cancel O(1) and recycles slots instead of growing a live map.
+void BM_SchedulerScheduleCancelFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int fired = 0;
+    for (int wave = 0; wave < 10; ++wave) {
+      std::vector<sim::EventId> timeouts;
+      timeouts.reserve(1'000);
+      for (int i = 0; i < 1'000; ++i) {
+        timeouts.push_back(sched.schedule_after(sim::millis(100),
+                                                [&fired] { ++fired; }));
+      }
+      // 90% of the timeouts are cancelled before they fire.
+      for (std::size_t i = 0; i < timeouts.size(); ++i) {
+        if (i % 10 != 0) sched.cancel(timeouts[i]);
+      }
+      sched.run_until(sched.now() + sim::millis(200));
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SchedulerScheduleCancelFire);
 
 void BM_ServiceQueue(benchmark::State& state) {
   for (auto _ : state) {
@@ -155,4 +204,27 @@ BENCHMARK(BM_SignVerify);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): run_benches.sh passes the shared
+// harness flags (--jobs/--full/--reps/--csv) to every bench; strip them so
+// google-benchmark does not reject the command line.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--jobs" || a == "--reps" || a == "--csv") {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    if (a == "--full") continue;
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

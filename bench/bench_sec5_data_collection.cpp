@@ -47,57 +47,69 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Section V: transaction data collection cost",
       "block of 2,000 transfer msgs ~2.9 s; 2,000 recv msgs ~5.7 s; "
-      "pagination required");
+      "pagination required",
+      opt);
 
-  xcc::TestbedConfig cfg;
-  cfg.user_accounts = 24;
-  xcc::Testbed tb(cfg);
-  tb.start_chains();
-  tb.run_until_height(2, sim::seconds(120));
-  xcc::HandshakeDriver driver(tb);
-  const auto channel =
-      driver.establish_channel_blocking(sim::seconds(600));
-  if (!channel.ok) {
-    std::cout << "setup failed: " << channel.error << "\n";
+  // Single self-contained scenario, executed through the shared runner so
+  // all benches report via the same path (--jobs has nothing to fan out).
+  std::size_t transfer_msgs = 0, recv_msgs = 0;
+  xcc::RpcDataConnector::BlockData data_a, data_b;
+  std::size_t bytes_a = 0, bytes_b = 0;
+  std::string error;
+  std::vector<std::function<void()>> jobs{[&] {
+    xcc::TestbedConfig cfg;
+    cfg.user_accounts = 24;
+    xcc::Testbed tb(cfg);
+    tb.start_chains();
+    tb.run_until_height(2, sim::seconds(120));
+    xcc::HandshakeDriver driver(tb);
+    const auto channel = driver.establish_channel_blocking(sim::seconds(600));
+    if (!channel.ok) {
+      error = channel.error;
+      return;
+    }
+    relayer::ChainHandle ha{tb.chain_a().servers[0].get(), tb.chain_a().id,
+                            {tb.relayer_account_a(0)}};
+    relayer::ChainHandle hb{tb.chain_b().servers[0].get(), tb.chain_b().id,
+                            {tb.relayer_account_b(0)}};
+    relayer::Relayer relayer(tb.scheduler(), ha, hb, channel.path(), {},
+                             nullptr);
+    relayer.start();
+
+    // 2,000 transfers in one block -> one A block with 20 x 100 transfer
+    // msgs, and (after relay) B block(s) dense with recv msgs.
+    xcc::WorkloadConfig wl;
+    wl.total_transfers = 2'000;
+    wl.spread_blocks = 1;
+    xcc::TransferWorkload workload(tb, channel, wl, nullptr);
+    workload.start();
+    const sim::TimePoint limit = tb.scheduler().now() + sim::seconds(1'200);
+    while (tb.scheduler().now() < limit &&
+           relayer.stats().packets_completed < 2'000) {
+      if (!tb.scheduler().step()) break;
+    }
+
+    const chain::Height block_a = densest_block(
+        *tb.chain_a().ledger, ibc::kMsgTransferUrl, transfer_msgs);
+    const chain::Height block_b = densest_block(
+        *tb.chain_b().ledger, ibc::kMsgRecvPacketUrl, recv_msgs);
+
+    // Collect each block through the paper's RPC path (machine-0 full
+    // nodes, Tendermint's 30-per-page default).
+    xcc::RpcDataConnector conn_a(tb.scheduler(), *tb.chain_a().servers[0], 0);
+    xcc::RpcDataConnector conn_b(tb.scheduler(), *tb.chain_b().servers[0], 0);
+    const sim::TimePoint deadline = tb.scheduler().now() + sim::seconds(600);
+    data_a = conn_a.collect_block_blocking(block_a, deadline);
+    data_b = conn_b.collect_block_blocking(block_b, deadline);
+
+    for (const auto& tx : data_a.txs) bytes_a += tx.event_bytes();
+    for (const auto& tx : data_b.txs) bytes_b += tx.event_bytes();
+  }};
+  bench::run_scenarios(opt, jobs);
+  if (!error.empty()) {
+    std::cout << "setup failed: " << error << "\n";
     return 1;
   }
-  relayer::ChainHandle ha{tb.chain_a().servers[0].get(), tb.chain_a().id,
-                          {tb.relayer_account_a(0)}};
-  relayer::ChainHandle hb{tb.chain_b().servers[0].get(), tb.chain_b().id,
-                          {tb.relayer_account_b(0)}};
-  relayer::Relayer relayer(tb.scheduler(), ha, hb, channel.path(), {}, nullptr);
-  relayer.start();
-
-  // 2,000 transfers in one block -> one A block with 20 x 100 transfer msgs,
-  // and (after relay) B block(s) dense with recv msgs.
-  xcc::WorkloadConfig wl;
-  wl.total_transfers = 2'000;
-  wl.spread_blocks = 1;
-  xcc::TransferWorkload workload(tb, channel, wl, nullptr);
-  workload.start();
-  const sim::TimePoint limit = tb.scheduler().now() + sim::seconds(1'200);
-  while (tb.scheduler().now() < limit &&
-         relayer.stats().packets_completed < 2'000) {
-    if (!tb.scheduler().step()) break;
-  }
-
-  std::size_t transfer_msgs = 0, recv_msgs = 0;
-  const chain::Height block_a =
-      densest_block(*tb.chain_a().ledger, ibc::kMsgTransferUrl, transfer_msgs);
-  const chain::Height block_b =
-      densest_block(*tb.chain_b().ledger, ibc::kMsgRecvPacketUrl, recv_msgs);
-
-  // Collect each block through the paper's RPC path (machine-0 full nodes,
-  // Tendermint's 30-per-page default).
-  xcc::RpcDataConnector conn_a(tb.scheduler(), *tb.chain_a().servers[0], 0);
-  xcc::RpcDataConnector conn_b(tb.scheduler(), *tb.chain_b().servers[0], 0);
-  const sim::TimePoint deadline = tb.scheduler().now() + sim::seconds(600);
-  const auto data_a = conn_a.collect_block_blocking(block_a, deadline);
-  const auto data_b = conn_b.collect_block_blocking(block_b, deadline);
-
-  std::size_t bytes_a = 0, bytes_b = 0;
-  for (const auto& tx : data_a.txs) bytes_a += tx.event_bytes();
-  for (const auto& tx : data_b.txs) bytes_b += tx.event_bytes();
 
   util::Table table({"block", "msgs", "txs", "pages", "payload (KB)",
                      "collection time (s)", "paper (s, at 2,000 msgs)"});

@@ -19,19 +19,29 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Table I: execution summary for Tendermint throughput experiments",
-      ">99% submitted below 10,000 RPS; collapse to 8.5% at 14,000");
+      ">99% submitted below 10,000 RPS; collapse to 8.5% at 14,000", opt);
 
   std::vector<double> rates = {2000, 9000, 10000, 11000, 12000, 13000, 14000};
+
+  std::vector<xcc::ExperimentConfig> configs;
+  for (double rps : rates) {
+    for (int rep = 0; rep < reps; ++rep) {
+      configs.push_back(
+          bench::inclusion_config(rps, rep, 15, /*resolve_workload=*/true));
+    }
+  }
+  const auto results = bench::run_sweep(opt, configs);
 
   util::Table table({"input rate", "requests made", "submitted", "submitted %",
                      "committed", "committed % (of submitted)",
                      "seq mismatches", "no-confirmation"});
+  std::size_t idx = 0;
   for (double rps : rates) {
     double requested = 0, submitted = 0, committed = 0;
     double seqmis = 0, noconf = 0;
     int n = 0;
     for (int rep = 0; rep < reps; ++rep) {
-      const auto res = bench::run_inclusion_point(rps, rep, 15, /*resolve_workload=*/true);
+      const auto& res = results[idx++];
       if (!res.ok) continue;
       ++n;
       requested += static_cast<double>(res.workload.requested);

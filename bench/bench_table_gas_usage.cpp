@@ -42,42 +42,56 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Gas usage of 100-message IBC transactions (§IV-A)",
       "transfer 3,669,161 (±1%) / recv 7,238,699 (±4.1%) / ack 3,107,462 "
-      "(±7.6%)");
+      "(±7.6%)",
+      opt);
 
-  xcc::TestbedConfig tb_cfg;
-  tb_cfg.user_accounts = 10;
-  xcc::Testbed tb(tb_cfg);
-  tb.start_chains();
-  tb.run_until_height(2, sim::seconds(120));
-  xcc::HandshakeDriver driver(tb);
-  const auto channel =
-      driver.establish_channel_blocking(tb.scheduler().now() + sim::seconds(600));
-  if (!channel.ok) {
-    std::cout << "setup failed: " << channel.error << "\n";
+  // Single self-contained scenario, executed through the shared runner so
+  // all benches report via the same path (--jobs has nothing to fan out).
+  GasSample transfer, recv, ack;
+  std::uint64_t completed = 0;
+  std::string error;
+  std::vector<std::function<void()>> jobs{[&] {
+    xcc::TestbedConfig tb_cfg;
+    tb_cfg.user_accounts = 10;
+    xcc::Testbed tb(tb_cfg);
+    tb.start_chains();
+    tb.run_until_height(2, sim::seconds(120));
+    xcc::HandshakeDriver driver(tb);
+    const auto channel = driver.establish_channel_blocking(
+        tb.scheduler().now() + sim::seconds(600));
+    if (!channel.ok) {
+      error = channel.error;
+      return;
+    }
+    relayer::ChainHandle ha{tb.chain_a().servers[0].get(), tb.chain_a().id,
+                            {tb.relayer_account_a(0)}};
+    relayer::ChainHandle hb{tb.chain_b().servers[0].get(), tb.chain_b().id,
+                            {tb.relayer_account_b(0)}};
+    relayer::Relayer relayer(tb.scheduler(), ha, hb, channel.path(), {},
+                             nullptr);
+    relayer.start();
+
+    xcc::WorkloadConfig wl;
+    wl.total_transfers = 500;
+    xcc::TransferWorkload workload(tb, channel, wl, nullptr);
+    workload.start();
+
+    const sim::TimePoint limit = tb.scheduler().now() + sim::seconds(1'200);
+    while (tb.scheduler().now() < limit &&
+           relayer.stats().packets_completed < 500) {
+      if (!tb.scheduler().step()) break;
+    }
+
+    transfer.scan(*tb.chain_a().ledger, ibc::kMsgTransferUrl, 100);
+    recv.scan(*tb.chain_b().ledger, ibc::kMsgRecvPacketUrl, 100);
+    ack.scan(*tb.chain_a().ledger, ibc::kMsgAcknowledgementUrl, 100);
+    completed = relayer.stats().packets_completed;
+  }};
+  bench::run_scenarios(opt, jobs);
+  if (!error.empty()) {
+    std::cout << "setup failed: " << error << "\n";
     return 1;
   }
-  relayer::ChainHandle ha{tb.chain_a().servers[0].get(), tb.chain_a().id,
-                          {tb.relayer_account_a(0)}};
-  relayer::ChainHandle hb{tb.chain_b().servers[0].get(), tb.chain_b().id,
-                          {tb.relayer_account_b(0)}};
-  relayer::Relayer relayer(tb.scheduler(), ha, hb, channel.path(), {}, nullptr);
-  relayer.start();
-
-  xcc::WorkloadConfig wl;
-  wl.total_transfers = 500;
-  xcc::TransferWorkload workload(tb, channel, wl, nullptr);
-  workload.start();
-
-  const sim::TimePoint limit = tb.scheduler().now() + sim::seconds(1'200);
-  while (tb.scheduler().now() < limit &&
-         relayer.stats().packets_completed < 500) {
-    if (!tb.scheduler().step()) break;
-  }
-
-  GasSample transfer, recv, ack;
-  transfer.scan(*tb.chain_a().ledger, ibc::kMsgTransferUrl, 100);
-  recv.scan(*tb.chain_b().ledger, ibc::kMsgRecvPacketUrl, 100);
-  ack.scan(*tb.chain_a().ledger, ibc::kMsgAcknowledgementUrl, 100);
 
   auto spread = [](const util::Sample& s) {
     if (s.mean() <= 0) return 0.0;
@@ -99,7 +113,7 @@ int main(int argc, char** argv) {
                  std::to_string(ack.gas.count())});
   table.print(std::cout);
   table.write_csv(opt.csv);
-  std::cout << "\ncompleted " << relayer.stats().packets_completed
+  std::cout << "\ncompleted " << completed
             << "/500 transfers; CSV written to " << opt.csv << "\n";
   return 0;
 }

@@ -89,16 +89,28 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "§III-C: validator count vs single-transfer latency",
-      "21 s per transfer at 5 validators; +~255 ms at 128 validators (~1%)");
+      "21 s per transfer at 5 validators; +~255 ms at 128 validators (~1%)",
+      opt);
 
   std::vector<int> counts = opt.full ? std::vector<int>{5, 16, 32, 64, 128}
                                      : std::vector<int>{5, 32, 128};
 
+  // One self-contained testbed per validator count — run them concurrently.
+  std::vector<Point> points(counts.size());
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    jobs.push_back([&points, &counts, i] {
+      points[i] = run_with_validators(counts[i]);
+    });
+  }
+  bench::run_scenarios(opt, jobs);
+
   util::Table table({"validators", "consensus latency (ms)",
                      "transfer latency (s)", "delta vs 5 validators"});
   double base = 0;
-  for (int v : counts) {
-    const Point p = run_with_validators(v);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const int v = counts[i];
+    const Point& p = points[i];
     if (!p.ok) {
       std::cout << "  " << v << " validators: FAILED\n";
       continue;

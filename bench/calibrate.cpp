@@ -11,19 +11,25 @@
 //   Fig. 8 TFPS @ 300 RPS           ~50 (200 ms)
 //   Fig. 6 inclusion TFPS @ 250     ~200
 //   Fig. 6 inclusion TFPS @ 3000    ~961 (peak)
+//
+// All probes are independent simulations; they are submitted as one batch
+// to the parallel runner and reported in a fixed order afterwards.
 
 #include "common.hpp"
 
 namespace {
 
-void fig12_probe() {
+xcc::ExperimentConfig fig12_probe_config() {
   xcc::ExperimentConfig cfg;
   cfg.workload.total_transfers = 5'000;
   cfg.workload.spread_blocks = 1;
   cfg.measure_blocks = 5;
   cfg.wait_for_drain = true;
   cfg.max_sim_time = sim::seconds(4'000);
-  const auto res = xcc::run_experiment(cfg);
+  return cfg;
+}
+
+void fig12_report(const xcc::ExperimentResult& res) {
   if (!res.ok) {
     std::cout << "fig12 probe FAILED: " << res.error << "\n";
     return;
@@ -47,14 +53,18 @@ void fig12_probe() {
   std::cout << "  completed=" << res.final_breakdown.completed << "/5000\n";
 }
 
-void fig8_probe(double rps, sim::Duration rtt) {
+xcc::ExperimentConfig fig8_probe_config(double rps, sim::Duration rtt) {
   xcc::ExperimentConfig cfg;
   cfg.testbed.rtt = rtt;
   cfg.workload.requests_per_second = rps;
   cfg.measure_blocks = 50;
   cfg.collect_steps = false;
   cfg.max_sim_time = sim::seconds(2'000);
-  const auto res = xcc::run_experiment(cfg);
+  return cfg;
+}
+
+void fig8_report(double rps, sim::Duration rtt,
+                 const xcc::ExperimentResult& res) {
   std::cout << "fig8 rps=" << rps << " rtt=" << sim::to_millis(rtt)
             << "ms: tfps=" << util::fmt_double(res.tfps, 1)
             << " completed=" << res.window_breakdown.completed
@@ -66,14 +76,17 @@ void fig8_probe(double rps, sim::Duration rtt) {
             << "s\n";
 }
 
-void fig6_probe(double rps) {
+xcc::ExperimentConfig fig6_probe_config(double rps) {
   xcc::ExperimentConfig cfg;
   cfg.relayer_count = 0;
   cfg.collect_steps = false;
   cfg.workload.requests_per_second = rps;
   cfg.measure_blocks = 15;
   cfg.max_sim_time = sim::seconds(2'000);
-  const auto res = xcc::run_experiment(cfg);
+  return cfg;
+}
+
+void fig6_report(double rps, const xcc::ExperimentResult& res) {
   std::cout << "fig6 rps=" << rps
             << ": inclusion_tfps=" << util::fmt_double(res.inclusion_tfps, 1)
             << " interval=" << util::fmt_double(res.avg_block_interval, 2)
@@ -84,17 +97,34 @@ void fig6_probe(double rps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
-  std::cout << "-- calibration probes --\n";
-  fig6_probe(250);
-  fig6_probe(1000);
-  fig6_probe(3000);
-  fig6_probe(6000);
-  fig8_probe(20, sim::millis(200));
-  fig8_probe(140, sim::millis(200));
-  fig8_probe(140, sim::millis(0.5));
-  fig8_probe(300, sim::millis(200));
-  fig12_probe();
+  const bench::Options opt = bench::parse_options(argc, argv, "");
+  std::cout << "-- calibration probes (" << bench::jobs_or_default(opt)
+            << " worker(s)) --\n";
+
+  const std::vector<double> fig6_rates = {250, 1000, 3000, 6000};
+  const std::vector<std::pair<double, sim::Duration>> fig8_points = {
+      {20, sim::millis(200)},
+      {140, sim::millis(200)},
+      {140, sim::millis(0.5)},
+      {300, sim::millis(200)}};
+
+  std::vector<xcc::ExperimentConfig> configs;
+  for (double rps : fig6_rates) configs.push_back(fig6_probe_config(rps));
+  for (const auto& [rps, rtt] : fig8_points) {
+    configs.push_back(fig8_probe_config(rps, rtt));
+  }
+  configs.push_back(fig12_probe_config());
+
+  xcc::SweepStats stats;
+  const auto results =
+      xcc::run_experiments(configs, bench::jobs_or_default(opt), &stats);
+
+  std::size_t idx = 0;
+  for (double rps : fig6_rates) fig6_report(rps, results[idx++]);
+  for (const auto& [rps, rtt] : fig8_points) {
+    fig8_report(rps, rtt, results[idx++]);
+  }
+  fig12_report(results[idx++]);
+  bench::print_sweep_summary(stats);
   return 0;
 }

@@ -7,6 +7,10 @@
 //                  finishes quickly
 //   --reps N       override the executions per point
 //   --csv PATH     also write the table as CSV (default: <bench>.csv in cwd)
+//   --jobs N       worker threads for the sweep (default: hardware
+//                  concurrency). Every repetition is an independent,
+//                  seed-deterministic simulation, so results — and the CSV —
+//                  are byte-identical for any N.
 
 #include <cstdint>
 #include <iostream>
@@ -16,12 +20,14 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "xcc/experiment.hpp"
+#include "xcc/parallel.hpp"
 
 namespace bench {
 
 struct Options {
   bool full = false;
   int reps = 0;  // 0 = per-bench default
+  int jobs = 0;  // 0 = hardware concurrency
   std::string csv;
 };
 
@@ -35,10 +41,12 @@ inline Options parse_options(int argc, char** argv,
       opt.full = true;
     } else if (arg == "--reps" && i + 1 < argc) {
       opt.reps = std::atoi(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opt.jobs = std::atoi(argv[++i]);
     } else if (arg == "--csv" && i + 1 < argc) {
       opt.csv = argv[++i];
     } else if (arg == "--help") {
-      std::cout << "options: --full | --reps N | --csv PATH\n";
+      std::cout << "options: --full | --reps N | --jobs N | --csv PATH\n";
       std::exit(0);
     }
   }
@@ -48,6 +56,11 @@ inline Options parse_options(int argc, char** argv,
 inline int reps_or(const Options& opt, int trimmed, int full) {
   if (opt.reps > 0) return opt.reps;
   return opt.full ? full : trimmed;
+}
+
+/// Worker-thread count for a sweep (--jobs, default hardware concurrency).
+inline int jobs_or_default(const Options& opt) {
+  return opt.jobs > 0 ? opt.jobs : xcc::default_workers();
 }
 
 /// Seeds: one deterministic seed per repetition.
@@ -60,11 +73,50 @@ inline void print_header(const std::string& title, const std::string& paper) {
   std::cout << "paper reference: " << paper << "\n\n";
 }
 
-/// One inclusion-only run (Figs. 6-7 / Table I): submits at `rps` for 15
-/// blocks with no relayer and returns the experiment result.
-inline xcc::ExperimentResult run_inclusion_point(double rps, int rep,
-                                                 int blocks = 15,
-                                                 bool resolve_workload = false) {
+/// Header variant that also announces the parallel configuration.
+inline void print_header(const std::string& title, const std::string& paper,
+                         const Options& opt) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << "paper reference: " << paper << "\n";
+  std::cout << "parallel sweep: up to " << jobs_or_default(opt)
+            << " worker(s)\n\n";
+}
+
+/// Prints the utilisation of a finished sweep (the achieved speedup over a
+/// serial execution of the same points).
+inline void print_sweep_summary(const xcc::SweepStats& stats) {
+  std::cout << "[sweep] " << stats.jobs << " run(s) on " << stats.workers
+            << " worker(s): wall " << util::fmt_double(stats.wall_seconds, 1)
+            << " s, aggregate "
+            << util::fmt_double(stats.aggregate_seconds, 1) << " s, speedup "
+            << util::fmt_double(stats.speedup(), 2) << "x\n\n";
+}
+
+/// Runs a whole sweep through the parallel pool (submission order ==
+/// result order) and prints the utilisation summary.
+inline std::vector<xcc::ExperimentResult> run_sweep(
+    const Options& opt, const std::vector<xcc::ExperimentConfig>& configs) {
+  xcc::SweepStats stats;
+  auto results =
+      xcc::run_experiments(configs, jobs_or_default(opt), &stats);
+  print_sweep_summary(stats);
+  return results;
+}
+
+/// Runs custom scenario jobs (benches not built on run_experiment) through
+/// the same pool, with the same summary.
+inline void run_scenarios(const Options& opt,
+                          std::vector<std::function<void()>>& jobs) {
+  xcc::SweepStats stats;
+  xcc::run_jobs(jobs, jobs_or_default(opt), &stats);
+  print_sweep_summary(stats);
+}
+
+/// Config for one inclusion-only run (Figs. 6-7 / Table I): submits at
+/// `rps` for `blocks` blocks with no relayer.
+inline xcc::ExperimentConfig inclusion_config(double rps, int rep,
+                                              int blocks = 15,
+                                              bool resolve_workload = false) {
   xcc::ExperimentConfig cfg;
   cfg.relayer_count = 0;
   cfg.collect_steps = false;
@@ -75,14 +127,14 @@ inline xcc::ExperimentResult run_inclusion_point(double rps, int rep,
   // only need the measurement window.
   cfg.wait_for_workload = resolve_workload;
   cfg.max_sim_time = sim::seconds(8'000);
-  return xcc::run_experiment(cfg);
+  return cfg;
 }
 
-/// One relayer-throughput run (Figs. 8-11): `relayers` instances, 50-block
-/// window, given RTT.
-inline xcc::ExperimentResult run_relayer_point(double rps, int relayers,
-                                               sim::Duration rtt, int rep,
-                                               int blocks = 50) {
+/// Config for one relayer-throughput run (Figs. 8-11): `relayers`
+/// instances, 50-block window, given RTT.
+inline xcc::ExperimentConfig relayer_config(double rps, int relayers,
+                                            sim::Duration rtt, int rep,
+                                            int blocks = 50) {
   xcc::ExperimentConfig cfg;
   cfg.relayer_count = relayers;
   cfg.collect_steps = false;
@@ -91,7 +143,22 @@ inline xcc::ExperimentResult run_relayer_point(double rps, int relayers,
   cfg.testbed.rtt = rtt;
   cfg.testbed.seed = seed_for(rep);
   cfg.max_sim_time = sim::seconds(4'000);
-  return xcc::run_experiment(cfg);
+  return cfg;
+}
+
+/// One inclusion-only run, executed immediately (kept for spot checks).
+inline xcc::ExperimentResult run_inclusion_point(double rps, int rep,
+                                                 int blocks = 15,
+                                                 bool resolve_workload = false) {
+  return xcc::run_experiment(
+      inclusion_config(rps, rep, blocks, resolve_workload));
+}
+
+/// One relayer-throughput run, executed immediately (kept for spot checks).
+inline xcc::ExperimentResult run_relayer_point(double rps, int relayers,
+                                               sim::Duration rtt, int rep,
+                                               int blocks = 50) {
+  return xcc::run_experiment(relayer_config(rps, relayers, rtt, rep, blocks));
 }
 
 }  // namespace bench

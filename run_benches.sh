@@ -2,7 +2,22 @@
 # Checkpointing bench runner: each bench's output is cached in
 # bench_results/<name>.txt; already-completed benches are skipped, so the
 # script can be re-invoked until everything is done.
+#
+#   ./run_benches.sh            run all benches (cached)
+#   ./run_benches.sh --check    build with -DTHREAD_SANITIZER=ON and run the
+#                               parallel-runner + determinism tests under TSan
 cd "$(dirname "$0")"
+
+if [ "$1" = "--check" ]; then
+  set -e
+  echo "== ThreadSanitizer check: parallel runner + determinism =="
+  cmake -B build-tsan -S . -DTHREAD_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j --target test_parallel test_relayer_behavior
+  (cd build-tsan && ctest --output-on-failure -R 'Parallel|Determinism')
+  echo "TSan check passed"
+  exit 0
+fi
+
 mkdir -p bench_results
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

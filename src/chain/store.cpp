@@ -44,7 +44,7 @@ void KvStore::journal_record(const std::string& key) {
   if (!journaling_) return;
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
-    journal_.push_back(UndoEntry{key, it->second});
+    journal_.push_back(UndoEntry{key, it->second.value});
   } else {
     journal_.push_back(UndoEntry{key, std::nullopt});
   }
@@ -54,12 +54,14 @@ void KvStore::set(const std::string& key, util::Bytes value) {
   journal_record(key);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
-    xor_into_root(entry_hash(key, it->second));  // remove old contribution
-    it->second = std::move(value);
-    xor_into_root(entry_hash(key, it->second));
+    xor_into_root(it->second.hash);  // remove old contribution, no rehash
+    it->second.value = std::move(value);
+    it->second.hash = entry_hash(key, it->second.value);
+    xor_into_root(it->second.hash);
   } else {
-    xor_into_root(entry_hash(key, value));
-    entries_.emplace(key, std::move(value));
+    const auto pos = entries_.emplace(key, Entry{std::move(value), {}}).first;
+    pos->second.hash = entry_hash(key, pos->second.value);
+    xor_into_root(pos->second.hash);
   }
 }
 
@@ -67,14 +69,14 @@ void KvStore::erase(const std::string& key) {
   journal_record(key);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return;
-  xor_into_root(entry_hash(key, it->second));
+  xor_into_root(it->second.hash);
   entries_.erase(it);
 }
 
 std::optional<util::Bytes> KvStore::get(const std::string& key) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  return it->second.value;
 }
 
 bool KvStore::contains(const std::string& key) const {
@@ -98,7 +100,7 @@ StoreProof KvStore::prove(const std::string& key) const {
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     proof.exists = true;
-    proof.value = it->second;
+    proof.value = it->second.value;
   }
   proof.binding = store_proof_binding(key, proof.value, proof.exists, root_);
   return proof;

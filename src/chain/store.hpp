@@ -66,7 +66,14 @@ class KvStore {
 
   void journal_record(const std::string& key);
 
-  std::map<std::string, util::Bytes> entries_;
+  // Each entry caches its SHA-256 contribution to the set-hash root, so
+  // overwriting a key hashes only the new value (and erasing hashes
+  // nothing) instead of rehashing the old value to back it out.
+  struct Entry {
+    util::Bytes value;
+    crypto::Digest hash{};
+  };
+  std::map<std::string, Entry> entries_;
   crypto::Digest root_{};
 
   struct UndoEntry {

@@ -1,6 +1,8 @@
 #include "crypto/signature.hpp"
 
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 
 namespace crypto {
 
@@ -17,10 +19,18 @@ Digest tagged_hash(std::string_view tag, util::BytesView a, util::BytesView b) {
 // Trapdoor registry: public key id -> private seed. Valid because all keys
 // in the simulator are derived in-process; lets verify() recompute MACs
 // without shipping private keys around (mirroring real verification
-// semantics). Not thread-safe by design — the DES is single-threaded.
+// semantics). This is the one piece of state shared by concurrent
+// simulations (the parallel experiment runner), so it takes a
+// reader/writer lock; determinism is unaffected because entries are pure
+// functions of the derivation seed, whatever order runs insert them in.
 std::map<Digest, Digest>& registry() {
   static std::map<Digest, Digest> r;
   return r;
+}
+
+std::shared_mutex& registry_mutex() {
+  static std::shared_mutex m;
+  return m;
 }
 
 }  // namespace
@@ -31,7 +41,10 @@ KeyPair derive_key_pair(std::string_view seed) {
   kp.pub.id = tagged_hash(
       "ibcperf/pub",
       util::BytesView(kp.priv.seed.data(), kp.priv.seed.size()), {});
-  registry()[kp.pub.id] = kp.priv.seed;
+  {
+    const std::unique_lock lock(registry_mutex());
+    registry()[kp.pub.id] = kp.priv.seed;
+  }
   return kp;
 }
 
@@ -45,11 +58,15 @@ Signature sign(const PrivateKey& priv, util::BytesView message) {
 
 bool verify(const PublicKey& pub, util::BytesView message,
             const Signature& sig) {
-  const auto it = registry().find(pub.id);
-  if (it == registry().end()) return false;
+  Digest seed;
+  {
+    const std::shared_lock lock(registry_mutex());
+    const auto it = registry().find(pub.id);
+    if (it == registry().end()) return false;
+    seed = it->second;
+  }
   const Digest expected = tagged_hash(
-      "ibcperf/mac", util::BytesView(it->second.data(), it->second.size()),
-      message);
+      "ibcperf/mac", util::BytesView(seed.data(), seed.size()), message);
   return expected == sig.mac;
 }
 

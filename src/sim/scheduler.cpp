@@ -4,72 +4,99 @@
 
 namespace sim {
 
-EventId Scheduler::schedule_at(TimePoint t, std::function<void()> fn) {
-  auto ev = std::make_shared<Event>();
-  ev->time = std::max(t, now_);
-  ev->id = next_id_++;
-  ev->fn = std::move(fn);
-  recent_.emplace_back(ev->id, ev);
-  queue_.push(std::move(ev));
-  // Garbage-collect expired weak refs occasionally so cancellation lookup
-  // stays O(log pending) rather than O(log all-time).
-  if (recent_.size() > 4096 && recent_.size() > queue_.size() * 2) {
-    std::erase_if(recent_, [](const auto& p) { return p.second.expired(); });
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
   }
-  return next_id_ - 1;
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slab_[slot];
+  s.fn = nullptr;
+  s.armed = false;
+  ++s.gen;
+  free_slots_.push_back(slot);
+}
+
+EventId Scheduler::schedule_at(TimePoint t, std::function<void()> fn) {
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slab_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  queue_.push(QueueEntry{std::max(t, now_), next_seq_++, slot});
+  ++live_;
+  return (static_cast<EventId>(s.gen) << 32) | slot;
 }
 
 EventId Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
   return schedule_at(now_ + std::max<Duration>(delay, 0), std::move(fn));
 }
 
-std::weak_ptr<Scheduler::Event> Scheduler::find_pending(EventId id) {
-  const auto it = std::lower_bound(
-      recent_.begin(), recent_.end(), id,
-      [](const auto& p, EventId needle) { return p.first < needle; });
-  if (it == recent_.end() || it->first != id) return {};
-  return it->second;
-}
-
 void Scheduler::cancel(EventId id) {
-  if (auto ev = find_pending(id).lock()) {
-    ev->cancelled = true;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slab_.size()) return;
+  Slot& s = slab_[slot];
+  if (s.gen != gen || !s.armed) return;  // already fired, cancelled or reused
+  // Disarm and drop the closure now; the slot itself is recycled when its
+  // queue entry surfaces at the heap top.
+  s.armed = false;
+  s.fn = nullptr;
+  --live_;
+}
+
+void Scheduler::skim_cancelled() {
+  while (!queue_.empty() && !slab_[queue_.top().slot].armed) {
+    const std::uint32_t slot = queue_.top().slot;
+    queue_.pop();
+    release_slot(slot);
   }
 }
 
-std::shared_ptr<Scheduler::Event> Scheduler::pop_next() {
+bool Scheduler::pop_next(TimePoint& time, std::function<void()>& fn) {
   while (!queue_.empty()) {
-    std::shared_ptr<Event> ev = queue_.top();
+    const QueueEntry e = queue_.top();
     queue_.pop();
-    if (!ev->cancelled) return ev;
+    Slot& s = slab_[e.slot];
+    const bool armed = s.armed;
+    if (armed) fn = std::move(s.fn);
+    release_slot(e.slot);
+    if (armed) {
+      time = e.time;
+      --live_;
+      return true;
+    }
   }
-  return nullptr;
+  return false;
 }
 
 bool Scheduler::step() {
-  auto ev = pop_next();
-  if (!ev) return false;
-  now_ = ev->time;
+  TimePoint t;
+  std::function<void()> fn;
+  if (!pop_next(t, fn)) return false;
+  now_ = t;
   ++executed_;
-  // Move the closure out before invoking so re-entrant scheduling that
-  // happens to reallocate does not touch the running function.
-  auto fn = std::move(ev->fn);
+  // The closure was moved out of the slab before invoking, so re-entrant
+  // scheduling that reuses (or grows) the slab cannot touch it.
   fn();
   return true;
 }
 
 void Scheduler::run_until(TimePoint t) {
   for (;;) {
-    auto ev = pop_next();
-    if (!ev) break;
-    if (ev->time > t) {
-      // Not due yet: put it back and stop.
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev->time;
+    skim_cancelled();
+    if (queue_.empty() || queue_.top().time > t) break;
+    const QueueEntry e = queue_.top();
+    queue_.pop();
+    std::function<void()> fn = std::move(slab_[e.slot].fn);
+    release_slot(e.slot);
+    --live_;
+    now_ = e.time;
     ++executed_;
-    auto fn = std::move(ev->fn);
     fn();
   }
   now_ = std::max(now_, t);
@@ -78,26 +105,19 @@ void Scheduler::run_until(TimePoint t) {
 std::uint64_t Scheduler::run_until_idle(TimePoint hard_limit) {
   std::uint64_t ran = 0;
   for (;;) {
-    auto ev = pop_next();
-    if (!ev) break;
-    if (ev->time > hard_limit) {
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev->time;
+    skim_cancelled();
+    if (queue_.empty() || queue_.top().time > hard_limit) break;
+    const QueueEntry e = queue_.top();
+    queue_.pop();
+    std::function<void()> fn = std::move(slab_[e.slot].fn);
+    release_slot(e.slot);
+    --live_;
+    now_ = e.time;
     ++executed_;
     ++ran;
-    auto fn = std::move(ev->fn);
     fn();
   }
   return ran;
-}
-
-bool Scheduler::idle() const {
-  // Cancelled events may still sit in the queue; treat them as absent.
-  // (Cheap approximation: the queue only ever holds a few cancelled stragglers
-  // because pop_next() discards them as they surface.)
-  return queue_.empty();
 }
 
 }  // namespace sim

@@ -6,10 +6,16 @@
 // timeouts, network message deliveries, RPC queue service completions,
 // relayer worker steps — is expressed as a scheduled callback. Sequence
 // numbers break time ties in FIFO order, making execution deterministic.
+//
+// Storage is a slab: each pending event occupies a reusable slot, and an
+// EventId encodes (generation << 32 | slot) so cancellation is an O(1)
+// slot lookup with a generation check instead of a search. Slots are
+// recycled as soon as their queue entry is consumed, so the slab stays
+// bounded by the maximum number of *concurrently* pending events, not by
+// the total ever scheduled.
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -17,6 +23,8 @@
 
 namespace sim {
 
+/// Opaque handle: high 32 bits = slot generation, low 32 bits = slot index.
+/// Generations start at 1, so no valid id is ever 0.
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEvent = 0;
 
@@ -48,38 +56,52 @@ class Scheduler {
   /// number of events executed.
   std::uint64_t run_until_idle(TimePoint hard_limit);
 
-  bool idle() const;
+  bool idle() const { return live_ == 0; }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Events scheduled but not yet fired or cancelled.
+  std::size_t pending_events() const { return live_; }
+  /// Slots allocated for pending-event bookkeeping; bounded by the peak
+  /// number of simultaneously pending events (regression guard: it must NOT
+  /// grow with the total number of events ever scheduled).
+  std::size_t slab_capacity() const { return slab_.size(); }
+
  private:
-  struct Event {
-    TimePoint time;
-    EventId id;
+  struct Slot {
     std::function<void()> fn;
-    bool cancelled = false;
+    std::uint32_t gen = 1;
+    // True while the slot holds a cancellable pending event; cleared by
+    // cancel() and when the queue entry is consumed.
+    bool armed = false;
   };
-  struct EventOrder {
-    // min-heap by (time, id); id order preserves scheduling FIFO within a
-    // timestamp.
-    bool operator()(const std::shared_ptr<Event>& a,
-                    const std::shared_ptr<Event>& b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->id > b->id;
+  struct QueueEntry {
+    TimePoint time;
+    std::uint64_t seq;  // global schedule order; FIFO tie-break within a time
+    std::uint32_t slot;
+  };
+  struct EntryOrder {
+    // min-heap by (time, seq).
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  std::shared_ptr<Event> pop_next();  // skips cancelled events
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  /// Pops entries until one is armed; moves its closure into `fn` and
+  /// returns true, or returns false when the queue is exhausted.
+  bool pop_next(TimePoint& time, std::function<void()>& fn);
+  /// Drops cancelled entries at the head so top() is an armed event.
+  void skim_cancelled();
 
   TimePoint now_ = kTimeZero;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<std::shared_ptr<Event>,
-                      std::vector<std::shared_ptr<Event>>, EventOrder>
-      queue_;
-  // Pending (cancellable) events by id; entries are erased when fired.
-  std::vector<std::pair<EventId, std::weak_ptr<Event>>> recent_;
-  // Cancellation lookup: sorted insertion order == id order, binary search.
-  std::weak_ptr<Event> find_pending(EventId id);
+  std::size_t live_ = 0;
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue_;
 };
 
 }  // namespace sim

@@ -1,9 +1,19 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <mutex>
+
 namespace util {
 
 namespace {
-LogLevel g_level = LogLevel::kError;
+// Atomic so worker threads of the parallel experiment runner can read the
+// threshold while a main thread adjusts it; relaxed is enough — the level
+// is a filter, not a synchronisation point.
+std::atomic<LogLevel> g_level{LogLevel::kError};
+
+// Serialises sink writes: interleaved std::clog from concurrent runs would
+// otherwise tear mid-line (and is a data race under TSan).
+std::mutex g_sink_mutex;
 
 std::string_view level_name(LogLevel level) {
   switch (level) {
@@ -18,11 +28,14 @@ std::string_view level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 void log_line(LogLevel level, std::string_view component, std::string_view msg) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::clog << '[' << level_name(level) << "] (" << component << ") " << msg
             << '\n';
 }

@@ -1,0 +1,98 @@
+#include "xcc/parallel.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace xcc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+int default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int clamp_workers(int workers, std::size_t jobs) {
+  if (workers < 1) workers = 1;
+  const auto cap = static_cast<int>(jobs > 0 ? jobs : 1);
+  return workers < cap ? workers : cap;
+}
+
+void run_jobs(std::vector<std::function<void()>>& jobs, int workers,
+              SweepStats* stats) {
+  const std::size_t n = jobs.size();
+  workers = clamp_workers(workers, n);
+
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<double> aggregate{0.0};
+  const auto wall_start = Clock::now();
+
+  if (n > 0) {
+    // Fixed-size pool over an atomic work index: jobs are claimed in
+    // submission order, and each worker writes only to its claimed job's
+    // slots, so no further synchronisation is needed.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        const auto job_start = Clock::now();
+        try {
+          jobs[i]();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        const double elapsed = seconds_between(job_start, Clock::now());
+        double seen = aggregate.load(std::memory_order_relaxed);
+        while (!aggregate.compare_exchange_weak(seen, seen + elapsed,
+                                                std::memory_order_relaxed)) {
+        }
+      }
+    };
+    if (workers == 1) {
+      worker();  // run inline: --jobs 1 must behave exactly like the
+                 // historical serial sweep, with no thread in between
+    } else {
+      std::vector<std::jthread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->workers = workers;
+    stats->jobs = n;
+    stats->wall_seconds = seconds_between(wall_start, Clock::now());
+    stats->aggregate_seconds = aggregate.load(std::memory_order_relaxed);
+  }
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentConfig>& configs, int workers,
+    SweepStats* stats) {
+  std::vector<ExperimentResult> results(configs.size());
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    jobs.push_back([&configs, &results, i] {
+      results[i] = run_experiment(configs[i]);
+    });
+  }
+  run_jobs(jobs, workers, stats);
+  return results;
+}
+
+}  // namespace xcc

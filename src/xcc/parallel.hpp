@@ -1,0 +1,56 @@
+#pragma once
+// Parallel experiment runner.
+//
+// Every repetition of a paper sweep point is a fully self-contained,
+// seed-deterministic simulation (its Testbed owns the scheduler, chains,
+// RNG streams and RPC servers), so a (input-rate x repetition) grid is
+// embarrassingly parallel. run_experiments() executes independent
+// ExperimentConfigs on a fixed-size worker pool and returns results in
+// submission order, which keeps every bench's aggregation — and therefore
+// its CSV output — bit-identical to a serial sweep.
+//
+// Shared state audited for this to be safe (see DESIGN.md "Threading
+// model"): the crypto::signature trapdoor registry (reader/writer lock,
+// value-deterministic), util::log's level + sink (atomic / mutex). All
+// other state is owned by a single run.
+
+#include <functional>
+#include <vector>
+
+#include "xcc/experiment.hpp"
+
+namespace xcc {
+
+/// Hardware concurrency, clamped to >= 1 (0 on exotic platforms).
+int default_workers();
+
+/// Workers actually used for a batch: at least 1, at most `jobs`.
+int clamp_workers(int workers, std::size_t jobs);
+
+/// Utilisation of one parallel batch, for bench output.
+struct SweepStats {
+  int workers = 1;
+  std::size_t jobs = 0;
+  double wall_seconds = 0.0;
+  /// Sum of the jobs' individual wall times — what a serial sweep would
+  /// roughly have cost; aggregate/wall is the achieved speedup.
+  double aggregate_seconds = 0.0;
+  double speedup() const {
+    return wall_seconds > 0.0 ? aggregate_seconds / wall_seconds : 1.0;
+  }
+};
+
+/// Runs arbitrary jobs on `workers` threads and blocks until all complete.
+/// Jobs must be independent: each may only touch state owned by its own
+/// index. If jobs throw, the first exception in submission order is
+/// rethrown after the pool drains (remaining jobs still run).
+void run_jobs(std::vector<std::function<void()>>& jobs, int workers,
+              SweepStats* stats = nullptr);
+
+/// Runs each config through run_experiment() concurrently; results come
+/// back in submission order.
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentConfig>& configs, int workers,
+    SweepStats* stats = nullptr);
+
+}  // namespace xcc

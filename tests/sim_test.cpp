@@ -127,6 +127,58 @@ TEST(SchedulerTest, ReentrantSchedulingDuringEvent) {
   EXPECT_EQ(fired, 100);
 }
 
+TEST(SchedulerTest, SlabCapacityStaysBoundedAcrossWaves) {
+  // Regression: the pending-event bookkeeping must not grow without bound
+  // when events fire or are cancelled (the old implementation kept an
+  // ever-growing id map between prune scans). Slots must be recycled, so
+  // after many schedule/fire waves the slab stays at one wave's footprint.
+  sim::Scheduler sched;
+  for (int wave = 0; wave < 100; ++wave) {
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(sched.schedule_after(sim::millis(1), [] {}));
+    }
+    // Cancel half, fire the rest.
+    for (std::size_t i = 0; i < ids.size(); i += 2) sched.cancel(ids[i]);
+    sched.run_until(sched.now() + sim::millis(2));
+    EXPECT_EQ(sched.pending_events(), 0u);
+  }
+  // 100 waves x 50 events each; capacity must reflect one wave, not all.
+  EXPECT_LE(sched.slab_capacity(), 64u);
+}
+
+TEST(SchedulerTest, StaleCancelAfterSlotReuseIsNoOp) {
+  // A cancelled/fired event's slot is recycled with a bumped generation;
+  // cancelling the stale id must not touch the slot's new occupant.
+  sim::Scheduler sched;
+  bool first = false, second = false;
+  const sim::EventId stale =
+      sched.schedule_at(sim::millis(1), [&] { first = true; });
+  sched.run_until(sim::millis(1));
+  EXPECT_TRUE(first);
+  // The recycled slot now holds a different event.
+  const sim::EventId fresh =
+      sched.schedule_at(sim::millis(2), [&] { second = true; });
+  EXPECT_NE(stale, fresh);
+  sched.cancel(stale);  // must not cancel `fresh`
+  sched.run_until(sim::millis(2));
+  EXPECT_TRUE(second);
+}
+
+TEST(SchedulerTest, PendingEventsTracksLiveCount) {
+  sim::Scheduler sched;
+  EXPECT_TRUE(sched.idle());
+  const sim::EventId a = sched.schedule_at(sim::millis(1), [] {});
+  sched.schedule_at(sim::millis(2), [] {});
+  EXPECT_EQ(sched.pending_events(), 2u);
+  EXPECT_FALSE(sched.idle());
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.run_until(sim::millis(2));
+  EXPECT_EQ(sched.pending_events(), 0u);
+  EXPECT_TRUE(sched.idle());
+}
+
 TEST(ServiceQueueTest, SerializesJobs) {
   sim::Scheduler sched;
   sim::ServiceQueue q(sched);
