@@ -4,8 +4,9 @@
 # script can be re-invoked until everything is done.
 #
 #   ./run_benches.sh            run all benches (cached)
-#   ./run_benches.sh --check    build with -DTHREAD_SANITIZER=ON and run the
-#                               parallel-runner + determinism tests under TSan
+#   ./run_benches.sh --check    sanitizer passes: TSan over the parallel
+#                               runner + determinism tests, then ASan+UBSan
+#                               over the invariant checker and fuzz scenarios
 cd "$(dirname "$0")"
 
 if [ "$1" = "--check" ]; then
@@ -14,7 +15,12 @@ if [ "$1" = "--check" ]; then
   cmake -B build-tsan -S . -DTHREAD_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j --target test_parallel test_relayer_behavior
   (cd build-tsan && ctest --output-on-failure -R 'Parallel|Determinism')
-  echo "TSan check passed"
+  echo "== ASan+UBSan check: invariant checker + fuzz scenarios =="
+  cmake -B build-asan -S . -DADDRESS_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j --target test_invariants test_faults fuzz_scenarios
+  (cd build-asan && ctest --output-on-failure -R 'InvariantChecker|NetworkFault|TimeoutPath|CodecProperty')
+  ./build-asan/src/check/fuzz_scenarios --seeds=40
+  echo "sanitizer checks passed"
   exit 0
 fi
 

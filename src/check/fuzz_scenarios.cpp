@@ -1,0 +1,184 @@
+// Seed-deterministic scenario fuzzer (see DESIGN.md "Invariant checking").
+//
+//   fuzz_scenarios --seeds=200 --jobs=8     fuzz 200 seeds across 8 workers
+//   fuzz_scenarios --seed=1234567           reproduce one seed, verbosely
+//   fuzz_scenarios --seeds=12 --mutate=skip-replay-check --expect-violation
+//                                           prove the checker catches a
+//                                           deliberately broken keeper
+//
+// Exit status: 0 when no violations were found (or, with
+// --expect-violation, when at least one was), 1 otherwise, 2 on bad usage.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "xcc/parallel.hpp"
+
+namespace {
+
+struct Options {
+  int seeds = 50;
+  std::uint64_t base_seed = 0xF022ED5EEDULL;
+  bool single_seed = false;
+  std::uint64_t seed = 0;
+  int jobs = 0;  // 0 = hardware concurrency
+  bool verbose = false;
+  bool expect_violation = false;
+  check::ScenarioOptions scenario;
+};
+
+void usage() {
+  std::cout
+      << "usage: fuzz_scenarios [options]\n"
+         "  --seeds=N             number of seeds to fuzz (default 50)\n"
+         "  --seed=S              run exactly one seed (implies --verbose)\n"
+         "  --base-seed=B         first seed of the range (default "
+         "0xF022ED5EED)\n"
+         "  --jobs=N              worker threads (default: hardware "
+         "concurrency)\n"
+         "  --mutate=skip-replay-check\n"
+         "                        inject a broken recvPacket replay check\n"
+         "  --expect-violation    exit 0 iff at least one violation found\n"
+         "  --verbose             one line per scenario\n";
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--seeds=", 0) == 0) {
+      opt.seeds = std::atoi(value("--seeds=").c_str());
+      if (opt.seeds <= 0) return false;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.single_seed = true;
+      opt.verbose = true;
+      opt.seed = std::strtoull(value("--seed=").c_str(), nullptr, 0);
+    } else if (arg.rfind("--base-seed=", 0) == 0) {
+      opt.base_seed = std::strtoull(value("--base-seed=").c_str(), nullptr, 0);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::atoi(value("--jobs=").c_str());
+    } else if (arg.rfind("--mutate=", 0) == 0) {
+      const std::string what = value("--mutate=");
+      if (what == "skip-replay-check") {
+        opt.scenario.mutate_skip_replay = true;
+      } else {
+        std::cerr << "unknown mutation: " << what << "\n";
+        return false;
+      }
+    } else if (arg == "--expect-violation") {
+      opt.expect_violation = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--help") {
+      usage();
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string repro_command(const Options& opt, std::uint64_t seed) {
+  std::string cmd = "fuzz_scenarios --seed=" + std::to_string(seed);
+  if (opt.scenario.mutate_skip_replay) cmd += " --mutate=skip-replay-check";
+  return cmd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+
+  std::vector<std::uint64_t> seeds;
+  if (opt.single_seed) {
+    seeds.push_back(opt.seed);
+  } else {
+    seeds.reserve(static_cast<std::size_t>(opt.seeds));
+    for (int i = 0; i < opt.seeds; ++i) {
+      seeds.push_back(opt.base_seed + static_cast<std::uint64_t>(i));
+    }
+  }
+
+  std::vector<check::ScenarioResult> results(seeds.size());
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    jobs.push_back([&results, &seeds, &opt, i] {
+      results[i] = check::run_scenario(seeds[i], opt.scenario);
+    });
+  }
+  const int workers = xcc::clamp_workers(
+      opt.jobs > 0 ? opt.jobs : xcc::default_workers(), jobs.size());
+  std::cout << "fuzzing " << seeds.size() << " seed(s) on " << workers
+            << " worker(s)"
+            << (opt.scenario.mutate_skip_replay
+                    ? " with mutation skip-replay-check"
+                    : "")
+            << "\n";
+  xcc::SweepStats stats;
+  xcc::run_jobs(jobs, workers, &stats);
+
+  std::size_t violating_seeds = 0, total_violations = 0, setup_failures = 0;
+  std::uint64_t transfers = 0, received = 0, timed_out = 0, redundant = 0;
+  for (const check::ScenarioResult& r : results) {
+    if (!r.setup_ok) {
+      ++setup_failures;
+      std::cout << "seed " << r.seed << ": SETUP FAILED (" << r.setup_error
+                << ") [" << r.summary << "]\n";
+      continue;
+    }
+    transfers += r.transfers_requested;
+    received += r.packets_received;
+    timed_out += r.packets_timed_out;
+    redundant += r.redundant_messages;
+    if (opt.verbose) {
+      std::cout << "seed " << r.seed << ": " << r.summary << " | blocks="
+                << r.blocks_checked << " transfers="
+                << r.transfers_requested << " recv=" << r.packets_received
+                << " timeout=" << r.packets_timed_out << " redundant="
+                << r.redundant_messages << " dropped="
+                << r.messages_dropped << " violations="
+                << r.violations.size() << "\n";
+    }
+    if (!r.violations.empty()) {
+      ++violating_seeds;
+      total_violations += r.violations.size();
+      std::cout << "seed " << r.seed << ": " << r.violations.size()
+                << " violation(s) — repro: " << repro_command(opt, r.seed)
+                << "\n";
+      for (const check::Violation& v : r.violations) {
+        std::cout << "    " << v.to_string() << "\n";
+      }
+    }
+  }
+
+  std::cout << "fuzzed " << seeds.size() << " seed(s) in "
+            << stats.wall_seconds << " s: " << total_violations
+            << " violation(s) across " << violating_seeds << " seed(s), "
+            << setup_failures << " setup failure(s); " << transfers
+            << " transfers, " << received << " received, " << timed_out
+            << " timed out, " << redundant << " redundant\n";
+
+  if (opt.expect_violation) {
+    if (total_violations > 0) {
+      std::cout << "mutation detected as expected\n";
+      return 0;
+    }
+    std::cout << "ERROR: mutation was NOT detected by any seed\n";
+    return 1;
+  }
+  if (setup_failures > 0) return 1;
+  return total_violations == 0 ? 0 : 1;
+}

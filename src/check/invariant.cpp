@@ -1,0 +1,571 @@
+#include "check/invariant.hpp"
+
+#include <cstdlib>
+
+#include "ibc/client.hpp"
+#include "ibc/host.hpp"
+#include "ibc/packet.hpp"
+#include "ibc/transfer.hpp"
+#include "util/bytes.hpp"
+
+namespace check {
+
+namespace {
+
+/// The packet fields carried by every life-cycle event (acknowledge/timeout
+/// events omit packet_data, so this is a lighter parse than
+/// ibc::packet_from_event).
+struct PacketRef {
+  ibc::Sequence sequence = 0;
+  std::string src_port, src_channel, dst_port, dst_channel;
+  std::string data;  // "" when the event omits it
+};
+
+bool parse_packet_event(const chain::Event& ev, PacketRef& out) {
+  const std::string seq = ev.attribute("packet_sequence");
+  if (seq.empty()) return false;
+  char* end = nullptr;
+  out.sequence = std::strtoull(seq.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out.src_port = ev.attribute("packet_src_port");
+  out.src_channel = ev.attribute("packet_src_channel");
+  out.dst_port = ev.attribute("packet_dst_port");
+  out.dst_channel = ev.attribute("packet_dst_channel");
+  out.data = ev.attribute("packet_data");
+  return !out.src_port.empty() && !out.src_channel.empty() &&
+         !out.dst_port.empty() && !out.dst_channel.empty();
+}
+
+bool parse_transfer_data(const std::string& raw,
+                         ibc::FungibleTokenPacketData& out) {
+  const util::Bytes bytes = util::to_bytes(raw);
+  return ibc::FungibleTokenPacketData::from_json(bytes, out);
+}
+
+/// True when a trace path re-enters the channel it came from (the ICS-20
+/// "returning" test: burn-on-send / unescrow-on-recv).
+bool is_returning(const std::string& denom_path, const std::string& port,
+                  const std::string& channel) {
+  const std::string prefix = port + "/" + channel + "/";
+  return denom_path.size() > prefix.size() &&
+         denom_path.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// The denom a trace path is held under locally: the base denom at the
+/// origin zone, a voucher hash everywhere else.
+std::string held_denom(const std::string& denom_path) {
+  if (denom_path.find('/') == std::string::npos) return denom_path;
+  return ibc::voucher_denom(denom_path);
+}
+
+std::string chan_str(const std::string& port, const std::string& channel) {
+  return port + "/" + channel;
+}
+
+}  // namespace
+
+std::string Violation::to_string() const {
+  return "[" + chain + " @" + std::to_string(height) + "] " + invariant +
+         ": " + detail;
+}
+
+InvariantViolation::InvariantViolation(const Violation& v)
+    : std::runtime_error("IBC invariant violated " + v.to_string()),
+      violation(v) {}
+
+bool InvariantChecker::SeqWindow::insert(ibc::Sequence s) {
+  if (contains(s)) return false;
+  if (s == contiguous + 1) {
+    ++contiguous;
+    // Absorb any sparse sequences that became contiguous.
+    auto it = sparse.begin();
+    while (it != sparse.end() && *it == contiguous + 1) {
+      ++contiguous;
+      it = sparse.erase(it);
+    }
+  } else {
+    sparse.insert(s);
+  }
+  return true;
+}
+
+bool InvariantChecker::SeqWindow::contains(ibc::Sequence s) const {
+  return (s >= 1 && s <= contiguous) || sparse.count(s) > 0;
+}
+
+InvariantChecker::InvariantChecker(ChainHandles a, ChainHandles b,
+                                   CheckerConfig config)
+    : config_(config) {
+  chains_[0].h = a;
+  chains_[1].h = b;
+  for (std::size_t i = 0; i < 2; ++i) {
+    chains_[i].h.engine->subscribe_block(
+        [this, i](const chain::Block& block,
+                  const std::vector<chain::DeliverTxResult>& results) {
+          on_block(i, block, results);
+        });
+  }
+}
+
+std::string InvariantChecker::report() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += v.to_string();
+    out += '\n';
+  }
+  if (overflowed_) out += "(further violations suppressed)\n";
+  return out;
+}
+
+void InvariantChecker::fail(const chain::ChainId& chain, chain::Height height,
+                            std::string invariant, std::string detail) {
+  Violation v{std::move(invariant), chain, height, std::move(detail)};
+  if (config_.fail_fast) throw InvariantViolation(v);
+  if (violations_.size() >= config_.max_violations) {
+    overflowed_ = true;
+    return;
+  }
+  violations_.push_back(std::move(v));
+}
+
+void InvariantChecker::on_block(
+    std::size_t chain_idx, const chain::Block& block,
+    const std::vector<chain::DeliverTxResult>& results) {
+  ChainState& c = chains_[chain_idx];
+  ChainState& other = chains_[1 - chain_idx];
+  const chain::Height height = block.header.height;
+  ++blocks_checked_;
+
+  check_account_sequences(c, block, results);
+  for (const chain::DeliverTxResult& res : results) {
+    if (!res.status.is_ok()) continue;  // failed txs mutate nothing
+    process_events(c, other, height, res.events);
+  }
+  check_channel_counters(c, height);
+  check_client_heights(c, height);
+  check_bank_conservation(c, height);
+  check_escrow_model(c, height);
+}
+
+void InvariantChecker::process_events(ChainState& c, ChainState& other,
+                                      chain::Height height,
+                                      const std::vector<chain::Event>& events) {
+  ibc::ChannelKeeper channels(c.h.app->store());
+  for (const chain::Event& ev : events) {
+    if (ev.type != "send_packet" && ev.type != "recv_packet" &&
+        ev.type != "write_acknowledgement" &&
+        ev.type != "acknowledge_packet" && ev.type != "timeout_packet") {
+      continue;
+    }
+    PacketRef p;
+    if (!parse_packet_event(ev, p)) {
+      fail(c.h.id, height, "event-format",
+           "unparseable packet event " + ev.type);
+      continue;
+    }
+
+    if (ev.type == "send_packet") {
+      ChannelTrack& ch = c.channels[{p.src_port, p.src_channel}];
+      if (p.sequence != ch.last_send + 1) {
+        fail(c.h.id, height, "send-sequence-gap",
+             chan_str(p.src_port, p.src_channel) + " sent sequence " +
+                 std::to_string(p.sequence) + ", expected " +
+                 std::to_string(ch.last_send + 1));
+      }
+      if (p.sequence > ch.last_send) ch.last_send = p.sequence;
+
+      ibc::FungibleTokenPacketData data;
+      if (p.src_port == ibc::kTransferPort &&
+          parse_transfer_data(p.data, data)) {
+        PendingTransfer pending{data.amount, data.denom,
+                                is_returning(data.denom, p.src_port,
+                                             p.src_channel)};
+        if (pending.returning) {
+          // Voucher burnt on send; supply shrinks until refund (if any).
+          auto& supply = c.voucher_supply[ibc::voucher_denom(data.denom)];
+          if (supply < data.amount) {
+            fail(c.h.id, height, "token-conservation",
+                 "burnt more " + data.denom + " than was ever minted");
+            supply = 0;
+          } else {
+            supply -= data.amount;
+          }
+        } else {
+          c.escrow[{ibc::escrow_address(p.src_port, p.src_channel),
+                    held_denom(data.denom)}] += data.amount;
+        }
+        ch.pending[p.sequence] = std::move(pending);
+      }
+
+    } else if (ev.type == "recv_packet") {
+      ChannelTrack& ch = c.channels[{p.dst_port, p.dst_channel}];
+      const ibc::Sequence prev_contiguous = ch.recvs.contiguous;
+      if (!ch.recvs.insert(p.sequence)) {
+        fail(c.h.id, height, "exactly-once-recv",
+             chan_str(p.dst_port, p.dst_channel) + " received sequence " +
+                 std::to_string(p.sequence) + " twice");
+      }
+      // The counterparty must have sent it first (commits are totally
+      // ordered in virtual time, so its send event was already observed).
+      const ChannelTrack& src = other.channels[{p.src_port, p.src_channel}];
+      if (p.sequence > src.last_send) {
+        fail(c.h.id, height, "recv-unsent",
+             chan_str(p.dst_port, p.dst_channel) + " received sequence " +
+                 std::to_string(p.sequence) + " but counterparty only sent " +
+                 std::to_string(src.last_send));
+      }
+      auto end = channels.get(p.dst_port, p.dst_channel);
+      if (end.is_ok() &&
+          end.value().ordering == ibc::ChannelOrdering::kOrdered &&
+          p.sequence != prev_contiguous + 1) {
+        fail(c.h.id, height, "ordered-delivery",
+             chan_str(p.dst_port, p.dst_channel) + " delivered sequence " +
+                 std::to_string(p.sequence) + " out of order (expected " +
+                 std::to_string(prev_contiguous + 1) + ")");
+      }
+
+    } else if (ev.type == "write_acknowledgement") {
+      ChannelTrack& ch = c.channels[{p.dst_port, p.dst_channel}];
+      ibc::Acknowledgement ack;
+      const std::string raw = ev.attribute("packet_ack");
+      if (!ibc::Acknowledgement::decode(util::to_bytes(raw), ack)) {
+        fail(c.h.id, height, "event-format",
+             "undecodable packet_ack for sequence " +
+                 std::to_string(p.sequence));
+        continue;
+      }
+      ch.ack_success[p.sequence] = ack.success;
+
+      ibc::FungibleTokenPacketData data;
+      if (ack.success && p.dst_port == ibc::kTransferPort &&
+          parse_transfer_data(p.data, data)) {
+        if (is_returning(data.denom, p.src_port, p.src_channel)) {
+          // Token came home: the local escrow released the inner denom.
+          const std::string inner =
+              data.denom.substr(p.src_port.size() + p.src_channel.size() + 2);
+          auto& escrow = c.escrow[{
+              ibc::escrow_address(p.dst_port, p.dst_channel),
+              held_denom(inner)}];
+          if (escrow < data.amount) {
+            fail(c.h.id, height, "token-conservation",
+                 "unescrowed more " + inner + " than was escrowed");
+            escrow = 0;
+          } else {
+            escrow -= data.amount;
+          }
+        } else {
+          const std::string path =
+              p.dst_port + "/" + p.dst_channel + "/" + data.denom;
+          c.voucher_supply[ibc::voucher_denom(path)] += data.amount;
+        }
+      }
+
+    } else if (ev.type == "acknowledge_packet") {
+      ChannelTrack& ch = c.channels[{p.src_port, p.src_channel}];
+      if (!ch.acks.insert(p.sequence)) {
+        fail(c.h.id, height, "exactly-once-ack",
+             chan_str(p.src_port, p.src_channel) + " acknowledged sequence " +
+                 std::to_string(p.sequence) + " twice");
+      }
+      if (ch.timeouts.contains(p.sequence)) {
+        fail(c.h.id, height, "ack-after-timeout",
+             chan_str(p.src_port, p.src_channel) + " sequence " +
+                 std::to_string(p.sequence) +
+                 " acknowledged after timing out");
+      }
+      ChannelTrack& dst = other.channels[{p.dst_port, p.dst_channel}];
+      const auto outcome = dst.ack_success.find(p.sequence);
+      if (outcome == dst.ack_success.end()) {
+        fail(c.h.id, height, "ack-without-write",
+             chan_str(p.src_port, p.src_channel) + " sequence " +
+                 std::to_string(p.sequence) +
+                 " acknowledged but counterparty never wrote an ack");
+      }
+      const auto pending = ch.pending.find(p.sequence);
+      if (pending != ch.pending.end()) {
+        const bool success =
+            outcome != dst.ack_success.end() && outcome->second;
+        if (!success) {
+          // Failed transfer: the module refunds the sender.
+          if (pending->second.returning) {
+            c.voucher_supply[ibc::voucher_denom(pending->second.denom_path)] +=
+                pending->second.amount;
+          } else {
+            auto& escrow = c.escrow[{
+                ibc::escrow_address(p.src_port, p.src_channel),
+                held_denom(pending->second.denom_path)}];
+            if (escrow < pending->second.amount) {
+              fail(c.h.id, height, "token-conservation",
+                   "refunded more than remained in escrow for " +
+                       chan_str(p.src_port, p.src_channel));
+              escrow = 0;
+            } else {
+              escrow -= pending->second.amount;
+            }
+          }
+        }
+        ch.pending.erase(pending);
+      }
+
+    } else {  // timeout_packet
+      ChannelTrack& ch = c.channels[{p.src_port, p.src_channel}];
+      if (!ch.timeouts.insert(p.sequence)) {
+        fail(c.h.id, height, "exactly-once-timeout",
+             chan_str(p.src_port, p.src_channel) + " timed out sequence " +
+                 std::to_string(p.sequence) + " twice");
+      }
+      if (ch.acks.contains(p.sequence)) {
+        fail(c.h.id, height, "timeout-after-ack",
+             chan_str(p.src_port, p.src_channel) + " sequence " +
+                 std::to_string(p.sequence) + " timed out after an ack");
+      }
+      const ChannelTrack& dst = other.channels[{p.dst_port, p.dst_channel}];
+      if (dst.recvs.contains(p.sequence)) {
+        fail(c.h.id, height, "timeout-after-recv",
+             chan_str(p.src_port, p.src_channel) + " sequence " +
+                 std::to_string(p.sequence) +
+                 " timed out although the counterparty received it");
+      }
+      const auto pending = ch.pending.find(p.sequence);
+      if (pending != ch.pending.end()) {
+        if (pending->second.returning) {
+          c.voucher_supply[ibc::voucher_denom(pending->second.denom_path)] +=
+              pending->second.amount;
+        } else {
+          auto& escrow = c.escrow[{
+              ibc::escrow_address(p.src_port, p.src_channel),
+              held_denom(pending->second.denom_path)}];
+          if (escrow < pending->second.amount) {
+            fail(c.h.id, height, "token-conservation",
+                 "timeout refunded more than remained in escrow for " +
+                     chan_str(p.src_port, p.src_channel));
+            escrow = 0;
+          } else {
+            escrow -= pending->second.amount;
+          }
+        }
+        ch.pending.erase(pending);
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_account_sequences(
+    ChainState& c, const chain::Block& block,
+    const std::vector<chain::DeliverTxResult>& results) {
+  const chain::Height height = block.header.height;
+  // (sender -> txs in this block), plus per-sender sequences consumed by
+  // successful txs (a repeat would be a double-spent account sequence).
+  std::map<chain::Address, std::uint64_t> tx_count;
+  std::map<chain::Address, std::set<std::uint64_t>> consumed;
+  for (std::size_t i = 0; i < block.txs.size() && i < results.size(); ++i) {
+    const chain::Tx& tx = block.txs[i];
+    ++tx_count[tx.sender];
+    if (!results[i].status.is_ok()) continue;
+    if (!consumed[tx.sender].insert(tx.sequence).second) {
+      fail(c.h.id, height, "account-sequence-reuse",
+           tx.sender + " executed two txs with sequence " +
+               std::to_string(tx.sequence) + " in one block");
+    }
+  }
+  for (const auto& [sender, count] : tx_count) {
+    const std::uint64_t now = c.h.app->auth().sequence(sender);
+    const auto it = c.auth_seq.find(sender);
+    if (it != c.auth_seq.end()) {
+      if (now < it->second) {
+        fail(c.h.id, height, "account-sequence-decrease",
+             sender + " sequence went from " + std::to_string(it->second) +
+                 " to " + std::to_string(now));
+      } else if (now - it->second > count) {
+        fail(c.h.id, height, "account-sequence-overrun",
+             sender + " sequence advanced by " +
+                 std::to_string(now - it->second) + " with only " +
+                 std::to_string(count) + " txs in the block");
+      }
+    }
+    c.auth_seq[sender] = now;
+  }
+}
+
+void InvariantChecker::check_channel_counters(ChainState& c,
+                                              chain::Height height) {
+  ibc::ChannelKeeper channels(c.h.app->store());
+  ibc::ChannelKeeper other_channels(chains_[&c == &chains_[0] ? 1 : 0]
+                                        .h.app->store());
+  const std::string prefix = "ibc/channelEnds/ports/";
+  for (const std::string& key :
+       c.h.app->store().keys_with_prefix(prefix)) {
+    // Key shape: ibc/channelEnds/ports/<port>/channels/<channel>.
+    const std::size_t port_start = prefix.size();
+    const std::size_t marker = key.find("/channels/", port_start);
+    if (marker == std::string::npos) continue;
+    const std::string port = key.substr(port_start, marker - port_start);
+    const std::string channel = key.substr(marker + 10);
+
+    auto end_res = channels.get(port, channel);
+    if (!end_res.is_ok()) continue;
+    const ibc::ChannelEnd& end = end_res.value();
+    const ibc::Sequence s = channels.next_sequence_send(port, channel);
+    const ibc::Sequence r = channels.next_sequence_recv(port, channel);
+    const ibc::Sequence a = channels.next_sequence_ack(port, channel);
+
+    ChannelTrack& ch = c.channels[{port, channel}];
+    if (s < ch.snap_send || r < ch.snap_recv || a < ch.snap_ack) {
+      fail(c.h.id, height, "sequence-monotonicity",
+           chan_str(port, channel) + " counters regressed: send " +
+               std::to_string(ch.snap_send) + "->" + std::to_string(s) +
+               ", recv " + std::to_string(ch.snap_recv) + "->" +
+               std::to_string(r) + ", ack " + std::to_string(ch.snap_ack) +
+               "->" + std::to_string(a));
+    }
+    ch.snap_send = s;
+    ch.snap_recv = r;
+    ch.snap_ack = a;
+
+    if (end.phase != ibc::ChannelPhase::kOpen &&
+        end.phase != ibc::ChannelPhase::kClosed) {
+      continue;  // counters are installed when the channel opens
+    }
+    if (s < 1 || r < 1 || a < 1) {
+      fail(c.h.id, height, "sequence-monotonicity",
+           chan_str(port, channel) + " open with uninitialized counters");
+      continue;
+    }
+    // Counters must agree with the event history: sends allocate strictly
+    // contiguous sequences...
+    if (s != ch.last_send + 1) {
+      fail(c.h.id, height, "send-counter-mismatch",
+           chan_str(port, channel) + " nextSequenceSend " +
+               std::to_string(s) + " but " + std::to_string(ch.last_send) +
+               " send events were observed");
+    }
+    // ...and ORDERED channels bump recv/ack one at a time, in order.
+    if (end.ordering == ibc::ChannelOrdering::kOrdered) {
+      if (r != ch.recvs.contiguous + 1) {
+        fail(c.h.id, height, "ordered-recv-counter",
+             chan_str(port, channel) + " nextSequenceRecv " +
+                 std::to_string(r) + " but contiguous receives reach " +
+                 std::to_string(ch.recvs.contiguous));
+      }
+      if (a != ch.acks.contiguous + 1) {
+        fail(c.h.id, height, "ordered-ack-counter",
+             chan_str(port, channel) + " nextSequenceAck " +
+                 std::to_string(a) + " but contiguous acks reach " +
+                 std::to_string(ch.acks.contiguous));
+      }
+      // Cross-chain: the counterparty cannot have received or acked past
+      // what this end sent/the counterparty received.
+      if (other_channels.exists(end.counterparty_port,
+                                end.counterparty_channel)) {
+        const ibc::Sequence other_r = other_channels.next_sequence_recv(
+            end.counterparty_port, end.counterparty_channel);
+        if (other_r > s) {
+          fail(c.h.id, height, "ordered-recv-ahead-of-send",
+               chan_str(port, channel) + " counterparty nextSequenceRecv " +
+                   std::to_string(other_r) + " exceeds nextSequenceSend " +
+                   std::to_string(s));
+        }
+        if (other_r >= 1 && a > other_r) {
+          fail(c.h.id, height, "ordered-ack-ahead-of-recv",
+               chan_str(port, channel) + " nextSequenceAck " +
+                   std::to_string(a) + " exceeds counterparty recv " +
+                   std::to_string(other_r));
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_client_heights(ChainState& c,
+                                            chain::Height height) {
+  const std::string prefix = "ibc/clients/";
+  const std::string suffix = "/clientState";
+  for (const std::string& key :
+       c.h.app->store().keys_with_prefix(prefix)) {
+    if (key.size() <= prefix.size() + suffix.size() ||
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;  // consensus-state entries share the prefix
+    }
+    const std::string client =
+        key.substr(prefix.size(), key.size() - prefix.size() - suffix.size());
+    const auto raw = c.h.app->store().get(key);
+    ibc::ClientState state;
+    if (!raw || !ibc::ClientState::decode(*raw, state)) {
+      fail(c.h.id, height, "client-state-decode",
+           "client " + client + " state is undecodable");
+      continue;
+    }
+    const auto it = c.client_heights.find(client);
+    if (it != c.client_heights.end() && state.latest_height < it->second) {
+      fail(c.h.id, height, "client-height-monotonicity",
+           "client " + client + " latest height went from " +
+               std::to_string(it->second) + " to " +
+               std::to_string(state.latest_height));
+    }
+    c.client_heights[client] = state.latest_height;
+  }
+}
+
+void InvariantChecker::check_bank_conservation(ChainState& c,
+                                               chain::Height height) {
+  // Per-chain: for every denom, the sum of balances equals the recorded
+  // supply (bank mints/burns maintain the supply; everything else is a
+  // transfer). Balance keys are "bank/bal/<addr>|<denom>".
+  std::map<std::string, std::uint64_t> sums;
+  const std::string bal_prefix = "bank/bal/";
+  for (const std::string& key :
+       c.h.app->store().keys_with_prefix(bal_prefix)) {
+    const std::size_t sep = key.find('|', bal_prefix.size());
+    if (sep == std::string::npos) continue;
+    const std::string addr = key.substr(bal_prefix.size(),
+                                        sep - bal_prefix.size());
+    const std::string denom = key.substr(sep + 1);
+    sums[denom] += c.h.app->bank().balance(addr, denom);
+  }
+  const std::string supply_prefix = "bank/supply/";
+  std::set<std::string> denoms;
+  for (const auto& [denom, sum] : sums) {
+    (void)sum;
+    denoms.insert(denom);
+  }
+  for (const std::string& key :
+       c.h.app->store().keys_with_prefix(supply_prefix)) {
+    denoms.insert(key.substr(supply_prefix.size()));
+  }
+  for (const std::string& denom : denoms) {
+    const std::uint64_t supply = c.h.app->bank().supply(denom);
+    const std::uint64_t sum = sums.count(denom) ? sums[denom] : 0;
+    if (supply != sum) {
+      fail(c.h.id, height, "bank-conservation",
+           "denom " + denom + ": balances sum to " + std::to_string(sum) +
+               " but supply is " + std::to_string(supply));
+    }
+  }
+}
+
+void InvariantChecker::check_escrow_model(ChainState& c,
+                                          chain::Height height) {
+  // Cross-chain conservation: actual escrow balances and voucher supplies
+  // must match the model maintained from the packet events of *both* chains
+  // (escrowed == minted on the other side + in flight, expressed per chain).
+  for (const auto& [key, expected] : c.escrow) {
+    const std::uint64_t actual = c.h.app->bank().balance(key.first,
+                                                         key.second);
+    if (actual != expected) {
+      fail(c.h.id, height, "escrow-conservation",
+           key.first + " holds " + std::to_string(actual) + " " +
+               key.second + ", packet history implies " +
+               std::to_string(expected));
+    }
+  }
+  for (const auto& [denom, expected] : c.voucher_supply) {
+    const std::uint64_t actual = c.h.app->bank().supply(denom);
+    if (actual != expected) {
+      fail(c.h.id, height, "voucher-conservation",
+           "voucher " + denom + " supply is " + std::to_string(actual) +
+               ", packet history implies " + std::to_string(expected));
+    }
+  }
+}
+
+}  // namespace check

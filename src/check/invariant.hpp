@@ -1,0 +1,148 @@
+#pragma once
+// Runtime IBC invariant checker.
+//
+// Subscribes to both chains' block-commit events and asserts, at every
+// commit, the safety properties the paper's throughput/latency figures rest
+// on: exactly-once packet delivery (ICS-04), send/recv/ack sequence
+// monotonicity with no gaps (ICS-04), escrow/voucher token conservation
+// across both chains (ICS-20), light-client height monotonicity (ICS-02) and
+// no double-spent account sequence numbers. The simulation is a
+// single-threaded DES and a commit is one atomic event, so inspecting both
+// chains' stores from a commit callback observes a consistent global state.
+//
+// Wired into xcc::Testbed (opt-out via TestbedConfig::invariant_checks), so
+// every integration test and bench runs under it for free. The fuzzer
+// (fuzz_scenarios) runs it with fail_fast=false and collects violations.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/ledger.hpp"
+#include "consensus/engine.hpp"
+#include "cosmos/app.hpp"
+#include "ibc/channel.hpp"
+
+namespace check {
+
+/// One invariant failure, with enough context to debug the offending seed.
+struct Violation {
+  std::string invariant;  // e.g. "exactly-once-recv"
+  chain::ChainId chain;
+  chain::Height height = 0;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+/// Thrown from the commit callback when fail_fast is set; propagates out of
+/// Scheduler::run_* so tests and benches fail loudly at the violating commit.
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(const Violation& v);
+  const Violation violation;
+};
+
+struct CheckerConfig {
+  /// Throw InvariantViolation at the first violation (tests/benches).
+  /// false: record violations and keep simulating (fuzzer mode).
+  bool fail_fast = true;
+  /// Recording cap in collect mode; one broken invariant tends to cascade.
+  std::size_t max_violations = 64;
+};
+
+/// Everything the checker reads from one deployed chain.
+struct ChainHandles {
+  chain::ChainId id;
+  cosmos::CosmosApp* app = nullptr;
+  consensus::Engine* engine = nullptr;
+};
+
+class InvariantChecker {
+ public:
+  /// Subscribes to both engines' block events. The handles must outlive the
+  /// checker (in the Testbed both are members of the same object).
+  InvariantChecker(ChainHandles a, ChainHandles b, CheckerConfig config = {});
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  std::uint64_t blocks_checked() const { return blocks_checked_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Human-readable list of all recorded violations ("" when clean).
+  std::string report() const;
+
+ private:
+  /// Per-channel set of already-used sequences, compressed as a contiguous
+  /// prefix [1, contiguous] plus an out-of-order overflow set, so unordered
+  /// channels at bench scale stay O(reorder window) instead of O(packets).
+  struct SeqWindow {
+    ibc::Sequence contiguous = 0;
+    std::set<ibc::Sequence> sparse;
+
+    bool insert(ibc::Sequence s);  // false when s was already present
+    bool contains(ibc::Sequence s) const;
+  };
+
+  /// An unresolved outgoing transfer (commitment written, no ack/timeout
+  /// processed yet); drives the escrow/voucher conservation model.
+  struct PendingTransfer {
+    std::uint64_t amount = 0;
+    std::string denom_path;  // on-wire trace path from the packet data
+    bool returning = false;  // burnt a voucher on send (vs escrowed)
+  };
+
+  struct ChannelTrack {
+    // Event-derived.
+    ibc::Sequence last_send = 0;  // send_packet events must run 1,2,3,...
+    SeqWindow recvs, acks, timeouts;
+    std::map<ibc::Sequence, PendingTransfer> pending;  // by send sequence
+    /// On the destination side: ack success per received sequence (decoded
+    /// from write_acknowledgement), consumed by the source's ack handling.
+    std::map<ibc::Sequence, bool> ack_success;
+
+    // Store-snapshot from the previous commit (0 = not yet seen).
+    ibc::Sequence snap_send = 0, snap_recv = 0, snap_ack = 0;
+  };
+
+  struct ChainState {
+    ChainHandles h;
+    /// Keyed by (port, channel).
+    std::map<std::pair<std::string, std::string>, ChannelTrack> channels;
+    /// Light-client latest heights from the previous commit.
+    std::map<std::string, std::int64_t> client_heights;
+    /// auth sequence per sender as of the previous commit (lazily seeded).
+    std::map<chain::Address, std::uint64_t> auth_seq;
+    /// Conservation model: expected escrow balance per (address, denom) and
+    /// expected voucher supply per denom, updated from packet events.
+    std::map<std::pair<chain::Address, std::string>, std::uint64_t> escrow;
+    std::map<std::string, std::uint64_t> voucher_supply;
+  };
+
+  void on_block(std::size_t chain_idx, const chain::Block& block,
+                const std::vector<chain::DeliverTxResult>& results);
+  void process_events(ChainState& c, ChainState& other, chain::Height height,
+                      const std::vector<chain::Event>& events);
+  void check_account_sequences(ChainState& c, const chain::Block& block,
+                               const std::vector<chain::DeliverTxResult>& res);
+  void check_channel_counters(ChainState& c, chain::Height height);
+  void check_client_heights(ChainState& c, chain::Height height);
+  void check_bank_conservation(ChainState& c, chain::Height height);
+  void check_escrow_model(ChainState& c, chain::Height height);
+
+  void fail(const chain::ChainId& chain, chain::Height height,
+            std::string invariant, std::string detail);
+
+  CheckerConfig config_;
+  ChainState chains_[2];
+  std::uint64_t blocks_checked_ = 0;
+  std::vector<Violation> violations_;
+  bool overflowed_ = false;  // violations_ hit max_violations
+};
+
+}  // namespace check

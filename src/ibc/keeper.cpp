@@ -1,5 +1,7 @@
 #include "ibc/keeper.hpp"
 
+#include <algorithm>
+
 #include "ibc/host.hpp"
 
 namespace ibc {
@@ -541,20 +543,23 @@ util::Status IbcKeeper::handle_recv_packet(const chain::Msg& msg,
   if (chan.ordering == ChannelOrdering::kOrdered) {
     const Sequence next = channels_.next_sequence_recv(p.destination_port,
                                                        p.destination_channel);
-    if (p.sequence < next) {
-      ++redundant_messages_;
-      return err(util::ErrorCode::kRedundantPacket,
-                 "packet messages are redundant: sequence " +
-                     std::to_string(p.sequence));
+    if (!faults_.skip_replay_check) {
+      if (p.sequence < next) {
+        ++redundant_messages_;
+        return err(util::ErrorCode::kRedundantPacket,
+                   "packet messages are redundant: sequence " +
+                       std::to_string(p.sequence));
+      }
+      if (p.sequence > next) {
+        return err(util::ErrorCode::kFailedPrecondition,
+                   "ordered channel: expected sequence " +
+                       std::to_string(next) + ", got " +
+                       std::to_string(p.sequence));
+      }
     }
-    if (p.sequence > next) {
-      return err(util::ErrorCode::kFailedPrecondition,
-                 "ordered channel: expected sequence " + std::to_string(next) +
-                     ", got " + std::to_string(p.sequence));
-    }
-    channels_.set_next_sequence_recv(p.destination_port,
-                                     p.destination_channel, next + 1);
-  } else if (store_.contains(receipt_key)) {
+    channels_.set_next_sequence_recv(p.destination_port, p.destination_channel,
+                                     std::max(next, p.sequence) + 1);
+  } else if (store_.contains(receipt_key) && !faults_.skip_replay_check) {
     ++redundant_messages_;
     return err(util::ErrorCode::kRedundantPacket,
                "packet messages are redundant: sequence " +

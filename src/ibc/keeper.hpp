@@ -21,6 +21,15 @@
 
 namespace ibc {
 
+/// Test-only fault injection: deliberately broken keeper behaviours used to
+/// prove the invariant checker (and the fuzzer) can actually detect protocol
+/// bugs. Never enabled in experiments.
+struct KeeperFaults {
+  /// Bypass the exactly-once replay check in recvPacket: redundant relays
+  /// mutate state again (double-mint on ICS-20) instead of failing.
+  bool skip_replay_check = false;
+};
+
 class IbcKeeper : public cosmos::MsgHandler {
  public:
   /// Creates the keeper and registers it for all IBC message URLs on `app`.
@@ -49,6 +58,9 @@ class IbcKeeper : public cosmos::MsgHandler {
                                      std::int64_t timeout_height,
                                      std::int64_t timeout_timestamp,
                                      cosmos::MsgContext& ctx);
+
+  /// Installs test-only fault injection (see KeeperFaults).
+  void set_faults(KeeperFaults faults) { faults_ = faults; }
 
   // Statistics surfaced to the experiments.
   std::uint64_t packets_received() const { return packets_received_; }
@@ -100,6 +112,7 @@ class IbcKeeper : public cosmos::MsgHandler {
   cosmos::CosmosApp& app_;
   chain::KvStore& store_;
   GasTable gas_;
+  KeeperFaults faults_;
   ClientKeeper clients_;
   ConnectionKeeper connections_;
   ChannelKeeper channels_;

@@ -6,7 +6,10 @@
 namespace net {
 
 Network::Network(sim::Scheduler& sched, NetworkConfig config)
-    : sched_(sched), config_(config), rng_(config.seed) {
+    : sched_(sched),
+      config_(config),
+      rng_(config.seed),
+      fault_rng_(config.seed ^ 0xFA17FA17FA17FA17ULL) {
   assert(config_.machine_count > 0);
 }
 
@@ -35,6 +38,30 @@ void Network::send(MachineId from, MachineId to, std::uint64_t payload_bytes,
   assert(to >= 0 && to < config_.machine_count);
   ++messages_sent_;
   bytes_sent_ += payload_bytes;
+  if (faults_.active()) {
+    if (faults_.drop_probability > 0.0 &&
+        fault_rng_.chance(faults_.drop_probability)) {
+      ++messages_dropped_;
+      return;
+    }
+    sim::Duration extra = 0;
+    if (faults_.delay_probability > 0.0 &&
+        fault_rng_.chance(faults_.delay_probability)) {
+      ++messages_delayed_;
+      extra = static_cast<sim::Duration>(fault_rng_.uniform(
+          0.0, static_cast<double>(faults_.max_extra_delay)));
+    }
+    if (faults_.duplicate_probability > 0.0 &&
+        fault_rng_.chance(faults_.duplicate_probability)) {
+      ++messages_duplicated_;
+      // The copy draws an independent transfer time: duplicates reorder.
+      sched_.schedule_after(transfer_time(from, to, payload_bytes),
+                            on_arrival);
+    }
+    sched_.schedule_after(transfer_time(from, to, payload_bytes) + extra,
+                          std::move(on_arrival));
+    return;
+  }
   sched_.schedule_after(transfer_time(from, to, payload_bytes),
                         std::move(on_arrival));
 }

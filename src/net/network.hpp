@@ -21,6 +21,27 @@ namespace net {
 
 using MachineId = int;
 
+/// Fault-injection knobs (all off by default). Faults draw from a dedicated
+/// RNG stream, so enabling them never perturbs the jitter stream of an
+/// otherwise-identical run, and a fixed seed reproduces the exact same
+/// drop/duplicate/delay schedule.
+struct FaultProfile {
+  /// Probability a message is silently dropped.
+  double drop_probability = 0.0;
+  /// Probability a message is delivered twice (the copy draws its own
+  /// transfer time, so duplicates also reorder).
+  double duplicate_probability = 0.0;
+  /// Probability a message is delayed by an extra uniform(0, max_extra_delay)
+  /// — the reordering knob.
+  double delay_probability = 0.0;
+  sim::Duration max_extra_delay = 0;
+
+  bool active() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           delay_probability > 0.0;
+  }
+};
+
 struct NetworkConfig {
   int machine_count = 5;
   /// Round-trip latency between *distinct* machines; halved per direction.
@@ -63,15 +84,28 @@ class Network {
   void broadcast(MachineId from, std::uint64_t payload_bytes,
                  std::function<void(MachineId)> on_arrival);
 
+  /// Installs (or clears, with a default-constructed profile) fault
+  /// injection for all subsequent sends.
+  void set_fault_profile(FaultProfile faults) { faults_ = faults; }
+  const FaultProfile& fault_profile() const { return faults_; }
+
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t messages_duplicated() const { return messages_duplicated_; }
+  std::uint64_t messages_delayed() const { return messages_delayed_; }
 
  private:
   sim::Scheduler& sched_;
   NetworkConfig config_;
   util::Rng rng_;
+  util::Rng fault_rng_;
+  FaultProfile faults_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t messages_duplicated_ = 0;
+  std::uint64_t messages_delayed_ = 0;
 };
 
 }  // namespace net

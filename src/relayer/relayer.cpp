@@ -389,9 +389,13 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
   st->seqs = std::move(seqs);
   st->done = std::move(done);
 
+  // The closure holds itself only weakly: queued callbacks carry the strong
+  // references, so when the simulation tears down mid-chain the cycle
+  // collapses instead of leaking (a strong self-capture is unreclaimable).
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, st, step]() {
-    if (!running_) return;
+  *step = [this, st, wstep = std::weak_ptr<std::function<void()>>(step)]() {
+    auto step = wstep.lock();
+    if (!step || !running_) return;
     if (st->next >= st->seqs.size()) {
       release_later(step);
       // Stage 2: group into transactions and submit.
@@ -409,7 +413,10 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
       send->done = std::move(st->done);
 
       auto send_step = std::make_shared<std::function<void()>>();
-      *send_step = [this, send, send_step]() {
+      *send_step = [this, send,
+                    wsend = std::weak_ptr<std::function<void()>>(send_step)]() {
+        auto send_step = wsend.lock();
+        if (!send_step) return;
         if (!running_ || send->next_tx_begin >= send->msgs.size()) {
           if (send->next_tx_begin >= send->msgs.size()) {
             release_later(send_step);
@@ -434,21 +441,21 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
 
         auto updates = std::make_shared<std::vector<chain::Msg>>();
         auto fetch_next = std::make_shared<std::function<void(std::size_t)>>();
-        *fetch_next = [this, send, send_step, heights, updates, fetch_next,
+        *fetch_next = [this, send, send_step, heights, updates,
+                       wfetch = std::weak_ptr<std::function<void(std::size_t)>>(
+                           fetch_next),
                        begin, end](std::size_t hi) {
+          auto fetch_next = wfetch.lock();
+          if (!fetch_next) return;
           if (hi >= heights.size()) {
-            // Chain complete: break the self-referential closure cycle.
+            // Chain complete: release the stored closure.
             sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
           }
-          if (hi >= heights.size()) {
-          // Chain complete: break the self-referential closure cycle.
-          sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
-        }
-        if (hi < heights.size()) {
+          if (hi < heights.size()) {
             fetch_update(a_.server, path_.client_on_b, heights[hi],
                          [updates, fetch_next, hi](std::optional<chain::Msg> u) {
                            if (u) updates->push_back(std::move(*u));
-                           (*fetch_next)(hi + 1);
+                           if (*fetch_next) (*fetch_next)(hi + 1);
                          });
             return;
           }
@@ -533,7 +540,7 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
                 }
                 if (!*advanced) {
                   *advanced = true;
-                  (*send_step)();
+                  if (*send_step) (*send_step)();
                 }
               },
               [this, tx_seqs, send_step, advanced]() {
@@ -547,13 +554,13 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
                 }
                 if (!*advanced) {
                   *advanced = true;
-                  (*send_step)();
+                  if (*send_step) (*send_step)();
                 }
               });
         };
-        (*fetch_next)(0);
+        if (*fetch_next) (*fetch_next)(0);
       };
-      (*send_step)();
+      if (*send_step) (*send_step)();
       return;
     }
 
@@ -561,7 +568,7 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
     const auto it = packets_.find(seq);
     if (it == packets_.end() || it->second.stage != Stage::kPulled ||
         !it->second.packet) {
-      (*step)();
+      if (*step) (*step)();
       return;
     }
     const std::string key =
@@ -581,15 +588,15 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
             // Per-message assembly CPU, then the next packet.
             sched_.schedule_after(config_.build_cpu_per_msg, [this, step, seq] {
               record(Step::kRecvBuild, seq);
-              (*step)();
+              if (*step) (*step)();
             });
             return;
           }
           // Commitment gone (acked/timed out already) or query failed.
-          (*step)();
+          if (*step) (*step)();
         });
   };
-  (*step)();
+  if (*step) (*step)();
 }
 
 void Relayer::run_ack_batch(AckBatchOp op, std::function<void()> done) {
@@ -635,9 +642,13 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
   st->seqs = std::move(seqs);
   st->done = std::move(done);
 
+  // The closure holds itself only weakly: queued callbacks carry the strong
+  // references, so when the simulation tears down mid-chain the cycle
+  // collapses instead of leaking (a strong self-capture is unreclaimable).
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, st, step]() {
-    if (!running_) return;
+  *step = [this, st, wstep = std::weak_ptr<std::function<void()>>(step)]() {
+    auto step = wstep.lock();
+    if (!step || !running_) return;
     if (st->next >= st->seqs.size()) {
       release_later(step);
       if (st->msgs.empty()) {
@@ -654,7 +665,10 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
       send->done = std::move(st->done);
 
       auto send_step = std::make_shared<std::function<void()>>();
-      *send_step = [this, send, send_step]() {
+      *send_step = [this, send,
+                    wsend = std::weak_ptr<std::function<void()>>(send_step)]() {
+        auto send_step = wsend.lock();
+        if (!send_step) return;
         if (!running_ || send->next_tx_begin >= send->msgs.size()) {
           if (send->next_tx_begin >= send->msgs.size()) {
             release_later(send_step);
@@ -678,21 +692,21 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
 
         auto updates = std::make_shared<std::vector<chain::Msg>>();
         auto fetch_next = std::make_shared<std::function<void(std::size_t)>>();
-        *fetch_next = [this, send, send_step, heights, updates, fetch_next,
+        *fetch_next = [this, send, send_step, heights, updates,
+                       wfetch = std::weak_ptr<std::function<void(std::size_t)>>(
+                           fetch_next),
                        begin, end](std::size_t hi) {
+          auto fetch_next = wfetch.lock();
+          if (!fetch_next) return;
           if (hi >= heights.size()) {
-            // Chain complete: break the self-referential closure cycle.
+            // Chain complete: release the stored closure.
             sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
           }
-          if (hi >= heights.size()) {
-          // Chain complete: break the self-referential closure cycle.
-          sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
-        }
-        if (hi < heights.size()) {
+          if (hi < heights.size()) {
             fetch_update(b_.server, path_.client_on_a, heights[hi],
                          [updates, fetch_next, hi](std::optional<chain::Msg> u) {
                            if (u) updates->push_back(std::move(*u));
-                           (*fetch_next)(hi + 1);
+                           if (*fetch_next) (*fetch_next)(hi + 1);
                          });
             return;
           }
@@ -745,7 +759,7 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
                 }
                 if (!*advanced) {
                   *advanced = true;
-                  (*send_step)();
+                  if (*send_step) (*send_step)();
                 }
               },
               [this, tx_seqs, send_step, advanced]() {
@@ -759,13 +773,13 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
                 }
                 if (!*advanced) {
                   *advanced = true;
-                  (*send_step)();
+                  if (*send_step) (*send_step)();
                 }
               });
         };
-        (*fetch_next)(0);
+        if (*fetch_next) (*fetch_next)(0);
       };
-      (*send_step)();
+      if (*send_step) (*send_step)();
       return;
     }
 
@@ -773,7 +787,7 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
     const auto it = packets_.find(seq);
     if (it == packets_.end() || it->second.stage != Stage::kRecvDone ||
         !it->second.packet || !it->second.ack) {
-      (*step)();
+      if (*step) (*step)();
       return;
     }
     const std::string key =
@@ -792,14 +806,14 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
             st->msgs.push_back(std::move(msg));
             sched_.schedule_after(config_.build_cpu_per_msg, [this, step, seq] {
               record(Step::kAckBuild, seq);
-              (*step)();
+              if (*step) (*step)();
             });
             return;
           }
-          (*step)();
+          if (*step) (*step)();
         });
   };
-  (*step)();
+  if (*step) (*step)();
 }
 
 // --- Timeouts --------------------------------------------------------------------
@@ -815,9 +829,13 @@ void Relayer::run_timeout_batch(TimeoutBatchOp op, std::function<void()> done) {
   st->seqs = std::move(op.seqs);
   st->done = std::move(done);
 
+  // The closure holds itself only weakly: queued callbacks carry the strong
+  // references, so when the simulation tears down mid-chain the cycle
+  // collapses instead of leaking (a strong self-capture is unreclaimable).
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, st, step]() {
-    if (!running_) return;
+  *step = [this, st, wstep = std::weak_ptr<std::function<void()>>(step)]() {
+    auto step = wstep.lock();
+    if (!step || !running_) return;
     if (st->next >= st->seqs.size()) {
       release_later(step);
       if (st->msgs.empty()) {
@@ -835,16 +853,20 @@ void Relayer::run_timeout_batch(TimeoutBatchOp op, std::function<void()> done) {
       std::sort(heights.begin(), heights.end());
       auto updates = std::make_shared<std::vector<chain::Msg>>();
       auto fetch_next = std::make_shared<std::function<void(std::size_t)>>();
-      *fetch_next = [this, st, heights, updates, fetch_next](std::size_t hi) {
+      *fetch_next = [this, st, heights, updates,
+                     wfetch = std::weak_ptr<std::function<void(std::size_t)>>(
+                         fetch_next)](std::size_t hi) {
+        auto fetch_next = wfetch.lock();
+        if (!fetch_next) return;
         if (hi >= heights.size()) {
-          // Chain complete: break the self-referential closure cycle.
+          // Chain complete: release the stored closure.
           sched_.schedule_after(0, [fetch_next] { *fetch_next = nullptr; });
         }
         if (hi < heights.size()) {
           fetch_update(b_.server, path_.client_on_a, heights[hi],
                        [updates, fetch_next, hi](std::optional<chain::Msg> u) {
                          if (u) updates->push_back(std::move(*u));
-                         (*fetch_next)(hi + 1);
+                         if (*fetch_next) (*fetch_next)(hi + 1);
                        });
           return;
         }
@@ -876,7 +898,7 @@ void Relayer::run_timeout_batch(TimeoutBatchOp op, std::function<void()> done) {
               done();
             });
       };
-      (*fetch_next)(0);
+      if (*fetch_next) (*fetch_next)(0);
       return;
     }
 
@@ -884,7 +906,7 @@ void Relayer::run_timeout_batch(TimeoutBatchOp op, std::function<void()> done) {
     const auto it = packets_.find(seq);
     if (it == packets_.end() || it->second.stage != Stage::kPulled ||
         !it->second.packet) {
-      (*step)();
+      if (*step) (*step)();
       return;
     }
     // Non-existence proof of the receipt on the destination chain.
@@ -903,10 +925,10 @@ void Relayer::run_timeout_batch(TimeoutBatchOp op, std::function<void()> done) {
             msg.proof_height = res.value().height;
             st->msgs.push_back(std::move(msg));
           }
-          (*step)();
+          if (*step) (*step)();
         });
   };
-  (*step)();
+  if (*step) (*step)();
 }
 
 // --- Clearing ---------------------------------------------------------------------

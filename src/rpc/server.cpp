@@ -31,26 +31,46 @@ void Server::roundtrip(net::MachineId client, std::uint64_t request_bytes,
                        std::uint64_t response_bytes_hint,
                        std::function<void()> deliver,
                        std::function<void()> on_reject) {
+  // RPC runs over a reliable stream (TCP) in the real deployment, so even
+  // when the fault-injected network duplicates a frame, the server handles
+  // each request once and the client handles each response once. Duplication
+  // therefore only reaches gossip and WebSocket push traffic end to end;
+  // RPC callers still see at-most-once callbacks.
+  auto served = std::make_shared<bool>(false);
+  auto delivered = std::make_shared<bool>(false);
   // Inbound leg.
-  network_.send(client, machine_, request_bytes, [this, client,
+  network_.send(client, machine_, request_bytes, [this, client, served,
+                                                  delivered,
                                                   service_cost =
                                                       std::move(service_cost),
                                                   response_bytes_hint,
                                                   deliver = std::move(deliver),
                                                   on_reject =
                                                       std::move(on_reject)]() mutable {
+    if (*served) return;
+    *served = true;
     // Service cost is computed when service *starts*... more precisely when
     // the request is enqueued; for ledger-reading queries the difference is
     // immaterial because reads happen in `deliver` at completion time.
     const sim::Duration st = jittered(service_cost());
     const bool accepted = queue_.enqueue(
-        st, [this, client, response_bytes_hint, deliver = std::move(deliver)]() mutable {
+        st, [this, client, response_bytes_hint, delivered,
+             deliver = std::move(deliver)]() mutable {
           // Outbound leg.
           network_.send(machine_, client, response_bytes_hint,
-                        std::move(deliver));
+                        [delivered, deliver = std::move(deliver)]() mutable {
+                          if (*delivered) return;
+                          *delivered = true;
+                          deliver();
+                        });
         });
     if (!accepted && on_reject) {
-      network_.send(machine_, client, 128, std::move(on_reject));
+      network_.send(machine_, client, 128,
+                    [delivered, on_reject = std::move(on_reject)]() mutable {
+                      if (*delivered) return;
+                      *delivered = true;
+                      on_reject();
+                    });
     }
   });
 }

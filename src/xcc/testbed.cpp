@@ -12,6 +12,14 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   deploy_chain(a_, "ibc-source", "src");
   deploy_chain(b_, "ibc-destination", "dst");
 
+  if (config_.invariant_checks) {
+    check::CheckerConfig cc;
+    cc.fail_fast = config_.invariant_fail_fast;
+    checker_ = std::make_unique<check::InvariantChecker>(
+        check::ChainHandles{a_.id, a_.app.get(), a_.engine.get()},
+        check::ChainHandles{b_.id, b_.app.get(), b_.engine.get()}, cc);
+  }
+
   // Workload sender accounts live on the source chain.
   users_.reserve(static_cast<std::size_t>(config_.user_accounts));
   for (int i = 0; i < config_.user_accounts; ++i) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "consensus/engine.hpp"
 #include "cosmos/app.hpp"
 #include "ibc/keeper.hpp"
@@ -40,6 +41,14 @@ struct TestbedConfig {
   rpc::CostModel rpc_cost;
   cosmos::AppConfig app_config;
   consensus::EngineConfig engine_config;
+
+  /// Run the IBC invariant checker on every commit of both chains. On by
+  /// default so every test and bench is checked; opt out for perf-sensitive
+  /// runs.
+  bool invariant_checks = true;
+  /// fail_fast throws check::InvariantViolation at the first violation;
+  /// false collects them (fuzzer mode, see Testbed::checker()).
+  bool invariant_fail_fast = true;
 };
 
 /// One deployed chain: app + consensus + per-machine RPC servers.
@@ -70,6 +79,10 @@ class Testbed {
   ChainDeployment& chain_a() { return a_; }
   ChainDeployment& chain_b() { return b_; }
 
+  /// The invariant checker watching both chains (nullptr when
+  /// TestbedConfig::invariant_checks is off).
+  check::InvariantChecker* checker() { return checker_.get(); }
+
   /// Starts both consensus engines.
   void start_chains();
 
@@ -95,6 +108,7 @@ class Testbed {
   std::unique_ptr<net::Network> network_;
   ChainDeployment a_;
   ChainDeployment b_;
+  std::unique_ptr<check::InvariantChecker> checker_;
   std::vector<chain::Address> users_;
 };
 

@@ -123,6 +123,19 @@ TEST_F(StackFixture, TwoRelayersProduceRedundantErrors) {
                                   tb->chain_b().ibc->redundant_messages() +
                                   tb->chain_a().ibc->redundant_messages();
   EXPECT_GT(redundant, 0u);
+  // Fig. 9's cost side: each relayer pays fees for its recv transactions,
+  // including the redundant ones that fail on-chain.
+  EXPECT_GT(r0->wallet_b().fees_paid(), 0u);
+  EXPECT_GT(r1->wallet_b().fees_paid(), 0u);
+  // Exactly one recv mutated state per packet: the voucher supply on B
+  // equals the total transferred amount despite the duplicate deliveries.
+  const std::string trace = std::string(ibc::kTransferPort) + "/" +
+                            channel.channel_b + "/" + cosmos::kNativeDenom;
+  EXPECT_EQ(tb->chain_b().app->bank().supply(ibc::voucher_denom(trace)),
+            200u);
+  // The run executed under the invariant checker (Testbed default).
+  ASSERT_NE(tb->checker(), nullptr);
+  EXPECT_GT(tb->checker()->blocks_checked(), 0u);
   r0->stop();
   r1->stop();
 }

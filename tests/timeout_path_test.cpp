@@ -1,0 +1,313 @@
+// Timeout-packet path coverage (ICS-04 Fig. 3): height- and timestamp-based
+// expiry, voucher re-mint on refund, redundant-timeout rejection, and the
+// ordered-channel close-on-timeout refund. Complements ibc_test.cpp (happy
+// path + unordered height timeout) and ordered_channel_test.cpp (ordered
+// height timeout).
+
+#include <gtest/gtest.h>
+
+#include "cosmos/app.hpp"
+#include "ibc/host.hpp"
+#include "ibc/keeper.hpp"
+#include "ibc/msgs.hpp"
+#include "ibc/transfer.hpp"
+
+namespace {
+
+constexpr const char* kUser = "user";
+
+// Two app-level chains with a pre-opened transfer channel; block h on either
+// chain carries time 5h seconds, so timestamp expiry is easy to reason about.
+struct TimeoutPath : ::testing::Test {
+  cosmos::CosmosApp app_a{"tmo-a"};
+  cosmos::CosmosApp app_b{"tmo-b"};
+  ibc::IbcKeeper ibc_a{app_a};
+  ibc::IbcKeeper ibc_b{app_b};
+  ibc::TransferModule transfer_a{app_a, ibc_a};
+  ibc::TransferModule transfer_b{app_b, ibc_b};
+  chain::ValidatorSet vals_a = chain::ValidatorSet::make("tmo-a", 4, 4);
+  chain::ValidatorSet vals_b = chain::ValidatorSet::make("tmo-b", 4, 4);
+  ibc::ClientId client_on_a;
+  ibc::ClientId client_on_b;
+  chain::Height height_a = 1;
+  chain::Height height_b = 1;
+
+  void boot(ibc::ChannelOrdering ordering) {
+    app_a.add_genesis_account(kUser, 1'000'000'000);
+    app_b.add_genesis_account(kUser, 1'000'000'000);
+    begin(app_a, height_a);
+    begin(app_b, height_b);
+    client_on_a = ibc_a.clients().create_client(state_of("tmo-b", vals_b),
+                                                height_b, consensus(app_b));
+    client_on_b = ibc_b.clients().create_client(state_of("tmo-a", vals_a),
+                                                height_a, consensus(app_a));
+    install_channel(ibc_a, ordering);
+    install_channel(ibc_b, ordering);
+  }
+
+  void install_channel(ibc::IbcKeeper& k, ibc::ChannelOrdering ordering) {
+    ibc::ConnectionEnd conn;
+    conn.phase = ibc::ConnectionPhase::kOpen;
+    conn.client_id = (&k == &ibc_a) ? client_on_a : client_on_b;
+    conn.counterparty_client_id = (&k == &ibc_a) ? client_on_b : client_on_a;
+    conn.counterparty_connection = "connection-0";
+    k.connections().set(k.connections().generate_id(), conn);
+
+    ibc::ChannelEnd chan;
+    chan.phase = ibc::ChannelPhase::kOpen;
+    chan.ordering = ordering;
+    chan.connection = "connection-0";
+    chan.counterparty_port = ibc::kTransferPort;
+    chan.counterparty_channel = "channel-0";
+    chan.version = "ics20-1";
+    k.channels().set(ibc::kTransferPort, k.channels().generate_id(), chan);
+    k.channels().set_next_sequence_send(ibc::kTransferPort, "channel-0", 1);
+    k.channels().set_next_sequence_recv(ibc::kTransferPort, "channel-0", 1);
+    k.channels().set_next_sequence_ack(ibc::kTransferPort, "channel-0", 1);
+  }
+
+  static void begin(cosmos::CosmosApp& app, chain::Height h) {
+    chain::BlockHeader header;
+    header.height = h;
+    header.time = sim::seconds(5.0 * static_cast<double>(h));
+    app.begin_block(header);
+  }
+  static ibc::ClientState state_of(const chain::ChainId& id,
+                                   const chain::ValidatorSet& vals) {
+    ibc::ClientState cs;
+    cs.chain_id = id;
+    for (const auto& v : vals.validators()) {
+      cs.validators.push_back(ibc::ClientValidator{v.keys.pub, v.power});
+    }
+    return cs;
+  }
+  static ibc::ConsensusState consensus(cosmos::CosmosApp& app) {
+    ibc::ConsensusState cs;
+    cs.app_hash = app.store().root();
+    return cs;
+  }
+
+  void sync(cosmos::CosmosApp& src, const chain::ChainId& id,
+            const chain::ValidatorSet& vals, chain::Height& h,
+            ibc::IbcKeeper& dst, const ibc::ClientId& client) {
+    ++h;
+    begin(src, h);
+    ibc::Header header;
+    header.chain_id = id;
+    header.height = h;
+    header.time = sim::seconds(5.0 * static_cast<double>(h));
+    header.app_hash_after = src.store().root();
+    header.block_id.hash =
+        crypto::sha256(util::to_bytes(id + std::to_string(h)));
+    header.commit.height = h;
+    header.commit.block_id = header.block_id;
+    const util::Bytes sb = chain::vote_sign_bytes(id, h, 0, header.block_id);
+    for (const auto& v : vals.validators()) {
+      chain::CommitSig sig;
+      sig.validator = v.keys.pub;
+      sig.flag = chain::BlockIdFlag::kCommit;
+      sig.signature = crypto::sign(v.keys.priv, sb);
+      header.commit.signatures.push_back(sig);
+    }
+    ASSERT_TRUE(dst.clients().update_client(client, header).is_ok());
+  }
+  void sync_a_to_b() {
+    sync(app_a, "tmo-a", vals_a, height_a, ibc_b, client_on_b);
+  }
+  void sync_b_to_a() {
+    sync(app_b, "tmo-b", vals_b, height_b, ibc_a, client_on_a);
+  }
+
+  chain::DeliverTxResult deliver(cosmos::CosmosApp& app, chain::Msg msg) {
+    chain::Tx tx;
+    tx.sender = kUser;
+    tx.sequence = app.auth().sequence(kUser);
+    tx.gas_limit = 10'000'000;
+    tx.fee = 100'000;
+    tx.msgs = {std::move(msg)};
+    return app.deliver_tx(tx);
+  }
+
+  ibc::Packet send_transfer(cosmos::CosmosApp& app, const std::string& denom,
+                            std::int64_t timeout_height,
+                            std::int64_t timeout_timestamp = 0,
+                            std::uint64_t amount = 7) {
+    ibc::MsgTransfer t;
+    t.source_port = ibc::kTransferPort;
+    t.source_channel = "channel-0";
+    t.denom = denom;
+    t.amount = amount;
+    t.sender = kUser;
+    t.receiver = kUser;  // counterparty account with the same name
+    t.timeout_height = timeout_height;
+    t.timeout_timestamp = timeout_timestamp;
+    const auto res = deliver(app, t.to_msg());
+    EXPECT_TRUE(res.status.is_ok()) << res.status.to_string();
+    for (const chain::Event& ev : res.events) {
+      if (ev.type == "send_packet") return *ibc::packet_from_event(ev);
+    }
+    ADD_FAILURE() << "no send_packet";
+    return {};
+  }
+
+  // Relays a packet sent by A into B (after syncing A's latest state).
+  chain::DeliverTxResult relay_recv_on_b(const ibc::Packet& p) {
+    sync_a_to_b();
+    ibc::MsgRecvPacket m;
+    m.packet = p;
+    m.proof_commitment = app_a.store().prove(ibc::host::packet_commitment_key(
+        ibc::kTransferPort, "channel-0", p.sequence));
+    m.proof_height = height_a;
+    return deliver(app_b, m.to_msg());
+  }
+
+  chain::DeliverTxResult relay_ack_on_a(const ibc::Packet& p) {
+    sync_b_to_a();
+    ibc::MsgAcknowledgementMsg m;
+    m.packet = p;
+    m.ack = ibc::Acknowledgement{true, ""};
+    m.proof_ack = app_b.store().prove(ibc::host::packet_ack_key(
+        ibc::kTransferPort, "channel-0", p.sequence));
+    m.proof_height = height_b;
+    return deliver(app_a, m.to_msg());
+  }
+
+  // Times out on B a packet that B sent and A never received (UNORDERED:
+  // non-membership proof of A's receipt).
+  chain::DeliverTxResult timeout_on_b(const ibc::Packet& p) {
+    ibc::MsgTimeout m;
+    m.packet = p;
+    m.proof_unreceived = app_a.store().prove(ibc::host::packet_receipt_key(
+        ibc::kTransferPort, "channel-0", p.sequence));
+    m.proof_height = height_a;
+    return deliver(app_b, m.to_msg());
+  }
+};
+
+TEST_F(TimeoutPath, VoucherReturnTimeoutRemintsVoucher) {
+  boot(ibc::ChannelOrdering::kUnordered);
+  // A -> B: mint a voucher on B.
+  const ibc::Packet out = send_transfer(app_a, cosmos::kNativeDenom, 1'000);
+  ASSERT_TRUE(relay_recv_on_b(out).status.is_ok());
+  const std::string path =
+      std::string(ibc::kTransferPort) + "/channel-0/" + cosmos::kNativeDenom;
+  const std::string voucher = ibc::voucher_denom(path);
+  ASSERT_EQ(app_b.bank().balance(kUser, voucher), 7u);
+  ASSERT_EQ(app_b.bank().supply(voucher), 7u);
+
+  // B -> A return that expires: the voucher is burned at send...
+  const ibc::Packet back =
+      send_transfer(app_b, voucher, /*timeout_height=*/height_a + 1);
+  EXPECT_EQ(app_b.bank().balance(kUser, voucher), 0u);
+  EXPECT_EQ(app_b.bank().supply(voucher), 0u);
+
+  // ...A advances past the timeout without receiving; B refunds by minting
+  // the voucher back, restoring both the balance and the supply.
+  sync_a_to_b();
+  sync_a_to_b();
+  const auto res = timeout_on_b(back);
+  ASSERT_TRUE(res.status.is_ok()) << res.status.to_string();
+  EXPECT_EQ(app_b.bank().balance(kUser, voucher), 7u);
+  EXPECT_EQ(app_b.bank().supply(voucher), 7u);
+}
+
+TEST_F(TimeoutPath, RedundantTimeoutRejected) {
+  boot(ibc::ChannelOrdering::kUnordered);
+  const ibc::Packet p = send_transfer(app_b, cosmos::kNativeDenom,
+                                      /*timeout_height=*/height_a + 1);
+  sync_a_to_b();
+  sync_a_to_b();
+  ASSERT_TRUE(timeout_on_b(p).status.is_ok());
+  // The commitment is gone: a second relayer's timeout is redundant, and the
+  // refund must not be applied twice. The failed tx still pays its fee
+  // (ante charges persist), so only the fee leaves the account.
+  const std::uint64_t balance_after =
+      app_b.bank().balance(kUser, cosmos::kNativeDenom);
+  EXPECT_EQ(timeout_on_b(p).status.code(), util::ErrorCode::kRedundantPacket);
+  EXPECT_EQ(app_b.bank().balance(kUser, cosmos::kNativeDenom),
+            balance_after - 100'000);
+}
+
+TEST_F(TimeoutPath, TimeoutRejectedAfterAckCompletes) {
+  boot(ibc::ChannelOrdering::kUnordered);
+  const ibc::Packet p = send_transfer(app_a, cosmos::kNativeDenom,
+                                      /*timeout_height=*/height_b + 2);
+  ASSERT_TRUE(relay_recv_on_b(p).status.is_ok());
+  ASSERT_TRUE(relay_ack_on_a(p).status.is_ok());
+  // The ack deleted the commitment; a late timeout attempt (e.g. from a
+  // second relayer that raced the ack) is redundant, not a second refund.
+  sync_b_to_a();
+  ibc::MsgTimeout m;
+  m.packet = p;
+  m.proof_unreceived = app_b.store().prove(ibc::host::packet_receipt_key(
+      ibc::kTransferPort, "channel-0", p.sequence));
+  m.proof_height = height_b;
+  EXPECT_EQ(deliver(app_a, m.to_msg()).status.code(),
+            util::ErrorCode::kRedundantPacket);
+}
+
+TEST_F(TimeoutPath, TimestampTimeoutNotYetExpiredRejected) {
+  boot(ibc::ChannelOrdering::kUnordered);
+  // Block h carries time 5h s; a 10'000 s timestamp is far in the future.
+  const ibc::Packet p = send_transfer(app_b, cosmos::kNativeDenom,
+                                      /*timeout_height=*/0,
+                                      /*timeout_timestamp=*/sim::seconds(10'000));
+  sync_a_to_b();
+  EXPECT_EQ(timeout_on_b(p).status.code(),
+            util::ErrorCode::kFailedPrecondition);
+  // Escrow still holds the tokens — the transfer is merely in flight.
+  EXPECT_EQ(app_b.bank().balance(
+                ibc::escrow_address(ibc::kTransferPort, "channel-0"),
+                cosmos::kNativeDenom),
+            7u);
+}
+
+TEST_F(TimeoutPath, OrderedTimestampTimeoutClosesChannelAndRefunds) {
+  boot(ibc::ChannelOrdering::kOrdered);
+  const std::uint64_t before = app_a.bank().balance(kUser, cosmos::kNativeDenom);
+  // Expires at A's consensus view of B reaching t = 9 s (B's block 2 is at
+  // 10 s). Height timeout disabled: this exercises the timestamp branch.
+  const ibc::Packet p = send_transfer(app_a, cosmos::kNativeDenom,
+                                      /*timeout_height=*/0,
+                                      /*timeout_timestamp=*/sim::seconds(9));
+  sync_b_to_a();  // consensus state at height 2, timestamp 10 s >= 9 s
+
+  ibc::MsgTimeout m;
+  m.packet = p;
+  m.next_sequence_recv =
+      ibc_b.channels().next_sequence_recv(ibc::kTransferPort, "channel-0");
+  m.proof_unreceived = app_b.store().prove(
+      ibc::host::next_sequence_recv_key(ibc::kTransferPort, "channel-0"));
+  m.proof_height = height_b;
+  const auto res = deliver(app_a, m.to_msg());
+  ASSERT_TRUE(res.status.is_ok()) << res.status.to_string();
+
+  // ICS-04: ordered-channel timeout closes the channel and refunds escrow.
+  const auto chan = ibc_a.channels().get(ibc::kTransferPort, "channel-0");
+  ASSERT_TRUE(chan.is_ok());
+  EXPECT_EQ(chan.value().phase, ibc::ChannelPhase::kClosed);
+  EXPECT_EQ(app_a.bank().balance(
+                ibc::escrow_address(ibc::kTransferPort, "channel-0"),
+                cosmos::kNativeDenom),
+            0u);
+  // Refund minus the two tx fees paid by the user.
+  EXPECT_EQ(app_a.bank().balance(kUser, cosmos::kNativeDenom),
+            before - 2 * 100'000);
+}
+
+TEST_F(TimeoutPath, SendWithoutAnyTimeoutRejected) {
+  boot(ibc::ChannelOrdering::kUnordered);
+  ibc::MsgTransfer t;
+  t.source_port = ibc::kTransferPort;
+  t.source_channel = "channel-0";
+  t.denom = cosmos::kNativeDenom;
+  t.amount = 1;
+  t.sender = kUser;
+  t.receiver = kUser;
+  t.timeout_height = 0;
+  t.timeout_timestamp = 0;  // ICS-04: at least one timeout must be set
+  EXPECT_EQ(deliver(app_a, t.to_msg()).status.code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
