@@ -11,6 +11,11 @@
 //                  concurrency). Every repetition is an independent,
 //                  seed-deterministic simulation, so results — and the CSV —
 //                  are byte-identical for any N.
+//   --trace FILE   enable telemetry on the sweep's FIRST experiment and
+//                  write its Chrome trace-event JSON (open in Perfetto) to
+//                  FILE, plus the metrics snapshot to FILE.metrics.csv.
+//                  One experiment only, so the output is a single
+//                  deterministic file (byte-identical across runs).
 
 #include <cstdint>
 #include <iostream>
@@ -29,6 +34,7 @@ struct Options {
   int reps = 0;  // 0 = per-bench default
   int jobs = 0;  // 0 = hardware concurrency
   std::string csv;
+  std::string trace;  // --trace FILE: trace the sweep's first experiment
 };
 
 inline Options parse_options(int argc, char** argv,
@@ -45,8 +51,13 @@ inline Options parse_options(int argc, char** argv,
       opt.jobs = std::atoi(argv[++i]);
     } else if (arg == "--csv" && i + 1 < argc) {
       opt.csv = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opt.trace = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace = arg.substr(8);
     } else if (arg == "--help") {
-      std::cout << "options: --full | --reps N | --jobs N | --csv PATH\n";
+      std::cout << "options: --full | --reps N | --jobs N | --csv PATH | "
+                   "--trace FILE\n";
       std::exit(0);
     }
   }
@@ -92,14 +103,39 @@ inline void print_sweep_summary(const xcc::SweepStats& stats) {
             << util::fmt_double(stats.speedup(), 2) << "x\n\n";
 }
 
+/// Applies --trace to a sweep: the FIRST experiment gets telemetry and
+/// writes the trace JSON + metrics CSV. Only one, so the output stays a
+/// single byte-identical file regardless of --jobs.
+inline void apply_trace(const Options& opt,
+                        std::vector<xcc::ExperimentConfig>& configs) {
+  if (opt.trace.empty() || configs.empty()) return;
+  configs.front().trace_path = opt.trace;
+  configs.front().metrics_csv_path = opt.trace + ".metrics.csv";
+}
+
+/// Prints the outcome of an --trace run (first result of the sweep).
+inline void print_trace_summary(const Options& opt,
+                                const std::vector<xcc::ExperimentResult>& rs) {
+  if (opt.trace.empty() || rs.empty()) return;
+  if (!rs.front().telemetry_error.empty()) {
+    std::cout << "[trace] FAILED: " << rs.front().telemetry_error << "\n\n";
+  } else {
+    std::cout << "[trace] wrote " << opt.trace << " and " << opt.trace
+              << ".metrics.csv (" << rs.front().metrics.size()
+              << " metrics)\n\n";
+  }
+}
+
 /// Runs a whole sweep through the parallel pool (submission order ==
-/// result order) and prints the utilisation summary.
+/// result order) and prints the utilisation summary. Honors --trace.
 inline std::vector<xcc::ExperimentResult> run_sweep(
-    const Options& opt, const std::vector<xcc::ExperimentConfig>& configs) {
+    const Options& opt, std::vector<xcc::ExperimentConfig> configs) {
+  apply_trace(opt, configs);
   xcc::SweepStats stats;
   auto results =
       xcc::run_experiments(configs, jobs_or_default(opt), &stats);
   print_sweep_summary(stats);
+  print_trace_summary(opt, results);
   return results;
 }
 

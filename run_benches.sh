@@ -4,23 +4,46 @@
 # script can be re-invoked until everything is done.
 #
 #   ./run_benches.sh            run all benches (cached)
-#   ./run_benches.sh --check    sanitizer passes: TSan over the parallel
-#                               runner + determinism tests, then ASan+UBSan
-#                               over the invariant checker and fuzz scenarios
+#   ./run_benches.sh --check    sanitizer passes (TSan over the parallel
+#                               runner + determinism + telemetry tests, then
+#                               ASan+UBSan over the invariant checker and
+#                               fuzz scenarios), the golden-figure
+#                               regression suite, and a --trace smoke test
+#                               (one traced bench; the JSON must parse)
 cd "$(dirname "$0")"
 
 if [ "$1" = "--check" ]; then
   set -e
-  echo "== ThreadSanitizer check: parallel runner + determinism =="
+  echo "== ThreadSanitizer check: parallel runner + determinism + telemetry =="
   cmake -B build-tsan -S . -DTHREAD_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j --target test_parallel test_relayer_behavior
-  (cd build-tsan && ctest --output-on-failure -R 'Parallel|Determinism')
+  cmake --build build-tsan -j --target test_parallel test_relayer_behavior test_telemetry
+  (cd build-tsan && ctest --output-on-failure \
+    -R 'Parallel|Determinism|Telemetry|Tracer|Registry|Counter|Gauge|Histogram|StepLog|DisabledMode')
   echo "== ASan+UBSan check: invariant checker + fuzz scenarios =="
   cmake -B build-asan -S . -DADDRESS_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j --target test_invariants test_faults fuzz_scenarios
   (cd build-asan && ctest --output-on-failure -R 'InvariantChecker|NetworkFault|TimeoutPath|CodecProperty')
   ./build-asan/src/check/fuzz_scenarios --seeds=40
-  echo "sanitizer checks passed"
+  echo "== golden-figure regression suite =="
+  cmake --build build -j --target test_golden
+  (cd build && ctest --output-on-failure -R 'GoldenFigures')
+  echo "== trace smoke test: fig12 with --trace =="
+  cmake --build build -j --target bench_fig12_latency_breakdown
+  trace_out=$(mktemp -t ibc_trace_XXXXXX.json)
+  ./build/bench/bench_fig12_latency_breakdown --trace "$trace_out" >/dev/null
+  python3 - "$trace_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+phases = {e["ph"] for e in events}
+assert "b" in phases and "e" in phases, "missing async packet lifecycle spans"
+assert any(e["ph"] == "X" and e["name"] == "queue_wait" for e in events), \
+    "missing rpc queue_wait spans"
+print(f"trace OK: {len(events)} events parse, packet + queue_wait spans present")
+EOF
+  rm -f "$trace_out" "$trace_out.metrics.csv"
+  echo "all checks passed"
   exit 0
 fi
 

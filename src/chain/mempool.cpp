@@ -8,6 +8,15 @@ namespace chain {
 Mempool::Mempool(App& app, std::size_t max_txs)
     : app_(app), max_txs_(max_txs) {}
 
+void Mempool::set_telemetry(telemetry::Hub* hub, const std::string& name) {
+  if (auto* m = telemetry::metrics(hub)) {
+    admitted_ctr_ = m->counter(name + ".admitted");
+    rejected_full_ctr_ = m->counter(name + ".rejected_full");
+    rejected_checktx_ctr_ = m->counter(name + ".rejected_checktx");
+    evicted_recheck_ctr_ = m->counter(name + ".evicted_recheck");
+  }
+}
+
 util::Status Mempool::add(const Tx& tx) {
   const TxHash hash = tx.hash();
   if (hashes_.contains(hash)) {
@@ -16,6 +25,7 @@ util::Status Mempool::add(const Tx& tx) {
   }
   if (pool_.size() >= max_txs_) {
     ++rejected_full_;
+    if (rejected_full_ctr_) rejected_full_ctr_->add();
     return util::Status::error(util::ErrorCode::kResourceExhausted,
                                "mempool is full");
   }
@@ -29,10 +39,12 @@ util::Status Mempool::add(const Tx& tx) {
   CheckTxResult res = app_.check_tx_pending(tx, pending_same_sender);
   if (!res.status.is_ok()) {
     ++rejected_checktx_;
+    if (rejected_checktx_ctr_) rejected_checktx_ctr_->add();
     return res.status;
   }
   pool_.push_back(tx);
   hashes_.insert(hash);
+  if (admitted_ctr_) admitted_ctr_->add();
   return util::Status::ok();
 }
 
@@ -73,6 +85,7 @@ void Mempool::update_after_commit(const std::vector<Tx>& committed) {
     if (!res.status.is_ok()) {
       hashes_.erase(h);
       ++evicted_recheck_;
+      if (evicted_recheck_ctr_) evicted_recheck_ctr_->add();
       continue;
     }
     ++pending_counts[tx.sender];

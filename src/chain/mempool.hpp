@@ -14,6 +14,7 @@
 
 #include "chain/app.hpp"
 #include "chain/tx.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/status.hpp"
 
 namespace chain {
@@ -46,6 +47,11 @@ class Mempool {
   std::uint64_t rejected_checktx() const { return rejected_checktx_; }
   std::uint64_t evicted_recheck() const { return evicted_recheck_; }
 
+  /// Wires admission counters under `<name>.`: admitted / rejected_full /
+  /// rejected_checktx (the paper's "account sequence mismatch" class) /
+  /// evicted_recheck.
+  void set_telemetry(telemetry::Hub* hub, const std::string& name);
+
  private:
   App& app_;
   std::size_t max_txs_;
@@ -54,6 +60,10 @@ class Mempool {
   std::uint64_t rejected_full_ = 0;
   std::uint64_t rejected_checktx_ = 0;
   std::uint64_t evicted_recheck_ = 0;
+  telemetry::Counter* admitted_ctr_ = nullptr;
+  telemetry::Counter* rejected_full_ctr_ = nullptr;
+  telemetry::Counter* rejected_checktx_ctr_ = nullptr;
+  telemetry::Counter* evicted_recheck_ctr_ = nullptr;
 };
 
 }  // namespace chain

@@ -41,6 +41,21 @@ void Engine::set_validator_live(std::size_t index, bool live) {
   live_[index] = live;
 }
 
+void Engine::set_telemetry(telemetry::Hub* hub, const std::string& name) {
+  hub_ = hub;
+  if (auto* t = telemetry::tracer(hub_)) {
+    track_ = t->track(name, "consensus");
+  }
+  if (auto* m = telemetry::metrics(hub_)) {
+    blocks_ctr_ = m->counter(name + ".blocks");
+    empty_blocks_ctr_ = m->counter(name + ".empty_blocks");
+    rounds_ctr_ = m->counter(name + ".rounds");
+    failed_rounds_ctr_ = m->counter(name + ".failed_rounds");
+    block_msgs_hist_ = m->histogram(
+        name + ".block_msgs", {0, 1, 10, 50, 100, 500, 1000, 5000});
+  }
+}
+
 void Engine::schedule_next_height() {
   if (!running_) return;
   const chain::Height next = ledger_.height() + 1;
@@ -69,6 +84,8 @@ void Engine::begin_round(chain::Height height, int round) {
   current_round_ = round;
   current_block_.reset();
   ++total_rounds_;
+  if (rounds_ctr_) rounds_ctr_->add();
+  if (round == 0) height_start_ = sched_.now();
 
   // Arm the round timeout; if the block does not commit in time the round
   // fails and the next proposer takes over.
@@ -94,6 +111,7 @@ void Engine::on_round_timeout(chain::Height height, int round) {
   const auto& t = tally(height, round);
   if (t.committed) return;
   ++failed_rounds_;
+  if (failed_rounds_ctr_) failed_rounds_ctr_->add();
   begin_round(height, round + 1);
 }
 
@@ -103,7 +121,10 @@ void Engine::propose(chain::Height height, int round) {
 
   auto block = std::make_shared<chain::Block>();
   block->txs = mempool_.reap(config_.max_block_gas, config_.max_block_bytes);
-  if (block->txs.empty()) ++empty_blocks_;
+  if (block->txs.empty()) {
+    ++empty_blocks_;
+    if (empty_blocks_ctr_) empty_blocks_ctr_->add();
+  }
 
   chain::BlockHeader& h = block->header;
   h.chain_id = ledger_.chain_id();
@@ -303,6 +324,19 @@ void Engine::commit_block(chain::Height height, int round) {
 
   last_block_time_ = block.header.time;
   last_exec_duration_ = exec;
+
+  if (blocks_ctr_) blocks_ctr_->add();
+  if (block_msgs_hist_) {
+    block_msgs_hist_->observe(static_cast<double>(total_msgs));
+  }
+  if (auto* t = telemetry::tracer(hub_)) {
+    // Both spans end at execution completion, a deterministic `exec` from
+    // now — emit them up front rather than threading state into the
+    // execution closure.
+    const sim::TimePoint end = sched_.now() + exec;
+    t->complete(track_, "height", height_start_, end - height_start_);
+    t->complete(track_, "exec", sched_.now(), exec);
+  }
 
 
   // Drop vote bookkeeping for older heights. The current height's tally is

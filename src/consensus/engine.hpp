@@ -34,6 +34,7 @@
 #include "chain/validator.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace consensus {
 
@@ -83,6 +84,12 @@ class Engine {
 
   /// Failure injection: a down validator neither proposes nor votes.
   void set_validator_live(std::size_t index, bool live);
+
+  /// Wires telemetry. Track `name`/"consensus" gets one "height" span per
+  /// block (round start through execution end — its width is the emergent
+  /// block interval of Fig. 7) with a nested "exec" span, plus block/round
+  /// counters and a block-fullness histogram.
+  void set_telemetry(telemetry::Hub* hub, const std::string& name);
 
   const chain::ValidatorSet& validators() const { return validators_; }
   chain::Ledger& ledger() { return ledger_; }
@@ -145,6 +152,15 @@ class Engine {
   std::uint64_t total_rounds_ = 0;
   std::uint64_t failed_rounds_ = 0;
   sim::Duration last_exec_duration_ = 0;
+
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::TrackId track_ = 0;
+  telemetry::Counter* blocks_ctr_ = nullptr;
+  telemetry::Counter* empty_blocks_ctr_ = nullptr;
+  telemetry::Counter* rounds_ctr_ = nullptr;
+  telemetry::Counter* failed_rounds_ctr_ = nullptr;
+  telemetry::Histogram* block_msgs_hist_ = nullptr;
+  sim::TimePoint height_start_ = 0;  // round-0 start of the current height
 };
 
 }  // namespace consensus

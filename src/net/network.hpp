@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace net {
@@ -89,6 +90,10 @@ class Network {
   void set_fault_profile(FaultProfile faults) { faults_ = faults; }
   const FaultProfile& fault_profile() const { return faults_; }
 
+  /// Wires traffic counters under `net.`: messages / bytes / dropped /
+  /// duplicated / delayed.
+  void set_telemetry(telemetry::Hub* hub);
+
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
@@ -106,6 +111,11 @@ class Network {
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t messages_duplicated_ = 0;
   std::uint64_t messages_delayed_ = 0;
+  telemetry::Counter* msgs_ctr_ = nullptr;
+  telemetry::Counter* bytes_ctr_ = nullptr;
+  telemetry::Counter* dropped_ctr_ = nullptr;
+  telemetry::Counter* duplicated_ctr_ = nullptr;
+  telemetry::Counter* delayed_ctr_ = nullptr;
 };
 
 }  // namespace net

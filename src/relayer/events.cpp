@@ -41,15 +41,45 @@ double StepLog::step_finish_seconds(Step step) const {
   return last;
 }
 
-bool StepLog::write_csv(const std::string& path) const {
+util::Status StepLog::write_csv(const std::string& path) const {
   std::ofstream f(path);
-  if (!f) return false;
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kUnavailable,
+                               "cannot open step log for writing: " + path);
+  }
   f << "time_s,step,sequence\n";
   for (const StepRecord& r : records_) {
     f << sim::to_seconds(r.time) << ',' << step_name(r.step) << ','
       << r.sequence << '\n';
   }
-  return static_cast<bool>(f);
+  f.flush();
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kInternal,
+                               "short write to step log: " + path);
+  }
+  return util::Status::ok();
+}
+
+void StepLog::trace(Step step, ibc::Sequence sequence, sim::TimePoint t) {
+  // One async span per packet: opened by whichever step is seen first (the
+  // workload's broadcast in a traced run; extraction if only the relayer
+  // logs), annotated at every step, closed at ack confirmation. The span id
+  // is the packet sequence, so Perfetto groups all 13 markers on one row.
+  if (closed_spans_.count(sequence) > 0) {
+    // Late record (e.g. ack extraction surfacing from the data pull after
+    // the wallet already confirmed the ack): annotate, don't re-open.
+    tracer_->async_instant(step_name(step), sequence, t);
+    return;
+  }
+  if (open_spans_.insert(sequence).second) {
+    tracer_->async_begin("packet", sequence, t);
+  }
+  tracer_->async_instant(step_name(step), sequence, t);
+  if (step == Step::kAckConfirmation) {
+    tracer_->async_end("packet", sequence, t);
+    open_spans_.erase(sequence);
+    closed_spans_.insert(sequence);
+  }
 }
 
 std::pair<double, double> StepLog::step_interval_seconds(Step step) const {

@@ -12,10 +12,13 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "ibc/ids.hpp"
 #include "sim/time.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/status.hpp"
 
 namespace relayer {
 
@@ -54,7 +57,15 @@ class StepLog {
  public:
   void record(Step step, ibc::Sequence sequence, sim::TimePoint t) {
     records_.push_back(StepRecord{t, step, sequence});
+    if (tracer_) trace(step, sequence, t);
   }
+
+  /// Mirrors every record into `tracer` as one async "packet" span per
+  /// sequence: opened at the packet's first step, closed at ack confirmation
+  /// (step 13), with an instant marker for every intermediate step. This is
+  /// the single funnel through which packet lifecycle tracing happens — both
+  /// the workload (step 1) and the relayer (steps 2–13) call record().
+  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
 
   const std::vector<StepRecord>& records() const { return records_; }
   void clear() { records_.clear(); }
@@ -70,11 +81,21 @@ class StepLog {
 
   /// Exports the raw records as CSV (time_s, step, sequence) — the
   /// simulator's stand-in for the paper's 158 GB execution-log dataset.
-  /// Returns false if the file cannot be written.
-  bool write_csv(const std::string& path) const;
+  /// Reports open/write failures (bad directory, full disk) in the status.
+  util::Status write_csv(const std::string& path) const;
 
  private:
+  void trace(Step step, ibc::Sequence sequence, sim::TimePoint t);
+
   std::vector<StepRecord> records_;
+  telemetry::Tracer* tracer_ = nullptr;
+  /// Sequences whose async span is currently open (begin emitted, end not).
+  std::unordered_set<ibc::Sequence> open_spans_;
+  /// Sequences whose span has been closed. Steps can be recorded out of
+  /// order — ack *extraction* rides the slow chunked data pull and often
+  /// lands after ack *confirmation* (the wallet's commit check) — and a
+  /// late record must emit only an instant, not re-open the span.
+  std::unordered_set<ibc::Sequence> closed_spans_;
 };
 
 }  // namespace relayer

@@ -54,6 +54,29 @@ void Relayer::stop() {
   b_.server->unsubscribe(sub_b_);
 }
 
+namespace {
+// Indexed by Op::Kind; span + counter names for the worker-lane telemetry.
+constexpr const char* kOpNames[6] = {"relay_batch", "ack_batch",
+                                     "timeout_batch", "clear",
+                                     "retry_recv", "retry_ack"};
+}  // namespace
+
+void Relayer::set_telemetry(telemetry::Hub* hub, const std::string& name) {
+  hub_ = hub;
+  if (auto* t = telemetry::tracer(hub_)) {
+    lane_track_[0] = t->track(name, "recv");
+    lane_track_[1] = t->track(name, "ack/timeout");
+  }
+  if (auto* m = telemetry::metrics(hub_)) {
+    for (int i = 0; i < 6; ++i) {
+      op_ctr_[i] = m->counter(name + ".ops." + kOpNames[i]);
+    }
+    const std::vector<double> bounds = {1, 2, 5, 10, 20, 50, 100, 200};
+    relay_batch_hist_ = m->histogram(name + ".relay_batch_size", bounds);
+    ack_batch_hist_ = m->histogram(name + ".ack_batch_size", bounds);
+  }
+}
+
 void Relayer::record(Step step, ibc::Sequence seq) {
   if (step_log_) step_log_->record(step, seq, sched_.now());
 }
@@ -214,11 +237,25 @@ void Relayer::pump(int lane) {
   op_running_[lane] = true;
   Op op = std::move(ops_[lane].front());
   ops_[lane].pop_front();
-  auto done = [this, lane]() {
+  const int kind_idx = static_cast<int>(op.kind);
+  if (op_ctr_[kind_idx]) op_ctr_[kind_idx]->add();
+  std::function<void()> done = [this, lane]() {
     op_running_[lane] = false;
     // Defer through the scheduler so deep op chains do not recurse.
     sched_.schedule_after(0, [this, lane] { pump(lane); });
   };
+  if (telemetry::tracer(hub_)) {
+    // Span covers the whole op, queries and submission included — emitted at
+    // completion (trace viewers sort by ts, so out-of-order append is fine).
+    done = [this, lane, kind_idx, start = sched_.now(),
+            inner = std::move(done)]() {
+      if (auto* t = telemetry::tracer(hub_)) {
+        t->complete(lane_track_[lane], kOpNames[kind_idx], start,
+                    sched_.now() - start);
+      }
+      inner();
+    };
+  }
   switch (op.kind) {
     case Op::Kind::kRelay:
       run_relay_batch(std::move(op.relay), std::move(done));
@@ -356,6 +393,9 @@ void Relayer::run_relay_batch(RelayBatchOp op, std::function<void()> done) {
   if (seqs.empty()) {
     done();
     return;
+  }
+  if (relay_batch_hist_) {
+    relay_batch_hist_->observe(static_cast<double>(seqs.size()));
   }
   auto after_pull = [this, seqs, done = std::move(done)](bool) mutable {
     std::vector<ibc::Sequence> pulled;
@@ -610,6 +650,9 @@ void Relayer::run_ack_batch(AckBatchOp op, std::function<void()> done) {
   if (seqs.empty()) {
     done();
     return;
+  }
+  if (ack_batch_hist_) {
+    ack_batch_hist_->observe(static_cast<double>(seqs.size()));
   }
   auto after_pull = [this, seqs, done = std::move(done)](bool) mutable {
     std::vector<ibc::Sequence> ready;

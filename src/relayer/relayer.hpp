@@ -86,6 +86,13 @@ class Relayer {
   void start();
   void stop();
 
+  /// Wires telemetry. Each worker lane gets a trace track under process
+  /// `name` ("recv" and "ack/timeout"); every queued operation becomes a
+  /// complete span covering assemble-through-submit, so relayer batch growth
+  /// under load (paper Fig. 8) is visible on the timeline. Also registers
+  /// per-op counters and batch-size histograms.
+  void set_telemetry(telemetry::Hub* hub, const std::string& name);
+
   struct Stats {
     std::uint64_t packets_relayed = 0;       // recv committed on dst
     std::uint64_t packets_completed = 0;     // ack committed on src
@@ -199,6 +206,12 @@ class Relayer {
   RelayerConfig config_;
   StepLog* step_log_;
   ibc::GasTable gas_;
+
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::TrackId lane_track_[2] = {0, 0};
+  telemetry::Counter* op_ctr_[6] = {};          // indexed by Op::Kind
+  telemetry::Histogram* relay_batch_hist_ = nullptr;
+  telemetry::Histogram* ack_batch_hist_ = nullptr;
 
   std::unique_ptr<Wallet> wallet_a_;
   std::unique_ptr<Wallet> wallet_b_;

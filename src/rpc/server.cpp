@@ -19,6 +19,14 @@ Server::Server(sim::Scheduler& sched, net::Network& network,
       rng_(seed ^ (static_cast<std::uint64_t>(machine) << 32)),
       queue_(sched, cost.request_queue_capacity) {}
 
+void Server::set_telemetry(telemetry::Hub* hub, const std::string& track_name) {
+  queue_.set_telemetry(hub, track_name);
+  if (auto* m = telemetry::metrics(hub)) {
+    frames_pushed_ctr_ = m->counter(track_name + ".ws_frames");
+    frames_oversize_ctr_ = m->counter(track_name + ".ws_frames_oversize");
+  }
+}
+
 sim::Duration Server::jittered(sim::Duration base) {
   if (cost_.service_jitter <= 0.0 || base <= 0) return base;
   const double f =
@@ -30,7 +38,7 @@ void Server::roundtrip(net::MachineId client, std::uint64_t request_bytes,
                        std::function<sim::Duration()> service_cost,
                        std::uint64_t response_bytes_hint,
                        std::function<void()> deliver,
-                       std::function<void()> on_reject) {
+                       std::function<void()> on_reject, const char* label) {
   // RPC runs over a reliable stream (TCP) in the real deployment, so even
   // when the fault-injected network duplicates a frame, the server handles
   // each request once and the client handles each response once. Duplication
@@ -46,7 +54,8 @@ void Server::roundtrip(net::MachineId client, std::uint64_t request_bytes,
                                                   response_bytes_hint,
                                                   deliver = std::move(deliver),
                                                   on_reject =
-                                                      std::move(on_reject)]() mutable {
+                                                      std::move(on_reject),
+                                                  label]() mutable {
     if (*served) return;
     *served = true;
     // Service cost is computed when service *starts*... more precisely when
@@ -63,7 +72,8 @@ void Server::roundtrip(net::MachineId client, std::uint64_t request_bytes,
                           *delivered = true;
                           deliver();
                         });
-        });
+        },
+        label);
     if (!accepted && on_reject) {
       network_.send(machine_, client, 128,
                     [delivered, on_reject = std::move(on_reject)]() mutable {
@@ -92,7 +102,8 @@ void Server::broadcast_tx_sync(net::MachineId client, chain::Tx tx,
       [cb]() {
         cb(util::Status::error(util::ErrorCode::kUnavailable,
                                "RPC request queue full"));
-      });
+      },
+      "broadcast_tx_sync");
 }
 
 TxResponse Server::make_response(chain::Height height,
@@ -126,7 +137,8 @@ void Server::query_tx(net::MachineId client, chain::TxHash hash,
       [cb]() {
         cb(util::Status::error(util::ErrorCode::kUnavailable,
                                "RPC request queue full"));
-      });
+      },
+      "query_tx");
 }
 
 void Server::tx_search_height(
@@ -171,7 +183,8 @@ void Server::tx_search_height(
       [cb]() {
         cb(util::Status::error(util::ErrorCode::kUnavailable,
                                "RPC request queue full"));
-      });
+      },
+      "tx_search");
 }
 
 void Server::query_packet_events(
@@ -231,7 +244,8 @@ void Server::query_packet_events(
       [cb]() {
         cb(util::Status::error(util::ErrorCode::kUnavailable,
                                "RPC request queue full"));
-      });
+      },
+      "query_packet_events");
 }
 
 void Server::query_packet_events_range(
@@ -288,7 +302,8 @@ void Server::query_packet_events_range(
       [cb]() {
         cb(util::Status::error(util::ErrorCode::kUnavailable,
                                "RPC request queue full"));
-      });
+      },
+      "query_packet_events_range");
 }
 
 void Server::abci_query(
@@ -310,7 +325,8 @@ void Server::abci_query(
       [cb]() {
         cb(util::Status::error(util::ErrorCode::kUnavailable,
                                "RPC request queue full"));
-      });
+      },
+      "abci_query");
 }
 
 void Server::abci_query_prefix(net::MachineId client, const std::string& prefix,
@@ -318,7 +334,7 @@ void Server::abci_query_prefix(net::MachineId client, const std::string& prefix,
   roundtrip(
       client, 192, [this] { return cost_.abci_query_service; }, 64 << 10,
       [this, prefix, cb]() { cb(app_.store().keys_with_prefix(prefix)); },
-      [cb]() { cb({}); });
+      [cb]() { cb({}); }, "abci_query_prefix");
 }
 
 void Server::query_header(net::MachineId client, chain::Height height,
@@ -344,7 +360,8 @@ void Server::query_header(net::MachineId client, chain::Height height,
       [cb]() {
         cb(util::Status::error(util::ErrorCode::kUnavailable,
                                "RPC request queue full"));
-      });
+      },
+      "query_header");
 }
 
 void Server::status(net::MachineId client, std::function<void(StatusInfo)> cb) {
@@ -357,7 +374,7 @@ void Server::status(net::MachineId client, std::function<void(StatusInfo)> cb) {
         info.block_time = b ? b->header.time : 0;
         cb(info);
       },
-      [cb]() { cb(StatusInfo{}); });
+      [cb]() { cb(StatusInfo{}); }, "status");
 }
 
 Server::SubscriptionId Server::subscribe_new_block(net::MachineId client,
@@ -390,6 +407,7 @@ void Server::on_block_committed(
     // block header notification but no event payload.
     frame.events_ok = false;
     ++frames_dropped_oversize_;
+    if (frames_oversize_ctr_) frames_oversize_ctr_->add();
     frame.frame_bytes = 1024;
   } else {
     frame.events_ok = true;
@@ -403,14 +421,18 @@ void Server::on_block_committed(
   const sim::Duration service =
       cost_.base_service +
       cost_.websocket_marshal_cost(frame.events_ok ? frame.frame_bytes : 0);
+  if (frames_pushed_ctr_) frames_pushed_ctr_->add();
   auto shared = std::make_shared<NewBlockFrame>(std::move(frame));
-  queue_.enqueue(service, [this, shared]() {
-    for (const Subscription& sub : subscriptions_) {
-      auto cb = sub.cb;
-      network_.send(machine_, sub.client, shared->frame_bytes,
-                    [cb, shared]() { cb(*shared); });
-    }
-  });
+  queue_.enqueue(
+      service,
+      [this, shared]() {
+        for (const Subscription& sub : subscriptions_) {
+          auto cb = sub.cb;
+          network_.send(machine_, sub.client, shared->frame_bytes,
+                        [cb, shared]() { cb(*shared); });
+        }
+      },
+      "ws_push");
 }
 
 }  // namespace rpc

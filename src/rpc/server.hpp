@@ -75,6 +75,11 @@ class Server {
   net::MachineId machine() const { return machine_; }
   const CostModel& cost_model() const { return cost_; }
 
+  /// Wires telemetry. `track_name` names this server's trace track (e.g.
+  /// "src.m0.rpc"); every endpoint's queue-wait and service time lands there,
+  /// labelled by endpoint. Also registers websocket frame counters.
+  void set_telemetry(telemetry::Hub* hub, const std::string& track_name);
+
   /// Ablation hook: services N requests in parallel (paper's bottleneck is
   /// N=1; the ablation bench raises it).
   void set_parallel_requests(std::size_t n) { queue_.set_servers(n); }
@@ -175,12 +180,13 @@ class Server {
   /// Round-trips a request: client->server latency, serialized service,
   /// server->client latency, then `deliver` runs at the client. When the
   /// request queue is full, `on_reject` runs instead (after the inbound
-  /// latency).
+  /// latency). `label` (string literal) names the service span in traces.
   void roundtrip(net::MachineId client, std::uint64_t request_bytes,
                  std::function<sim::Duration()> service_cost,
                  std::uint64_t response_bytes_hint,
                  std::function<void()> deliver,
-                 std::function<void()> on_reject);
+                 std::function<void()> on_reject,
+                 const char* label = nullptr);
 
   TxResponse make_response(chain::Height height, std::uint32_t index) const;
 
@@ -205,6 +211,8 @@ class Server {
   std::vector<Subscription> subscriptions_;
   SubscriptionId next_subscription_ = 1;
   std::uint64_t frames_dropped_oversize_ = 0;
+  telemetry::Counter* frames_pushed_ctr_ = nullptr;
+  telemetry::Counter* frames_oversize_ctr_ = nullptr;
 };
 
 }  // namespace rpc

@@ -2,13 +2,35 @@
 
 namespace sim {
 
-bool ServiceQueue::enqueue(Duration service_time,
-                           std::function<void()> on_done) {
+void ServiceQueue::set_telemetry(telemetry::Hub* hub,
+                                 const std::string& track_name) {
+  hub_ = hub;
+  if (auto* t = telemetry::tracer(hub_)) {
+    track_ = t->track(track_name, "service");
+  }
+  if (auto* m = telemetry::metrics(hub_)) {
+    completed_ctr_ = m->counter(track_name + ".completed");
+    rejected_ctr_ = m->counter(track_name + ".rejected");
+  }
+}
+
+void ServiceQueue::trace_depth() {
+  if (auto* t = telemetry::tracer(hub_)) {
+    t->counter(track_, "queued", sched_.now(),
+               static_cast<double>(pending_.size()));
+  }
+}
+
+bool ServiceQueue::enqueue(Duration service_time, std::function<void()> on_done,
+                          const char* label) {
   if (pending_.size() >= capacity_) {
     ++rejected_;
+    if (rejected_ctr_) rejected_ctr_->add();
     return false;
   }
-  pending_.push_back(Job{service_time, std::move(on_done)});
+  pending_.push_back(
+      Job{service_time, std::move(on_done), label, sched_.now()});
+  trace_depth();
   try_start();
   return true;
 }
@@ -23,21 +45,33 @@ void ServiceQueue::try_start() {
     Job job = std::move(pending_.front());
     pending_.pop_front();
     ++busy_;
-    const Duration st = job.service_time;
+    if (auto* t = telemetry::tracer(hub_)) {
+      const TimePoint start = sched_.now();
+      // The wait span is only emitted when the job actually queued — a
+      // request served immediately contributes nothing to the serialization
+      // bottleneck and would double the event volume.
+      if (start > job.enqueued) {
+        t->complete(track_, "queue_wait", job.enqueued, start - job.enqueued);
+      }
+      t->complete(track_, job.label ? job.label : "service", start,
+                  job.service_time);
+    }
     // The completion event re-checks the queue, so back-to-back jobs chain
     // without gaps (work-conserving server).
-    sched_.schedule_after(st, [this, st, done = std::move(job.on_done)]() mutable {
-      finish(st, std::move(done));
-    });
+    sched_.schedule_after(job.service_time,
+                          [this, job = std::move(job)]() mutable {
+                            finish(job);
+                          });
   }
 }
 
-void ServiceQueue::finish(Duration service_time,
-                          std::function<void()> on_done) {
+void ServiceQueue::finish(const Job& job) {
   --busy_;
   ++completed_;
-  total_busy_ += service_time;
-  if (on_done) on_done();
+  total_busy_ += job.service_time;
+  if (completed_ctr_) completed_ctr_->add();
+  trace_depth();
+  if (job.on_done) job.on_done();
   try_start();
 }
 

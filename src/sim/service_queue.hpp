@@ -11,8 +11,10 @@
 #include <deque>
 #include <functional>
 #include <limits>
+#include <string>
 
 #include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sim {
 
@@ -29,8 +31,16 @@ class ServiceQueue {
 
   /// Enqueues a job needing `service_time` of server time; `on_done` runs
   /// when service completes. Returns false (and drops the job) when the
-  /// queue is full.
-  bool enqueue(Duration service_time, std::function<void()> on_done);
+  /// queue is full. `label` (a string literal, retained by pointer) names
+  /// the job's service span in traces; nullptr falls back to "service".
+  bool enqueue(Duration service_time, std::function<void()> on_done,
+               const char* label = nullptr);
+
+  /// Wires telemetry: queue-wait + service spans on a track named
+  /// `track_name`, plus a queue-depth counter series. The queue-wait span is
+  /// the paper's headline quantity — time a request sits behind the
+  /// serialized Tendermint RPC server (§IV-B).
+  void set_telemetry(telemetry::Hub* hub, const std::string& track_name);
 
   /// Number of parallel servers (default 1 = fully serialized). Raising it
   /// immediately starts waiting jobs; this is the "parallel RPC" ablation.
@@ -53,12 +63,19 @@ class ServiceQueue {
   struct Job {
     Duration service_time;
     std::function<void()> on_done;
+    const char* label = nullptr;
+    TimePoint enqueued = 0;
   };
 
   void try_start();
-  void finish(Duration service_time, std::function<void()> on_done);
+  void finish(const Job& job);
+  void trace_depth();
 
   Scheduler& sched_;
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::TrackId track_ = 0;
+  telemetry::Counter* completed_ctr_ = nullptr;
+  telemetry::Counter* rejected_ctr_ = nullptr;
   std::size_t capacity_;
   std::size_t servers_ = 1;
   std::size_t busy_ = 0;

@@ -1,0 +1,137 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+namespace telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+Counter* Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return &it->second;
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return &it->second;
+}
+
+Histogram* Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
+             .first;
+  }
+  return &it->second;
+}
+
+namespace {
+
+/// Deterministic number formatting for CSV (shortest round-trip form keeps
+/// integral values free of trailing zeros).
+std::string fmt_num(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot rows;
+  rows.reserve(size());
+  for (const auto& [name, c] : counters_) {
+    MetricRow r;
+    r.name = name;
+    r.kind = "counter";
+    r.value = static_cast<double>(c.value());
+    rows.push_back(std::move(r));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricRow r;
+    r.name = name;
+    r.kind = "gauge";
+    r.value = g.value();
+    rows.push_back(std::move(r));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricRow r;
+    r.name = name;
+    r.kind = "histogram";
+    r.value = h.mean();
+    r.count = h.count();
+    r.sum = h.sum();
+    r.min = h.min();
+    r.max = h.max();
+    std::ostringstream os;
+    for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+      if (i > 0) os << ' ';
+      if (i < h.bounds().size()) {
+        os << "le_" << fmt_num(h.bounds()[i]);
+      } else {
+        os << "le_inf";
+      }
+      os << ':' << h.bucket_counts()[i];
+    }
+    r.buckets = os.str();
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
+  return rows;
+}
+
+std::string snapshot_to_csv(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "name,kind,value,count,sum,min,max,buckets\n";
+  for (const MetricRow& r : snapshot) {
+    os << r.name << ',' << r.kind << ',' << fmt_num(r.value) << ',' << r.count
+       << ',' << fmt_num(r.sum) << ',' << fmt_num(r.min) << ','
+       << fmt_num(r.max) << ',' << r.buckets << '\n';
+  }
+  return os.str();
+}
+
+util::Status Registry::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kUnavailable,
+                               "cannot open metrics csv for writing: " + path);
+  }
+  f << snapshot_to_csv(snapshot());
+  f.flush();
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kInternal,
+                               "write failed for metrics csv: " + path);
+  }
+  return util::Status::ok();
+}
+
+}  // namespace telemetry

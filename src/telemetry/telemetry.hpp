@@ -1,0 +1,63 @@
+#pragma once
+// Telemetry hub: one metrics registry + one tracer per simulation.
+//
+// Components hold a `telemetry::Hub*` (nullptr or disabled = off) and guard
+// every instrumentation site with the accessors below:
+//
+//   if (auto* m = telemetry::metrics(hub_)) m->counter("x")->add();
+//   if (auto* t = telemetry::tracer(hub_)) t->complete(track_, "op", t0, d);
+//
+// Two off switches:
+//   * runtime — a Hub is disabled by default; Testbed enables it only for
+//     telemetry runs. Disabled cost is a single pointer/bool check per site
+//     (measured < 2% bench wall time; see DESIGN.md §4d).
+//   * compile time — configure with -DIBC_TELEMETRY=OFF to define
+//     IBC_TELEMETRY_DISABLED: the accessors become constexpr nullptr and
+//     every guarded block is dead-code-eliminated.
+//
+// Ownership: Testbed owns the Hub (like the Scheduler); experiments and
+// tests wire component pointers. One hub per experiment keeps the parallel
+// sweep runner race-free — never share a hub across worker threads.
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace telemetry {
+
+class Hub {
+ public:
+  Hub() = default;
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  void enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  Tracer& trace_sink() { return tracer_; }
+  const Tracer& trace_sink() const { return tracer_; }
+
+ private:
+  bool enabled_ = false;
+  Registry registry_;
+  Tracer tracer_;
+};
+
+#ifndef IBC_TELEMETRY_DISABLED
+
+inline Registry* metrics(Hub* hub) {
+  return hub && hub->enabled() ? &hub->registry() : nullptr;
+}
+inline Tracer* tracer(Hub* hub) {
+  return hub && hub->enabled() ? &hub->trace_sink() : nullptr;
+}
+
+#else  // compile-time kill switch: guarded blocks fold to nothing.
+
+inline constexpr Registry* metrics(Hub*) { return nullptr; }
+inline constexpr Tracer* tracer(Hub*) { return nullptr; }
+
+#endif
+
+}  // namespace telemetry

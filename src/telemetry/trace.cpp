@@ -1,0 +1,224 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace telemetry {
+
+namespace {
+
+/// Minimal JSON string escaping (names are controlled identifiers, but a
+/// stray quote or backslash must not corrupt the file).
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+TrackId Tracer::track(std::string_view process, std::string_view thread) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].process == process && tracks_[i].thread == thread) {
+      return static_cast<TrackId>(i);
+    }
+  }
+  // pid: index of first track with this process name; tid: 1-based index
+  // within the process (tid 0 is reserved for process metadata).
+  std::uint32_t pid = static_cast<std::uint32_t>(tracks_.size()) + 1;
+  std::uint32_t tid = 1;
+  for (const Track& t : tracks_) {
+    if (t.process == process) {
+      pid = t.pid;
+      ++tid;
+    }
+  }
+  tracks_.push_back(Track{std::string(process), std::string(thread), pid, tid});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+bool Tracer::admit() {
+  if (events_.size() >= event_limit_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void Tracer::complete(TrackId track, std::string_view name,
+                      sim::TimePoint start, sim::Duration dur) {
+  if (!admit()) return;
+  events_.push_back(
+      Event{Phase::kComplete, track, std::string(name), start, dur, 0, 0.0});
+}
+
+void Tracer::instant(TrackId track, std::string_view name, sim::TimePoint t) {
+  if (!admit()) return;
+  events_.push_back(
+      Event{Phase::kInstant, track, std::string(name), t, 0, 0, 0.0});
+}
+
+void Tracer::counter(TrackId track, std::string_view name, sim::TimePoint t,
+                     double value) {
+  if (!admit()) return;
+  events_.push_back(
+      Event{Phase::kCounter, track, std::string(name), t, 0, 0, value});
+}
+
+void Tracer::async_begin(std::string_view name, std::uint64_t id,
+                         sim::TimePoint t) {
+  if (!admit()) return;
+  events_.push_back(
+      Event{Phase::kAsyncBegin, 0, std::string(name), t, 0, id, 0.0});
+}
+
+void Tracer::async_instant(std::string_view name, std::uint64_t id,
+                           sim::TimePoint t) {
+  if (!admit()) return;
+  events_.push_back(
+      Event{Phase::kAsyncInstant, 0, std::string(name), t, 0, id, 0.0});
+}
+
+void Tracer::async_end(std::string_view name, std::uint64_t id,
+                       sim::TimePoint t) {
+  if (!admit()) return;
+  events_.push_back(
+      Event{Phase::kAsyncEnd, 0, std::string(name), t, 0, id, 0.0});
+}
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 4096);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Track metadata: process and thread names. The async "packet" rows live
+  // on a dedicated pid 0 process so Perfetto groups them together.
+  comma();
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"packets\"}}";
+  std::string last_process;
+  for (const Track& t : tracks_) {
+    if (t.process != last_process) {
+      comma();
+      out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+      out += std::to_string(t.pid);
+      out += ",\"tid\":0,\"args\":{\"name\":\"";
+      append_escaped(out, t.process);
+      out += "\"}}";
+      last_process = t.process;
+    }
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(t.pid);
+    out += ",\"tid\":";
+    out += std::to_string(t.tid);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, t.thread);
+    out += "\"}}";
+  }
+
+  for (const Event& e : events_) {
+    comma();
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"ph\":\"";
+    switch (e.phase) {
+      case Phase::kComplete: out += 'X'; break;
+      case Phase::kInstant: out += 'i'; break;
+      case Phase::kCounter: out += 'C'; break;
+      case Phase::kAsyncBegin: out += 'b'; break;
+      case Phase::kAsyncInstant: out += 'n'; break;
+      case Phase::kAsyncEnd: out += 'e'; break;
+    }
+    out += "\",\"ts\":";
+    out += std::to_string(e.ts);
+    switch (e.phase) {
+      case Phase::kComplete:
+        out += ",\"dur\":";
+        out += std::to_string(e.dur);
+        [[fallthrough]];
+      case Phase::kInstant: {
+        const Track& t = tracks_[e.track];
+        out += ",\"pid\":";
+        out += std::to_string(t.pid);
+        out += ",\"tid\":";
+        out += std::to_string(t.tid);
+        if (e.phase == Phase::kInstant) out += ",\"s\":\"t\"";
+        break;
+      }
+      case Phase::kCounter: {
+        const Track& t = tracks_[e.track];
+        out += ",\"pid\":";
+        out += std::to_string(t.pid);
+        out += ",\"tid\":";
+        out += std::to_string(t.tid);
+        out += ",\"args\":{\"value\":";
+        out += fmt_double(e.value);
+        out += '}';
+        break;
+      }
+      case Phase::kAsyncBegin:
+      case Phase::kAsyncInstant:
+      case Phase::kAsyncEnd:
+        out += ",\"cat\":\"packet\",\"id\":\"0x";
+        {
+          char buf[24];
+          std::snprintf(buf, sizeof buf, "%llx",
+                        static_cast<unsigned long long>(e.id));
+          out += buf;
+        }
+        out += "\",\"pid\":0,\"tid\":0";
+        break;
+    }
+    out += '}';
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":"
+         "\"virtual-microseconds\",\"droppedEvents\":";
+  out += std::to_string(dropped_);
+  out += "}}\n";
+  return out;
+}
+
+util::Status Tracer::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kUnavailable,
+                               "cannot open trace file for writing: " + path);
+  }
+  f << to_json();
+  f.flush();
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kInternal,
+                               "write failed for trace file: " + path);
+  }
+  return util::Status::ok();
+}
+
+}  // namespace telemetry

@@ -1,0 +1,107 @@
+#pragma once
+// Virtual-time trace spans, exported as Chrome trace-event JSON.
+//
+// Every span is stamped with sim::Scheduler virtual time (integer
+// microseconds), which maps 1:1 onto the trace-event "ts" field — load the
+// file in Perfetto / chrome://tracing and the timeline IS the simulation
+// clock, bit-identical across runs with the same seed. Two span families:
+//
+//   * scoped spans — complete ("X") events on named tracks (process/thread
+//     pairs): rpc queue wait + service, relayer batch ops, consensus
+//     heights, block execution;
+//   * async spans — "b"/"n"/"e" events keyed by packet sequence: one
+//     lifecycle span per IBC packet covering the ICS-04 states
+//     (send -> extraction -> data pull -> build -> broadcast -> commit ->
+//     ack), emitted through relayer::StepLog.
+//
+// The tracer is passive storage: callers pass timestamps explicitly (the
+// telemetry layer sits below sim and never touches the scheduler), events
+// append in execution order (deterministic), and write_json() serializes
+// with fixed formatting. NOT thread-safe: one tracer per experiment, like
+// sim::Scheduler.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/status.hpp"
+
+namespace telemetry {
+
+/// Index into the tracer's track table (a registered process/thread pair).
+using TrackId = std::uint32_t;
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Registers (or reuses) the track named by process/thread and returns its
+  /// id. Tracks map onto trace-event pid/tid rows.
+  TrackId track(std::string_view process, std::string_view thread);
+
+  /// Complete span [start, start+dur) on `track` ("ph":"X").
+  void complete(TrackId track, std::string_view name, sim::TimePoint start,
+                sim::Duration dur);
+  /// Zero-duration marker ("ph":"i", thread scope).
+  void instant(TrackId track, std::string_view name, sim::TimePoint t);
+  /// Counter-track sample ("ph":"C") — renders as a stacked area chart.
+  void counter(TrackId track, std::string_view name, sim::TimePoint t,
+               double value);
+
+  /// Async (cross-track) span keyed by `id` ("ph":"b"/"n"/"e", category
+  /// "packet"). Begin/instant/end with the same id form one row.
+  void async_begin(std::string_view name, std::uint64_t id, sim::TimePoint t);
+  void async_instant(std::string_view name, std::uint64_t id, sim::TimePoint t);
+  void async_end(std::string_view name, std::uint64_t id, sim::TimePoint t);
+
+  std::size_t event_count() const { return events_.size(); }
+  std::size_t dropped_events() const { return dropped_; }
+  /// Caps stored events (runaway-trace guard); further events are counted in
+  /// dropped_events() and noted in the exported metadata.
+  void set_event_limit(std::size_t n) { event_limit_ = n; }
+
+  /// Serializes all events as Chrome trace-event JSON ({"traceEvents":[...]}).
+  /// Deterministic: byte-identical for identical event streams.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`, reporting I/O failure via Status.
+  util::Status write_json(const std::string& path) const;
+
+ private:
+  enum class Phase : std::uint8_t {
+    kComplete,
+    kInstant,
+    kCounter,
+    kAsyncBegin,
+    kAsyncInstant,
+    kAsyncEnd,
+  };
+  struct Event {
+    Phase phase;
+    TrackId track = 0;       // unused for async events
+    std::string name;
+    sim::TimePoint ts = 0;
+    sim::Duration dur = 0;   // kComplete only
+    std::uint64_t id = 0;    // async events only
+    double value = 0.0;      // kCounter only
+  };
+  struct Track {
+    std::string process;
+    std::string thread;
+    std::uint32_t pid;
+    std::uint32_t tid;
+  };
+
+  bool admit();
+
+  std::vector<Event> events_;
+  std::vector<Track> tracks_;
+  std::size_t event_limit_ = 8'000'000;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace telemetry

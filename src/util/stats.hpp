@@ -50,6 +50,11 @@ class Sample {
 class RunningStat {
  public:
   void add(double v);
+  /// Combines another accumulator into this one (Chan et al. parallel
+  /// variance combination): the result is identical — up to floating-point
+  /// association — to having added both streams into one accumulator. Used
+  /// to fold per-worker statistics from the parallel sweep runner.
+  void merge(const RunningStat& other);
   std::size_t count() const { return n_; }
   double mean() const { return n_ > 0 ? mean_ : 0.0; }
   double variance() const;  // sample variance (n-1)

@@ -28,7 +28,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ExperimentResult result;
 
   // --- Setup ---------------------------------------------------------------
+  const bool telemetry_on = config.telemetry || !config.trace_path.empty() ||
+                            !config.metrics_csv_path.empty();
+  // Packet lifecycle spans are derived from the step log, so a traced run
+  // must collect steps (observer effect documented at trace_path).
+  const bool collect_steps = config.collect_steps || !config.trace_path.empty();
+
   TestbedConfig tb_cfg = config.testbed;
+  tb_cfg.telemetry = tb_cfg.telemetry || telemetry_on;
   tb_cfg.user_accounts = std::max(
       tb_cfg.user_accounts,
       accounts_needed(config.workload, tb_cfg.min_block_interval) + 4);
@@ -60,6 +67,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // --- Relayers -------------------------------------------------------------
   relayer::StepLog steps;
+  steps.set_tracer(telemetry::tracer(tb.hub()));
   std::vector<std::unique_ptr<relayer::Relayer>> relayers;
   for (int k = 0; k < config.relayer_count; ++k) {
     // Relayer k is colocated with machine k and uses that machine's full
@@ -73,9 +81,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     rc.machine = static_cast<net::MachineId>(machine);
     // Only the first relayer feeds the step log (Fig. 12's per-step series
     // is a single-relayer analysis).
-    relayer::StepLog* log = (k == 0 && config.collect_steps) ? &steps : nullptr;
+    relayer::StepLog* log = (k == 0 && collect_steps) ? &steps : nullptr;
     relayers.push_back(std::make_unique<relayer::Relayer>(
         tb.scheduler(), ha, hb, channel.path(), rc, log));
+    relayers.back()->set_telemetry(tb.hub(), "relayer" + std::to_string(k));
     relayers.back()->start();
   }
 
@@ -87,7 +96,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     wl_cfg.duration_blocks = config.measure_blocks;
   }
   TransferWorkload workload(tb, channel, wl_cfg,
-                            config.collect_steps ? &steps : nullptr);
+                            collect_steps ? &steps : nullptr);
   const chain::Height start_height = tb.chain_a().ledger->height();
   workload.start();
 
@@ -186,6 +195,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       sim::to_seconds(tb.chain_a().servers[0]->busy_time());
   result.rpc_busy_seconds_b =
       sim::to_seconds(tb.chain_b().servers[0]->busy_time());
+
+  // The step log moved into the result outlives the testbed (and its
+  // tracer); sever the mirror hook before that can dangle.
+  result.steps.set_tracer(nullptr);
+
+  // --- Telemetry export ---------------------------------------------------------
+  if (telemetry_on) {
+    result.metrics = tb.hub()->registry().snapshot();
+  }
+  if (!config.trace_path.empty()) {
+    const util::Status st =
+        tb.hub()->trace_sink().write_json(config.trace_path);
+    if (!st.is_ok()) result.telemetry_error = st.to_string();
+  }
+  if (!config.metrics_csv_path.empty()) {
+    const util::Status st =
+        tb.hub()->registry().write_csv(config.metrics_csv_path);
+    if (!st.is_ok()) {
+      if (!result.telemetry_error.empty()) result.telemetry_error += "; ";
+      result.telemetry_error += st.to_string();
+    }
+  }
 
   result.ok = true;
   return result;

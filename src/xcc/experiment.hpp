@@ -43,6 +43,18 @@ struct ExperimentConfig {
   /// values quantify how much of the latency that serialization explains.
   std::size_t parallel_rpc_requests = 1;
 
+  /// Enables the telemetry hub for this run; ExperimentResult::metrics then
+  /// carries the registry snapshot. Implied by trace_path/metrics_csv_path.
+  bool telemetry = false;
+  /// When non-empty, the full virtual-time trace is written here as Chrome
+  /// trace-event JSON (load in Perfetto). Tracing needs the per-packet step
+  /// records, so collect_steps is forced on — note the observer effect: the
+  /// workload then issues extra confirmation queries, exactly like the
+  /// paper's own measurement tooling (§III-B).
+  std::string trace_path;
+  /// When non-empty, the metrics snapshot is also written here as CSV.
+  std::string metrics_csv_path;
+
   sim::Duration max_sim_time = sim::seconds(14'400);
 };
 
@@ -80,6 +92,12 @@ struct ExperimentResult {
   // RPC utilisation on the machine-0 full nodes (the bottleneck analysis).
   double rpc_busy_seconds_a = 0.0;
   double rpc_busy_seconds_b = 0.0;
+
+  /// Registry snapshot (empty unless the run had telemetry enabled).
+  telemetry::MetricsSnapshot metrics;
+  /// Non-empty when writing trace_path / metrics_csv_path failed; the
+  /// experiment itself still succeeds (ok stays true).
+  std::string telemetry_error;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config);

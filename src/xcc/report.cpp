@@ -105,6 +105,29 @@ void section_errors(std::ostringstream& os, const ExperimentResult& r) {
      << util::fmt_double(r.rpc_busy_seconds_b, 1) << " s |\n\n";
 }
 
+void section_metrics(std::ostringstream& os, const ExperimentResult& r) {
+  if (r.metrics.empty()) return;
+  os << "## Metrics\n\n";
+  os << "| name | kind | value | count | mean |\n|---|---|---|---|---|\n";
+  for (const telemetry::MetricRow& row : r.metrics) {
+    os << "| " << row.name << " | " << row.kind << " | ";
+    if (row.kind == "histogram") {
+      os << util::fmt_double(row.sum, 2) << " | " << row.count << " | "
+         << util::fmt_double(row.count > 0
+                                 ? row.sum / static_cast<double>(row.count)
+                                 : 0.0,
+                             3);
+    } else {
+      os << util::fmt_double(row.value, 2) << " | - | -";
+    }
+    os << " |\n";
+  }
+  os << "\n";
+  if (!r.telemetry_error.empty()) {
+    os << "**Telemetry export failed:** " << r.telemetry_error << "\n\n";
+  }
+}
+
 }  // namespace
 
 std::string render_report(const ExperimentConfig& config,
@@ -128,6 +151,7 @@ std::string render_report(const ExperimentConfig& config,
   }
   section_steps(os, result.steps);
   section_errors(os, result);
+  section_metrics(os, result);
   return os.str();
 }
 

@@ -3,11 +3,14 @@
 namespace xcc {
 
 Testbed::Testbed(TestbedConfig config) : config_(config) {
+  if (config_.telemetry) hub_.enable();
+
   net::NetworkConfig nc;
   nc.machine_count = config_.machines;
   nc.inter_machine_rtt = config_.rtt;
   nc.seed = config_.seed;
   network_ = std::make_unique<net::Network>(sched_, nc);
+  network_->set_telemetry(&hub_);
 
   deploy_chain(a_, "ibc-source", "src");
   deploy_chain(b_, "ibc-destination", "dst");
@@ -63,6 +66,8 @@ void Testbed::deploy_chain(ChainDeployment& c, const std::string& id,
   c.engine = std::make_unique<consensus::Engine>(
       sched_, *network_, std::move(validators), *c.app, *c.mempool, *c.ledger,
       ec);
+  c.engine->set_telemetry(&hub_, prefix);
+  c.mempool->set_telemetry(&hub_, prefix + ".mempool");
 
   c.ibc = std::make_unique<ibc::IbcKeeper>(*c.app);
   c.transfer = std::make_unique<ibc::TransferModule>(*c.app, *c.ibc);
@@ -74,6 +79,7 @@ void Testbed::deploy_chain(ChainDeployment& c, const std::string& id,
         sched_, *network_, m, *c.ledger, *c.mempool, *c.app, config_.rpc_cost,
         config_.seed * 1315423911u + static_cast<std::uint64_t>(m) +
             (id == "ibc-source" ? 0u : 7'919u));
+    server->set_telemetry(&hub_, prefix + ".m" + std::to_string(m) + ".rpc");
     rpc::Server* raw = server.get();
     c.engine->subscribe_block(
         [raw](const chain::Block& block,

@@ -21,6 +21,7 @@
 #include "relayer/relayer.hpp"
 #include "rpc/server.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace xcc {
 
@@ -49,6 +50,11 @@ struct TestbedConfig {
   /// fail_fast throws check::InvariantViolation at the first violation;
   /// false collects them (fuzzer mode, see Testbed::checker()).
   bool invariant_fail_fast = true;
+
+  /// Enables the telemetry hub (metrics registry + tracer) and wires every
+  /// component into it. Off by default: instrumented call sites then cost
+  /// one null-check each.
+  bool telemetry = false;
 };
 
 /// One deployed chain: app + consensus + per-machine RPC servers.
@@ -83,6 +89,10 @@ class Testbed {
   /// TestbedConfig::invariant_checks is off).
   check::InvariantChecker* checker() { return checker_.get(); }
 
+  /// The testbed's telemetry hub (disabled unless TestbedConfig::telemetry).
+  /// Per-testbed, like the scheduler: parallel experiments never share one.
+  telemetry::Hub* hub() { return &hub_; }
+
   /// Starts both consensus engines.
   void start_chains();
 
@@ -104,6 +114,7 @@ class Testbed {
                     const std::string& prefix);
 
   TestbedConfig config_;
+  telemetry::Hub hub_;
   sim::Scheduler sched_;
   std::unique_ptr<net::Network> network_;
   ChainDeployment a_;

@@ -328,7 +328,7 @@ TEST(StepLogTest, WritesRawCsvDataset) {
   log.record(relayer::Step::kTransferBroadcast, 1, sim::seconds(1));
   log.record(relayer::Step::kAckConfirmation, 1, sim::seconds(21));
   const std::string path = "/tmp/ibc_perf_steplog_test.csv";
-  ASSERT_TRUE(log.write_csv(path));
+  ASSERT_TRUE(log.write_csv(path).is_ok());
   std::ifstream f(path);
   std::string content((std::istreambuf_iterator<char>(f)),
                       std::istreambuf_iterator<char>());

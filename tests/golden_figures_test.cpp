@@ -1,0 +1,155 @@
+// Golden-figure regression suite: small-scale deterministic reruns of the
+// paper's headline results, asserted against checked-in tolerance bands.
+//
+// Each test replays a trimmed version of a bench figure (same config
+// builders, same seeds, fewer blocks/transfers) and pins the qualitative
+// shape plus quantitative bands around the values the current simulator
+// produces. Simulations are seed-deterministic, so the bands are not
+// statistical slack — they are the allowed drift before a change to a
+// mechanism constant counts as "you changed the reproduced result".
+//
+// Sensitivity check (performed manually, 2026-08-06): perturbing
+// TestbedConfig::rpc_cost.scan_ns_per_event_byte by +50% pushed the Fig. 12
+// data-pull share and total latency out of band, and halving
+// min_block_interval pushed the Fig. 6 inclusion throughput out of band —
+// both tests failed as intended, and passed again once the constants were
+// restored. If a deliberate mechanism change moves a figure, re-run the
+// corresponding bench against the paper's numbers before widening a band.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace {
+
+/// Relative tolerance band around a golden value.
+void expect_within(double actual, double golden, double rel_tol,
+                   const char* what) {
+  EXPECT_GE(actual, golden * (1.0 - rel_tol)) << what;
+  EXPECT_LE(actual, golden * (1.0 + rel_tol)) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — Tendermint inclusion throughput rises to a peak near 3,000 RPS
+// and declines beyond it (paper: ~200 TFPS at 250 RPS, peak ~961 at 3,000,
+// ~499 at 9,000). Same 15-block window as the bench (shorter windows miss
+// the block-interval stretch that creates the peak), one rep instead of 20.
+
+TEST(GoldenFigures, Fig6InclusionThroughputPeakShape) {
+  const std::vector<double> rates = {250, 1000, 3000, 9000};
+  std::vector<double> tfps;
+  for (double rps : rates) {
+    const auto res = xcc::run_experiment(bench::inclusion_config(rps, 0));
+    ASSERT_TRUE(res.ok) << res.error;
+    tfps.push_back(res.inclusion_tfps);
+  }
+
+  // Shape: rises with input while the chain keeps up, declines past the
+  // ~3,000 RPS saturation point. (Below saturation this simulator includes
+  // every submission, so 1,000 RPS yields exactly 1,000 TFPS — slightly
+  // above the stretched-block peak value, unlike the paper's noisier
+  // physical testbed.)
+  EXPECT_LT(tfps[0], tfps[1]);
+  EXPECT_GT(tfps[2], tfps[3]);
+
+  // Bands around the current deterministic values (seed bench::seed_for(0)).
+  // Paper values for reference: ~961 at 3,000 RPS, ~499 at 9,000.
+  expect_within(tfps[0], 250.0, 0.05, "fig6 inclusion tracks 250 RPS input");
+  expect_within(tfps[1], 1000.0, 0.05, "fig6 inclusion tracks 1000 RPS input");
+  expect_within(tfps[2], 955.6, 0.10, "fig6 inclusion TFPS at 3000 RPS");
+  expect_within(tfps[3], 486.9, 0.15, "fig6 inclusion TFPS at 9000 RPS");
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — one-relayer completed-transfer throughput tracks the input rate
+// at low rates, peaks near 140 RPS, then degrades (paper at 200 ms RTT:
+// ~14 TFPS at 20 RPS, peak ~80, ~50 at 300 RPS). Trimmed rerun: 12-block
+// window instead of 50.
+
+TEST(GoldenFigures, Fig8RelayerThroughputPeaksThenDegrades) {
+  const std::vector<double> rates = {20, 140, 300};
+  std::vector<double> tfps;
+  for (double rps : rates) {
+    const auto res = xcc::run_experiment(
+        bench::relayer_config(rps, 1, sim::millis(200), 0, /*blocks=*/12));
+    ASSERT_TRUE(res.ok) << res.error;
+    tfps.push_back(res.tfps);
+  }
+
+  // Shape: peak in the middle, degradation past it.
+  EXPECT_GT(tfps[1], tfps[0]);
+  EXPECT_GT(tfps[1], tfps[2]);
+
+  // At 20 RPS the relayer keeps up: completed roughly tracks the input rate
+  // (the short 12-block window leaves the last blocks' packets in flight).
+  expect_within(tfps[0], 16.7, 0.15, "fig8 TFPS at 20 RPS tracks input");
+  expect_within(tfps[1], 58.3, 0.15, "fig8 peak TFPS at 140 RPS");
+  expect_within(tfps[2], 35.0, 0.20, "fig8 degraded TFPS at 300 RPS");
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — the 13-step breakdown of a one-block burst: the two serialized
+// RPC data pulls dominate end-to-end latency (paper: 317 s of 455 s, ~69%),
+// and the receive segment outweighs the ack segment (261 s vs 68 s).
+// Full 5,000-transfer burst: the scan-cost pathology is superlinear in
+// block fullness, so smaller bursts (e.g. 800) do NOT show pull dominance
+// — that scale-dependence is itself part of the reproduced result.
+
+TEST(GoldenFigures, Fig12DataPullsDominateLatency) {
+  xcc::ExperimentConfig cfg;
+  cfg.workload.total_transfers = 5'000;
+  cfg.workload.spread_blocks = 1;
+  cfg.measure_blocks = 5;
+  cfg.wait_for_drain = true;
+  cfg.drain_no_progress_limit = sim::seconds(300);
+  cfg.max_sim_time = sim::seconds(5'000);
+  cfg.testbed.seed = bench::seed_for(0);
+  const auto res = xcc::run_experiment(cfg);
+  ASSERT_TRUE(res.ok) << res.error;
+
+  // Every transfer completes.
+  EXPECT_EQ(res.final_breakdown.completed, 5000u);
+
+  const auto& steps = res.steps;
+  const auto bcasts =
+      steps.completion_times_seconds(relayer::Step::kTransferBroadcast);
+  ASSERT_FALSE(bcasts.empty());
+  const double t0 = bcasts.front();
+  auto finish = [&](relayer::Step st) {
+    return steps.step_finish_seconds(st) - t0;
+  };
+  auto start_of = [&](relayer::Step st) {
+    return steps.step_interval_seconds(st).first - t0;
+  };
+
+  const double total = finish(relayer::Step::kAckConfirmation);
+  const double transfer_seg = finish(relayer::Step::kTransferDataPull);
+  const double recv_seg = finish(relayer::Step::kRecvDataPull) - transfer_seg;
+  const double ack_seg = total - transfer_seg - recv_seg;
+  const double pulls =
+      (finish(relayer::Step::kTransferDataPull) -
+       start_of(relayer::Step::kTransferDataPull)) +
+      (finish(relayer::Step::kRecvDataPull) -
+       start_of(relayer::Step::kRecvDataPull));
+
+  // Qualitative invariants from the paper's analysis (§IV-C).
+  EXPECT_GT(pulls / total, 0.50)
+      << "serialized RPC data pulls no longer dominate latency";
+  EXPECT_GT(recv_seg, ack_seg)
+      << "receive segment should outweigh the ack segment";
+  EXPECT_GT(recv_seg, transfer_seg * 0.8)
+      << "receive segment should be comparable to or larger than transfer";
+
+  // Quantitative bands (seed bench::seed_for(0), 5,000 transfers). Current
+  // deterministic values: total 377.5 s (paper: 455), transfer/recv/ack
+  // segments 98.3/251.5/27.8 s (paper: 126/261/68), pull share 81%
+  // (paper: ~69%).
+  expect_within(total, 377.5, 0.10, "fig12 total completion latency (s)");
+  expect_within(pulls / total, 0.8125, 0.08,
+                "fig12 data-pull share of total");
+  expect_within(recv_seg, 251.5, 0.10, "fig12 receive segment (s)");
+}
+
+}  // namespace

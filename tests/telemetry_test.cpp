@@ -1,0 +1,337 @@
+// Unit tests for the telemetry subsystem: instrument semantics, registry
+// snapshot determinism, trace-event JSON round-trip, disabled-mode no-ops
+// and Status-reporting on export I/O failure.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "relayer/events.hpp"
+#include "telemetry/telemetry.hpp"
+#include "xcc/experiment.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Instrument semantics.
+
+TEST(CounterTest, AccumulatesDeltas) {
+  telemetry::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  telemetry::Gauge g;
+  g.set(10.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.set(1.0);  // set overwrites, last write wins
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(HistogramTest, BucketsObservations) {
+  telemetry::Histogram h({1.0, 5.0, 10.0});
+  // bucket i counts v <= bounds[i]; one extra overflow bucket.
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (boundary is inclusive)
+  h.observe(3.0);   // <= 5
+  h.observe(10.0);  // <= 10
+  h.observe(99.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 113.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 99.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 113.5 / 5.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsSafe) {
+  telemetry::Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(RegistryTest, InstrumentPointersAreStableAndShared) {
+  telemetry::Registry reg;
+  telemetry::Counter* a = reg.counter("x.events");
+  telemetry::Counter* b = reg.counter("x.events");
+  EXPECT_EQ(a, b);  // same name -> same instrument
+  a->add(3);
+  EXPECT_EQ(b->value(), 3u);
+  // Different kinds under different names coexist.
+  reg.gauge("x.depth")->set(2.0);
+  reg.histogram("x.sizes", {1.0, 10.0})->observe(4.0);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(RegistryTest, HistogramBoundsFixedAtFirstRegistration) {
+  telemetry::Registry reg;
+  telemetry::Histogram* h = reg.histogram("h", {1.0, 2.0});
+  telemetry::Histogram* again = reg.histogram("h", {99.0});
+  EXPECT_EQ(h, again);
+  EXPECT_EQ(again->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RegistryTest, SnapshotIsNameSortedAndComplete) {
+  telemetry::Registry reg;
+  reg.counter("zeta")->add(7);
+  reg.gauge("alpha")->set(1.5);
+  reg.histogram("mid", {10.0})->observe(3.0);
+  const telemetry::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[1].name, "mid");
+  EXPECT_EQ(snap[2].name, "zeta");
+  EXPECT_EQ(snap[0].kind, "gauge");
+  EXPECT_DOUBLE_EQ(snap[0].value, 1.5);
+  EXPECT_EQ(snap[1].kind, "histogram");
+  EXPECT_EQ(snap[1].count, 1u);
+  EXPECT_DOUBLE_EQ(snap[1].sum, 3.0);
+  EXPECT_EQ(snap[2].kind, "counter");
+  EXPECT_DOUBLE_EQ(snap[2].value, 7.0);
+}
+
+TEST(RegistryTest, WriteCsvSucceedsAndReportsFailure) {
+  telemetry::Registry reg;
+  reg.counter("a")->add(1);
+  const std::string path = ::testing::TempDir() + "telemetry_reg.csv";
+  ASSERT_TRUE(reg.write_csv(path).is_ok());
+  const std::string csv = slurp(path);
+  EXPECT_NE(csv.find("a"), std::string::npos);
+  EXPECT_EQ(csv, telemetry::snapshot_to_csv(reg.snapshot()));
+  std::remove(path.c_str());
+
+  const util::Status bad = reg.write_csv("/nonexistent-dir/x/metrics.csv");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: JSON round-trip and event limit.
+
+TEST(TracerTest, JsonRoundTripContainsAllSpanFamilies) {
+  telemetry::Tracer tr;
+  const telemetry::TrackId track = tr.track("src.m0.rpc", "service");
+  tr.complete(track, "queue_wait", 100, 50);
+  tr.complete(track, "broadcast_tx_sync", 150, 2000);
+  tr.instant(track, "rejected", 200);
+  tr.counter(track, "queued", 150, 3.0);
+  tr.async_begin("packet", 7, 100);
+  tr.async_instant("RecvPacket", 7, 500);
+  tr.async_end("packet", 7, 900);
+  EXPECT_EQ(tr.event_count(), 7u);
+
+  const std::string json = tr.to_json();
+  // Minimal structural parse: the envelope plus one entry per event, with
+  // the phases and fields Perfetto keys on.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"queue_wait\",\"ph\":\"X\",\"ts\":100,"
+                      "\"dur\":50"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"rejected\",\"ph\":\"i\",\"ts\":200"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":3}"), std::string::npos);
+  // Async lifecycle: begin/instant/end share category "packet" and id 0x7.
+  EXPECT_NE(json.find("{\"name\":\"packet\",\"ph\":\"b\",\"ts\":100,"
+                      "\"cat\":\"packet\",\"id\":\"0x7\""),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"RecvPacket\",\"ph\":\"n\",\"ts\":500"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"packet\",\"ph\":\"e\",\"ts\":900"),
+            std::string::npos);
+  // Track metadata names the process/thread rows.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"src.m0.rpc\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"service\"}"), std::string::npos);
+  // Balanced braces => structurally plausible JSON (full validation happens
+  // in run_benches.sh --check via python json.load).
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+}
+
+TEST(TracerTest, EscapesControlCharactersInNames) {
+  telemetry::Tracer tr;
+  const telemetry::TrackId track = tr.track("p", "t");
+  tr.instant(track, "with\"quote\\and\nnewline", 1);
+  const std::string json = tr.to_json();
+  EXPECT_NE(json.find("with\\\"quote\\\\and\\nnewline"), std::string::npos);
+}
+
+TEST(TracerTest, EventLimitDropsAndCounts) {
+  telemetry::Tracer tr;
+  tr.set_event_limit(2);
+  const telemetry::TrackId track = tr.track("p", "t");
+  tr.instant(track, "a", 1);
+  tr.instant(track, "b", 2);
+  tr.instant(track, "c", 3);  // over the limit
+  EXPECT_EQ(tr.event_count(), 2u);
+  EXPECT_EQ(tr.dropped_events(), 1u);
+  EXPECT_NE(tr.to_json().find("\"droppedEvents\":1"), std::string::npos);
+}
+
+TEST(TracerTest, WriteJsonSucceedsAndReportsFailure) {
+  telemetry::Tracer tr;
+  tr.async_begin("packet", 1, 0);
+  const std::string path = ::testing::TempDir() + "telemetry_trace.json";
+  ASSERT_TRUE(tr.write_json(path).is_ok());
+  EXPECT_EQ(slurp(path), tr.to_json());
+  std::remove(path.c_str());
+
+  const util::Status bad = tr.write_json("/nonexistent-dir/x/trace.json");
+  EXPECT_FALSE(bad.is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// StepLog export failure surfaces as Status (regression: used to return
+// void and silently drop the dataset on I/O errors).
+
+TEST(StepLogTest, WriteCsvReportsUnwritablePath) {
+  relayer::StepLog log;
+  log.record(relayer::Step::kTransferBroadcast, 1, sim::seconds(1));
+  const util::Status bad = log.write_csv("/nonexistent-dir/x/steps.csv");
+  EXPECT_FALSE(bad.is_ok());
+
+  const std::string path = ::testing::TempDir() + "steplog_ok.csv";
+  EXPECT_TRUE(log.write_csv(path).is_ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode: a hub that was never enabled must cost nothing and record
+// nothing; the accessors gate every instrumentation site.
+
+TEST(DisabledModeTest, AccessorsReturnNullWhenDisabledOrAbsent) {
+  EXPECT_EQ(telemetry::metrics(nullptr), nullptr);
+  EXPECT_EQ(telemetry::tracer(nullptr), nullptr);
+  telemetry::Hub hub;  // constructed disabled
+  EXPECT_EQ(telemetry::metrics(&hub), nullptr);
+  EXPECT_EQ(telemetry::tracer(&hub), nullptr);
+#ifndef IBC_TELEMETRY_DISABLED
+  hub.enable();
+  EXPECT_NE(telemetry::metrics(&hub), nullptr);
+  EXPECT_NE(telemetry::tracer(&hub), nullptr);
+#endif
+}
+
+TEST(DisabledModeTest, ExperimentWithoutTelemetryRecordsNothing) {
+  xcc::ExperimentConfig cfg;
+  cfg.workload.total_transfers = 5;
+  cfg.workload.msgs_per_tx = 5;
+  cfg.relayer_count = 1;
+  cfg.measure_blocks = 3;
+  cfg.wait_for_drain = true;
+  cfg.collect_steps = false;
+  cfg.testbed.seed = 1234;
+  cfg.max_sim_time = sim::seconds(600);
+  const xcc::ExperimentResult r = xcc::run_experiment(cfg);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.metrics.empty());   // no registry snapshot taken
+  EXPECT_TRUE(r.telemetry_error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: two identical telemetry runs must produce
+// byte-identical trace JSON and metrics CSV (the property the golden-figure
+// suite and the --trace bench flag rely on).
+
+xcc::ExperimentConfig traced_config(const std::string& tag) {
+  xcc::ExperimentConfig cfg;
+  cfg.workload.total_transfers = 30;
+  cfg.workload.msgs_per_tx = 10;
+  cfg.relayer_count = 1;
+  cfg.measure_blocks = 5;
+  cfg.wait_for_drain = true;
+  cfg.testbed.seed = 77;
+  cfg.max_sim_time = sim::seconds(2'000);
+  cfg.trace_path = ::testing::TempDir() + "telemetry_e2e_" + tag + ".json";
+  cfg.metrics_csv_path =
+      ::testing::TempDir() + "telemetry_e2e_" + tag + ".metrics.csv";
+  return cfg;
+}
+
+TEST(TelemetryE2ETest, IdenticalRunsProduceIdenticalArtifacts) {
+  const xcc::ExperimentConfig cfg_a = traced_config("a");
+  const xcc::ExperimentConfig cfg_b = traced_config("b");
+  const xcc::ExperimentResult ra = xcc::run_experiment(cfg_a);
+  const xcc::ExperimentResult rb = xcc::run_experiment(cfg_b);
+  ASSERT_TRUE(ra.ok) << ra.error;
+  ASSERT_TRUE(rb.ok) << rb.error;
+  ASSERT_TRUE(ra.telemetry_error.empty()) << ra.telemetry_error;
+  ASSERT_TRUE(rb.telemetry_error.empty()) << rb.telemetry_error;
+
+  const std::string trace_a = slurp(cfg_a.trace_path);
+  const std::string trace_b = slurp(cfg_b.trace_path);
+  ASSERT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b);  // byte-identical across same-seed runs
+
+  const std::string csv_a = slurp(cfg_a.metrics_csv_path);
+  EXPECT_FALSE(csv_a.empty());
+  EXPECT_EQ(csv_a, slurp(cfg_b.metrics_csv_path));
+
+  // The in-memory snapshot matches the exported CSV.
+  EXPECT_EQ(telemetry::snapshot_to_csv(ra.metrics), csv_a);
+
+  // The trace carries the span families the tentpole promises: per-packet
+  // lifecycle rows and rpc service spans.
+  EXPECT_NE(trace_a.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(trace_a.find("\"cat\":\"packet\""), std::string::npos);
+  EXPECT_NE(trace_a.find("\"name\":\"broadcast_tx_sync\""),
+            std::string::npos);
+  // Every opened packet span is closed (kAckConfirmation reached for all).
+  EXPECT_EQ(count_occurrences(trace_a, "\"ph\":\"b\""),
+            count_occurrences(trace_a, "\"ph\":\"e\""));
+
+  // Metrics cover the instrumented layers.
+  const auto has_metric = [&](const std::string& name) {
+    for (const telemetry::MetricRow& row : ra.metrics) {
+      if (row.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_metric("net.messages"));
+  EXPECT_TRUE(has_metric("src.blocks"));
+  EXPECT_TRUE(has_metric("src.mempool.admitted"));
+  EXPECT_TRUE(has_metric("relayer0.ops.relay_batch"));
+  EXPECT_TRUE(has_metric("relayer0.relay_batch_size"));
+
+  // All 30 transfers completed, each tracked as one closed async span.
+  EXPECT_EQ(ra.final_breakdown.completed, 30u);
+
+  for (const auto& p : {cfg_a.trace_path, cfg_a.metrics_csv_path,
+                        cfg_b.trace_path, cfg_b.metrics_csv_path}) {
+    std::remove(p.c_str());
+  }
+}
+
+}  // namespace

@@ -215,6 +215,38 @@ TEST(SampleTest, AddAllAndLazySortCache) {
   EXPECT_DOUBLE_EQ(s.median(), 1.5);
 }
 
+TEST(SampleTest, QuantileSingleObservation) {
+  util::Sample s;
+  s.add(42.0);
+  // n=1: every quantile is the lone observation (no interpolation partner).
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(SampleTest, QuantileTwoObservationsInterpolatesLinearly) {
+  util::Sample s;
+  s.add(10.0);
+  s.add(20.0);
+  // n=2: quantile q sits at 10 + q*10 exactly.
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 12.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 17.5);
+  // Out-of-range q clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(s.quantile(-0.5), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.5), 20.0);
+}
+
+TEST(SampleTest, StddevOnConstantDataIsZero) {
+  util::Sample s;
+  for (int i = 0; i < 50; ++i) s.add(7.25);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.25);
+  util::RunningStat r;
+  for (int i = 0; i < 50; ++i) r.add(7.25);
+  EXPECT_DOUBLE_EQ(r.stddev(), 0.0);
+}
+
 TEST(RunningStatTest, MatchesSample) {
   util::Sample s;
   util::RunningStat r;
@@ -228,6 +260,42 @@ TEST(RunningStatTest, MatchesSample) {
   EXPECT_NEAR(r.stddev(), s.stddev(), 1e-9);
   EXPECT_DOUBLE_EQ(r.min(), s.min());
   EXPECT_DOUBLE_EQ(r.max(), s.max());
+}
+
+TEST(RunningStatTest, MergeMatchesSingleAccumulator) {
+  // Chan et al. combination: splitting a stream across accumulators and
+  // merging must agree with one accumulator that saw everything.
+  util::RunningStat whole, part_a, part_b;
+  util::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-50, 50);
+    whole.add(v);
+    (i % 3 == 0 ? part_a : part_b).add(v);
+  }
+  part_a.merge(part_b);
+  EXPECT_EQ(part_a.count(), whole.count());
+  EXPECT_NEAR(part_a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(part_a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(part_a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(part_a.max(), whole.max());
+}
+
+TEST(RunningStatTest, MergeEmptyEdgeCases) {
+  util::RunningStat empty, filled;
+  filled.add(1.0);
+  filled.add(3.0);
+
+  util::RunningStat target = filled;
+  target.merge(empty);  // merging nothing changes nothing
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+
+  util::RunningStat fresh;
+  fresh.merge(filled);  // merging into empty adopts the other side
+  EXPECT_EQ(fresh.count(), 2u);
+  EXPECT_DOUBLE_EQ(fresh.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(fresh.min(), 1.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 3.0);
 }
 
 TEST(TableTest, PrintsAlignedColumns) {
