@@ -6,10 +6,13 @@
 #   ./run_benches.sh            run all benches (cached)
 #   ./run_benches.sh --check    sanitizer passes (TSan over the parallel
 #                               runner + determinism + telemetry tests, then
-#                               ASan+UBSan over the invariant checker and
-#                               fuzz scenarios), the golden-figure
-#                               regression suite, and a --trace smoke test
-#                               (one traced bench; the JSON must parse)
+#                               ASan+UBSan over the invariant checker, fuzz
+#                               scenarios and relayer/query-cache regression
+#                               tests), the golden-figure regression suite,
+#                               a --trace smoke test (one traced bench; the
+#                               JSON must parse), and the cache-ablation
+#                               smoke (cache-off CSV byte-exact vs the
+#                               committed golden; cache-on trace must parse)
 cd "$(dirname "$0")"
 
 if [ "$1" = "--check" ]; then
@@ -19,10 +22,12 @@ if [ "$1" = "--check" ]; then
   cmake --build build-tsan -j --target test_parallel test_relayer_behavior test_telemetry
   (cd build-tsan && ctest --output-on-failure \
     -R 'Parallel|Determinism|Telemetry|Tracer|Registry|Counter|Gauge|Histogram|StepLog|DisabledMode')
-  echo "== ASan+UBSan check: invariant checker + fuzz scenarios =="
+  echo "== ASan+UBSan check: invariant checker + fuzz scenarios + relayer regressions =="
   cmake -B build-asan -S . -DADDRESS_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j --target test_invariants test_faults fuzz_scenarios
-  (cd build-asan && ctest --output-on-failure -R 'InvariantChecker|NetworkFault|TimeoutPath|CodecProperty')
+  cmake --build build-asan -j --target test_invariants test_faults fuzz_scenarios \
+    test_relayer_behavior test_query_cache
+  (cd build-asan && ctest --output-on-failure \
+    -R 'InvariantChecker|NetworkFault|TimeoutPath|CodecProperty|RelayerFixture|QueryCache')
   ./build-asan/src/check/fuzz_scenarios --seeds=40
   echo "== golden-figure regression suite =="
   cmake --build build -j --target test_golden
@@ -43,6 +48,26 @@ assert any(e["ph"] == "X" and e["name"] == "queue_wait" for e in events), \
 print(f"trace OK: {len(events)} events parse, packet + queue_wait spans present")
 EOF
   rm -f "$trace_out" "$trace_out.metrics.csv"
+  echo "== cache-ablation smoke: cache-off byte-exact, cache-on trace parses =="
+  cmake --build build -j --target bench_ablation_cached_relayer
+  smoke_csv=$(mktemp -t ibc_ablation_XXXXXX.csv)
+  smoke_trace=$(mktemp -t ibc_ablation_XXXXXX.json)
+  ./build/bench/bench_ablation_cached_relayer --smoke \
+    --csv "$smoke_csv" --trace "$smoke_trace" >/dev/null
+  # The cache-off rows are the paper-faithful default path: any byte drift
+  # from the committed golden means default relayer behaviour changed.
+  diff bench/golden/ablation_cached_smoke.csv "$smoke_csv"
+  echo "ablation smoke CSV byte-identical to bench/golden/ablation_cached_smoke.csv"
+  python3 - "$smoke_trace" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+hits = [e for e in events if e.get("ph") == "X" and e["name"].startswith("hit_")]
+assert hits, "missing query_cache hit spans in cache-on trace"
+print(f"ablation trace OK: {len(events)} events parse, {len(hits)} query_cache hit spans")
+EOF
+  rm -f "$smoke_csv" "$smoke_trace" "$smoke_trace.metrics.csv"
   echo "all checks passed"
   exit 0
 fi

@@ -1,0 +1,221 @@
+#include "relayer/query_cache.hpp"
+
+#include <utility>
+
+namespace relayer {
+
+namespace {
+
+std::size_t page_bytes(const rpc::TxSearchPage& page) {
+  // Estimated wire footprint: per-tx envelope + raw tx + event payload.
+  std::size_t total = 256;
+  for (const rpc::TxResponse& tx : page.txs) {
+    total += 128 + tx.tx.size_bytes() + tx.event_bytes();
+  }
+  return total;
+}
+
+std::size_t header_bytes(const rpc::Server::HeaderInfo& info) {
+  // Header + one commit signature per validator; a flat-rate stand-in is
+  // fine since headers are small and uniform.
+  return 512 + 128 * info.commit.signatures.size();
+}
+
+std::size_t abci_bytes(const rpc::Server::AbciQueryResult& res) {
+  return 256 + res.value.size() + res.proof.key.size() +
+         res.proof.value.size();
+}
+
+}  // namespace
+
+void QueryCache::set_telemetry(telemetry::Hub* hub, const std::string& name) {
+  hub_ = hub;
+  if (auto* t = telemetry::tracer(hub_)) {
+    track_ = t->track(name, "query_cache");
+  }
+  if (auto* m = telemetry::metrics(hub_)) {
+    hits_ctr_ = m->counter(name + ".query_cache.hits");
+    misses_ctr_ = m->counter(name + ".query_cache.misses");
+    evictions_ctr_ = m->counter(name + ".query_cache.evictions");
+    invalidations_ctr_ = m->counter(name + ".query_cache.invalidations");
+    bytes_gauge_ = m->gauge(name + ".query_cache.bytes");
+  }
+}
+
+const QueryCache::Entry* QueryCache::lookup(const Key& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to hot end
+  return &*it->second;
+}
+
+void QueryCache::insert(Key key, Payload payload, std::size_t bytes) {
+  if (bytes > config_.max_bytes) return;  // would purge the whole cache
+  if (index_.contains(key)) return;       // duplicate in-flight misses
+  lru_.push_front(Entry{std::move(key), bytes, std::move(payload)});
+  index_[lru_.front().key] = lru_.begin();
+  stats_.bytes += bytes;
+  ++stats_.insertions;
+  while (stats_.bytes > config_.max_bytes) evict_coldest();
+  if (bytes_gauge_) bytes_gauge_->set(static_cast<double>(stats_.bytes));
+}
+
+QueryCache::Index::iterator QueryCache::erase(Index::iterator it) {
+  stats_.bytes -= it->second->bytes;
+  lru_.erase(it->second);
+  const auto next = index_.erase(it);
+  if (bytes_gauge_) bytes_gauge_->set(static_cast<double>(stats_.bytes));
+  return next;
+}
+
+void QueryCache::evict_coldest() {
+  if (lru_.empty()) return;
+  ++stats_.evictions;
+  if (evictions_ctr_) evictions_ctr_->add();
+  if (auto* t = telemetry::tracer(hub_)) {
+    t->instant(track_, "evict", sched_.now());
+  }
+  erase(index_.find(lru_.back().key));
+}
+
+void QueryCache::serve_hit(const rpc::Server& server, const char* what,
+                           std::function<void()> deliver) {
+  ++stats_.hits;
+  if (hits_ctr_) hits_ctr_->add();
+  const sim::Duration cost = server.cost_model().cache_hit_cost;
+  if (auto* t = telemetry::tracer(hub_)) {
+    t->complete(track_, what, sched_.now(), cost);
+  }
+  sched_.schedule_after(cost, std::move(deliver));
+}
+
+void QueryCache::count_miss() {
+  ++stats_.misses;
+  if (misses_ctr_) misses_ctr_->add();
+}
+
+void QueryCache::query_packet_events(
+    rpc::Server& server, net::MachineId client, chain::Height height,
+    const std::string& event_type, std::uint64_t seq_begin,
+    std::uint64_t seq_end,
+    std::function<void(util::Result<rpc::TxSearchPage>)> cb) {
+  if (!config_.enabled) {
+    server.query_packet_events(client, height, event_type, seq_begin, seq_end,
+                               std::move(cb));
+    return;
+  }
+  Key key{&server, Kind::kPage, height, seq_begin, seq_end, false, event_type};
+  if (const Entry* e = lookup(key)) {
+    serve_hit(server, "hit_page",
+              [cb = std::move(cb),
+               page = std::get<rpc::TxSearchPage>(e->payload)]() mutable {
+                cb(std::move(page));
+              });
+    return;
+  }
+  count_miss();
+  server.query_packet_events(
+      client, height, event_type, seq_begin, seq_end,
+      [this, key = std::move(key),
+       cb = std::move(cb)](util::Result<rpc::TxSearchPage> res) mutable {
+        if (res.is_ok()) {
+          insert(std::move(key), res.value(), page_bytes(res.value()));
+        }
+        cb(std::move(res));
+      });
+}
+
+void QueryCache::query_header(
+    rpc::Server& server, net::MachineId client, chain::Height height,
+    std::function<void(util::Result<rpc::Server::HeaderInfo>)> cb) {
+  if (!config_.enabled) {
+    server.query_header(client, height, std::move(cb));
+    return;
+  }
+  Key key{&server, Kind::kHeader, height, 0, 0, false, {}};
+  if (const Entry* e = lookup(key)) {
+    serve_hit(server, "hit_header",
+              [cb = std::move(cb),
+               info = std::get<rpc::Server::HeaderInfo>(e->payload)]() mutable {
+                cb(std::move(info));
+              });
+    return;
+  }
+  count_miss();
+  server.query_header(
+      client, height,
+      [this, key = std::move(key), cb = std::move(cb)](
+          util::Result<rpc::Server::HeaderInfo> res) mutable {
+        if (res.is_ok()) {
+          insert(std::move(key), res.value(), header_bytes(res.value()));
+        }
+        cb(std::move(res));
+      });
+}
+
+void QueryCache::abci_query(
+    rpc::Server& server, net::MachineId client, const std::string& key_str,
+    bool prove,
+    std::function<void(util::Result<rpc::Server::AbciQueryResult>)> cb) {
+  if (!config_.enabled) {
+    server.abci_query(client, key_str, prove, std::move(cb));
+    return;
+  }
+  // Store queries answer at the latest committed height, so kAbci entries
+  // key at height 0; the answer height rides in the cached payload itself
+  // and on_height_advance judges staleness from it.
+  Key probe{&server, Kind::kAbci, 0, 0, 0, prove, key_str};
+  if (const Entry* e = lookup(probe)) {
+    serve_hit(
+        server, "hit_proof",
+        [cb = std::move(cb),
+         res = std::get<rpc::Server::AbciQueryResult>(e->payload)]() mutable {
+          cb(std::move(res));
+        });
+    return;
+  }
+  count_miss();
+  server.abci_query(
+      client, key_str, prove,
+      [this, probe = std::move(probe), cb = std::move(cb)](
+          util::Result<rpc::Server::AbciQueryResult> res) mutable {
+        if (res.is_ok()) {
+          insert(std::move(probe), res.value(), abci_bytes(res.value()));
+        }
+        cb(std::move(res));
+      });
+}
+
+void QueryCache::on_height_advance(const rpc::Server& server,
+                                   chain::Height height) {
+  if (!config_.enabled) return;
+  for (auto it = index_.begin(); it != index_.end();) {
+    const Key& k = it->first;
+    if (k.kind == Kind::kAbci && k.server == &server &&
+        std::get<rpc::Server::AbciQueryResult>(it->second->payload).height <
+            height) {
+      ++stats_.invalidations;
+      if (invalidations_ctr_) invalidations_ctr_->add();
+      it = erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryCache::invalidate_page(const rpc::Server& server,
+                                 chain::Height height,
+                                 const std::string& event_type,
+                                 std::uint64_t seq_begin,
+                                 std::uint64_t seq_end) {
+  if (!config_.enabled) return;
+  const Key key{&server, Kind::kPage, height, seq_begin, seq_end, false,
+                event_type};
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  ++stats_.invalidations;
+  if (invalidations_ctr_) invalidations_ctr_->add();
+  erase(it);
+}
+
+}  // namespace relayer

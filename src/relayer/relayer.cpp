@@ -16,7 +16,8 @@ Relayer::Relayer(sim::Scheduler& sched, ChainHandle a, ChainHandle b,
       b_(std::move(b)),
       path_(std::move(path)),
       config_(std::move(config)),
-      step_log_(step_log) {
+      step_log_(step_log),
+      cache_(sched, config_.query_cache) {
   WalletConfig wa = config_.wallet;
   wa.accounts = a_.wallet_accounts;
   wa.gas_price = config_.gas_price;
@@ -74,7 +75,13 @@ void Relayer::set_telemetry(telemetry::Hub* hub, const std::string& name) {
     const std::vector<double> bounds = {1, 2, 5, 10, 20, 50, 100, 200};
     relay_batch_hist_ = m->histogram(name + ".relay_batch_size", bounds);
     ack_batch_hist_ = m->histogram(name + ".ack_batch_size", bounds);
+    chunk_queries_ctr_ = m->counter(name + ".pull.chunk_queries");
+    chunks_skipped_ctr_ = m->counter(name + ".pull.chunks_skipped");
+    pull_failures_ctr_ = m->counter(name + ".pull.query_failures");
+    ack_decode_failures_ctr_ = m->counter(name + ".pull.ack_decode_failures");
+    abandoned_ctr_ = m->counter(name + ".abandoned_packets");
   }
+  cache_.set_telemetry(hub, name);
 }
 
 void Relayer::record(Step step, ibc::Sequence seq) {
@@ -88,6 +95,9 @@ void Relayer::release_later(std::shared_ptr<std::function<void()>> fn) {
 // --- Supervisor: frame handling ---------------------------------------------
 
 void Relayer::on_frame_a(const rpc::NewBlockFrame& frame) {
+  // Chain A advanced: cached latest-height store responses (commitment
+  // proofs) against its full node are stale. No-op when caching is off.
+  cache_.on_height_advance(*a_.server, frame.height);
   if (!frame.events_ok) {
     // Paper §V: "Failed to collect events" — the event payload exceeded the
     // WebSocket frame limit. The packets in this block are invisible to the
@@ -165,6 +175,7 @@ void Relayer::on_frame_a(const rpc::NewBlockFrame& frame) {
 }
 
 void Relayer::on_frame_b(const rpc::NewBlockFrame& frame) {
+  cache_.on_height_advance(*b_.server, frame.height);
   last_seen_b_height_ = std::max(last_seen_b_height_, frame.height);
   if (!frame.events_ok) {
     ++stats_.frames_failed;
@@ -183,7 +194,7 @@ void Relayer::on_frame_b(const rpc::NewBlockFrame& frame) {
     if (it == packets_.end()) continue;  // not a packet we are tracking
     PacketState& st = it->second;
     if (st.stage == Stage::kAckInFlight || st.stage == Stage::kDone ||
-        st.stage == Stage::kTimedOut) {
+        st.stage == Stage::kTimedOut || st.stage == Stage::kAbandoned) {
       continue;
     }
     record(Step::kRecvExtraction, seq);
@@ -230,6 +241,29 @@ void Relayer::enqueue(Op op) {
                        : 1;
   ops_[lane].push_back(std::move(op));
   pump(lane);
+}
+
+void Relayer::enqueue_retry(Op op) {
+  if (config_.retry_backoff <= 0) {
+    // Hermes-faithful: the rebuilt batch re-enters its lane immediately.
+    enqueue(std::move(op));
+    return;
+  }
+  sched_.schedule_after(config_.retry_backoff,
+                        [this, op = std::move(op)]() mutable {
+                          if (running_) enqueue(std::move(op));
+                        });
+}
+
+void Relayer::abandon_packet(ibc::Sequence seq, PacketState& ps,
+                             const char* why) {
+  ps.stage = Stage::kAbandoned;
+  ++stats_.abandoned_packets;
+  if (abandoned_ctr_) abandoned_ctr_->add();
+  timeout_candidates_.erase(seq);
+  IBC_LOG(kWarn, "relayer")
+      << "abandoning packet " << seq << " after bounded retries (" << why
+      << ")";
 }
 
 void Relayer::pump(int lane) {
@@ -280,15 +314,47 @@ void Relayer::pump(int lane) {
 
 // --- Data pulls -------------------------------------------------------------------
 
+bool Relayer::chunk_satisfied(const std::string& event_type,
+                              const std::vector<ibc::Sequence>& seqs,
+                              std::size_t begin, std::size_t end) const {
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto it = packets_.find(seqs[i]);
+    if (it == packets_.end()) continue;  // untracked: a pull can't use it
+    const PacketState& st = it->second;
+    if (event_type == "send_packet") {
+      if (st.stage == Stage::kExtracted) return false;
+    } else {  // write_acknowledgement
+      if (st.stage == Stage::kRecvDone && !st.ack.has_value()) return false;
+    }
+  }
+  return true;
+}
+
 void Relayer::pull_chunks(rpc::Server* server, chain::Height height,
                           const std::string& event_type,
                           std::vector<ibc::Sequence> seqs,
-                          std::size_t chunk_index,
-                          std::function<void(bool)> done) {
+                          std::size_t chunk_index, bool any_failed,
+                          std::function<void(PullResult)> done) {
   const std::size_t chunk = config_.event_query_chunk;
-  const std::size_t begin = chunk_index * chunk;
+  std::size_t begin = chunk_index * chunk;
+  if (config_.skip_satisfied_chunks) {
+    // Chunk queries return whole transactions, so one response often covers
+    // sequences of later chunks; Hermes still issues those queries (the
+    // redundancy the paper's Fig. 12 pull times include) — skipping them is
+    // an opt-in mitigation.
+    while (begin < seqs.size() &&
+           chunk_satisfied(event_type, seqs, begin,
+                           std::min(begin + chunk, seqs.size()))) {
+      ++stats_.chunk_queries_skipped;
+      if (chunks_skipped_ctr_) chunks_skipped_ctr_->add();
+      ++chunk_index;
+      begin = chunk_index * chunk;
+    }
+  }
   if (begin >= seqs.size()) {
-    done(false);
+    done(seqs.empty()     ? PullResult::kNothingToPull
+         : any_failed     ? PullResult::kPartialFailure
+                          : PullResult::kComplete);
     return;
   }
   const std::size_t end = std::min(begin + chunk, seqs.size());
@@ -298,12 +364,15 @@ void Relayer::pull_chunks(rpc::Server* server, chain::Height height,
                              ? Step::kTransferDataPull
                              : Step::kRecvDataPull;
 
-  server->query_packet_events(
-      config_.machine, height, event_type, lo, hi,
+  ++stats_.chunk_queries;
+  if (chunk_queries_ctr_) chunk_queries_ctr_->add();
+  cache_.query_packet_events(
+      *server, config_.machine, height, event_type, lo, hi,
       [this, server, height, event_type, seqs = std::move(seqs), chunk_index,
-       done = std::move(done), pull_step](
+       any_failed, done = std::move(done), pull_step, lo, hi](
           util::Result<rpc::TxSearchPage> res) mutable {
         if (!running_) return;
+        bool failed = any_failed;
         if (res.is_ok()) {
           for (const rpc::TxResponse& tx : res.value().txs) {
             for (const chain::Event& ev : tx.result.events) {
@@ -330,13 +399,37 @@ void Relayer::pull_chunks(rpc::Server* server, chain::Height height,
                         util::to_bytes(ev.attribute("packet_ack")), ack)) {
                   record(pull_step, pkt->sequence);
                   st.ack = std::move(ack);
+                  st.ack_decode_failed = false;
+                } else {
+                  // Malformed packet_ack payload: without the decoded ack
+                  // this packet cannot be acknowledged. Count it, drop any
+                  // cached copy of the bad page, and let the ack batch's
+                  // completion handler schedule a bounded re-pull.
+                  ++stats_.ack_decode_failures;
+                  if (ack_decode_failures_ctr_) ack_decode_failures_ctr_->add();
+                  st.ack_decode_failed = true;
+                  cache_.invalidate_page(*server, height, event_type, lo, hi);
+                  IBC_LOG(kWarn, "relayer")
+                      << "undecodable packet_ack for sequence "
+                      << pkt->sequence << " at height " << height;
                 }
               }
             }
           }
+        } else {
+          // A failed chunk query used to vanish silently, leaving its
+          // packets stuck with no trace; count and log it, and report the
+          // pull as partial so callers can tell.
+          failed = true;
+          ++stats_.pull_query_failures;
+          if (pull_failures_ctr_) pull_failures_ctr_->add();
+          IBC_LOG(kWarn, "relayer")
+              << event_type << " pull chunk [" << lo << ", " << hi
+              << "] at height " << height
+              << " failed: " << res.status().to_string();
         }
         pull_chunks(server, height, event_type, std::move(seqs),
-                    chunk_index + 1, std::move(done));
+                    chunk_index + 1, failed, std::move(done));
       });
 }
 
@@ -356,8 +449,10 @@ std::uint64_t Relayer::estimate_gas(std::size_t updates,
 void Relayer::fetch_update(rpc::Server* server, const ibc::ClientId& client_id,
                            chain::Height height,
                            std::function<void(std::optional<chain::Msg>)> cb) {
-  server->query_header(
-      config_.machine, height,
+  // Headers are immutable once committed — ideal cache fodder: every tx in a
+  // batch containing the same proof height re-fetches the same header.
+  cache_.query_header(
+      *server, config_.machine, height,
       [client_id, cb = std::move(cb)](
           util::Result<rpc::Server::HeaderInfo> res) {
         if (!res.is_ok()) {
@@ -397,13 +492,20 @@ void Relayer::run_relay_batch(RelayBatchOp op, std::function<void()> done) {
   if (relay_batch_hist_) {
     relay_batch_hist_->observe(static_cast<double>(seqs.size()));
   }
-  auto after_pull = [this, seqs, done = std::move(done)](bool) mutable {
+  auto after_pull = [this, seqs, done = std::move(done)](PullResult pr) mutable {
     std::vector<ibc::Sequence> pulled;
     for (ibc::Sequence s : seqs) {
       const auto it = packets_.find(s);
       if (it != packets_.end() && it->second.stage == Stage::kPulled) {
         pulled.push_back(s);
       }
+    }
+    if (pr == PullResult::kPartialFailure) {
+      // Per-chunk errors were already counted/logged; packets left in
+      // kExtracted are rediscovered by the next clear pass.
+      IBC_LOG(kWarn, "relayer")
+          << "relay batch pull incomplete: " << pulled.size() << "/"
+          << seqs.size() << " packets pulled";
     }
     if (pulled.empty()) {
       done();
@@ -412,7 +514,7 @@ void Relayer::run_relay_batch(RelayBatchOp op, std::function<void()> done) {
     build_and_send_recv(std::move(pulled), std::move(done));
   };
   pull_chunks(a_.server, op.src_height, "send_packet", std::move(seqs), 0,
-              std::move(after_pull));
+              /*any_failed=*/false, std::move(after_pull));
 }
 
 void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
@@ -535,15 +637,18 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
                              util::ErrorCode::kRedundantPacket) {
                     ++stats_.redundant_errors;
                     if (ps.stage == Stage::kRecvInFlight) {
-                      if (recv_retried_.insert(s).second) {
-                        // Hermes retries the failed batch once: rebuild the
-                        // proofs and resubmit (wasted work when another
-                        // relayer actually delivered the packets).
+                      if (ps.recv_retries <
+                          static_cast<std::uint8_t>(config_.max_packet_retries)) {
+                        // Hermes retries the failed batch, rebuilding the
+                        // proofs and resubmitting (wasted work when another
+                        // relayer actually delivered the packets); the cap
+                        // bounds what used to be a one-shot set.
+                        ++ps.recv_retries;
                         ps.stage = Stage::kPulled;
                         retry_seqs.push_back(s);
                       } else {
-                        // Second failure: treat as delivered elsewhere; the
-                        // destination's write_ack event drives the ack.
+                        // Retries exhausted: treat as delivered elsewhere;
+                        // the destination's write_ack event drives the ack.
                         ps.stage = Stage::kRecvDone;
                       }
                     }
@@ -558,7 +663,15 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
                     IBC_LOG(kWarn, "relayer")
                         << "recv tx failed: " << out.status.to_string();
                     if (ps.stage == Stage::kRecvInFlight) {
-                      ps.stage = Stage::kPulled;  // retried by clearing
+                      // Clearing rebuilds and resubmits kPulled packets; a
+                      // persistent fault (e.g. chronic under-gassing) used
+                      // to loop forever through that path. Bound it.
+                      if (++ps.recv_failures >
+                          static_cast<std::uint8_t>(config_.max_submit_failures)) {
+                        abandon_packet(s, ps, "recv submit failures");
+                      } else {
+                        ps.stage = Stage::kPulled;  // retried by clearing
+                      }
                     }
                   }
                 }
@@ -576,7 +689,7 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
                   Op retry;
                   retry.kind = Op::Kind::kRetryRecv;
                   retry.retry = RetryOp{std::move(retry_seqs)};
-                  enqueue(std::move(retry));
+                  enqueue_retry(std::move(retry));
                 }
                 if (!*advanced) {
                   *advanced = true;
@@ -613,8 +726,8 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
     }
     const std::string key =
         ibc::host::packet_commitment_key(path_.port, path_.channel_a, seq);
-    a_.server->abci_query(
-        config_.machine, key, /*prove=*/true,
+    cache_.abci_query(
+        *a_.server, config_.machine, key, /*prove=*/true,
         [this, st, step, seq](util::Result<rpc::Server::AbciQueryResult> res) {
           if (!running_) return;
           const auto it2 = packets_.find(seq);
@@ -654,14 +767,42 @@ void Relayer::run_ack_batch(AckBatchOp op, std::function<void()> done) {
   if (ack_batch_hist_) {
     ack_batch_hist_->observe(static_cast<double>(seqs.size()));
   }
-  auto after_pull = [this, seqs, done = std::move(done)](bool) mutable {
+  auto after_pull = [this, seqs, dst_height = op.dst_height,
+                     done = std::move(done)](PullResult pr) mutable {
     std::vector<ibc::Sequence> ready;
+    std::vector<ibc::Sequence> repull;
     for (ibc::Sequence s : seqs) {
       const auto it = packets_.find(s);
-      if (it != packets_.end() && it->second.stage == Stage::kRecvDone &&
-          it->second.packet && it->second.ack) {
+      if (it == packets_.end()) continue;
+      PacketState& ps = it->second;
+      if (ps.stage == Stage::kRecvDone && ps.packet && ps.ack) {
         ready.push_back(s);
+      } else if (ps.stage == Stage::kRecvDone && ps.ack_decode_failed) {
+        // The write_ack event came back with an undecodable packet_ack;
+        // re-pull after a backoff (a fresh query usually delivers an intact
+        // payload) instead of stranding the packet until timeout scan.
+        if (++ps.ack_repulls >
+            static_cast<std::uint8_t>(config_.max_submit_failures)) {
+          abandon_packet(s, ps, "undecodable packet_ack");
+        } else {
+          repull.push_back(s);
+        }
       }
+    }
+    if (pr == PullResult::kPartialFailure) {
+      IBC_LOG(kWarn, "relayer")
+          << "ack batch pull incomplete: " << ready.size() << "/"
+          << seqs.size() << " acks pulled";
+    }
+    if (!repull.empty()) {
+      sched_.schedule_after(config_.ack_repull_backoff,
+                            [this, dst_height, repull = std::move(repull)] {
+                              if (!running_) return;
+                              Op op;
+                              op.kind = Op::Kind::kAck;
+                              op.ack = AckBatchOp{dst_height, repull};
+                              enqueue(std::move(op));
+                            });
     }
     if (ready.empty()) {
       done();
@@ -670,7 +811,7 @@ void Relayer::run_ack_batch(AckBatchOp op, std::function<void()> done) {
     build_and_send_ack(std::move(ready), std::move(done));
   };
   pull_chunks(b_.server, op.dst_height, "write_acknowledgement",
-              std::move(seqs), 0, std::move(after_pull));
+              std::move(seqs), 0, /*any_failed=*/false, std::move(after_pull));
 }
 
 void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
@@ -779,8 +920,11 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
                              util::ErrorCode::kRedundantPacket) {
                     ++stats_.redundant_errors;
                     if (ps.stage == Stage::kAckInFlight &&
-                        ack_retried_.insert(s).second) {
-                      ps.stage = Stage::kRecvDone;  // rebuild + resubmit once
+                        ps.ack_retries <
+                            static_cast<std::uint8_t>(
+                                config_.max_packet_retries)) {
+                      ++ps.ack_retries;
+                      ps.stage = Stage::kRecvDone;  // rebuild + resubmit
                       retry_seqs.push_back(s);
                     } else {
                       ps.stage = Stage::kDone;  // other relayer completed it
@@ -798,7 +942,7 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
                   Op retry;
                   retry.kind = Op::Kind::kRetryAck;
                   retry.retry = RetryOp{std::move(retry_seqs)};
-                  enqueue(std::move(retry));
+                  enqueue_retry(std::move(retry));
                 }
                 if (!*advanced) {
                   *advanced = true;
@@ -835,8 +979,8 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
     }
     const std::string key =
         ibc::host::packet_ack_key(path_.port, path_.channel_b, seq);
-    b_.server->abci_query(
-        config_.machine, key, /*prove=*/true,
+    cache_.abci_query(
+        *b_.server, config_.machine, key, /*prove=*/true,
         [this, st, step, seq](util::Result<rpc::Server::AbciQueryResult> res) {
           if (!running_) return;
           const auto it2 = packets_.find(seq);
@@ -952,7 +1096,10 @@ void Relayer::run_timeout_batch(TimeoutBatchOp op, std::function<void()> done) {
       if (*step) (*step)();
       return;
     }
-    // Non-existence proof of the receipt on the destination chain.
+    // Non-existence proof of the receipt on the destination chain. Never
+    // cached: a receipt can appear at any commit, and a stale "not received"
+    // answer would produce a doomed MsgTimeout (timeouts are rare, so there
+    // is no win to chase either).
     const std::string key =
         ibc::host::packet_receipt_key(path_.port, path_.channel_b, seq);
     b_.server->abci_query(
@@ -997,8 +1144,13 @@ void Relayer::run_clear(ClearOp op, std::function<void()> done) {
             ps.stage = Stage::kExtracted;
             packets_.emplace(seq, std::move(ps));
             unknown.push_back(seq);
-          } else if (it->second.stage == Stage::kPulled) {
-            unknown.push_back(seq);  // stalled: retry relay
+          } else if (it->second.stage == Stage::kPulled ||
+                     it->second.stage == Stage::kExtracted) {
+            // kPulled: stalled after a failed submit — retry relay.
+            // kExtracted: seen in a frame but the data pull never delivered
+            // (every chunk query for it errored); without this the packet
+            // was stuck forever while its commitment sat on chain.
+            unknown.push_back(seq);
           }
         }
         if (unknown.empty()) {
@@ -1015,6 +1167,14 @@ void Relayer::run_clear(ClearOp op, std::function<void()> done) {
             [this, unknown, done = std::move(done)](
                 util::Result<rpc::TxSearchPage> res) mutable {
               if (!running_) return;
+              if (!res.is_ok()) {
+                // Same defect class as the chunked pulls: a failed recovery
+                // scan used to disappear without a trace.
+                ++stats_.pull_query_failures;
+                if (pull_failures_ctr_) pull_failures_ctr_->add();
+                IBC_LOG(kWarn, "relayer")
+                    << "clear range scan failed: " << res.status().to_string();
+              }
               if (res.is_ok()) {
                 for (const rpc::TxResponse& tx : res.value().txs) {
                   for (const chain::Event& ev : tx.result.events) {

@@ -28,6 +28,7 @@
 #include "ibc/gas.hpp"
 #include "ibc/msgs.hpp"
 #include "relayer/events.hpp"
+#include "relayer/query_cache.hpp"
 #include "relayer/wallet.hpp"
 #include "rpc/server.hpp"
 
@@ -70,7 +71,39 @@ struct RelayerConfig {
   /// that: event extraction from the failed chain stays disabled (height
   /// tracking and clearing still work). false models a fixed relayer.
   bool websocket_failure_sticky = true;
+  /// Memoize data-pull responses (paper §VI's proposed mitigation). Off by
+  /// default: the paper measured an uncached Hermes and the golden figures
+  /// depend on every pull paying the serial-RPC scan cost.
+  QueryCacheConfig query_cache;
+  /// Skip chunk queries whose every sequence was already satisfied by
+  /// ride-along events from an earlier whole-transaction response. Off by
+  /// default: real Hermes issues the redundant queries, and the paper's
+  /// Fig. 12 pull times were measured with them — this is a mitigation
+  /// knob (exercised with the cache ablation), not a faithful behaviour.
+  bool skip_satisfied_chunks = false;
+  /// Rebuild-and-resubmit retries per packet per direction after a
+  /// "redundant packet" batch failure (Hermes retries a failed batch once,
+  /// §IV-A).
+  int max_packet_retries = 1;
+  /// Non-redundant submit failures (and malformed-ack re-pulls) tolerated
+  /// per packet per direction before the relayer gives up on it; abandoned
+  /// packets surface in Stats::abandoned_packets instead of looping through
+  /// clearing forever.
+  int max_submit_failures = 3;
+  /// Delay before a bounded redundant-packet retry op re-enters its lane.
+  /// 0 keeps the Hermes-faithful immediate re-enqueue.
+  sim::Duration retry_backoff = 0;
+  /// Delay before re-pulling ack data after a malformed packet_ack event
+  /// (decode failure); the fresh query usually returns an intact payload.
+  sim::Duration ack_repull_backoff = sim::seconds(5);
   WalletConfig wallet;  // accounts are filled per chain from ChainHandle
+};
+
+/// Outcome of a chunked data pull (Relayer::pull_chunks).
+enum class PullResult : std::uint8_t {
+  kComplete,        // every chunk was queried (or skipped as satisfied)
+  kNothingToPull,   // degenerate empty sequence list — no query was issued
+  kPartialFailure,  // at least one chunk query returned an error
 };
 
 class Relayer {
@@ -101,10 +134,16 @@ class Relayer {
     std::uint64_t frames_failed = 0;         // "Failed to collect events"
     std::uint64_t recv_txs_failed = 0;
     std::uint64_t ack_txs_failed = 0;
+    std::uint64_t chunk_queries = 0;          // paid data-pull chunk queries
+    std::uint64_t chunk_queries_skipped = 0;  // satisfied by ride-alongs
+    std::uint64_t pull_query_failures = 0;    // chunk queries that errored
+    std::uint64_t ack_decode_failures = 0;    // malformed packet_ack payloads
+    std::uint64_t abandoned_packets = 0;      // gave up after bounded retries
   };
   const Stats& stats() const { return stats_; }
   Wallet& wallet_a() { return *wallet_a_; }
   Wallet& wallet_b() { return *wallet_b_; }
+  const QueryCache& query_cache() const { return cache_; }
 
  private:
   // The relayer tracks each packet through these stages.
@@ -116,6 +155,7 @@ class Relayer {
     kAckInFlight,  // ack tx broadcast
     kDone,         // ack committed on src (transfer complete)
     kTimedOut,     // MsgTimeout committed on src (refunded)
+    kAbandoned,    // gave up after bounded retries (terminal; counted)
   };
 
   struct PacketState {
@@ -124,6 +164,12 @@ class Relayer {
     chain::Height dst_height = 0;   // block containing the recv event
     std::optional<ibc::Packet> packet;
     std::optional<ibc::Acknowledgement> ack;
+    // Bounded-retry bookkeeping (per direction; see RelayerConfig caps).
+    std::uint8_t recv_retries = 0;     // redundant-batch rebuilds
+    std::uint8_t ack_retries = 0;
+    std::uint8_t recv_failures = 0;    // non-redundant submit failures
+    std::uint8_t ack_repulls = 0;      // malformed-ack re-pull attempts
+    bool ack_decode_failed = false;    // last pull had an undecodable ack
   };
 
   // Operations executed sequentially by the path worker.
@@ -175,7 +221,21 @@ class Relayer {
   void pull_chunks(rpc::Server* server, chain::Height height,
                    const std::string& event_type,
                    std::vector<ibc::Sequence> seqs, std::size_t chunk_index,
-                   std::function<void(bool any_failed)> done);
+                   bool any_failed, std::function<void(PullResult)> done);
+
+  /// True when every tracked sequence in seqs[begin, end) already has the
+  /// data this pull is after (ride-along events from an earlier chunk's
+  /// whole-transaction response).
+  bool chunk_satisfied(const std::string& event_type,
+                       const std::vector<ibc::Sequence>& seqs,
+                       std::size_t begin, std::size_t end) const;
+
+  /// Terminal give-up after bounded retries: counts, logs, and parks the
+  /// packet in Stage::kAbandoned so no lane touches it again.
+  void abandon_packet(ibc::Sequence seq, PacketState& ps, const char* why);
+
+  /// Re-enqueues a retry op, after RelayerConfig::retry_backoff when set.
+  void enqueue_retry(Op op);
   void build_and_send_recv(std::vector<ibc::Sequence> seqs,
                            std::function<void()> done);
   void build_and_send_ack(std::vector<ibc::Sequence> seqs,
@@ -212,7 +272,13 @@ class Relayer {
   telemetry::Counter* op_ctr_[6] = {};          // indexed by Op::Kind
   telemetry::Histogram* relay_batch_hist_ = nullptr;
   telemetry::Histogram* ack_batch_hist_ = nullptr;
+  telemetry::Counter* chunk_queries_ctr_ = nullptr;
+  telemetry::Counter* chunks_skipped_ctr_ = nullptr;
+  telemetry::Counter* pull_failures_ctr_ = nullptr;
+  telemetry::Counter* ack_decode_failures_ctr_ = nullptr;
+  telemetry::Counter* abandoned_ctr_ = nullptr;
 
+  QueryCache cache_;
   std::unique_ptr<Wallet> wallet_a_;
   std::unique_ptr<Wallet> wallet_b_;
 
@@ -227,11 +293,6 @@ class Relayer {
   bool ws_wedged_a_ = false;  // §V sticky event-collection failure
   bool ws_wedged_b_ = false;
   std::set<ibc::Sequence> timeout_candidates_;
-  // Hermes retries a failed batch once (rebuilding proofs and resubmitting)
-  // before treating its packets as handled elsewhere; these sets remember
-  // which sequences already got their retry.
-  std::set<ibc::Sequence> recv_retried_;
-  std::set<ibc::Sequence> ack_retried_;
 
   Stats stats_;
 };

@@ -57,6 +57,12 @@ struct CostModel {
   sim::Duration abci_query_service = sim::micros(1'500);
   sim::Duration proof_generation = sim::micros(1'000);
 
+  /// Serving a memoized data-pull response from the relayer-side QueryCache
+  /// (paper §VI's proposed mitigation): a local in-memory lookup plus decode,
+  /// no network round trip and no indexer scan. Only consulted when the cache
+  /// is enabled — the default simulation never uses it.
+  sim::Duration cache_hit_cost = sim::micros(50);
+
   /// Relative service-time jitter (uniform ±this fraction), drawn from the
   /// server's seeded RNG stream. Real RPC service times vary with GC pauses,
   /// disk and contention — this is what spreads the paper's violin plots.

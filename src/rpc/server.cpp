@@ -239,6 +239,13 @@ void Server::query_packet_events(
         const auto idxs = matches();
         out.total_count = static_cast<std::uint32_t>(idxs.size());
         for (std::uint32_t i : idxs) out.txs.push_back(make_response(height, i));
+        if (tamper_) {
+          const util::Status st = tamper_(out);
+          if (!st.is_ok()) {
+            cb(st);
+            return;
+          }
+        }
         cb(std::move(out));
       },
       [cb]() {
@@ -297,6 +304,13 @@ void Server::query_packet_events_range(
         const auto locs = matches();
         out.total_count = static_cast<std::uint32_t>(locs.size());
         for (const auto& [h, i] : locs) out.txs.push_back(make_response(h, i));
+        if (tamper_) {
+          const util::Status st = tamper_(out);
+          if (!st.is_ok()) {
+            cb(st);
+            return;
+          }
+        }
         cb(std::move(out));
       },
       [cb]() {

@@ -84,6 +84,14 @@ class Server {
   /// N=1; the ablation bench raises it).
   void set_parallel_requests(std::size_t n) { queue_.set_servers(n); }
 
+  /// Fault-injection hook for tests: runs on every packet-event query
+  /// response (single-block and range form) after the page is assembled but
+  /// before delivery. The hook may mutate the page (e.g. corrupt a
+  /// packet_ack attribute) or return an error, which is delivered to the
+  /// client in place of the page. Unset (the default) costs nothing.
+  using QueryTamper = std::function<util::Status(TxSearchPage&)>;
+  void set_query_tamper(QueryTamper tamper) { tamper_ = std::move(tamper); }
+
   // --- transaction submission -------------------------------------------
   /// CheckTx + mempool admission. The callback receives the admission
   /// status; kResourceExhausted/kUnavailable indicate an overloaded server.
@@ -210,6 +218,7 @@ class Server {
   };
   std::vector<Subscription> subscriptions_;
   SubscriptionId next_subscription_ = 1;
+  QueryTamper tamper_;
   std::uint64_t frames_dropped_oversize_ = 0;
   telemetry::Counter* frames_pushed_ctr_ = nullptr;
   telemetry::Counter* frames_oversize_ctr_ = nullptr;

@@ -41,6 +41,16 @@ Gauge* Registry::gauge(std::string_view name) {
   return &it->second;
 }
 
+const Counter* Registry::find_counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
 Histogram* Registry::histogram(std::string_view name,
                                std::vector<double> bounds) {
   auto it = histograms_.find(name);

@@ -112,6 +112,12 @@ class Registry {
   /// (later calls with the same name ignore the argument).
   Histogram* histogram(std::string_view name, std::vector<double> bounds);
 
+  /// Read-only lookup without registration (nullptr when `name` was never
+  /// registered) — lets tests and benches assert on a single instrument
+  /// without scanning a full snapshot.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }

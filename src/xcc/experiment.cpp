@@ -168,6 +168,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // --- Collect ------------------------------------------------------------------
   for (auto& r : relayers) {
     result.relayers.push_back(r->stats());
+    result.query_cache.merge(r->query_cache().stats());
     result.sequence_mismatch_errors +=
         r->wallet_a().sequence_mismatch_errors() +
         r->wallet_b().sequence_mismatch_errors();

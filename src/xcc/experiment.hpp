@@ -83,6 +83,9 @@ struct ExperimentResult {
   relayer::StepLog steps;
   TransferWorkload::Stats workload;
   std::vector<relayer::Relayer::Stats> relayers;
+  /// QueryCache hit/miss/eviction totals summed over all relayers (all
+  /// zeros in the default cache-off runs; the ablation bench reports them).
+  relayer::QueryCache::Stats query_cache;
 
   // Aggregated wallet failure counters (paper §IV-A error taxonomy).
   std::uint64_t sequence_mismatch_errors = 0;

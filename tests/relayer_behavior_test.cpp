@@ -199,6 +199,157 @@ TEST_F(RelayerFixture, RelayerPaysFeesFromItsWallets) {
   r->stop();
 }
 
+TEST_F(RelayerFixture, SkipSatisfiedChunksCutsRideAlongQueries) {
+  // Workload txs bundle 100 transfers, so a 50-sequence chunk query returns
+  // whole transactions covering the next chunk's sequences too; Hermes still
+  // issues those redundant queries (the paper's Fig. 12 pull times include
+  // them). The opt-in mitigation must skip them without losing packets.
+  boot();
+  auto baseline = make_relayer({});
+  ASSERT_EQ(run_transfers(300, *baseline), 300u);
+  const std::uint64_t baseline_queries = baseline->stats().chunk_queries;
+  EXPECT_EQ(baseline->stats().chunk_queries_skipped, 0u);
+  EXPECT_GT(baseline_queries, 0u);
+  baseline->stop();
+
+  boot();  // fresh testbed, same seed: identical workload layout
+  relayer::RelayerConfig rc;
+  rc.skip_satisfied_chunks = true;
+  auto mitigated = make_relayer(rc);
+  ASSERT_EQ(run_transfers(300, *mitigated), 300u);
+  EXPECT_GT(mitigated->stats().chunk_queries_skipped, 0u);
+  EXPECT_LT(mitigated->stats().chunk_queries, baseline_queries);
+}
+
+TEST_F(RelayerFixture, CachedRelayerStillCompletesEveryTransfer) {
+  boot();
+  relayer::RelayerConfig rc;
+  rc.query_cache.enabled = true;
+  auto r = make_relayer(rc);
+  ASSERT_EQ(run_transfers(150, *r), 150u);
+  // The cache actually served repeated pulls (headers at the same proof
+  // height, at minimum) without costing correctness.
+  EXPECT_GT(r->query_cache().stats().hits, 0u);
+  r->stop();
+}
+
+TEST_F(RelayerFixture, PullQueryFailuresAreCountedAndRecovered) {
+  boot();
+  relayer::RelayerConfig rc;
+  rc.clear_interval = 2;  // clearing re-finds the packets the failed pull lost
+  auto r = make_relayer(rc);
+
+  int failures_left = 2;
+  tb->chain_a().servers[0]->set_query_tamper(
+      [&failures_left](rpc::TxSearchPage&) {
+        if (failures_left > 0) {
+          --failures_left;
+          return util::Status::error(util::ErrorCode::kUnavailable,
+                                     "injected query fault");
+        }
+        return util::Status::ok();
+      });
+
+  ASSERT_EQ(run_transfers(100, *r, sim::seconds(900)), 100u);
+  // The failed chunk queries used to vanish silently; now they are counted.
+  EXPECT_GE(r->stats().pull_query_failures, 1u);
+  EXPECT_EQ(r->stats().abandoned_packets, 0u);
+  r->stop();
+}
+
+TEST_F(RelayerFixture, BoundedRetriesAbandonUndeliverablePackets) {
+  boot();
+  relayer::RelayerConfig rc;
+  rc.gas_headroom = 0.3;  // every recv tx runs out of gas at DeliverTx
+  rc.clear_interval = 2;  // clearing keeps rebuilding the failed packets
+  rc.max_submit_failures = 2;
+  auto r = make_relayer(rc);
+
+  xcc::WorkloadConfig wl;
+  wl.total_transfers = 30;
+  xcc::TransferWorkload workload(*tb, channel, wl, nullptr);
+  workload.start();
+  tb->run_until(tb->scheduler().now() + sim::seconds(600));
+
+  // A persistent fault used to loop through clearing forever; the bound
+  // gives up and surfaces the packets instead. The invariant checker
+  // (fail-fast, on by default) ran the whole time.
+  EXPECT_EQ(r->stats().packets_completed, 0u);
+  EXPECT_GT(r->stats().recv_txs_failed, 0u);
+  EXPECT_EQ(r->stats().abandoned_packets, 30u);
+  // Bounded: at most (cap + 1) submit failures per packet, batched 100/tx.
+  EXPECT_LE(r->stats().recv_txs_failed,
+            30u * (static_cast<std::uint64_t>(rc.max_submit_failures) + 1));
+  r->stop();
+}
+
+TEST_F(RelayerFixture, MalformedAckIsCountedAndRecovered) {
+  boot();
+  relayer::RelayerConfig rc;
+  rc.ack_repull_backoff = sim::seconds(2);
+  auto r = make_relayer(rc);
+
+  // Corrupt the first ack pull's packet_ack payloads (decode fails on empty
+  // bytes); later pulls return intact pages.
+  bool corrupted = false;
+  tb->chain_b().servers[0]->set_query_tamper(
+      [&corrupted](rpc::TxSearchPage& page) {
+        if (corrupted) return util::Status::ok();
+        for (auto& tx : page.txs) {
+          for (auto& ev : tx.result.events) {
+            if (ev.type != "write_acknowledgement") continue;
+            for (auto& [key, value] : ev.attributes) {
+              if (key == "packet_ack") {
+                value.clear();
+                corrupted = true;
+              }
+            }
+          }
+        }
+        return util::Status::ok();
+      });
+
+  ASSERT_EQ(run_transfers(60, *r, sim::seconds(900)), 60u);
+  EXPECT_TRUE(corrupted);
+  EXPECT_GE(r->stats().ack_decode_failures, 1u);
+  EXPECT_EQ(r->stats().abandoned_packets, 0u);
+  r->stop();
+}
+
+TEST_F(RelayerFixture, PersistentAckCorruptionAbandonsAfterBoundedRepulls) {
+  boot();
+  relayer::RelayerConfig rc;
+  rc.ack_repull_backoff = sim::seconds(2);
+  rc.max_submit_failures = 2;
+  auto r = make_relayer(rc);
+
+  tb->chain_b().servers[0]->set_query_tamper([](rpc::TxSearchPage& page) {
+    for (auto& tx : page.txs) {
+      for (auto& ev : tx.result.events) {
+        if (ev.type != "write_acknowledgement") continue;
+        for (auto& [key, value] : ev.attributes) {
+          if (key == "packet_ack") value.clear();
+        }
+      }
+    }
+    return util::Status::ok();
+  });
+
+  xcc::WorkloadConfig wl;
+  wl.total_transfers = 40;
+  xcc::TransferWorkload workload(*tb, channel, wl, nullptr);
+  workload.start();
+  tb->run_until(tb->scheduler().now() + sim::seconds(300));
+
+  // recvs commit on B but no ack can ever be decoded: every packet must end
+  // abandoned after the bounded re-pulls, not spin on the ack lane forever.
+  EXPECT_EQ(r->stats().packets_relayed, 40u);
+  EXPECT_EQ(r->stats().packets_completed, 0u);
+  EXPECT_GE(r->stats().ack_decode_failures, 3u);
+  EXPECT_EQ(r->stats().abandoned_packets, 40u);
+  r->stop();
+}
+
 TEST_F(RelayerFixture, IgnoresPacketsFromOtherChannels) {
   boot();
   relayer::StepLog steps;
