@@ -120,7 +120,9 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--smoke") smoke = true;
   }
   const bench::Options opt =
-      bench::parse_options(argc, argv, "ablation_cached_relayer.csv");
+      bench::parse_options(argc, argv, "ablation_cached_relayer.csv",
+                           {{"--smoke", false,
+                             "one small burst pair only (CI smoke check)"}});
 
   bench::print_header(
       "Ablation: relayer QueryCache (paper SVI's proposed mitigation)",
@@ -161,6 +163,7 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   table.write_csv(opt.csv);
+  bench::write_report(opt, table);
   std::cout << "CSV written to " << opt.csv << "\n";
 
   const double share_off = pull_share(burst_off);

@@ -140,6 +140,7 @@ int main(int argc, char** argv) {
                "throughput,\nbut the same token arrives under a different "
                "denom per channel (§IV-A).\n";
   table.write_csv(opt.csv);
+  bench::write_report(opt, table);
   std::cout << "CSV written to " << opt.csv << "\n";
   return 0;
 }

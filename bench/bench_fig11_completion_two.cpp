@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   table.print(std::cout);
   table.write_csv(opt.csv);
+  bench::write_report(opt, table);
   std::cout << "\nCSV written to " << opt.csv << "\n";
   return 0;
 }

@@ -97,8 +97,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--ablate-indexed-queries") ablate = true;
   }
-  const bench::Options opt =
-      bench::parse_options(argc, argv, "fig12_latency_breakdown.csv");
+  const bench::Options opt = bench::parse_options(
+      argc, argv, "fig12_latency_breakdown.csv",
+      {{"--ablate-indexed-queries", false,
+        "also run the indexed-query counterfactual"}});
 
   bench::print_header(
       "Figure 12: 13-step breakdown of 5,000 transfers in one block",
@@ -138,6 +140,7 @@ int main(int argc, char** argv) {
                  util::fmt_double(sample.max(), 2)});
   }
   csv.write_csv(opt.csv);
+  bench::write_report(opt, csv);
   std::cout << "CSV written to " << opt.csv << "\n";
 
   // Archive a full execution report for this run (the framework's report

@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
               << "(paper: 16 blocks, -70%)\n";
   }
   table.write_csv(opt.csv);
+  bench::write_report(opt, table);
   std::cout << "CSV written to " << opt.csv << "\n";
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/service_queue.hpp"
 #include "util/rng.hpp"
+#include "xcc/bench_report.hpp"
 
 namespace {
 
@@ -204,15 +207,46 @@ BENCHMARK(BM_SignVerify);
 
 }  // namespace
 
+// Console reporter that additionally captures each run for the --json
+// report. Everything a microbenchmark measures is host time, so the capture
+// lands in the report's nondeterministic "host" section (the virtual
+// section stays empty — there is no simulation here).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      auto row = util::json::Value::object();
+      row.set("name", run.benchmark_name());
+      row.set("iterations", static_cast<std::int64_t>(run.iterations));
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.set("real_ns_per_iter", run.real_accumulated_time * 1e9 / iters);
+      row.set("cpu_ns_per_iter", run.cpu_accumulated_time * 1e9 / iters);
+      results.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  util::json::Value results = util::json::Value::array();
+};
+
 // Custom main instead of BENCHMARK_MAIN(): run_benches.sh passes the shared
-// harness flags (--jobs/--full/--reps/--csv) to every bench; strip them so
-// google-benchmark does not reject the command line.
+// harness flags (--jobs/--full/--reps/--csv/--trace/--json) to every bench;
+// strip them so google-benchmark does not reject the command line. --json
+// is honored: the captured runs are written as a BENCH report whose host
+// section carries a "microbench" array.
 int main(int argc, char** argv) {
+  std::string json_path;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
-    if (a == "--jobs" || a == "--reps" || a == "--csv") {
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (a == "--jobs" || a == "--reps" || a == "--csv" || a == "--trace") {
       ++i;  // skip the flag's value too
       continue;
     }
@@ -224,7 +258,25 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    xcc::BenchReportInputs in;
+    in.bench = "micro_substrate";
+    auto report = xcc::build_bench_report(in);
+    for (auto& member : report.members()) {
+      if (member.first == "host") {
+        member.second.set("microbench", std::move(reporter.results));
+      }
+    }
+    const util::Status st = xcc::write_json_file(json_path, report);
+    if (!st.is_ok()) {
+      std::cerr << "[json] FAILED: " << st.to_string() << "\n";
+      return 1;
+    }
+    std::cout << "[json] wrote " << json_path << "\n";
+  }
   return 0;
 }

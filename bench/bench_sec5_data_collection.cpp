@@ -127,6 +127,7 @@ int main(int argc, char** argv) {
                "to the payload sizes above;\n recv blocks cost ~2x because "
                "their event payloads are ~2x larger.)\n";
   table.write_csv(opt.csv);
+  bench::write_report(opt, table);
   std::cout << "CSV written to " << opt.csv << "\n";
   return 0;
 }

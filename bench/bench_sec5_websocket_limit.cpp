@@ -192,6 +192,7 @@ int main(int argc, char** argv) {
                "packets are stuck (committed, never relayed, never refunded)\n"
                "and transfers submitted after the failed frame expire too.\n";
   table.write_csv(opt.csv);
+  bench::write_report(opt, table);
   std::cout << "CSV written to " << opt.csv << "\n";
   return 0;
 }

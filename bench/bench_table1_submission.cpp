@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   table.print(std::cout);
   table.write_csv(opt.csv);
+  bench::write_report(opt, table);
   std::cout << "\nNote: seq-mismatch / no-confirmation columns count the\n"
                "wallet-level errors the paper names in §IV-A and §V.\n"
                "CSV written to " << opt.csv << "\n";

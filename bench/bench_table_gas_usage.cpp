@@ -113,6 +113,7 @@ int main(int argc, char** argv) {
                  std::to_string(ack.gas.count())});
   table.print(std::cout);
   table.write_csv(opt.csv);
+  bench::write_report(opt, table);
   std::cout << "\ncompleted " << completed
             << "/500 transfers; CSV written to " << opt.csv << "\n";
   return 0;

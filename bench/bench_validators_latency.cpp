@@ -131,6 +131,7 @@ int main(int argc, char** argv) {
                "the complete\ntransfer by ~1% — the paper's justification for "
                "a 5-validator testbed.\n";
   table.write_csv(opt.csv);
+  bench::write_report(opt, table);
   std::cout << "CSV written to " << opt.csv << "\n";
   return 0;
 }

@@ -16,14 +16,28 @@
 //                  FILE, plus the metrics snapshot to FILE.metrics.csv.
 //                  One experiment only, so the output is a single
 //                  deterministic file (byte-identical across runs).
+//   --json PATH    write a machine-readable bench report (see
+//                  xcc/bench_report.hpp): the result table and metrics in a
+//                  deterministic "virtual" section, wall time / events-per-
+//                  second / profiler breakdown in a nondeterministic "host"
+//                  section. Also arms the host-time profiler for the run.
+//                  Unlike --trace it does NOT force step collection, so the
+//                  virtual results are identical to a plain run.
+//
+// Unknown options are an error (usage + exit 1): a typoed flag must not
+// silently fall back to default behaviour. Bench-specific flags register a
+// FlagSpec so parse_options can accept them and list them under --help.
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "xcc/bench_report.hpp"
 #include "xcc/experiment.hpp"
 #include "xcc/parallel.hpp"
 
@@ -35,30 +49,118 @@ struct Options {
   int jobs = 0;  // 0 = hardware concurrency
   std::string csv;
   std::string trace;  // --trace FILE: trace the sweep's first experiment
+  std::string json;   // --json PATH: write the machine-readable report
+  /// Bench id, derived from the default CSV name ("fig8_relayer_throughput").
+  std::string bench;
+  /// Bench-specific flags actually passed, in command-line order; value-less
+  /// flags record "true". Embedded in the report's config section.
+  std::vector<std::pair<std::string, std::string>> extra;
 };
 
+/// A bench-specific flag parse_options should accept (and --help list).
+struct FlagSpec {
+  std::string name;  // "--smoke"
+  bool takes_value = false;
+  std::string help;
+};
+
+namespace detail {
+
+/// Accumulated report state for this binary (one bench per process): sweep
+/// utilisation, merged profiler output and the first experiment's metrics.
+struct ReportState {
+  xcc::ProfileCollector profiler;
+  xcc::SweepStats sweep{};
+  telemetry::MetricsSnapshot metrics;
+  bool have_metrics = false;
+
+  void add_sweep(const xcc::SweepStats& s) {
+    sweep.workers = std::max(sweep.workers, s.workers);
+    sweep.jobs += s.jobs;
+    sweep.wall_seconds += s.wall_seconds;
+    sweep.aggregate_seconds += s.aggregate_seconds;
+  }
+};
+
+inline ReportState g_report;
+
+}  // namespace detail
+
 inline Options parse_options(int argc, char** argv,
-                             const std::string& default_csv) {
+                             const std::string& default_csv,
+                             const std::vector<FlagSpec>& extra_flags = {}) {
   Options opt;
   opt.csv = default_csv;
+  opt.bench = default_csv.size() > 4 &&
+                      default_csv.rfind(".csv") == default_csv.size() - 4
+                  ? default_csv.substr(0, default_csv.size() - 4)
+                  : default_csv;
+
+  const auto usage = [&](std::ostream& os) {
+    os << "usage: " << (argc > 0 ? argv[0] : "bench") << " [options]\n"
+       << "  --full        run the paper's full sweep\n"
+       << "  --reps N      executions per sweep point\n"
+       << "  --jobs N      worker threads (default: hardware concurrency)\n"
+       << "  --csv PATH    write the result table as CSV (default: "
+       << (default_csv.empty() ? "none" : default_csv) << ")\n"
+       << "  --trace FILE  trace the first experiment (Chrome trace JSON)\n"
+       << "  --json PATH   write the machine-readable bench report\n"
+       << "  --help        show this help\n";
+    for (const FlagSpec& f : extra_flags) {
+      os << "  " << f.name << (f.takes_value ? " V" : "") << "  " << f.help
+         << "\n";
+    }
+  };
+
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    const auto take_value = [&]() -> std::string {
+      if (has_inline) return inline_value;
+      if (i + 1 < argc) return argv[++i];
+      std::cerr << "option " << arg << " requires a value\n";
+      usage(std::cerr);
+      std::exit(1);
+    };
+
     if (arg == "--full") {
       opt.full = true;
-    } else if (arg == "--reps" && i + 1 < argc) {
-      opt.reps = std::atoi(argv[++i]);
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      opt.jobs = std::atoi(argv[++i]);
-    } else if (arg == "--csv" && i + 1 < argc) {
-      opt.csv = argv[++i];
-    } else if (arg == "--trace" && i + 1 < argc) {
-      opt.trace = argv[++i];
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      opt.trace = arg.substr(8);
+    } else if (arg == "--reps") {
+      opt.reps = std::atoi(take_value().c_str());
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(take_value().c_str());
+    } else if (arg == "--csv") {
+      opt.csv = take_value();
+    } else if (arg == "--trace") {
+      opt.trace = take_value();
+    } else if (arg == "--json") {
+      opt.json = take_value();
     } else if (arg == "--help") {
-      std::cout << "options: --full | --reps N | --jobs N | --csv PATH | "
-                   "--trace FILE\n";
+      usage(std::cout);
       std::exit(0);
+    } else {
+      bool matched = false;
+      for (const FlagSpec& f : extra_flags) {
+        if (f.name == arg) {
+          opt.extra.emplace_back(arg, f.takes_value ? take_value() : "true");
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::cerr << "unknown option: " << argv[i] << "\n";
+        usage(std::cerr);
+        std::exit(1);
+      }
     }
   }
   return opt;
@@ -127,25 +229,68 @@ inline void print_trace_summary(const Options& opt,
 }
 
 /// Runs a whole sweep through the parallel pool (submission order ==
-/// result order) and prints the utilisation summary. Honors --trace.
+/// result order) and prints the utilisation summary. Honors --trace; under
+/// --json the first experiment also snapshots its metrics registry (pure
+/// observation: unlike --trace nothing forces step collection, so the
+/// virtual results are unchanged) and the host-time profiler is armed.
 inline std::vector<xcc::ExperimentResult> run_sweep(
     const Options& opt, std::vector<xcc::ExperimentConfig> configs) {
   apply_trace(opt, configs);
+  const bool reporting = !opt.json.empty();
+  if (reporting && !configs.empty()) configs.front().telemetry = true;
   xcc::SweepStats stats;
   auto results =
-      xcc::run_experiments(configs, jobs_or_default(opt), &stats);
+      xcc::run_experiments(configs, jobs_or_default(opt), &stats,
+                           reporting ? &detail::g_report.profiler : nullptr);
+  if (reporting) {
+    detail::g_report.add_sweep(stats);
+    if (!detail::g_report.have_metrics && !results.empty() &&
+        results.front().ok) {
+      detail::g_report.metrics = results.front().metrics;
+      detail::g_report.have_metrics = true;
+    }
+  }
   print_sweep_summary(stats);
   print_trace_summary(opt, results);
   return results;
 }
 
 /// Runs custom scenario jobs (benches not built on run_experiment) through
-/// the same pool, with the same summary.
+/// the same pool, with the same summary and --json profiling.
 inline void run_scenarios(const Options& opt,
                           std::vector<std::function<void()>>& jobs) {
+  const bool reporting = !opt.json.empty();
   xcc::SweepStats stats;
-  xcc::run_jobs(jobs, jobs_or_default(opt), &stats);
+  xcc::run_jobs(jobs, jobs_or_default(opt), &stats,
+                reporting ? &detail::g_report.profiler : nullptr);
+  if (reporting) detail::g_report.add_sweep(stats);
   print_sweep_summary(stats);
+}
+
+/// Writes the BENCH_*.json report for this run (no-op without --json).
+/// `table` is the bench's CSV table — its cells become the deterministic
+/// virtual points. Call once, after the last sweep.
+inline void write_report(const Options& opt, const util::Table& table) {
+  if (opt.json.empty()) return;
+  xcc::BenchReportInputs in;
+  in.bench = opt.bench;
+  in.full = opt.full;
+  in.reps = opt.reps;
+  in.jobs = opt.jobs;
+  in.trace = !opt.trace.empty();
+  in.flags = opt.extra;
+  in.seed_base = seed_for(0);
+  in.table = &table;
+  in.metrics = detail::g_report.metrics;
+  in.sweep = detail::g_report.sweep;
+  in.profile = detail::g_report.profiler.merged();
+  const util::Status st =
+      xcc::write_json_file(opt.json, xcc::build_bench_report(in));
+  if (!st.is_ok()) {
+    std::cerr << "[json] FAILED: " << st.to_string() << "\n";
+    std::exit(1);  // a requested report that was not produced must be loud
+  }
+  std::cout << "[json] wrote " << opt.json << "\n";
 }
 
 /// Config for one inclusion-only run (Figs. 6-7 / Table I): submits at

@@ -1,7 +1,9 @@
 #!/bin/bash
 # Checkpointing bench runner: each bench's output is cached in
-# bench_results/<name>.txt; already-completed benches are skipped, so the
-# script can be re-invoked until everything is done.
+# bench_results/<name>.txt (plus a machine-readable report in
+# bench_results/BENCH_<name>.json for the bench_* binaries); completed
+# benches are skipped, so the script can be re-invoked until everything is
+# done.
 #
 #   ./run_benches.sh            run all benches (cached)
 #   ./run_benches.sh --check    sanitizer passes (TSan over the parallel
@@ -10,29 +12,70 @@
 #                               scenarios and relayer/query-cache regression
 #                               tests), the golden-figure regression suite,
 #                               a --trace smoke test (one traced bench; the
-#                               JSON must parse), and the cache-ablation
-#                               smoke (cache-off CSV byte-exact vs the
-#                               committed golden; cache-on trace must parse)
+#                               JSON must parse), the cache-ablation smoke
+#                               (cache-off CSV byte-exact vs the committed
+#                               golden; cache-on trace must parse), and the
+#                               bench-report phase: emit a BENCH_*.json,
+#                               schema-validate it together with everything
+#                               cached in bench_results/, self-compare it
+#                               with bench_compare (clean), re-run same-seed
+#                               (virtual sections must match exactly) and
+#                               verify a perturbed copy is rejected. Ends
+#                               with a phase summary table.
 cd "$(dirname "$0")"
 
 if [ "$1" = "--check" ]; then
   set -e
-  echo "== ThreadSanitizer check: parallel runner + determinism + telemetry =="
+
+  PHASES=()
+  PHASE_STATUS=()
+  phase() {
+    PHASES+=("$1")
+    PHASE_STATUS+=("FAIL")
+    echo
+    echo "== $1 =="
+  }
+  phase_ok() {
+    PHASE_STATUS[$((${#PHASE_STATUS[@]} - 1))]="ok"
+  }
+  print_summary() {
+    echo
+    echo "== check summary =="
+    printf '%-60s %s\n' "phase" "status"
+    printf '%-60s %s\n' "-----" "------"
+    local all_ok=0
+    for i in "${!PHASES[@]}"; do
+      printf '%-60s %s\n' "${PHASES[$i]}" "${PHASE_STATUS[$i]}"
+      [ "${PHASE_STATUS[$i]}" = "ok" ] || all_ok=1
+    done
+    if [ ${#PHASES[@]} -gt 0 ] && [ "$all_ok" -eq 0 ]; then
+      echo "all checks passed"
+    fi
+  }
+  trap print_summary EXIT
+
+  phase "ThreadSanitizer: parallel runner + determinism + telemetry"
   cmake -B build-tsan -S . -DTHREAD_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j --target test_parallel test_relayer_behavior test_telemetry
   (cd build-tsan && ctest --output-on-failure \
     -R 'Parallel|Determinism|Telemetry|Tracer|Registry|Counter|Gauge|Histogram|StepLog|DisabledMode')
-  echo "== ASan+UBSan check: invariant checker + fuzz scenarios + relayer regressions =="
+  phase_ok
+
+  phase "ASan+UBSan: invariant checker + fuzz scenarios + relayer regressions"
   cmake -B build-asan -S . -DADDRESS_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j --target test_invariants test_faults fuzz_scenarios \
     test_relayer_behavior test_query_cache
   (cd build-asan && ctest --output-on-failure \
     -R 'InvariantChecker|NetworkFault|TimeoutPath|CodecProperty|RelayerFixture|QueryCache')
   ./build-asan/src/check/fuzz_scenarios --seeds=40
-  echo "== golden-figure regression suite =="
+  phase_ok
+
+  phase "golden-figure regression suite"
   cmake --build build -j --target test_golden
   (cd build && ctest --output-on-failure -R 'GoldenFigures')
-  echo "== trace smoke test: fig12 with --trace =="
+  phase_ok
+
+  phase "trace smoke: fig12 with --trace"
   cmake --build build -j --target bench_fig12_latency_breakdown
   trace_out=$(mktemp -t ibc_trace_XXXXXX.json)
   ./build/bench/bench_fig12_latency_breakdown --trace "$trace_out" >/dev/null
@@ -48,7 +91,9 @@ assert any(e["ph"] == "X" and e["name"] == "queue_wait" for e in events), \
 print(f"trace OK: {len(events)} events parse, packet + queue_wait spans present")
 EOF
   rm -f "$trace_out" "$trace_out.metrics.csv"
-  echo "== cache-ablation smoke: cache-off byte-exact, cache-on trace parses =="
+  phase_ok
+
+  phase "cache-ablation smoke: cache-off byte-exact, cache-on trace parses"
   cmake --build build -j --target bench_ablation_cached_relayer
   smoke_csv=$(mktemp -t ibc_ablation_XXXXXX.csv)
   smoke_trace=$(mktemp -t ibc_ablation_XXXXXX.json)
@@ -68,7 +113,55 @@ assert hits, "missing query_cache hit spans in cache-on trace"
 print(f"ablation trace OK: {len(events)} events parse, {len(hits)} query_cache hit spans")
 EOF
   rm -f "$smoke_csv" "$smoke_trace" "$smoke_trace.metrics.csv"
-  echo "all checks passed"
+  phase_ok
+
+  phase "bench reports: schema + self-compare + same-seed + perturbed"
+  cmake --build build -j --target bench_ablation_cached_relayer bench_compare
+  jdir=$(mktemp -d -t ibc_json_XXXXXX)
+  ./build/bench/bench_ablation_cached_relayer --smoke \
+    --csv "$jdir/a.csv" --json "$jdir/BENCH_a.json" >/dev/null
+  ./build/bench/bench_ablation_cached_relayer --smoke \
+    --csv "$jdir/b.csv" --json "$jdir/BENCH_b.json" >/dev/null
+  # Every emitted report (the fresh pair plus anything cached from a full
+  # bench run) must satisfy schema v1.
+  cached_reports=$(ls bench_results/BENCH_*.json 2>/dev/null || true)
+  # shellcheck disable=SC2086
+  python3 tools/bench_report_schema.py "$jdir/BENCH_a.json" "$jdir/BENCH_b.json" $cached_reports
+  # Self-compare: a report diffed against itself must be clean (exit 0).
+  ./build/tools/bench_compare "$jdir/BENCH_a.json" "$jdir/BENCH_a.json" >/dev/null
+  echo "self-compare clean"
+  # Two independent same-seed runs: the virtual sections must match exactly
+  # (the determinism contract); host time gets a generous noise band.
+  ./build/tools/bench_compare --noise 10 "$jdir/BENCH_a.json" "$jdir/BENCH_b.json"
+  # A perturbed virtual cell must be caught as drift (exit 2).
+  python3 - "$jdir/BENCH_a.json" "$jdir/BENCH_perturbed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+doc["virtual"]["points"][0][2] = "999.99"
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f)
+EOF
+  if ./build/tools/bench_compare "$jdir/BENCH_a.json" "$jdir/BENCH_perturbed.json" >/dev/null; then
+    echo "ERROR: bench_compare accepted a perturbed virtual section"
+    exit 1
+  else
+    rc=$?
+    [ "$rc" -eq 2 ] || { echo "ERROR: expected exit 2 for virtual drift, got $rc"; exit 1; }
+  fi
+  echo "perturbed report rejected with exit 2"
+  # Strict flag parsing: unknown flags must be rejected with usage, and
+  # --help must succeed.
+  if ./build/bench/bench_ablation_cached_relayer --no-such-flag >/dev/null 2>&1; then
+    echo "ERROR: unknown --no-such-flag was accepted"
+    exit 1
+  fi
+  ./build/bench/bench_ablation_cached_relayer --help | grep -q -- "--json" \
+    || { echo "ERROR: --help does not list --json"; exit 1; }
+  echo "strict flag parsing OK (unknown flag rejected, --help lists flags)"
+  rm -rf "$jdir"
+  phase_ok
+
   exit 0
 fi
 
@@ -77,8 +170,21 @@ for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")
   out="bench_results/$name.txt"
-  if [ -s "$out" ] && grep -q "__DONE__" "$out"; then continue; fi
+  # bench_* binaries also emit the machine-readable report; calibrate's
+  # output is host-dependent probing with no result table, so it stays
+  # text-only.
+  json=""
+  case "$name" in
+    bench_*) json="bench_results/BENCH_${name#bench_}.json" ;;
+  esac
+  if [ -s "$out" ] && grep -q "__DONE__" "$out" && { [ -z "$json" ] || [ -s "$json" ]; }; then
+    continue
+  fi
   echo "running $name..."
-  { echo "=== $name ==="; timeout 3000 "$b" 2>/dev/null; echo; echo "__DONE__"; } > "$out"
+  if [ -n "$json" ]; then
+    { echo "=== $name ==="; timeout 3000 "$b" --json "$json" 2>/dev/null; echo; echo "__DONE__"; } > "$out"
+  else
+    { echo "=== $name ==="; timeout 3000 "$b" 2>/dev/null; echo; echo "__DONE__"; } > "$out"
+  fi
 done
 echo "all benches complete"

@@ -1,5 +1,7 @@
 #include "chain/store.hpp"
 
+#include "telemetry/profiler.hpp"
+
 namespace chain {
 
 crypto::Digest KvStore::entry_hash(const std::string& key,
@@ -51,6 +53,7 @@ void KvStore::journal_record(const std::string& key) {
 }
 
 void KvStore::set(const std::string& key, util::Bytes value) {
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kKvStore);
   journal_record(key);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -66,6 +69,7 @@ void KvStore::set(const std::string& key, util::Bytes value) {
 }
 
 void KvStore::erase(const std::string& key) {
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kKvStore);
   journal_record(key);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return;
@@ -85,6 +89,7 @@ bool KvStore::contains(const std::string& key) const {
 
 std::vector<std::string> KvStore::keys_with_prefix(
     const std::string& prefix) const {
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kKvStore);
   std::vector<std::string> out;
   for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -94,6 +99,7 @@ std::vector<std::string> KvStore::keys_with_prefix(
 }
 
 StoreProof KvStore::prove(const std::string& key) const {
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kKvStore);
   StoreProof proof;
   proof.key = key;
   proof.root = root_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/profiler.hpp"
 #include "util/log.hpp"
 
 namespace consensus {
@@ -271,6 +272,7 @@ void Engine::on_precommit(std::size_t from_idx, chain::Height height,
 }
 
 void Engine::commit_block(chain::Height height, int round) {
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kConsensusExec);
   assert(current_block_);
   if (round_timeout_event_ != sim::kInvalidEvent) {
     sched_.cancel(round_timeout_event_);
@@ -353,6 +355,7 @@ void Engine::commit_block(chain::Height height, int round) {
   sched_.schedule_after(
       exec, [this, block = std::move(block), height,
              seen = std::move(seen)]() mutable {
+        telemetry::ProfileScope prof(telemetry::ProfileKey::kConsensusExec);
         app_.begin_block(block.header);
         std::vector<chain::DeliverTxResult> results;
         results.reserve(block.txs.size());

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "telemetry/profiler.hpp"
+
 namespace crypto {
 
 namespace {
@@ -77,6 +79,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 
 void Sha256::update(util::BytesView data) {
   if (data.empty()) return;
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kCryptoHash);
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {
@@ -100,6 +103,7 @@ void Sha256::update(util::BytesView data) {
 }
 
 Digest Sha256::finalize() {
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kCryptoHash);
   const std::uint64_t bit_len = total_len_ * 8;
   const std::uint8_t pad = 0x80;
   update(util::BytesView(&pad, 1));

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "ibc/host.hpp"
+#include "telemetry/profiler.hpp"
 #include "util/log.hpp"
 
 namespace relayer {
@@ -335,6 +336,7 @@ void Relayer::pull_chunks(rpc::Server* server, chain::Height height,
                           std::vector<ibc::Sequence> seqs,
                           std::size_t chunk_index, bool any_failed,
                           std::function<void(PullResult)> done) {
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kRelayerPull);
   const std::size_t chunk = config_.event_query_chunk;
   std::size_t begin = chunk_index * chunk;
   if (config_.skip_satisfied_chunks) {
@@ -372,6 +374,8 @@ void Relayer::pull_chunks(rpc::Server* server, chain::Height height,
        any_failed, done = std::move(done), pull_step, lo, hi](
           util::Result<rpc::TxSearchPage> res) mutable {
         if (!running_) return;
+        // Host-side pull cost: scanning returned pages for packet events.
+        telemetry::ProfileScope prof(telemetry::ProfileKey::kRelayerPull);
         bool failed = any_failed;
         if (res.is_ok()) {
           for (const rpc::TxResponse& tx : res.value().txs) {
@@ -459,6 +463,7 @@ void Relayer::fetch_update(rpc::Server* server, const ibc::ClientId& client_id,
           cb(std::nullopt);
           return;
         }
+        telemetry::ProfileScope prof(telemetry::ProfileKey::kRelayerPull);
         const rpc::Server::HeaderInfo& info = res.value();
         ibc::Header header;
         header.chain_id = info.header.chain_id;
@@ -538,6 +543,7 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
   *step = [this, st, wstep = std::weak_ptr<std::function<void()>>(step)]() {
     auto step = wstep.lock();
     if (!step || !running_) return;
+    telemetry::ProfileScope prof(telemetry::ProfileKey::kRelayerBuild);
     if (st->next >= st->seqs.size()) {
       release_later(step);
       // Stage 2: group into transactions and submit.
@@ -566,6 +572,7 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
           }
           return;
         }
+        telemetry::ProfileScope prof(telemetry::ProfileKey::kRelayerBroadcast);
         const std::size_t begin = send->next_tx_begin;
         const std::size_t end = std::min(
             begin + config_.max_msgs_per_tx, send->msgs.size());
@@ -730,6 +737,7 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
         *a_.server, config_.machine, key, /*prove=*/true,
         [this, st, step, seq](util::Result<rpc::Server::AbciQueryResult> res) {
           if (!running_) return;
+          telemetry::ProfileScope prof(telemetry::ProfileKey::kRelayerBuild);
           const auto it2 = packets_.find(seq);
           if (res.is_ok() && res.value().exists && it2 != packets_.end() &&
               it2->second.packet) {
@@ -833,6 +841,7 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
   *step = [this, st, wstep = std::weak_ptr<std::function<void()>>(step)]() {
     auto step = wstep.lock();
     if (!step || !running_) return;
+    telemetry::ProfileScope prof(telemetry::ProfileKey::kRelayerBuild);
     if (st->next >= st->seqs.size()) {
       release_later(step);
       if (st->msgs.empty()) {
@@ -860,6 +869,7 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
           }
           return;
         }
+        telemetry::ProfileScope prof(telemetry::ProfileKey::kRelayerBroadcast);
         const std::size_t begin = send->next_tx_begin;
         const std::size_t end = std::min(
             begin + config_.max_msgs_per_tx, send->msgs.size());
@@ -983,6 +993,7 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
         *b_.server, config_.machine, key, /*prove=*/true,
         [this, st, step, seq](util::Result<rpc::Server::AbciQueryResult> res) {
           if (!running_) return;
+          telemetry::ProfileScope prof(telemetry::ProfileKey::kRelayerBuild);
           const auto it2 = packets_.find(seq);
           if (res.is_ok() && res.value().exists && it2 != packets_.end()) {
             ibc::MsgAcknowledgementMsg msg;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/profiler.hpp"
+
 namespace rpc {
 
 Server::Server(sim::Scheduler& sched, net::Network& network,
@@ -70,6 +72,10 @@ void Server::roundtrip(net::MachineId client, std::uint64_t request_bytes,
                         [delivered, deliver = std::move(deliver)]() mutable {
                           if (*delivered) return;
                           *delivered = true;
+                          // `deliver` reads the ledger and builds the
+                          // response — the RPC path's host-side cost.
+                          telemetry::ProfileScope prof(
+                              telemetry::ProfileKey::kRpcService);
                           deliver();
                         });
         },

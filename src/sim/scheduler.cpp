@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/profiler.hpp"
+
 namespace sim {
 
 std::uint32_t Scheduler::acquire_slot() {
@@ -78,10 +80,12 @@ bool Scheduler::step() {
   TimePoint t;
   std::function<void()> fn;
   if (!pop_next(t, fn)) return false;
+  telemetry::profiler::add_sim_progress(static_cast<std::uint64_t>(t - now_));
   now_ = t;
   ++executed_;
   // The closure was moved out of the slab before invoking, so re-entrant
   // scheduling that reuses (or grows) the slab cannot touch it.
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kSchedulerDispatch);
   fn();
   return true;
 }
@@ -95,9 +99,14 @@ void Scheduler::run_until(TimePoint t) {
     std::function<void()> fn = std::move(slab_[e.slot].fn);
     release_slot(e.slot);
     --live_;
+    telemetry::profiler::add_sim_progress(
+        static_cast<std::uint64_t>(e.time - now_));
     now_ = e.time;
     ++executed_;
-    fn();
+    {
+      telemetry::ProfileScope prof(telemetry::ProfileKey::kSchedulerDispatch);
+      fn();
+    }
   }
   now_ = std::max(now_, t);
 }
@@ -112,10 +121,15 @@ std::uint64_t Scheduler::run_until_idle(TimePoint hard_limit) {
     std::function<void()> fn = std::move(slab_[e.slot].fn);
     release_slot(e.slot);
     --live_;
+    telemetry::profiler::add_sim_progress(
+        static_cast<std::uint64_t>(e.time - now_));
     now_ = e.time;
     ++executed_;
     ++ran;
-    fn();
+    {
+      telemetry::ProfileScope prof(telemetry::ProfileKey::kSchedulerDispatch);
+      fn();
+    }
   }
   return ran;
 }

@@ -25,6 +25,27 @@ void Histogram::observe(double v) {
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    if (c == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += c;
+    if (static_cast<double>(cum) >= target) {
+      if (i >= bounds_.size()) return max_;  // overflow: no upper bound
+      const double lo = i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = (target - prev) / static_cast<double>(c);
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+  }
+  return max_;
+}
+
 Counter* Registry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -49,6 +70,11 @@ const Counter* Registry::find_counter(std::string_view name) const {
 const Gauge* Registry::find_gauge(std::string_view name) const {
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
 }
 
 Histogram* Registry::histogram(std::string_view name,
@@ -100,6 +126,9 @@ MetricsSnapshot Registry::snapshot() const {
     r.sum = h.sum();
     r.min = h.min();
     r.max = h.max();
+    r.p50 = h.quantile(0.50);
+    r.p90 = h.quantile(0.90);
+    r.p99 = h.quantile(0.99);
     std::ostringstream os;
     for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
       if (i > 0) os << ' ';

@@ -55,6 +55,12 @@ class Histogram {
 
   void observe(double v);
 
+  /// q-quantile (q in [0,1], clamped) linearly interpolated inside the
+  /// bucket that crosses rank q*count. The first bucket interpolates from
+  /// min(); observations in the unbounded overflow bucket report max() (no
+  /// upper bound to interpolate towards). Returns 0 for an empty histogram.
+  double quantile(double q) const;
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ > 0 ? min_ : 0.0; }
@@ -84,6 +90,11 @@ struct MetricRow {
   double sum = 0.0;            // histogram sum
   double min = 0.0;            // histogram min
   double max = 0.0;            // histogram max
+  // Interpolated percentiles (Histogram::quantile); histograms only. Not
+  // part of the CSV schema — consumed by the JSON bench reports.
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
   /// "le_<bound>:<count>" pairs, space separated, overflow last ("le_inf").
   std::string buckets;
 };
@@ -117,6 +128,7 @@ class Registry {
   /// without scanning a full snapshot.
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
 
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();

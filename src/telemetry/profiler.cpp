@@ -1,0 +1,86 @@
+#include "telemetry/profiler.hpp"
+
+namespace telemetry {
+
+std::string_view profile_key_name(ProfileKey key) {
+  switch (key) {
+    case ProfileKey::kSchedulerDispatch:
+      return "scheduler_dispatch";
+    case ProfileKey::kRpcService:
+      return "rpc_service";
+    case ProfileKey::kRelayerPull:
+      return "relayer_pull";
+    case ProfileKey::kRelayerBuild:
+      return "relayer_build";
+    case ProfileKey::kRelayerBroadcast:
+      return "relayer_broadcast";
+    case ProfileKey::kConsensusExec:
+      return "consensus_exec";
+    case ProfileKey::kCryptoHash:
+      return "crypto_hash";
+    case ProfileKey::kKvStore:
+      return "kv_store";
+  }
+  return "unknown";
+}
+
+double ProfileReport::attributed_seconds() const {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries) total += e.nanos;
+  return static_cast<double>(total) / 1e9;
+}
+
+double ProfileReport::share(ProfileKey key) const {
+  const double total = attributed_seconds();
+  return total > 0.0 ? seconds(key) / total : 0.0;
+}
+
+double ProfileReport::events_per_second() const {
+  const double wall = wall_seconds();
+  return wall > 0.0 ? static_cast<double>(events_executed()) / wall : 0.0;
+}
+
+double ProfileReport::sim_time_ratio() const {
+  const double wall = wall_seconds();
+  return wall > 0.0 ? sim_seconds() / wall : 0.0;
+}
+
+void ProfileReport::merge(const ProfileReport& other) {
+  for (std::size_t i = 0; i < kProfileKeyCount; ++i) {
+    entries[i].nanos += other.entries[i].nanos;
+    entries[i].calls += other.entries[i].calls;
+  }
+  wall_nanos += other.wall_nanos;
+  sim_micros += other.sim_micros;
+}
+
+#ifndef IBC_TELEMETRY_DISABLED
+
+namespace profiler {
+
+void start() {
+  auto& t = detail::tls;
+  t.active = true;
+  t.slots = {};
+  t.depth = 0;
+  t.sim_micros = 0;
+  t.span_start_ns = detail::now_ns();
+}
+
+ProfileReport stop() {
+  auto& t = detail::tls;
+  ProfileReport r;
+  if (!t.active) return r;
+  t.active = false;
+  t.depth = 0;
+  r.entries = t.slots;
+  r.wall_nanos = detail::now_ns() - t.span_start_ns;
+  r.sim_micros = t.sim_micros;
+  return r;
+}
+
+}  // namespace profiler
+
+#endif
+
+}  // namespace telemetry

@@ -1,0 +1,192 @@
+#pragma once
+// Host-wall-clock profiler: where does the simulator spend *real* time?
+//
+// The metrics Registry and Tracer (PR 3) observe the simulated mechanisms in
+// virtual time; this profiler observes the simulator itself in host time, so
+// perf PRs have hard before/after evidence (ROADMAP: "fast as the hardware
+// allows"). RAII ProfileScopes mark the hot subsystems — scheduler dispatch,
+// RPC service, relayer pull/build/broadcast, consensus execution, crypto
+// hashing, the KV store — and accumulate *self time*: a nested scope pauses
+// its parent, so the per-subsystem totals are disjoint and sum to (at most)
+// the profiled wall time. Everything not inside a nested scope lands in the
+// enclosing one; un-scoped work between events lands nowhere and shows up as
+// wall_nanos minus the attributed total.
+//
+// Threading model: all state is thread_local. An experiment runs wholly on
+// one thread (see xcc/parallel.hpp), so profiler::start() / profiler::stop()
+// bracket one job on its worker thread and the per-job reports are merged by
+// xcc::ProfileCollector afterwards — `--jobs N` sweeps profile correctly
+// with no synchronisation on the hot path.
+//
+// Cost: a disabled scope is one thread-local bool test (profiling is only
+// armed for `--json` runs); an enabled scope is two steady_clock reads.
+// Configure with -DIBC_TELEMETRY=OFF and ProfileScope compiles to an empty
+// struct — every site is dead-code-eliminated, exactly like the Tracer.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace telemetry {
+
+/// The profiled subsystems. Order is the report order; names come from
+/// profile_key_name().
+enum class ProfileKey : std::uint8_t {
+  kSchedulerDispatch = 0,  // DES event dispatch (self time = scheduler +
+                           // un-scoped simulation logic); calls = events
+  kRpcService,             // RPC response delivery (ledger scans, paging)
+  kRelayerPull,            // relayer packet-event/header data pulls
+  kRelayerBuild,           // relayer msg building + proof verification
+  kRelayerBroadcast,       // relayer tx grouping + submission
+  kConsensusExec,          // block commit + ABCI execution
+  kCryptoHash,             // SHA-256 (hashing, Merkle, commitments)
+  kKvStore,                // KV store writes, proofs, prefix scans
+};
+inline constexpr std::size_t kProfileKeyCount = 8;
+
+/// Stable snake_case name ("scheduler_dispatch", ...), used in reports.
+std::string_view profile_key_name(ProfileKey key);
+
+/// Accumulated profile of one or more profiled spans. Mergeable across the
+/// worker threads of a parallel sweep (xcc::ProfileCollector).
+struct ProfileReport {
+  struct Entry {
+    std::uint64_t nanos = 0;  // self time
+    std::uint64_t calls = 0;  // scope entries
+  };
+  std::array<Entry, kProfileKeyCount> entries{};
+  /// Host nanoseconds between profiler::start() and profiler::stop(),
+  /// summed over merged reports (== aggregate wall, not elapsed wall).
+  std::uint64_t wall_nanos = 0;
+  /// Virtual microseconds advanced by the scheduler while profiled.
+  std::uint64_t sim_micros = 0;
+
+  const Entry& entry(ProfileKey key) const {
+    return entries[static_cast<std::size_t>(key)];
+  }
+  double seconds(ProfileKey key) const {
+    return static_cast<double>(entry(key).nanos) / 1e9;
+  }
+  double wall_seconds() const { return static_cast<double>(wall_nanos) / 1e9; }
+  double sim_seconds() const { return static_cast<double>(sim_micros) / 1e6; }
+
+  /// Sum of all subsystem self times (<= wall_seconds()).
+  double attributed_seconds() const;
+  /// entry(key) as a fraction of attributed_seconds() (0 when empty).
+  double share(ProfileKey key) const;
+  /// DES events dispatched while profiled (scheduler-dispatch scope count).
+  std::uint64_t events_executed() const {
+    return entry(ProfileKey::kSchedulerDispatch).calls;
+  }
+  /// events_executed() per profiled wall second (per-core DES speed).
+  double events_per_second() const;
+  /// Virtual seconds simulated per profiled wall second.
+  double sim_time_ratio() const;
+
+  void merge(const ProfileReport& other);
+};
+
+#ifndef IBC_TELEMETRY_DISABLED
+
+namespace profiler {
+
+namespace detail {
+
+inline constexpr int kMaxDepth = 24;
+
+struct ThreadState {
+  bool active = false;
+  std::array<ProfileReport::Entry, kProfileKeyCount> slots{};
+  struct Frame {
+    ProfileKey key;
+    std::uint64_t start_ns;
+  };
+  Frame stack[kMaxDepth];
+  int depth = 0;
+  std::uint64_t span_start_ns = 0;
+  std::uint64_t sim_micros = 0;
+};
+
+inline thread_local ThreadState tls;
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace detail
+
+/// Arms the calling thread's profiler (resetting any prior accumulation).
+void start();
+
+/// Disarms and returns everything accumulated since start(). A thread that
+/// never started gets an all-zero report.
+ProfileReport stop();
+
+inline bool active() { return detail::tls.active; }
+
+/// Scheduler hook: virtual time advanced by the event being dispatched.
+inline void add_sim_progress(std::uint64_t micros) {
+  auto& t = detail::tls;
+  if (t.active) t.sim_micros += micros;
+}
+
+}  // namespace profiler
+
+/// RAII self-time scope. Cheap no-op while the thread's profiler is off.
+class ProfileScope {
+ public:
+  explicit ProfileScope(ProfileKey key) {
+    auto& t = profiler::detail::tls;
+    if (!t.active || t.depth >= profiler::detail::kMaxDepth) {
+      active_ = false;
+      return;
+    }
+    active_ = true;
+    const std::uint64_t now = profiler::detail::now_ns();
+    if (t.depth > 0) {
+      auto& top = t.stack[t.depth - 1];
+      t.slots[static_cast<std::size_t>(top.key)].nanos += now - top.start_ns;
+    }
+    t.stack[t.depth++] = {key, now};
+    ++t.slots[static_cast<std::size_t>(key)].calls;
+  }
+  ~ProfileScope() {
+    if (!active_) return;
+    auto& t = profiler::detail::tls;
+    // stop() mid-scope (harness misuse) leaves depth 0; just bail.
+    if (!t.active || t.depth == 0) return;
+    const std::uint64_t now = profiler::detail::now_ns();
+    auto& top = t.stack[--t.depth];
+    t.slots[static_cast<std::size_t>(top.key)].nanos += now - top.start_ns;
+    if (t.depth > 0) t.stack[t.depth - 1].start_ns = now;
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  bool active_;
+};
+
+#else  // compile-time kill switch: scopes fold to nothing.
+
+namespace profiler {
+inline void start() {}
+inline ProfileReport stop() { return {}; }
+inline constexpr bool active() { return false; }
+inline void add_sim_progress(std::uint64_t) {}
+}  // namespace profiler
+
+class ProfileScope {
+ public:
+  explicit ProfileScope(ProfileKey) {}
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+};
+
+#endif
+
+}  // namespace telemetry

@@ -1,0 +1,435 @@
+#include "util/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+namespace util::json {
+
+Value& Value::set(std::string_view key, Value value) {
+  Object& obj = members();
+  for (Member& m : obj) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return *this;
+    }
+  }
+  obj.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& m : members()) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+std::size_t Value::size() const {
+  if (is_array()) return items().size();
+  if (is_object()) return members().size();
+  return 0;
+}
+
+std::string escape_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xf]);
+          out.push_back(kHex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no NaN/Inf; reports must never contain them, but a defined
+    // fallback beats undefined output.
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buf;
+  // Shortest round-trip form: deterministic, locale-free.
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  out.append(buf.data(), res.ptr);
+}
+
+void append_number(std::string& out, std::int64_t i) {
+  std::array<char, 24> buf;
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), i);
+  out.append(buf.data(), res.ptr);
+}
+
+void dump_value(const Value& v, int indent, int depth, std::string& out) {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      return;
+    case Value::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Value::Type::kInt:
+      append_number(out, v.as_int());
+      return;
+    case Value::Type::kDouble:
+      append_number(out, v.as_double());
+      return;
+    case Value::Type::kString:
+      out += escape_string(v.as_string());
+      return;
+    case Value::Type::kArray: {
+      const Array& a = v.items();
+      if (a.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline(depth + 1);
+        dump_value(a[i], indent, depth + 1, out);
+      }
+      newline(depth);
+      out.push_back(']');
+      return;
+    }
+    case Value::Type::kObject: {
+      const Object& o = v.members();
+      if (o.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline(depth + 1);
+        out += escape_string(o[i].first);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        dump_value(o[i].second, indent, depth + 1, out);
+      }
+      newline(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    skip_ws();
+    if (!parse_value(result.value)) {
+      result.error = error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      result.error = error_;
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  bool fail(std::string_view msg) {
+    if (error_.empty()) {
+      error_ = "offset " + std::to_string(pos_) + ": " + std::string(msg);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return fail("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (depth_ > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Value(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!expect_literal("true")) return false;
+        out = Value(true);
+        return true;
+      case 'f':
+        if (!expect_literal("false")) return false;
+        out = Value(false);
+        return true;
+      case 'n':
+        if (!expect_literal("null")) return false;
+        out = Value(nullptr);
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    ++pos_;  // '{'
+    ++depth_;
+    out = Value::object();
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in object");
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.set(key, std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) {
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    ++pos_;  // '['
+    ++depth_;
+    out = Value::array();
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) {
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (reports only escape < 0x20, but
+          // accept anything a foreign writer produced; surrogate pairs are
+          // out of scope and decode as two 3-byte sequences).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return fail("invalid number");
+    const std::string_view digits = tok[0] == '-' ? tok.substr(1) : tok;
+    if (digits.size() > 1 && digits[0] == '0' && digits[1] >= '0' &&
+        digits[1] <= '9') {
+      pos_ = start;
+      return fail("leading zero in number");
+    }
+    if (!is_double) {
+      std::int64_t i = 0;
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+        out = Value(i);
+        return true;
+      }
+      // Fall through: out-of-int64-range integers degrade to double.
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size()) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    out = Value(d);
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 128;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, indent, 0, out);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+ParseResult parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace util::json

@@ -18,6 +18,9 @@ class Table {
   void add_row(std::vector<std::string> row);
   std::size_t row_count() const { return rows_.size(); }
 
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Renders with a header rule, columns padded to content width.
   void print(std::ostream& os) const;
 

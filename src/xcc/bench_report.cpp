@@ -1,0 +1,143 @@
+#include "xcc/bench_report.hpp"
+
+#include <fstream>
+
+#ifdef __unix__
+#include <sys/resource.h>
+#endif
+
+namespace xcc {
+
+namespace {
+
+util::json::Value metrics_to_json(const telemetry::MetricsSnapshot& metrics) {
+  auto rows = util::json::Value::array();
+  for (const telemetry::MetricRow& r : metrics) {
+    auto row = util::json::Value::object();
+    row.set("name", r.name);
+    row.set("kind", r.kind);
+    row.set("value", r.value);
+    if (r.kind == "histogram") {
+      row.set("count", r.count);
+      row.set("sum", r.sum);
+      row.set("min", r.min);
+      row.set("max", r.max);
+      row.set("p50", r.p50);
+      row.set("p90", r.p90);
+      row.set("p99", r.p99);
+      row.set("buckets", r.buckets);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+util::json::Value table_to_json(const util::Table* table,
+                                util::json::Value& columns) {
+  auto points = util::json::Value::array();
+  if (table == nullptr) return points;
+  for (const std::string& h : table->header()) columns.push_back(h);
+  for (const auto& row : table->rows()) {
+    auto cells = util::json::Value::array();
+    for (const std::string& c : row) cells.push_back(c);
+    points.push_back(std::move(cells));
+  }
+  return points;
+}
+
+util::json::Value profile_to_json(const telemetry::ProfileReport& p) {
+  auto prof = util::json::Value::object();
+  prof.set("wall_seconds", p.wall_seconds());
+  prof.set("attributed_seconds", p.attributed_seconds());
+  auto subsystems = util::json::Value::array();
+  for (std::size_t i = 0; i < telemetry::kProfileKeyCount; ++i) {
+    const auto key = static_cast<telemetry::ProfileKey>(i);
+    auto s = util::json::Value::object();
+    s.set("name", telemetry::profile_key_name(key));
+    s.set("seconds", p.seconds(key));
+    s.set("share", p.share(key));
+    s.set("calls", p.entry(key).calls);
+    subsystems.push_back(std::move(s));
+  }
+  prof.set("subsystems", std::move(subsystems));
+  return prof;
+}
+
+}  // namespace
+
+util::json::Value build_bench_report(const BenchReportInputs& in) {
+  auto report = util::json::Value::object();
+  report.set("schema_version", kBenchReportSchemaVersion);
+  report.set("bench", in.bench);
+
+  auto config = util::json::Value::object();
+  config.set("full", in.full);
+  config.set("reps", in.reps);
+  config.set("jobs", in.jobs);
+  config.set("trace", in.trace);
+  auto flags = util::json::Value::object();
+  for (const auto& [name, value] : in.flags) flags.set(name, value);
+  config.set("flags", std::move(flags));
+  config.set("seed_base", in.seed_base);
+  report.set("config", std::move(config));
+
+  auto virt = util::json::Value::object();
+  auto columns = util::json::Value::array();
+  auto points = table_to_json(in.table, columns);
+  virt.set("columns", std::move(columns));
+  virt.set("points", std::move(points));
+  virt.set("metrics", metrics_to_json(in.metrics));
+  report.set("virtual", std::move(virt));
+
+  auto host = util::json::Value::object();
+  host.set("wall_seconds", in.sweep.wall_seconds);
+  host.set("aggregate_seconds", in.sweep.aggregate_seconds);
+  host.set("workers", in.sweep.workers);
+  host.set("runs", in.sweep.jobs);
+  host.set("speedup", in.sweep.speedup());
+  host.set("events_executed", in.profile.events_executed());
+  // Per-core DES speed: events over *aggregate* profiled time, so the
+  // number is comparable across different --jobs values.
+  host.set("events_per_second", in.profile.events_per_second());
+  host.set("sim_seconds", in.profile.sim_seconds());
+  host.set("sim_time_ratio", in.profile.sim_time_ratio());
+  host.set("peak_rss_bytes", peak_rss_bytes());
+#ifdef IBC_TELEMETRY_DISABLED
+  host.set("telemetry_compiled", false);
+#else
+  host.set("telemetry_compiled", true);
+#endif
+  host.set("profile", profile_to_json(in.profile));
+  report.set("host", std::move(host));
+
+  return report;
+}
+
+util::Status write_json_file(const std::string& path,
+                             const util::json::Value& value) {
+  std::ofstream f(path);
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kUnavailable,
+                               "cannot open json report for writing: " + path);
+  }
+  f << value.dump(2);
+  f.flush();
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kInternal,
+                               "write failed for json report: " + path);
+  }
+  return util::Status::ok();
+}
+
+std::uint64_t peak_rss_bytes() {
+#ifdef __unix__
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace xcc

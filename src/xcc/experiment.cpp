@@ -1,5 +1,6 @@
 #include "xcc/experiment.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <memory>
 
@@ -25,6 +26,7 @@ int accounts_needed(const WorkloadConfig& wl, sim::Duration block_interval) {
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const auto host_start = std::chrono::steady_clock::now();
   ExperimentResult result;
 
   // --- Setup ---------------------------------------------------------------
@@ -218,6 +220,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       result.telemetry_error += st.to_string();
     }
   }
+
+  result.sim_seconds = sim::to_seconds(tb.scheduler().now());
+  result.events_executed = tb.scheduler().executed_events();
+  result.host_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - host_start)
+                            .count();
 
   result.ok = true;
   return result;

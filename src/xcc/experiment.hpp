@@ -96,6 +96,14 @@ struct ExperimentResult {
   double rpc_busy_seconds_a = 0.0;
   double rpc_busy_seconds_b = 0.0;
 
+  // Host-side execution stats (nondeterministic — they belong in the `host`
+  // section of a bench report, never next to the virtual-time results).
+  double host_seconds = 0.0;
+  /// Virtual time the scheduler reached, in seconds.
+  double sim_seconds = 0.0;
+  /// DES events the scheduler dispatched over the whole run.
+  std::uint64_t events_executed = 0;
+
   /// Registry snapshot (empty unless the run had telemetry enabled).
   telemetry::MetricsSnapshot metrics;
   /// Non-empty when writing trace_path / metrics_csv_path failed; the

@@ -29,7 +29,7 @@ int clamp_workers(int workers, std::size_t jobs) {
 }
 
 void run_jobs(std::vector<std::function<void()>>& jobs, int workers,
-              SweepStats* stats) {
+              SweepStats* stats, ProfileCollector* profiler) {
   const std::size_t n = jobs.size();
   workers = clamp_workers(workers, n);
 
@@ -47,11 +47,13 @@ void run_jobs(std::vector<std::function<void()>>& jobs, int workers,
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         const auto job_start = Clock::now();
+        if (profiler != nullptr) telemetry::profiler::start();
         try {
           jobs[i]();
         } catch (...) {
           errors[i] = std::current_exception();
         }
+        if (profiler != nullptr) profiler->add(telemetry::profiler::stop());
         const double elapsed = seconds_between(job_start, Clock::now());
         double seen = aggregate.load(std::memory_order_relaxed);
         while (!aggregate.compare_exchange_weak(seen, seen + elapsed,
@@ -82,7 +84,7 @@ void run_jobs(std::vector<std::function<void()>>& jobs, int workers,
 
 std::vector<ExperimentResult> run_experiments(
     const std::vector<ExperimentConfig>& configs, int workers,
-    SweepStats* stats) {
+    SweepStats* stats, ProfileCollector* profiler) {
   std::vector<ExperimentResult> results(configs.size());
   std::vector<std::function<void()>> jobs;
   jobs.reserve(configs.size());
@@ -91,7 +93,7 @@ std::vector<ExperimentResult> run_experiments(
       results[i] = run_experiment(configs[i]);
     });
   }
-  run_jobs(jobs, workers, stats);
+  run_jobs(jobs, workers, stats, profiler);
   return results;
 }
 

@@ -15,8 +15,10 @@
 // other state is owned by a single run.
 
 #include <functional>
+#include <mutex>
 #include <vector>
 
+#include "telemetry/profiler.hpp"
 #include "xcc/experiment.hpp"
 
 namespace xcc {
@@ -40,17 +42,40 @@ struct SweepStats {
   }
 };
 
+/// Merges the per-job host-time profiles of a parallel batch. The profiler
+/// itself is thread-local (telemetry/profiler.hpp); run_jobs arms it around
+/// each job and folds the per-thread reports in here, so a `--jobs N` sweep
+/// profiles exactly like a serial one (wall_nanos becomes aggregate time).
+class ProfileCollector {
+ public:
+  void add(const telemetry::ProfileReport& report) {
+    std::lock_guard lock(mu_);
+    total_.merge(report);
+  }
+  telemetry::ProfileReport merged() const {
+    std::lock_guard lock(mu_);
+    return total_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  telemetry::ProfileReport total_;
+};
+
 /// Runs arbitrary jobs on `workers` threads and blocks until all complete.
 /// Jobs must be independent: each may only touch state owned by its own
 /// index. If jobs throw, the first exception in submission order is
-/// rethrown after the pool drains (remaining jobs still run).
+/// rethrown after the pool drains (remaining jobs still run). When
+/// `profiler` is non-null, each job runs with the host-time profiler armed
+/// and its report is folded into the collector.
 void run_jobs(std::vector<std::function<void()>>& jobs, int workers,
-              SweepStats* stats = nullptr);
+              SweepStats* stats = nullptr,
+              ProfileCollector* profiler = nullptr);
 
 /// Runs each config through run_experiment() concurrently; results come
 /// back in submission order.
 std::vector<ExperimentResult> run_experiments(
     const std::vector<ExperimentConfig>& configs, int workers,
-    SweepStats* stats = nullptr);
+    SweepStats* stats = nullptr, ProfileCollector* profiler = nullptr);
 
 }  // namespace xcc

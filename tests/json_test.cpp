@@ -1,0 +1,170 @@
+// Tests for the minimal JSON document model (util/json.hpp): deterministic
+// serialization, exact int64 round trips, strict parsing with positioned
+// errors, and insertion-ordered objects — the properties the bench reports
+// and bench_compare depend on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace {
+
+using util::json::Value;
+
+TEST(JsonValueTest, ScalarTypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(nullptr).is_null());
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_TRUE(Value(42).is_number());
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(7).as_double(), 7.0);  // int readable as double
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(JsonValueTest, CompactDumpIsExactAndDeterministic) {
+  Value doc = Value::object();
+  doc.set("b", 1);
+  doc.set("a", Value::array());
+  doc.find("a");  // const lookup must not disturb anything
+  Value arr = Value::array();
+  arr.push_back(true);
+  arr.push_back(nullptr);
+  arr.push_back("x\"y");
+  doc.set("a", std::move(arr));
+  doc.set("d", 0.5);
+  // Insertion order preserved; "a" overwritten in place, not re-appended.
+  EXPECT_EQ(doc.dump(0), R"({"b":1,"a":[true,null,"x\"y"],"d":0.5})");
+  EXPECT_EQ(doc.dump(0), doc.dump(0));
+}
+
+TEST(JsonValueTest, Int64RoundTripsExactly) {
+  const std::int64_t big = 9'007'199'254'740'993;  // 2^53 + 1
+  Value doc = Value::object();
+  doc.set("n", big);
+  doc.set("min", std::numeric_limits<std::int64_t>::min());
+  doc.set("max", std::numeric_limits<std::int64_t>::max());
+  const std::string text = doc.dump(0);
+  EXPECT_NE(text.find("9007199254740993"), std::string::npos);
+
+  const auto parsed = util::json::parse(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_TRUE(parsed.value.find("n")->is_int());  // not demoted to double
+  EXPECT_EQ(parsed.value.find("n")->as_int(), big);
+  EXPECT_EQ(parsed.value.find("min")->as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parsed.value.find("max")->as_int(),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(JsonValueTest, DoublesUseShortestRoundTrip) {
+  EXPECT_EQ(Value(0.1).dump(0), "0.1");
+  EXPECT_EQ(Value(1e300).dump(0), "1e+300");
+  // Non-finite values are not representable in JSON; they emit null.
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(0), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(0), "null");
+}
+
+TEST(JsonValueTest, DumpParseDumpIsByteIdentical) {
+  Value doc = Value::object();
+  doc.set("name", "bench \u00e9\n");
+  Value nested = Value::object();
+  nested.set("count", 123456789012345);
+  nested.set("ratio", 19.4);
+  nested.set("ok", true);
+  doc.set("host", std::move(nested));
+  Value rows = Value::array();
+  rows.push_back(Value::array());
+  rows.items().back().push_back("1.5");
+  rows.items().back().push_back("2.25");
+  doc.set("rows", std::move(rows));
+
+  for (const int indent : {0, 2}) {
+    const std::string once = doc.dump(indent);
+    const auto parsed = util::json::parse(once);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.value.dump(indent), once) << "indent " << indent;
+  }
+}
+
+TEST(JsonValueTest, PrettyPrintNestsWithTwoSpaces) {
+  Value doc = Value::object();
+  doc.set("a", 1);
+  Value inner = Value::array();
+  inner.push_back(2);
+  doc.set("b", std::move(inner));
+  // Pretty output ends in a newline (the reports are written to files).
+  EXPECT_EQ(doc.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n");
+  EXPECT_EQ(Value::object().dump(2), "{}\n");
+  EXPECT_EQ(Value::array().dump(2), "[]\n");
+}
+
+TEST(JsonValueTest, FindReturnsNullptrForMissingKeyOrNonObject) {
+  Value doc = Value::object();
+  doc.set("present", 1);
+  EXPECT_NE(doc.find("present"), nullptr);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_EQ(Value(5).find("x"), nullptr);
+  EXPECT_EQ(Value::array().find("x"), nullptr);
+}
+
+TEST(JsonValueTest, EscapeStringHandlesControlChars) {
+  EXPECT_EQ(util::json::escape_string("plain"), "\"plain\"");
+  EXPECT_EQ(util::json::escape_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(util::json::escape_string("\n\t"), "\"\\n\\t\"");
+  EXPECT_EQ(util::json::escape_string(std::string("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(JsonParseTest, ParsesDocumentsStrictly) {
+  const auto ok = util::json::parse(R"(  {"k": [1, -2.5, "s", null]}  )");
+  ASSERT_TRUE(ok.ok) << ok.error;
+  ASSERT_NE(ok.value.find("k"), nullptr);
+  EXPECT_EQ(ok.value.find("k")->size(), 4u);
+  EXPECT_EQ(ok.value.find("k")->items()[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(ok.value.find("k")->items()[1].as_double(), -2.5);
+}
+
+TEST(JsonParseTest, UnicodeEscapesDecodeToUtf8) {
+  const auto r = util::json::parse(R"("caf\u00e9")");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.as_string(), "caf\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformedInputWithOffset) {
+  for (const char* bad : {
+           "{\"a\": 1} trailing",  // trailing garbage
+           "{\"a\": }",            // missing value
+           "\"unterminated",       // unterminated string
+           "\"bad \\q escape\"",   // unknown escape
+           "01",                   // leading zero
+           "[1, 2,]",              // trailing comma
+           "{'a': 1}",             // single quotes
+           "",                     // empty document
+           "nul",                  // truncated literal
+       }) {
+    const auto r = util::json::parse(bad);
+    EXPECT_FALSE(r.ok) << "accepted: " << bad;
+    EXPECT_NE(r.error.find("offset"), std::string::npos) << r.error;
+  }
+}
+
+TEST(JsonParseTest, DuplicateKeysKeepLastValue) {
+  const auto r = util::json::parse(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_NE(r.value.find("k"), nullptr);
+  EXPECT_EQ(r.value.find("k")->as_int(), 2);
+  EXPECT_EQ(r.value.size(), 1u);
+}
+
+TEST(JsonParseTest, DepthLimitStopsRunawayNesting) {
+  const std::string deep(4096, '[');
+  const auto r = util::json::parse(deep);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("offset"), std::string::npos);
+}
+
+}  // namespace

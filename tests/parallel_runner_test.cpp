@@ -136,4 +136,35 @@ TEST(ParallelRunnerTest, SweepStatsAccounting) {
   EXPECT_GE(stats.speedup(), 0.0);
 }
 
+#ifndef IBC_TELEMETRY_DISABLED
+
+TEST(ParallelRunnerTest, ProfileCollectorMergesPerJobReports) {
+  constexpr int kJobs = 6;
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.push_back([] {
+      telemetry::ProfileScope scope(telemetry::ProfileKey::kKvStore);
+      telemetry::profiler::add_sim_progress(1'000);
+    });
+  }
+  xcc::ProfileCollector collector;
+  xcc::run_jobs(jobs, /*workers=*/3, /*stats=*/nullptr, &collector);
+  const telemetry::ProfileReport merged = collector.merged();
+  EXPECT_EQ(merged.entry(telemetry::ProfileKey::kKvStore).calls,
+            static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(merged.sim_micros, static_cast<std::uint64_t>(kJobs) * 1'000u);
+  EXPECT_GT(merged.wall_nanos, 0u);  // each job's profiled span is summed
+}
+
+TEST(ParallelRunnerTest, NoCollectorLeavesProfilerUnarmed) {
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([] {
+    EXPECT_FALSE(telemetry::profiler::active());
+    telemetry::ProfileScope scope(telemetry::ProfileKey::kKvStore);
+  });
+  xcc::run_jobs(jobs, /*workers=*/1);
+}
+
+#endif  // IBC_TELEMETRY_DISABLED
+
 }  // namespace

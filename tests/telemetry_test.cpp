@@ -10,6 +10,7 @@
 #include <string>
 
 #include "relayer/events.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "xcc/experiment.hpp"
 
@@ -78,6 +79,43 @@ TEST(HistogramTest, EmptyHistogramIsSafe) {
   EXPECT_DOUBLE_EQ(h.min(), 0.0);
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty: no rank to interpolate
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  telemetry::Histogram h({10.0, 20.0, 30.0});
+  for (const double v : {5.0, 12.0, 15.0, 22.0, 24.0, 26.0, 28.0, 35.0}) {
+    h.observe(v);
+  }
+  // Rank 4 of 8 lands in the (20, 30] bucket (3 below it, 4 inside):
+  // 20 + 10 * (4-3)/4 = 22.5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 22.5);
+  // q=0 interpolates from min() inside the first bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  // q=1 lands in the unbounded overflow bucket and reports max().
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 35.0);
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileSingleBucketClampsToObservedRange) {
+  telemetry::Histogram h({100.0});
+  h.observe(10.0);
+  h.observe(20.0);
+  // Linear interpolation towards the (far) bucket bound would overshoot the
+  // data; the result is clamped into [min, max].
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileAllMassInOverflowReportsMax) {
+  telemetry::Histogram h({1.0});
+  h.observe(5.0);
+  h.observe(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 7.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -102,6 +140,35 @@ TEST(RegistryTest, HistogramBoundsFixedAtFirstRegistration) {
   telemetry::Histogram* again = reg.histogram("h", {99.0});
   EXPECT_EQ(h, again);
   EXPECT_EQ(again->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RegistryTest, FindHistogramHitMissAndWrongType) {
+  telemetry::Registry reg;
+  telemetry::Histogram* h = reg.histogram("lat", {1.0, 2.0});
+  h->observe(1.5);
+  // Hit: same instrument the registration returned, without creating one.
+  const telemetry::Histogram* found = reg.find_histogram("lat");
+  ASSERT_EQ(found, h);
+  EXPECT_EQ(found->count(), 1u);
+  // Miss: never registered, and the lookup must not register it.
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+  // Wrong type: a counter under that name is not a histogram.
+  reg.counter("events")->add(1);
+  EXPECT_EQ(reg.find_histogram("events"), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotCarriesHistogramPercentiles) {
+  telemetry::Registry reg;
+  telemetry::Histogram* h = reg.histogram("lat", {10.0, 20.0, 30.0});
+  for (const double v : {5.0, 12.0, 15.0, 22.0, 24.0, 26.0, 28.0, 35.0}) {
+    h->observe(v);
+  }
+  const telemetry::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap[0].p50, h->quantile(0.50));
+  EXPECT_DOUBLE_EQ(snap[0].p90, h->quantile(0.90));
+  EXPECT_DOUBLE_EQ(snap[0].p99, h->quantile(0.99));
 }
 
 TEST(RegistryTest, SnapshotIsNameSortedAndComplete) {
@@ -263,7 +330,9 @@ TEST(DisabledModeTest, ExperimentWithoutTelemetryRecordsNothing) {
 // ---------------------------------------------------------------------------
 // End-to-end determinism: two identical telemetry runs must produce
 // byte-identical trace JSON and metrics CSV (the property the golden-figure
-// suite and the --trace bench flag rely on).
+// suite and the --trace bench flag rely on). Meaningless when telemetry is
+// compiled out — the artifacts are empty by design.
+#ifndef IBC_TELEMETRY_DISABLED
 
 xcc::ExperimentConfig traced_config(const std::string& tag) {
   xcc::ExperimentConfig cfg;
@@ -333,5 +402,102 @@ TEST(TelemetryE2ETest, IdenticalRunsProduceIdenticalArtifacts) {
     std::remove(p.c_str());
   }
 }
+
+#endif  // IBC_TELEMETRY_DISABLED
+
+// ---------------------------------------------------------------------------
+// Host-time profiler (telemetry/profiler.hpp).
+
+using telemetry::ProfileKey;
+
+TEST(ProfileReportTest, MergeSumsEntriesWallAndSimTime) {
+  telemetry::ProfileReport a;
+  a.entries[static_cast<std::size_t>(ProfileKey::kSchedulerDispatch)] = {
+      2'000'000'000, 100};
+  a.entries[static_cast<std::size_t>(ProfileKey::kCryptoHash)] = {
+      1'000'000'000, 50};
+  a.wall_nanos = 4'000'000'000;
+  a.sim_micros = 8'000'000;
+  telemetry::ProfileReport b;
+  b.entries[static_cast<std::size_t>(ProfileKey::kCryptoHash)] = {
+      500'000'000, 25};
+  b.wall_nanos = 1'000'000'000;
+
+  a.merge(b);
+  EXPECT_EQ(a.entry(ProfileKey::kCryptoHash).nanos, 1'500'000'000u);
+  EXPECT_EQ(a.entry(ProfileKey::kCryptoHash).calls, 75u);
+  EXPECT_EQ(a.wall_nanos, 5'000'000'000u);
+  EXPECT_EQ(a.sim_micros, 8'000'000u);
+  // Derived stats: events = dispatch calls; rates are per aggregate wall.
+  EXPECT_EQ(a.events_executed(), 100u);
+  EXPECT_DOUBLE_EQ(a.events_per_second(), 100.0 / 5.0);
+  EXPECT_DOUBLE_EQ(a.sim_time_ratio(), 8.0 / 5.0);
+  EXPECT_DOUBLE_EQ(a.attributed_seconds(), 3.5);
+  EXPECT_DOUBLE_EQ(a.share(ProfileKey::kCryptoHash), 1.5 / 3.5);
+}
+
+TEST(ProfileReportTest, EmptyReportDerivedStatsAreZero) {
+  const telemetry::ProfileReport r;
+  EXPECT_DOUBLE_EQ(r.events_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(r.sim_time_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(r.share(ProfileKey::kKvStore), 0.0);
+}
+
+#ifndef IBC_TELEMETRY_DISABLED
+
+TEST(ProfilerTest, NestedScopesAccumulateDisjointSelfTime) {
+  telemetry::profiler::start();
+  {
+    telemetry::ProfileScope outer(ProfileKey::kSchedulerDispatch);
+    telemetry::profiler::add_sim_progress(2'000'000);
+    {
+      telemetry::ProfileScope inner(ProfileKey::kCryptoHash);
+      // Spin until the clock visibly advances so inner self time is > 0.
+      const auto t0 = telemetry::profiler::detail::now_ns();
+      while (telemetry::profiler::detail::now_ns() - t0 < 100'000) {
+      }
+    }
+  }
+  const telemetry::ProfileReport r = telemetry::profiler::stop();
+  EXPECT_EQ(r.entry(ProfileKey::kSchedulerDispatch).calls, 1u);
+  EXPECT_EQ(r.entry(ProfileKey::kCryptoHash).calls, 1u);
+  EXPECT_GT(r.entry(ProfileKey::kCryptoHash).nanos, 0u);
+  EXPECT_EQ(r.sim_micros, 2'000'000u);
+  EXPECT_EQ(r.events_executed(), 1u);
+  EXPECT_GT(r.wall_nanos, 0u);
+  // Self time is disjoint: the per-subsystem total cannot exceed the
+  // profiled wall time.
+  EXPECT_LE(r.attributed_seconds(), r.wall_seconds());
+}
+
+TEST(ProfilerTest, ScopesAreNoopsWhenNotArmed) {
+  {
+    telemetry::ProfileScope scope(ProfileKey::kKvStore);
+    telemetry::profiler::add_sim_progress(123);
+  }
+  const telemetry::ProfileReport r = telemetry::profiler::stop();
+  EXPECT_EQ(r.wall_nanos, 0u);
+  EXPECT_EQ(r.sim_micros, 0u);
+  for (std::size_t i = 0; i < telemetry::kProfileKeyCount; ++i) {
+    EXPECT_EQ(r.entries[i].nanos, 0u);
+    EXPECT_EQ(r.entries[i].calls, 0u);
+  }
+}
+
+TEST(ProfilerTest, StartResetsPriorAccumulation) {
+  telemetry::profiler::start();
+  { telemetry::ProfileScope scope(ProfileKey::kRpcService); }
+  telemetry::profiler::start();  // re-arm: prior scope must be discarded
+  const telemetry::ProfileReport r = telemetry::profiler::stop();
+  EXPECT_EQ(r.entry(ProfileKey::kRpcService).calls, 0u);
+}
+
+TEST(ProfilerTest, ProfileKeyNamesAreStable) {
+  EXPECT_EQ(telemetry::profile_key_name(ProfileKey::kSchedulerDispatch),
+            "scheduler_dispatch");
+  EXPECT_EQ(telemetry::profile_key_name(ProfileKey::kKvStore), "kv_store");
+}
+
+#endif  // IBC_TELEMETRY_DISABLED
 
 }  // namespace

@@ -1,0 +1,390 @@
+// bench_compare: diff two BENCH_*.json reports (or two directories of
+// them) produced by the bench binaries' --json flag.
+//
+// The comparison mirrors the report's two time domains (see
+// xcc/bench_report.hpp):
+//
+//   * config + virtual sections must match EXACTLY. They are deterministic
+//     for a given command line and seed, so any drift is a correctness
+//     regression in the simulator, not noise -> exit 2.
+//   * host-section numbers are compared against a relative noise band
+//     (--noise, default 0.25): a perf regression or win beyond the band
+//     -> exit 1. Non-numeric host fields (build flavour, structure) only
+//     produce informational notes.
+//
+// Exit codes (CI contract, used by run_benches.sh --check):
+//   0 clean   1 host noise exceeded   2 virtual drift   3 usage/IO error
+//
+// `--host-only` skips the config/virtual comparison entirely — for
+// comparing across build flavours (e.g. IBC_TELEMETRY=ON vs OFF), where
+// the virtual metrics section legitimately differs.
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using util::json::Value;
+
+struct Options {
+  double noise = 0.25;
+  bool host_only = false;
+  std::string a;
+  std::string b;
+};
+
+struct Comparison {
+  std::string name;
+  std::vector<std::string> virtual_diffs;  // any entry -> exit 2
+  std::vector<std::string> host_diffs;     // any entry -> exit 1
+  std::vector<std::string> notes;          // informational only
+  double max_host_rel = 0.0;
+
+  bool virtual_ok() const { return virtual_diffs.empty(); }
+  bool host_ok() const { return host_diffs.empty(); }
+};
+
+int usage(std::ostream& os) {
+  os << "usage: bench_compare [--noise FRAC] [--host-only] A B\n"
+        "  A, B   BENCH_*.json reports, or directories containing them\n"
+        "  --noise FRAC   relative tolerance for host-time numbers "
+        "(default 0.25)\n"
+        "  --host-only    skip the config/virtual comparison (for compares "
+        "across build flavours)\n"
+        "exit codes: 0 clean, 1 host noise exceeded, 2 virtual drift, "
+        "3 usage/IO error\n";
+  return 3;
+}
+
+bool load(const std::string& path, Value& out, std::string& err) {
+  std::ifstream f(path);
+  if (!f) {
+    err = "cannot open " + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  util::json::ParseResult parsed = util::json::parse(ss.str());
+  if (!parsed.ok) {
+    err = path + ": " + parsed.error;
+    return false;
+  }
+  out = std::move(parsed.value);
+  return true;
+}
+
+std::string type_name(const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      return "null";
+    case Value::Type::kBool:
+      return "bool";
+    case Value::Type::kInt:
+    case Value::Type::kDouble:
+      return "number";
+    case Value::Type::kString:
+      return "string";
+    case Value::Type::kArray:
+      return "array";
+    case Value::Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+std::string brief(const Value& v) {
+  std::string s = v.dump(0);
+  if (s.size() > 48) s = s.substr(0, 45) + "...";
+  return s;
+}
+
+/// Exact structural equality; every differing path is appended to `diffs`.
+void diff_exact(const Value& a, const Value& b, const std::string& path,
+                std::vector<std::string>& diffs) {
+  if (diffs.size() > 64) return;  // drift found; no need for the full list
+  if (a.type() != b.type() && !(a.is_number() && b.is_number())) {
+    diffs.push_back(path + ": " + type_name(a) + " vs " + type_name(b));
+    return;
+  }
+  if (a.is_array()) {
+    if (a.size() != b.size()) {
+      diffs.push_back(path + ": " + std::to_string(a.size()) + " vs " +
+                      std::to_string(b.size()) + " elements");
+      return;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      diff_exact(a.items()[i], b.items()[i], path + "[" + std::to_string(i) +
+                                                 "]",
+                 diffs);
+    }
+    return;
+  }
+  if (a.is_object()) {
+    for (const auto& [key, av] : a.members()) {
+      const Value* bv = b.find(key);
+      if (bv == nullptr) {
+        diffs.push_back(path + "." + key + ": missing on right");
+        continue;
+      }
+      diff_exact(av, *bv, path + "." + key, diffs);
+    }
+    for (const auto& [key, bv] : b.members()) {
+      if (a.find(key) == nullptr) {
+        diffs.push_back(path + "." + key + ": missing on left");
+      }
+    }
+    return;
+  }
+  // Scalars: compare serialized forms — exact for ints and strings, and
+  // shortest-round-trip exact for doubles (the determinism contract).
+  if (a.dump(0) != b.dump(0)) {
+    diffs.push_back(path + ": " + brief(a) + " vs " + brief(b));
+  }
+}
+
+/// Noise-banded comparison for the host section. Numbers within the band
+/// pass; mismatched structure and non-numeric mismatches are notes only.
+void diff_host(const Value& a, const Value& b, double noise,
+               const std::string& path, Comparison& out) {
+  if (a.is_number() && b.is_number()) {
+    const double x = a.as_double();
+    const double y = b.as_double();
+    const double denom = std::max(std::abs(x), std::abs(y));
+    if (denom < 1e-6) return;  // both ~zero: pure noise floor
+    const double rel = std::abs(x - y) / denom;
+    out.max_host_rel = std::max(out.max_host_rel, rel);
+    if (rel > noise) {
+      std::ostringstream os;
+      os << path << ": " << x << " vs " << y << " (" << std::round(rel * 100)
+         << "% > " << std::round(noise * 100) << "% band)";
+      out.host_diffs.push_back(os.str());
+    }
+    return;
+  }
+  if (a.type() != b.type()) {
+    out.notes.push_back(path + ": " + type_name(a) + " vs " + type_name(b));
+    return;
+  }
+  if (a.is_array()) {
+    if (a.size() != b.size()) {
+      out.notes.push_back(path + ": " + std::to_string(a.size()) + " vs " +
+                          std::to_string(b.size()) + " elements");
+      return;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      diff_host(a.items()[i], b.items()[i], noise,
+                path + "[" + std::to_string(i) + "]", out);
+    }
+    return;
+  }
+  if (a.is_object()) {
+    for (const auto& [key, av] : a.members()) {
+      const Value* bv = b.find(key);
+      if (bv == nullptr) {
+        out.notes.push_back(path + "." + key + ": missing on right");
+        continue;
+      }
+      diff_host(av, *bv, noise, path + "." + key, out);
+    }
+    for (const auto& [key, bv] : b.members()) {
+      if (a.find(key) == nullptr) {
+        out.notes.push_back(path + "." + key + ": missing on left");
+      }
+    }
+    return;
+  }
+  if (a.dump(0) != b.dump(0)) {
+    out.notes.push_back(path + ": " + brief(a) + " vs " + brief(b));
+  }
+}
+
+Comparison compare_reports(const std::string& name, const Value& a,
+                           const Value& b, const Options& opt) {
+  Comparison c;
+  c.name = name;
+  if (!opt.host_only) {
+    const Value* ca = a.find("config");
+    const Value* cb = b.find("config");
+    if (ca != nullptr && cb != nullptr) {
+      // A config mismatch means the runs are not comparable; report it in
+      // the virtual column so it cannot pass silently. Exception: `jobs`
+      // is a host-side knob — the determinism contract says it never
+      // changes virtual results, so a cross-jobs compare notes it instead.
+      std::vector<std::string> config_diffs;
+      diff_exact(*ca, *cb, "config", config_diffs);
+      for (std::string& d : config_diffs) {
+        if (d.rfind("config.jobs:", 0) == 0) {
+          c.notes.push_back(std::move(d));
+        } else {
+          c.virtual_diffs.push_back(std::move(d));
+        }
+      }
+    }
+    const Value* va = a.find("virtual");
+    const Value* vb = b.find("virtual");
+    if (va == nullptr || vb == nullptr) {
+      c.virtual_diffs.push_back("virtual: section missing");
+    } else {
+      diff_exact(*va, *vb, "virtual", c.virtual_diffs);
+    }
+  }
+  const Value* ha = a.find("host");
+  const Value* hb = b.find("host");
+  if (ha == nullptr || hb == nullptr) {
+    c.notes.push_back("host: section missing");
+  } else {
+    diff_host(*ha, *hb, opt.noise, "host", c);
+  }
+  return c;
+}
+
+std::vector<fs::path> reports_in(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.rfind(".json") == name.size() - 5) {
+      out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string percent(double rel) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << rel * 100 << "%";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--noise" && i + 1 < argc) {
+      opt.noise = std::atof(argv[++i]);
+    } else if (arg.rfind("--noise=", 0) == 0) {
+      opt.noise = std::atof(arg.substr(8).c_str());
+    } else if (arg == "--host-only") {
+      opt.host_only = true;
+    } else if (arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(std::cerr);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return usage(std::cerr);
+  opt.a = positional[0];
+  opt.b = positional[1];
+
+  // Pair up the inputs: two files, or matching BENCH_*.json names in two
+  // directories.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::vector<std::string> unpaired;
+  std::error_code ec;
+  const bool a_dir = fs::is_directory(opt.a, ec);
+  const bool b_dir = fs::is_directory(opt.b, ec);
+  if (a_dir != b_dir) {
+    std::cerr << "cannot compare a file with a directory\n";
+    return 3;
+  }
+  if (a_dir) {
+    std::map<std::string, fs::path> right;
+    for (const fs::path& p : reports_in(opt.b)) {
+      right[p.filename().string()] = p;
+    }
+    for (const fs::path& p : reports_in(opt.a)) {
+      const auto it = right.find(p.filename().string());
+      if (it == right.end()) {
+        unpaired.push_back(p.filename().string() + " (left only)");
+        continue;
+      }
+      pairs.emplace_back(p.string(), it->second.string());
+      right.erase(it);
+    }
+    for (const auto& [name, p] : right) {
+      unpaired.push_back(name + " (right only)");
+    }
+    if (pairs.empty()) {
+      std::cerr << "no matching BENCH_*.json pairs between " << opt.a
+                << " and " << opt.b << "\n";
+      return 3;
+    }
+  } else {
+    pairs.emplace_back(opt.a, opt.b);
+  }
+
+  std::vector<Comparison> comparisons;
+  for (const auto& [pa, pb] : pairs) {
+    Value a, b;
+    std::string err;
+    if (!load(pa, a, err) || !load(pb, b, err)) {
+      std::cerr << err << "\n";
+      return 3;
+    }
+    std::string name = fs::path(pa).filename().string();
+    if (const Value* bench = a.find("bench");
+        bench != nullptr && bench->is_string()) {
+      name = bench->as_string();
+    }
+    comparisons.push_back(compare_reports(name, a, b, opt));
+  }
+
+  // Markdown summary.
+  std::cout << "# bench_compare: " << opt.a << " vs " << opt.b << "\n\n";
+  std::cout << "noise band: " << percent(opt.noise)
+            << (opt.host_only ? ", host-only\n\n" : "\n\n");
+  std::cout << "| bench | virtual | host (max rel diff) | result |\n";
+  std::cout << "|---|---|---|---|\n";
+  bool any_virtual = false;
+  bool any_host = false;
+  for (const Comparison& c : comparisons) {
+    any_virtual = any_virtual || !c.virtual_ok();
+    any_host = any_host || !c.host_ok();
+    const std::string virt = opt.host_only       ? "skipped"
+                             : c.virtual_ok()    ? "match"
+                                                 : "DRIFT";
+    const std::string result = !c.virtual_ok() ? "**FAIL (virtual)**"
+                               : !c.host_ok()  ? "**FAIL (host)**"
+                                               : "OK";
+    std::cout << "| " << c.name << " | " << virt << " | "
+              << percent(c.max_host_rel) << " | " << result << " |\n";
+  }
+  std::cout << "\n";
+  for (const std::string& u : unpaired) {
+    std::cout << "- unpaired: " << u << "\n";
+  }
+  for (const Comparison& c : comparisons) {
+    for (const std::string& d : c.virtual_diffs) {
+      std::cout << "- " << c.name << " [virtual] " << d << "\n";
+    }
+    for (const std::string& d : c.host_diffs) {
+      std::cout << "- " << c.name << " [host] " << d << "\n";
+    }
+    for (const std::string& n : c.notes) {
+      std::cout << "- " << c.name << " [note] " << n << "\n";
+    }
+  }
+
+  if (any_virtual) return 2;
+  if (any_host) return 1;
+  return 0;
+}

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json bench reports against schema v1.
+
+Usage: bench_report_schema.py REPORT.json [REPORT.json ...]
+Exits nonzero listing every violation; prints a summary when clean.
+Schema source of truth: src/xcc/bench_report.hpp.
+"""
+import json
+import sys
+
+SUBSYSTEMS = [
+    "scheduler_dispatch", "rpc_service", "relayer_pull", "relayer_build",
+    "relayer_broadcast", "consensus_exec", "crypto_hash", "kv_store",
+]
+
+
+def typed(value, kind):
+    """isinstance with JSON semantics (bool is not a number)."""
+    if kind == "number":
+        return type(value) in (int, float)
+    if kind == "int":
+        return type(value) is int
+    if kind == "bool":
+        return type(value) is bool
+    if kind == "str":
+        return type(value) is str
+    if kind == "object":
+        return type(value) is dict
+    if kind == "array":
+        return type(value) is list
+    raise ValueError(kind)
+
+
+def need(errors, obj, key, kind, where):
+    if key not in obj:
+        errors.append(f"{where}.{key}: missing")
+        return None
+    if not typed(obj[key], kind):
+        errors.append(f"{where}.{key}: expected {kind}, "
+                      f"got {type(obj[key]).__name__}")
+        return None
+    return obj[key]
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f)
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append(f"schema_version: expected 1, got "
+                      f"{doc.get('schema_version')!r}")
+    need(errors, doc, "bench", "str", "$")
+
+    config = need(errors, doc, "config", "object", "$") or {}
+    for key, kind in [("full", "bool"), ("reps", "int"), ("jobs", "int"),
+                      ("trace", "bool"), ("flags", "object"),
+                      ("seed_base", "int")]:
+        need(errors, config, key, kind, "config")
+
+    virt = need(errors, doc, "virtual", "object", "$") or {}
+    columns = need(errors, virt, "columns", "array", "virtual") or []
+    points = need(errors, virt, "points", "array", "virtual") or []
+    for i, row in enumerate(points):
+        if not typed(row, "array") or len(row) != len(columns):
+            errors.append(f"virtual.points[{i}]: row width != len(columns)")
+        elif not all(typed(cell, "str") for cell in row):
+            errors.append(f"virtual.points[{i}]: non-string cell")
+    metrics = need(errors, virt, "metrics", "array", "virtual") or []
+    for i, m in enumerate(metrics):
+        where = f"virtual.metrics[{i}]"
+        if not typed(m, "object"):
+            errors.append(f"{where}: expected object")
+            continue
+        need(errors, m, "name", "str", where)
+        kind = need(errors, m, "kind", "str", where)
+        need(errors, m, "value", "number", where)
+        if kind == "histogram":
+            for key in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+                need(errors, m, key, "number", where)
+            need(errors, m, "buckets", "str", where)
+
+    host = need(errors, doc, "host", "object", "$") or {}
+    for key, kind in [("wall_seconds", "number"),
+                      ("aggregate_seconds", "number"), ("workers", "int"),
+                      ("runs", "int"), ("speedup", "number"),
+                      ("events_executed", "int"),
+                      ("events_per_second", "number"),
+                      ("sim_seconds", "number"), ("sim_time_ratio", "number"),
+                      ("peak_rss_bytes", "int"),
+                      ("telemetry_compiled", "bool")]:
+        need(errors, host, key, kind, "host")
+    profile = need(errors, host, "profile", "object", "host") or {}
+    need(errors, profile, "wall_seconds", "number", "host.profile")
+    need(errors, profile, "attributed_seconds", "number", "host.profile")
+    subs = need(errors, profile, "subsystems", "array", "host.profile") or []
+    names = []
+    for i, s in enumerate(subs):
+        where = f"host.profile.subsystems[{i}]"
+        if not typed(s, "object"):
+            errors.append(f"{where}: expected object")
+            continue
+        names.append(need(errors, s, "name", "str", where))
+        need(errors, s, "seconds", "number", where)
+        need(errors, s, "share", "number", where)
+        need(errors, s, "calls", "int", where)
+    if subs and names != SUBSYSTEMS:
+        errors.append(f"host.profile.subsystems: expected {SUBSYSTEMS}, "
+                      f"got {names}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            errors = check(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: {exc}")
+            failures += 1
+            continue
+        for err in errors:
+            print(f"{path}: {err}")
+        failures += 1 if errors else 0
+    if failures:
+        print(f"schema FAIL: {failures}/{len(argv) - 1} report(s) invalid")
+        return 1
+    print(f"schema OK: {len(argv) - 1} report(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
