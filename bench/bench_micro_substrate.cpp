@@ -31,6 +31,40 @@ void BM_Sha256(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(64 * 1024);
 
+// Incremental hashing (reused Sha256 object, one update per chunk) vs the
+// one-shot path above: the store and the wallets hash short multi-part
+// inputs, so the per-finalize reset cost is the interesting number.
+void BM_Sha256Incremental(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  crypto::Sha256 hasher;
+  for (auto _ : state) {
+    hasher.update(data.data(), 40);  // length-prefix + key sized chunk
+    hasher.update(data.data() + 40, data.size() - 40);
+    benchmark::DoNotOptimize(hasher.finalize());  // finalize() auto-resets
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256Incremental)->Arg(64)->Arg(1024)->Arg(64 * 1024);
+
+// Batched digests over many small inputs (entry-hash shaped).
+void BM_Sha256Batch(benchmark::State& state) {
+  const std::size_t n = 256;
+  std::vector<util::Bytes> inputs;
+  std::vector<util::BytesView> views;
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(util::to_bytes("bank/balances/user-" +
+                                    std::to_string(i) + "/uatom=123456"));
+  }
+  for (const util::Bytes& b : inputs) views.push_back(b);
+  std::vector<crypto::Digest> out(n);
+  for (auto _ : state) {
+    crypto::sha256_batch(views.data(), views.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Sha256Batch);
+
 void BM_MerkleRoot(benchmark::State& state) {
   std::vector<util::Bytes> leaves;
   for (int i = 0; i < state.range(0); ++i) {
@@ -128,6 +162,80 @@ void BM_KvStoreOverwrite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KvStoreOverwrite);
+
+void BM_KvStoreGet(benchmark::State& state) {
+  chain::KvStore store;
+  for (int i = 0; i < 10'000; ++i) {
+    store.set("bank/balances/user-" + std::to_string(i) + "/uatom",
+              util::to_bytes("123456789"));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.get_view(
+        "bank/balances/user-" + std::to_string(i % 10'000) + "/uatom"));
+    ++i;
+  }
+}
+BENCHMARK(BM_KvStoreGet);
+
+// Churn: insert + erase keeps the store at a steady ~10k live entries while
+// exercising tombstones, index deletion and the periodic compaction.
+void BM_KvStoreErase(benchmark::State& state) {
+  chain::KvStore store;
+  for (int i = 0; i < 10'000; ++i) {
+    store.set("ibc/commitments/" + std::to_string(i), util::to_bytes("c"));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    store.set("ibc/commitments/" + std::to_string(10'000 + i),
+              util::to_bytes("c"));
+    store.erase("ibc/commitments/" + std::to_string(i));
+    ++i;
+  }
+}
+BENCHMARK(BM_KvStoreErase);
+
+// Allocation-free prefix iteration vs the copying keys_with_prefix (both
+// over a 1,000-entry module prefix inside a 21k-entry store).
+void BM_KvStorePrefixScan(benchmark::State& state) {
+  chain::KvStore store;
+  for (int i = 0; i < 10'000; ++i) {
+    store.set("bank/balances/user-" + std::to_string(i) + "/uatom",
+              util::to_bytes("123456789"));
+    store.set("auth/sequences/user-" + std::to_string(i),
+              util::to_bytes("7"));
+  }
+  for (int i = 0; i < 1'000; ++i) {
+    store.set("ibc/commitments/" + std::to_string(i), util::to_bytes("c"));
+  }
+  for (auto _ : state) {
+    std::uint64_t bytes = 0;
+    for (auto it = store.scan_prefix("ibc/commitments/"); it.next();) {
+      bytes += it.value().size();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_KvStorePrefixScan);
+
+void BM_KvStoreKeysWithPrefix(benchmark::State& state) {
+  chain::KvStore store;
+  for (int i = 0; i < 10'000; ++i) {
+    store.set("bank/balances/user-" + std::to_string(i) + "/uatom",
+              util::to_bytes("123456789"));
+    store.set("auth/sequences/user-" + std::to_string(i),
+              util::to_bytes("7"));
+  }
+  for (int i = 0; i < 1'000; ++i) {
+    store.set("ibc/commitments/" + std::to_string(i), util::to_bytes("c"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.keys_with_prefix("ibc/commitments/"));
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_KvStoreKeysWithPrefix);
 
 void BM_KvStoreProve(benchmark::State& state) {
   chain::KvStore store;

@@ -269,8 +269,13 @@ inline void run_scenarios(const Options& opt,
 
 /// Writes the BENCH_*.json report for this run (no-op without --json).
 /// `table` is the bench's CSV table — its cells become the deterministic
-/// virtual points. Call once, after the last sweep.
-inline void write_report(const Options& opt, const util::Table& table) {
+/// virtual points. Call once, after the last sweep. `host_extras` are
+/// injected as additional keys of the report's host section (schema v1
+/// allows extra host keys); use them for bench-specific host measurements
+/// such as per-tier RSS so bench_compare noise-checks them too.
+inline void write_report(
+    const Options& opt, const util::Table& table,
+    std::vector<std::pair<std::string, util::json::Value>> host_extras = {}) {
   if (opt.json.empty()) return;
   xcc::BenchReportInputs in;
   in.bench = opt.bench;
@@ -284,8 +289,16 @@ inline void write_report(const Options& opt, const util::Table& table) {
   in.metrics = detail::g_report.metrics;
   in.sweep = detail::g_report.sweep;
   in.profile = detail::g_report.profiler.merged();
-  const util::Status st =
-      xcc::write_json_file(opt.json, xcc::build_bench_report(in));
+  auto report = xcc::build_bench_report(in);
+  if (!host_extras.empty()) {
+    for (auto& member : report.members()) {
+      if (member.first != "host") continue;
+      for (auto& [key, value] : host_extras) {
+        member.second.set(key, std::move(value));
+      }
+    }
+  }
+  const util::Status st = xcc::write_json_file(opt.json, report);
   if (!st.is_ok()) {
     std::cerr << "[json] FAILED: " << st.to_string() << "\n";
     std::exit(1);  // a requested report that was not produced must be loud

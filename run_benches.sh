@@ -61,12 +61,14 @@ if [ "$1" = "--check" ]; then
     -R 'Parallel|Determinism|Telemetry|Tracer|Registry|Counter|Gauge|Histogram|StepLog|DisabledMode')
   phase_ok
 
-  phase "ASan+UBSan: invariant checker + fuzz scenarios + relayer regressions"
+  phase "ASan+UBSan: invariant checker + fuzz scenarios + relayer + store property"
   cmake -B build-asan -S . -DADDRESS_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j --target test_invariants test_faults fuzz_scenarios \
-    test_relayer_behavior test_query_cache
+    test_relayer_behavior test_query_cache test_rpc_relayer
+  # StoreModelProperty/StoreProperty run the randomized-op store model tests
+  # (hash index, arena, spill values, compaction) under ASan.
   (cd build-asan && ctest --output-on-failure \
-    -R 'InvariantChecker|NetworkFault|TimeoutPath|CodecProperty|RelayerFixture|QueryCache')
+    -R 'InvariantChecker|NetworkFault|TimeoutPath|CodecProperty|RelayerFixture|QueryCache|StoreModelProperty|StoreProperty')
   ./build-asan/src/check/fuzz_scenarios --seeds=40
   phase_ok
 
@@ -133,6 +135,19 @@ EOF
   # Two independent same-seed runs: the virtual sections must match exactly
   # (the determinism contract); host time gets a generous noise band.
   ./build/tools/bench_compare --noise 10 "$jdir/BENCH_a.json" "$jdir/BENCH_b.json"
+  # Surface the peak-RSS delta explicitly: memory regressions hide inside
+  # the blanket noise band above, so print the numbers where CI logs show
+  # them even when the compare passes.
+  python3 - "$jdir/BENCH_a.json" "$jdir/BENCH_b.json" <<'EOF'
+import json, sys
+rss = []
+for path in sys.argv[1:3]:
+    with open(path) as f:
+        rss.append(json.load(f)["host"]["peak_rss_bytes"])
+delta = (rss[1] - rss[0]) / rss[0] * 100 if rss[0] else 0.0
+print(f"peak RSS: {rss[0] / 2**20:.1f} MiB vs {rss[1] / 2**20:.1f} MiB "
+      f"({delta:+.1f}%)")
+EOF
   # A perturbed virtual cell must be caught as drift (exit 2).
   python3 - "$jdir/BENCH_a.json" "$jdir/BENCH_perturbed.json" <<'EOF'
 import json, sys
@@ -160,6 +175,32 @@ EOF
     || { echo "ERROR: --help does not list --json"; exit 1; }
   echo "strict flag parsing OK (unknown flag rejected, --help lists flags)"
   rm -rf "$jdir"
+  phase_ok
+
+  phase "bench_scale smoke: 10^5 tier, schema + same-seed identity + RSS"
+  cmake --build build -j --target bench_scale_transfers bench_compare
+  sdir=$(mktemp -d -t ibc_scale_XXXXXX)
+  ./build/bench/bench_scale_transfers --smoke \
+    --csv "$sdir/a.csv" --json "$sdir/BENCH_a.json" >/dev/null
+  ./build/bench/bench_scale_transfers --smoke \
+    --csv "$sdir/b.csv" --json "$sdir/BENCH_b.json" >/dev/null
+  python3 tools/bench_report_schema.py "$sdir/BENCH_a.json" "$sdir/BENCH_b.json"
+  # Same-seed byte-identity of the result table (open-loop workload,
+  # Zipf sampler and bulk genesis are all on this path).
+  diff "$sdir/a.csv" "$sdir/b.csv"
+  echo "scale smoke CSV byte-identical across two same-seed runs"
+  ./build/tools/bench_compare --noise 10 "$sdir/BENCH_a.json" "$sdir/BENCH_b.json"
+  # Surface the tier's host-side scaling numbers in the CI log.
+  python3 - "$sdir/BENCH_a.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    tiers = json.load(f)["host"]["scale_tiers"]
+for t in tiers:
+    print(f"tier {t['transfers']}: {t['sim_seconds_per_host_second']:.1f} "
+          f"sim-s/host-s, {t['events_per_second'] / 1e3:.0f}k events/s, "
+          f"peak RSS {t['peak_rss_bytes'] / 2**20:.1f} MiB")
+EOF
+  rm -rf "$sdir"
   phase_ok
 
   exit 0

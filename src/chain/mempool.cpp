@@ -1,7 +1,6 @@
 #include "chain/mempool.hpp"
 
-#include <algorithm>
-#include <map>
+#include <limits>
 
 namespace chain {
 
@@ -17,13 +16,31 @@ void Mempool::set_telemetry(telemetry::Hub* hub, const std::string& name) {
   }
 }
 
+std::size_t Mempool::shard_for(const Address& sender) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : sender) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h) & (kShards - 1);
+}
+
+void Mempool::note_removed(const Item& item) {
+  hashes_.erase(item.hash);
+  --count_;
+  const auto it = pending_per_sender_.find(item.tx.sender);
+  if (it != pending_per_sender_.end() && --it->second == 0) {
+    pending_per_sender_.erase(it);
+  }
+}
+
 util::Status Mempool::add(const Tx& tx) {
   const TxHash hash = tx.hash();
   if (hashes_.contains(hash)) {
     return util::Status::error(util::ErrorCode::kAlreadyExists,
                                "tx already in mempool");
   }
-  if (pool_.size() >= max_txs_) {
+  if (count_ >= max_txs_) {
     ++rejected_full_;
     if (rejected_full_ctr_) rejected_full_ctr_->add();
     return util::Status::error(util::ErrorCode::kResourceExhausted,
@@ -33,8 +50,9 @@ util::Status Mempool::add(const Tx& tx) {
   // consecutive sequences without waiting for commits. A gap or reuse still
   // fails with "account sequence mismatch".
   std::uint64_t pending_same_sender = 0;
-  for (const Tx& pending : pool_) {
-    if (pending.sender == tx.sender) ++pending_same_sender;
+  if (const auto it = pending_per_sender_.find(tx.sender);
+      it != pending_per_sender_.end()) {
+    pending_same_sender = it->second;
   }
   CheckTxResult res = app_.check_tx_pending(tx, pending_same_sender);
   if (!res.status.is_ok()) {
@@ -42,8 +60,10 @@ util::Status Mempool::add(const Tx& tx) {
     if (rejected_checktx_ctr_) rejected_checktx_ctr_->add();
     return res.status;
   }
-  pool_.push_back(tx);
+  shards_[shard_for(tx.sender)].push_back(Item{tx, hash, next_ticket_++});
   hashes_.insert(hash);
+  ++pending_per_sender_[tx.sender];
+  ++count_;
   if (admitted_ctr_) admitted_ctr_->add();
   return util::Status::ok();
 }
@@ -53,7 +73,24 @@ std::vector<Tx> Mempool::reap(std::uint64_t max_gas,
   std::vector<Tx> out;
   std::uint64_t gas = 0;
   std::size_t bytes = 0;
-  for (const Tx& tx : pool_) {
+  // Merge the shards back into global admission order by ticket; the
+  // selection logic below then matches the unsharded FIFO loop exactly.
+  std::array<std::size_t, kShards> cursor{};
+  while (true) {
+    int best = -1;
+    std::uint64_t best_ticket = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t s = 0; s < kShards; ++s) {
+      if (cursor[s] >= shards_[s].size()) continue;
+      const std::uint64_t t = shards_[s][cursor[s]].ticket;
+      if (t < best_ticket) {
+        best_ticket = t;
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const Tx& tx = shards_[static_cast<std::size_t>(best)]
+                       [cursor[static_cast<std::size_t>(best)]++]
+                           .tx;
     if (gas + tx.gas_limit > max_gas && !out.empty()) break;
     if (bytes + tx.size_bytes() > max_bytes && !out.empty()) break;
     if (gas + tx.gas_limit > max_gas || bytes + tx.size_bytes() > max_bytes) {
@@ -68,30 +105,35 @@ std::vector<Tx> Mempool::reap(std::uint64_t max_gas,
 }
 
 void Mempool::update_after_commit(const std::vector<Tx>& committed) {
-  std::set<TxHash> committed_hashes;
+  std::unordered_set<TxHash, TxHashHasher> committed_hashes;
+  committed_hashes.reserve(committed.size() * 2);
   for (const Tx& tx : committed) committed_hashes.insert(tx.hash());
 
-  std::deque<Tx> survivors;
-  std::map<Address, std::uint64_t> pending_counts;
-  for (Tx& tx : pool_) {
-    const TxHash h = tx.hash();
-    if (committed_hashes.contains(h)) {
-      hashes_.erase(h);
-      continue;
+  // A sender maps to exactly one shard, so shard-local FIFO rechecks see
+  // the same per-sender pending counts as a global FIFO pass would.
+  for (auto& shard : shards_) {
+    std::deque<Item> survivors;
+    std::unordered_map<Address, std::uint64_t> pending_counts;
+    for (Item& item : shard) {
+      if (committed_hashes.contains(item.hash)) {
+        note_removed(item);
+        continue;
+      }
+      // Recheck against post-block state (pending-aware, preserving FIFO
+      // chains of consecutive sequences); evict now-invalid txs.
+      CheckTxResult res =
+          app_.check_tx_pending(item.tx, pending_counts[item.tx.sender]);
+      if (!res.status.is_ok()) {
+        note_removed(item);
+        ++evicted_recheck_;
+        if (evicted_recheck_ctr_) evicted_recheck_ctr_->add();
+        continue;
+      }
+      ++pending_counts[item.tx.sender];
+      survivors.push_back(std::move(item));
     }
-    // Recheck against post-block state (pending-aware, preserving FIFO
-    // chains of consecutive sequences); evict now-invalid txs.
-    CheckTxResult res = app_.check_tx_pending(tx, pending_counts[tx.sender]);
-    if (!res.status.is_ok()) {
-      hashes_.erase(h);
-      ++evicted_recheck_;
-      if (evicted_recheck_ctr_) evicted_recheck_ctr_->add();
-      continue;
-    }
-    ++pending_counts[tx.sender];
-    survivors.push_back(std::move(tx));
+    shard = std::move(survivors);
   }
-  pool_ = std::move(survivors);
 }
 
 }  // namespace chain

@@ -1,22 +1,182 @@
 #include "chain/store.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "telemetry/profiler.hpp"
 
 namespace chain {
 
-crypto::Digest KvStore::entry_hash(const std::string& key,
+crypto::Digest KvStore::entry_hash(std::string_view key,
                                    util::BytesView value) {
+  // Exact historical byte layout: u32_be(key.size()) || key || value.
+  std::uint8_t len[4];
+  const auto n = static_cast<std::uint32_t>(key.size());
+  len[0] = static_cast<std::uint8_t>(n >> 24);
+  len[1] = static_cast<std::uint8_t>(n >> 16);
+  len[2] = static_cast<std::uint8_t>(n >> 8);
+  len[3] = static_cast<std::uint8_t>(n);
   crypto::Sha256 h;
-  util::Bytes len;
-  util::append_u32_be(len, static_cast<std::uint32_t>(key.size()));
-  h.update(len);
-  h.update(util::to_bytes(key));
-  h.update(value);
+  h.update(len, sizeof(len));
+  h.update(key.data(), key.size());
+  h.update(value.data(), value.size());
   return h.finalize();
+}
+
+std::uint64_t KvStore::hash_key(std::string_view key) {
+  // FNV-1a 64. Not adversarial input; full key bytes are compared on match.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 void KvStore::xor_into_root(const crypto::Digest& h) {
   for (std::size_t i = 0; i < root_.size(); ++i) root_[i] ^= h[i];
+}
+
+void KvStore::assign_value(Entry& e, util::Bytes&& value) {
+  e.val_len = static_cast<std::uint32_t>(value.size());
+  if (value.size() <= kInlineValue) {
+    if (!value.empty()) {
+      std::memcpy(e.inline_val.data(), value.data(), value.size());
+    }
+    e.spill = util::Bytes();  // release any previous spill allocation
+  } else {
+    e.spill = std::move(value);
+  }
+}
+
+std::size_t KvStore::find_bucket(std::string_view key, std::uint64_t h) const {
+  const std::size_t mask = index_.size() - 1;
+  std::size_t b = static_cast<std::size_t>(h) & mask;
+  while (true) {
+    const std::uint32_t idx = index_[b];
+    if (idx == kNoEntry) return b;
+    const Entry& e = entries_[idx];
+    if (e.key_hash == h && key_of(e) == key) return b;
+    b = (b + 1) & mask;
+  }
+}
+
+std::uint32_t KvStore::find_entry(std::string_view key) const {
+  if (index_.empty()) return kNoEntry;
+  return index_[find_bucket(key, hash_key(key))];
+}
+
+void KvStore::grow_index(std::size_t min_buckets) {
+  std::size_t cap = 16;
+  while (cap < min_buckets) cap *= 2;
+  index_.assign(cap, kNoEntry);
+  const std::size_t mask = cap - 1;
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (!e.live) continue;
+    std::size_t b = static_cast<std::size_t>(e.key_hash) & mask;
+    while (index_[b] != kNoEntry) b = (b + 1) & mask;
+    index_[b] = i;
+  }
+}
+
+void KvStore::index_remove(std::size_t bucket) {
+  // Backward-shift deletion keeps linear probe chains dense (no tombstones).
+  const std::size_t mask = index_.size() - 1;
+  std::size_t hole = bucket;
+  std::size_t i = bucket;
+  while (true) {
+    i = (i + 1) & mask;
+    const std::uint32_t idx = index_[i];
+    if (idx == kNoEntry) break;
+    const std::size_t home =
+        static_cast<std::size_t>(entries_[idx].key_hash) & mask;
+    if (((i - home) & mask) >= ((i - hole) & mask)) {
+      index_[hole] = idx;
+      hole = i;
+    }
+  }
+  index_[hole] = kNoEntry;
+}
+
+void KvStore::maybe_compact() {
+  // Erase/re-insert churn (packet commitments are deleted on ack) strands
+  // dead entries and their arena keys; rebuild once they dominate.
+  if (dead_count_ < 4096 || dead_count_ * 2 < live_count_) return;
+
+  std::vector<Entry> new_entries;
+  new_entries.reserve(live_count_);
+  std::string new_arena;
+  new_arena.reserve(key_arena_.size() - key_arena_.size() / 3);
+  std::vector<std::uint32_t> remap(entries_.size(), kNoEntry);
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (!e.live) continue;
+    const std::string_view k = key_of(e);
+    remap[i] = static_cast<std::uint32_t>(new_entries.size());
+    e.key_off = static_cast<std::uint32_t>(new_arena.size());
+    new_arena.append(k);
+    new_entries.push_back(std::move(e));
+  }
+  entries_ = std::move(new_entries);
+  key_arena_ = std::move(new_arena);
+  dead_count_ = 0;
+
+  auto remap_list = [&remap](std::vector<std::uint32_t>& list) {
+    std::size_t out = 0;
+    for (const std::uint32_t idx : list) {
+      if (remap[idx] != kNoEntry) list[out++] = remap[idx];
+    }
+    list.resize(out);
+  };
+  remap_list(sorted_);
+  remap_list(unsorted_);
+  sorted_dead_ = 0;
+  grow_index(index_.size());
+}
+
+void KvStore::ensure_sorted() const {
+  const bool purge_due = sorted_dead_ > 64 && sorted_dead_ * 4 > sorted_.size();
+  if (unsorted_.empty() && !purge_due) return;
+
+  auto key_less = [this](std::uint32_t a, std::uint32_t b) {
+    return key_of(entries_[a]) < key_of(entries_[b]);
+  };
+
+  // Purge dead indices from both lists while we are touching them anyway.
+  auto drop_dead = [this](std::vector<std::uint32_t>& list) {
+    std::size_t out = 0;
+    for (const std::uint32_t idx : list) {
+      if (entries_[idx].live) list[out++] = idx;
+    }
+    list.resize(out);
+  };
+  drop_dead(sorted_);
+  drop_dead(unsorted_);
+  sorted_dead_ = 0;
+
+  if (!unsorted_.empty()) {
+    std::sort(unsorted_.begin(), unsorted_.end(), key_less);
+    const std::size_t mid = sorted_.size();
+    sorted_.insert(sorted_.end(), unsorted_.begin(), unsorted_.end());
+    unsorted_.clear();
+    // Append-heavy workloads (sequences, fresh commitments) often sort
+    // entirely after the existing keys; skip the merge when they do.
+    if (mid > 0 && key_less(sorted_[mid], sorted_[mid - 1])) {
+      std::inplace_merge(sorted_.begin(), sorted_.begin() + mid, sorted_.end(),
+                         key_less);
+    }
+  }
+}
+
+void KvStore::reserve(std::size_t expected_entries, std::size_t avg_key_bytes) {
+  entries_.reserve(expected_entries);
+  key_arena_.reserve(expected_entries * avg_key_bytes);
+  if (expected_entries > 0) {
+    std::size_t cap = 16;
+    while (cap * 3 < expected_entries * 4) cap *= 2;
+    if (cap > index_.size()) grow_index(cap);
+  }
 }
 
 void KvStore::begin_tx() {
@@ -44,9 +204,10 @@ void KvStore::revert_tx() {
 
 void KvStore::journal_record(const std::string& key) {
   if (!journaling_) return;
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    journal_.push_back(UndoEntry{key, it->second.value});
+  const std::uint32_t idx = find_entry(key);
+  if (idx != kNoEntry) {
+    const util::BytesView v = value_of(entries_[idx]);
+    journal_.push_back(UndoEntry{key, util::Bytes(v.begin(), v.end())});
   } else {
     journal_.push_back(UndoEntry{key, std::nullopt});
   }
@@ -55,45 +216,114 @@ void KvStore::journal_record(const std::string& key) {
 void KvStore::set(const std::string& key, util::Bytes value) {
   telemetry::ProfileScope prof(telemetry::ProfileKey::kKvStore);
   journal_record(key);
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    xor_into_root(it->second.hash);  // remove old contribution, no rehash
-    it->second.value = std::move(value);
-    it->second.hash = entry_hash(key, it->second.value);
-    xor_into_root(it->second.hash);
-  } else {
-    const auto pos = entries_.emplace(key, Entry{std::move(value), {}}).first;
-    pos->second.hash = entry_hash(key, pos->second.value);
-    xor_into_root(pos->second.hash);
+  if (index_.empty() || (live_count_ + 1) * 4 > index_.size() * 3) {
+    grow_index(index_.empty() ? 16 : index_.size() * 2);
   }
+  const std::uint64_t h = hash_key(key);
+  const std::size_t bucket = find_bucket(key, h);
+  std::uint32_t idx = index_[bucket];
+  if (idx != kNoEntry) {
+    Entry& e = entries_[idx];
+    xor_into_root(e.hash);  // remove old contribution, no rehash
+    assign_value(e, std::move(value));
+    e.hash = entry_hash(key, value_of(e));
+    xor_into_root(e.hash);
+    return;
+  }
+  idx = static_cast<std::uint32_t>(entries_.size());
+  Entry e;
+  e.key_off = static_cast<std::uint32_t>(key_arena_.size());
+  e.key_len = static_cast<std::uint32_t>(key.size());
+  e.key_hash = h;
+  e.live = true;
+  key_arena_.append(key);
+  assign_value(e, std::move(value));
+  e.hash = entry_hash(key, value_of(e));
+  entries_.push_back(std::move(e));
+  index_[bucket] = idx;
+  unsorted_.push_back(idx);
+  ++live_count_;
+  xor_into_root(entries_[idx].hash);
 }
 
 void KvStore::erase(const std::string& key) {
   telemetry::ProfileScope prof(telemetry::ProfileKey::kKvStore);
   journal_record(key);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return;
-  xor_into_root(it->second.hash);
-  entries_.erase(it);
+  if (index_.empty()) return;
+  const std::size_t bucket = find_bucket(key, hash_key(key));
+  const std::uint32_t idx = index_[bucket];
+  if (idx == kNoEntry) return;
+  Entry& e = entries_[idx];
+  xor_into_root(e.hash);
+  e.live = false;
+  e.spill = util::Bytes();
+  index_remove(bucket);
+  --live_count_;
+  ++dead_count_;
+  ++sorted_dead_;
+  maybe_compact();
 }
 
 std::optional<util::Bytes> KvStore::get(const std::string& key) const {
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second.value;
+  const std::uint32_t idx = find_entry(key);
+  if (idx == kNoEntry) return std::nullopt;
+  const util::BytesView v = value_of(entries_[idx]);
+  return util::Bytes(v.begin(), v.end());
+}
+
+std::optional<util::BytesView> KvStore::get_view(std::string_view key) const {
+  const std::uint32_t idx = find_entry(key);
+  if (idx == kNoEntry) return std::nullopt;
+  return value_of(entries_[idx]);
 }
 
 bool KvStore::contains(const std::string& key) const {
-  return entries_.contains(key);
+  return find_entry(key) != kNoEntry;
+}
+
+KvStore::PrefixIter KvStore::scan_prefix(std::string_view prefix) const {
+  telemetry::ProfileScope prof(telemetry::ProfileKey::kKvStore);
+  ensure_sorted();
+  const auto begin = std::lower_bound(
+      sorted_.begin(), sorted_.end(), prefix,
+      [this](std::uint32_t idx, std::string_view p) {
+        return key_of(entries_[idx]) < p;
+      });
+  return PrefixIter(this, prefix,
+                    static_cast<std::size_t>(begin - sorted_.begin()));
+}
+
+bool KvStore::PrefixIter::next() {
+  while (pos_ < store_->sorted_.size()) {
+    const std::uint32_t idx = store_->sorted_[pos_++];
+    const auto& e = store_->entries_[idx];
+    const std::string_view k = store_->key_of(e);
+    if (k.size() < prefix_.size() ||
+        k.compare(0, prefix_.size(), prefix_) != 0) {
+      break;  // sorted order: once past the prefix, no more matches
+    }
+    if (!e.live) continue;
+    cur_ = idx;
+    return true;
+  }
+  pos_ = store_->sorted_.size();
+  cur_ = 0xffffffffu;
+  return false;
+}
+
+std::string_view KvStore::PrefixIter::key() const {
+  return store_->key_of(store_->entries_[cur_]);
+}
+
+util::BytesView KvStore::PrefixIter::value() const {
+  return store_->value_of(store_->entries_[cur_]);
 }
 
 std::vector<std::string> KvStore::keys_with_prefix(
     const std::string& prefix) const {
-  telemetry::ProfileScope prof(telemetry::ProfileKey::kKvStore);
   std::vector<std::string> out;
-  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.push_back(it->first);
+  for (auto it = scan_prefix(prefix); it.next();) {
+    out.emplace_back(it.key());
   }
   return out;
 }
@@ -103,10 +333,11 @@ StoreProof KvStore::prove(const std::string& key) const {
   StoreProof proof;
   proof.key = key;
   proof.root = root_;
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  const std::uint32_t idx = find_entry(key);
+  if (idx != kNoEntry) {
     proof.exists = true;
-    proof.value = it->second.value;
+    const util::BytesView v = value_of(entries_[idx]);
+    proof.value.assign(v.begin(), v.end());
   }
   proof.binding = store_proof_binding(key, proof.value, proof.exists, root_);
   return proof;
@@ -115,13 +346,14 @@ StoreProof KvStore::prove(const std::string& key) const {
 crypto::Digest store_proof_binding(const std::string& key,
                                    util::BytesView value, bool exists,
                                    const crypto::Digest& root) {
+  static constexpr char kDomain[] = "store-proof/";
   crypto::Sha256 h;
-  h.update(util::to_bytes("store-proof/"));
-  h.update(util::to_bytes(key));
-  h.update(value);
+  h.update(kDomain, sizeof(kDomain) - 1);
+  h.update(key.data(), key.size());
+  h.update(value.data(), value.size());
   const std::uint8_t e = exists ? 1 : 0;
-  h.update(util::BytesView(&e, 1));
-  h.update(util::BytesView(root.data(), root.size()));
+  h.update(&e, 1);
+  h.update(root.data(), root.size());
   return h.finalize();
 }
 

@@ -3,17 +3,26 @@
 //
 // The Cosmos SDK keeps module state in Merkle-ised KV stores whose root goes
 // into the block header (app_hash) and against which IBC proofs are checked.
-// We keep a sorted map plus an *incrementally maintained set-hash* root:
+// We keep an *incrementally maintained set-hash* root:
 // root = XOR over entries of SHA-256(key || value). The XOR set-hash updates
 // in O(1) per mutation and is deterministic; it loses Merkle path proofs, so
 // existence proofs are issued explicitly via prove()/verify_proof() below,
 // which bind (key, value, root-at-height) — sufficient for the simulator's
 // honest-node verification semantics (substitution noted in DESIGN.md).
+//
+// Layout (memory-lean, DESIGN.md "Memory-lean state store"): entries live in
+// a flat arena indexed by an open-addressing hash table; key bytes are
+// appended to a shared key arena and small values are stored inline in the
+// entry, so a typical (key, u64) pair costs no per-entry heap allocation.
+// Ordered prefix scans run over a lazily maintained sorted view of the entry
+// indices. The bytes fed to the set-hash are identical to the historical
+// std::map layout, so roots, proofs and golden traces are unchanged.
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "crypto/sha256.hpp"
@@ -37,12 +46,43 @@ class KvStore {
   void set(const std::string& key, util::Bytes value);
   void erase(const std::string& key);
   std::optional<util::Bytes> get(const std::string& key) const;
+
+  /// Zero-copy view of a stored value. Invalidated by any mutation.
+  std::optional<util::BytesView> get_view(std::string_view key) const;
+
   bool contains(const std::string& key) const;
 
-  /// All keys with the given prefix, in lexicographic order.
+  /// All keys with the given prefix, in lexicographic order (copies; prefer
+  /// scan_prefix() in hot paths).
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
 
-  std::size_t size() const { return entries_.size(); }
+  /// Allocation-free ordered scan over keys sharing a prefix:
+  ///   for (auto it = store.scan_prefix("bank/bal/"); it.next();)
+  ///     use(it.key(), it.value());
+  /// The referenced prefix and the store must outlive the iterator; any
+  /// store mutation invalidates it.
+  class PrefixIter {
+   public:
+    bool next();
+    std::string_view key() const;
+    util::BytesView value() const;
+
+   private:
+    friend class KvStore;
+    PrefixIter(const KvStore* store, std::string_view prefix, std::size_t pos)
+        : store_(store), prefix_(prefix), pos_(pos) {}
+    const KvStore* store_;
+    std::string_view prefix_;
+    std::size_t pos_;
+    std::uint32_t cur_ = 0xffffffffu;
+  };
+  PrefixIter scan_prefix(std::string_view prefix) const;
+
+  std::size_t size() const { return live_count_; }
+
+  /// Pre-sizes the entry arena, hash index and key arena for an expected
+  /// total entry count (bulk-load fast path).
+  void reserve(std::size_t expected_entries, std::size_t avg_key_bytes = 32);
 
   /// Current commitment root (incremental set-hash).
   const crypto::Digest& root() const { return root_; }
@@ -60,21 +100,64 @@ class KvStore {
   bool in_tx() const { return journaling_; }
 
  private:
-  static crypto::Digest entry_hash(const std::string& key,
+  static constexpr std::uint32_t kNoEntry = 0xffffffffu;
+  /// Values up to this many bytes live inline in the entry (covers u64
+  /// balances/sequences and 32-byte commitments/acks).
+  static constexpr std::size_t kInlineValue = 32;
+
+  struct Entry {
+    std::uint32_t key_off = 0;
+    std::uint32_t key_len = 0;
+    std::uint32_t val_len = 0;
+    bool live = false;
+    std::uint64_t key_hash = 0;
+    std::array<std::uint8_t, kInlineValue> inline_val{};
+    util::Bytes spill;  // value bytes when val_len > kInlineValue
+    // Cached SHA-256 contribution to the set-hash root, so overwriting a
+    // key hashes only the new value (and erasing hashes nothing) instead
+    // of rehashing the old value to back it out.
+    crypto::Digest hash{};
+  };
+
+  static crypto::Digest entry_hash(std::string_view key,
                                    util::BytesView value);
+  static std::uint64_t hash_key(std::string_view key);
   void xor_into_root(const crypto::Digest& h);
+
+  std::string_view key_of(const Entry& e) const {
+    return std::string_view(key_arena_.data() + e.key_off, e.key_len);
+  }
+  util::BytesView value_of(const Entry& e) const {
+    const std::uint8_t* p =
+        e.val_len <= kInlineValue ? e.inline_val.data() : e.spill.data();
+    return util::BytesView(p, e.val_len);
+  }
+  static void assign_value(Entry& e, util::Bytes&& value);
+
+  /// Bucket holding `key`, or the empty bucket where it would be inserted.
+  std::size_t find_bucket(std::string_view key, std::uint64_t h) const;
+  std::uint32_t find_entry(std::string_view key) const;
+  void grow_index(std::size_t min_buckets);
+  void index_remove(std::size_t bucket);
+  void maybe_compact();
+  void ensure_sorted() const;
 
   void journal_record(const std::string& key);
 
-  // Each entry caches its SHA-256 contribution to the set-hash root, so
-  // overwriting a key hashes only the new value (and erasing hashes
-  // nothing) instead of rehashing the old value to back it out.
-  struct Entry {
-    util::Bytes value;
-    crypto::Digest hash{};
-  };
-  std::map<std::string, Entry> entries_;
+  std::vector<Entry> entries_;
+  std::string key_arena_;
+  std::vector<std::uint32_t> index_;  // bucket -> entry idx (kNoEntry = free)
+  std::size_t live_count_ = 0;
+  std::size_t dead_count_ = 0;
   crypto::Digest root_{};
+
+  // Lazily maintained lexicographic view: `sorted_` holds entry indices in
+  // key order (possibly including entries erased since the last rebuild);
+  // `unsorted_` holds indices inserted since. ensure_sorted() merges and
+  // purges on demand, so pure write workloads never pay for ordering.
+  mutable std::vector<std::uint32_t> sorted_;
+  mutable std::vector<std::uint32_t> unsorted_;
+  mutable std::size_t sorted_dead_ = 0;
 
   struct UndoEntry {
     std::string key;

@@ -393,14 +393,14 @@ void InvariantChecker::check_channel_counters(ChainState& c,
   ibc::ChannelKeeper other_channels(chains_[&c == &chains_[0] ? 1 : 0]
                                         .h.app->store());
   const std::string prefix = "ibc/channelEnds/ports/";
-  for (const std::string& key :
-       c.h.app->store().keys_with_prefix(prefix)) {
+  for (auto it = c.h.app->store().scan_prefix(prefix); it.next();) {
+    const std::string_view key = it.key();
     // Key shape: ibc/channelEnds/ports/<port>/channels/<channel>.
     const std::size_t port_start = prefix.size();
     const std::size_t marker = key.find("/channels/", port_start);
-    if (marker == std::string::npos) continue;
-    const std::string port = key.substr(port_start, marker - port_start);
-    const std::string channel = key.substr(marker + 10);
+    if (marker == std::string_view::npos) continue;
+    const std::string port(key.substr(port_start, marker - port_start));
+    const std::string channel(key.substr(marker + 10));
 
     auto end_res = channels.get(port, channel);
     if (!end_res.is_ok()) continue;
@@ -480,17 +480,16 @@ void InvariantChecker::check_client_heights(ChainState& c,
                                             chain::Height height) {
   const std::string prefix = "ibc/clients/";
   const std::string suffix = "/clientState";
-  for (const std::string& key :
-       c.h.app->store().keys_with_prefix(prefix)) {
+  for (auto scan = c.h.app->store().scan_prefix(prefix); scan.next();) {
+    const std::string_view key = scan.key();
     if (key.size() <= prefix.size() + suffix.size() ||
         key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
       continue;  // consensus-state entries share the prefix
     }
-    const std::string client =
-        key.substr(prefix.size(), key.size() - prefix.size() - suffix.size());
-    const auto raw = c.h.app->store().get(key);
+    const std::string client(
+        key.substr(prefix.size(), key.size() - prefix.size() - suffix.size()));
     ibc::ClientState state;
-    if (!raw || !ibc::ClientState::decode(*raw, state)) {
+    if (!ibc::ClientState::decode(scan.value(), state)) {
       fail(c.h.id, height, "client-state-decode",
            "client " + client + " state is undecodable");
       continue;
@@ -513,14 +512,16 @@ void InvariantChecker::check_bank_conservation(ChainState& c,
   // transfer). Balance keys are "bank/bal/<addr>|<denom>".
   std::map<std::string, std::uint64_t> sums;
   const std::string bal_prefix = "bank/bal/";
-  for (const std::string& key :
-       c.h.app->store().keys_with_prefix(bal_prefix)) {
+  for (auto it = c.h.app->store().scan_prefix(bal_prefix); it.next();) {
+    const std::string_view key = it.key();
     const std::size_t sep = key.find('|', bal_prefix.size());
-    if (sep == std::string::npos) continue;
-    const std::string addr = key.substr(bal_prefix.size(),
-                                        sep - bal_prefix.size());
-    const std::string denom = key.substr(sep + 1);
-    sums[denom] += c.h.app->bank().balance(addr, denom);
+    if (sep == std::string_view::npos) continue;
+    const std::string denom(key.substr(sep + 1));
+    // Balances are stored as 8-byte big-endian u64 (BankKeeper); read the
+    // amount straight off the entry instead of re-querying by key.
+    if (it.value().size() == 8) {
+      sums[denom] += util::read_u64_be(it.value(), 0);
+    }
   }
   const std::string supply_prefix = "bank/supply/";
   std::set<std::string> denoms;
@@ -528,9 +529,8 @@ void InvariantChecker::check_bank_conservation(ChainState& c,
     (void)sum;
     denoms.insert(denom);
   }
-  for (const std::string& key :
-       c.h.app->store().keys_with_prefix(supply_prefix)) {
-    denoms.insert(key.substr(supply_prefix.size()));
+  for (auto it = c.h.app->store().scan_prefix(supply_prefix); it.next();) {
+    denoms.insert(std::string(it.key().substr(supply_prefix.size())));
   }
   for (const std::string& denom : denoms) {
     const std::uint64_t supply = c.h.app->bank().supply(denom);

@@ -26,6 +26,14 @@ void CosmosApp::add_genesis_account(const chain::Address& addr,
   bank_.set_balance(addr, Coin{kNativeDenom, amount});
 }
 
+void CosmosApp::add_genesis_accounts(const std::vector<chain::Address>& addrs,
+                                     std::uint64_t amount) {
+  // Two entries per account (sequence + balance) plus the supply key.
+  store_.reserve(store_.size() + 2 * addrs.size() + 1);
+  for (const chain::Address& addr : addrs) auth_.create_account(addr);
+  bank_.fund_many(addrs, Coin{kNativeDenom, amount});
+}
+
 util::Status CosmosApp::ante_check(const chain::Tx& tx,
                                    std::uint64_t pending_same_sender) const {
   if (tx.msgs.empty()) {

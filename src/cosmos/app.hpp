@@ -67,6 +67,13 @@ class CosmosApp : public chain::App {
   /// Genesis helper: create an account with a native-token balance.
   void add_genesis_account(const chain::Address& addr, std::uint64_t amount);
 
+  /// Bulk genesis fast path for funding many (potentially millions of)
+  /// accounts: pre-sizes the store and writes the bank supply once instead
+  /// of per account. Final state — and therefore the app hash — is
+  /// byte-identical to add_genesis_account() in a loop.
+  void add_genesis_accounts(const std::vector<chain::Address>& addrs,
+                            std::uint64_t amount);
+
   // chain::App ------------------------------------------------------------
   chain::CheckTxResult check_tx(const chain::Tx& tx) override;
   chain::CheckTxResult check_tx_pending(

@@ -20,7 +20,7 @@ void AuthKeeper::create_account(const chain::Address& addr) {
 }
 
 std::uint64_t AuthKeeper::sequence(const chain::Address& addr) const {
-  const auto v = store_.get(seq_key(addr));
+  const auto v = store_.get_view(seq_key(addr));  // zero-copy: ante-hot
   if (!v || v->size() != 8) return 0;
   return util::read_u64_be(*v, 0);
 }

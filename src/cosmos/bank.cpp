@@ -12,7 +12,7 @@ std::string BankKeeper::supply_key(const std::string& denom) {
 }
 
 std::uint64_t BankKeeper::read_u64(const std::string& key) const {
-  const auto v = store_.get(key);
+  const auto v = store_.get_view(key);  // zero-copy: ante checks are hot
   if (!v || v->size() != 8) return 0;
   return util::read_u64_be(*v, 0);
 }
@@ -38,6 +38,21 @@ void BankKeeper::set_balance(const chain::Address& addr, const Coin& coin) {
   // Genesis allocations count toward supply so invariants hold from block 1.
   write_u64(supply_key(coin.denom),
             supply(coin.denom) - before + coin.amount);
+}
+
+void BankKeeper::fund_many(const std::vector<chain::Address>& addrs,
+                           const Coin& coin) {
+  // Same final state as set_balance() per account, but the supply
+  // read-modify-write happens once instead of once per account. The net
+  // delta accumulates in wrapping u64 arithmetic, which commutes with the
+  // sequential per-account adjustments.
+  std::uint64_t minted = 0;
+  for (const chain::Address& addr : addrs) {
+    const std::uint64_t before = balance(addr, coin.denom);
+    write_u64(balance_key(addr, coin.denom), coin.amount);
+    minted += coin.amount - before;
+  }
+  write_u64(supply_key(coin.denom), supply(coin.denom) + minted);
 }
 
 util::Status BankKeeper::send(const chain::Address& from,

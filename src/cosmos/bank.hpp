@@ -28,6 +28,11 @@ class BankKeeper {
   /// Sets a balance outright (genesis allocation only).
   void set_balance(const chain::Address& addr, const Coin& coin);
 
+  /// Bulk genesis funding: sets every address's balance to `coin` with a
+  /// single supply update at the end. Byte-identical final state (and
+  /// store root) to calling set_balance() per address.
+  void fund_many(const std::vector<chain::Address>& addrs, const Coin& coin);
+
   /// Moves `coin` from `from` to `to`; fails on insufficient funds.
   util::Status send(const chain::Address& from, const chain::Address& to,
                     const Coin& coin);

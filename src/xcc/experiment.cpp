@@ -10,6 +10,9 @@ namespace {
 
 /// Accounts the workload will need (rate mode: rate/20; burst: batch/100).
 int accounts_needed(const WorkloadConfig& wl, sim::Duration block_interval) {
+  if (wl.open_loop) {
+    return static_cast<int>(wl.open_loop_accounts);
+  }
   if (wl.total_transfers > 0) {
     const std::uint64_t per_batch =
         (wl.total_transfers + static_cast<std::uint64_t>(
@@ -97,10 +100,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     // "input rate R for N consecutive blocks").
     wl_cfg.duration_blocks = config.measure_blocks;
   }
-  TransferWorkload workload(tb, channel, wl_cfg,
-                            collect_steps ? &steps : nullptr);
+  // Open-loop runs use the fire-and-forget harness (no per-account wallet,
+  // no step log); everything else uses the paper's closed-loop connector.
+  std::unique_ptr<TransferWorkload> closed;
+  std::unique_ptr<OpenLoopWorkload> open;
+  if (wl_cfg.open_loop) {
+    open = std::make_unique<OpenLoopWorkload>(tb, channel, wl_cfg);
+  } else {
+    closed = std::make_unique<TransferWorkload>(
+        tb, channel, wl_cfg, collect_steps ? &steps : nullptr);
+  }
+  const auto wl_finished = [&]() {
+    return open ? open->finished() : closed->finished();
+  };
+  const auto wl_stats = [&]() -> const TransferWorkload::Stats& {
+    return open ? open->stats() : closed->stats();
+  };
   const chain::Height start_height = tb.chain_a().ledger->height();
-  workload.start();
+  if (open) {
+    open->start();
+  } else {
+    closed->start();
+  }
 
   const chain::Height window_end = start_height + config.measure_blocks;
   if (!tb.run_until_height(window_end, hard_limit)) {
@@ -110,7 +131,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   Analyzer analyzer(tb, channel);
   result.window_breakdown =
-      analyzer.completion_breakdown(workload.stats().requested);
+      analyzer.completion_breakdown(wl_stats().requested);
   result.window_seconds = analyzer.window_seconds(
       start_height, std::min(window_end, tb.chain_a().ledger->height()));
   if (result.window_seconds > 0) {
@@ -131,7 +152,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.empty_blocks = tb.chain_a().engine->empty_blocks();
 
   if (config.wait_for_workload) {
-    while (!workload.finished() && tb.scheduler().now() < hard_limit) {
+    while (!wl_finished() && tb.scheduler().now() < hard_limit) {
       if (!tb.scheduler().step()) break;
     }
   }
@@ -140,14 +161,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.wait_for_drain) {
     sim::TimePoint last_progress = tb.scheduler().now();
     CompletionBreakdown last =
-        analyzer.completion_breakdown(workload.stats().requested);
+        analyzer.completion_breakdown(wl_stats().requested);
     std::size_t last_steps = steps.records().size();
     while (tb.scheduler().now() < hard_limit) {
       tb.run_until(tb.scheduler().now() + sim::seconds(5));
       CompletionBreakdown now =
-          analyzer.completion_breakdown(workload.stats().requested);
+          analyzer.completion_breakdown(wl_stats().requested);
       const bool all_resolved = now.partial == 0 && now.initiated_only == 0 &&
-                                workload.finished();
+                                wl_finished();
       if (now.completed != last.completed || now.partial != last.partial ||
           now.initiated_only != last.initiated_only ||
           now.timed_out != last.timed_out ||
@@ -165,7 +186,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   result.final_breakdown =
-      analyzer.completion_breakdown(workload.stats().requested);
+      analyzer.completion_breakdown(wl_stats().requested);
 
   // --- Collect ------------------------------------------------------------------
   for (auto& r : relayers) {
@@ -180,10 +201,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                      r->wallet_b().rpc_unavailable_errors();
     r->stop();
   }
-  result.workload = workload.stats();
-  result.sequence_mismatch_errors += workload.sequence_mismatch_errors();
-  result.no_confirmation_errors += workload.no_confirmation_errors();
-  result.rpc_unavailable_errors += workload.rpc_unavailable_errors();
+  result.workload = wl_stats();
+  if (closed) {
+    // Open-loop submission has no wallet layer, so no wallet error counters.
+    result.sequence_mismatch_errors += closed->sequence_mismatch_errors();
+    result.no_confirmation_errors += closed->no_confirmation_errors();
+    result.rpc_unavailable_errors += closed->rpc_unavailable_errors();
+  }
   result.steps = std::move(steps);
 
   const auto broadcasts = result.steps.completion_times_seconds(

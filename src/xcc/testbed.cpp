@@ -23,13 +23,14 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
         check::ChainHandles{b_.id, b_.app.get(), b_.engine.get()}, cc);
   }
 
-  // Workload sender accounts live on the source chain.
+  // Workload sender accounts live on the source chain. The bulk path
+  // produces the same genesis state (and app hash) as per-account funding
+  // but scales to millions of accounts.
   users_.reserve(static_cast<std::size_t>(config_.user_accounts));
   for (int i = 0; i < config_.user_accounts; ++i) {
-    chain::Address addr = "user-" + std::to_string(i);
-    a_.app->add_genesis_account(addr, config_.user_balance);
-    users_.push_back(std::move(addr));
+    users_.push_back("user-" + std::to_string(i));
   }
+  a_.app->add_genesis_accounts(users_, config_.user_balance);
 
   // Relayer wallets funded on both chains.
   for (int r = 0; r < config_.relayer_wallets; ++r) {

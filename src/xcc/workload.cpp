@@ -199,4 +199,157 @@ void TransferWorkload::backfill_broadcast_records(
       });
 }
 
+// --- ZipfSampler -----------------------------------------------------------
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) : n_(n) {
+  if (n_ == 0) n_ = 1;
+  if (exponent <= 0.0) return;  // uniform: no table needed
+  cdf_.resize(n_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(util::Rng& rng) const {
+  if (cdf_.empty()) {
+    return static_cast<std::size_t>(rng.next_below(n_));
+  }
+  const double u = rng.next_double();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+// --- OpenLoopWorkload --------------------------------------------------------
+
+OpenLoopWorkload::OpenLoopWorkload(Testbed& testbed,
+                                   const ChannelSetupResult& channel,
+                                   WorkloadConfig config)
+    : testbed_(testbed),
+      channel_(channel),
+      config_(config),
+      rng_(testbed.config().seed ^ 0x5ca1ab1e00000000ULL),
+      zipf_(config.open_loop_accounts, config.zipf_exponent),
+      next_sequence_(zipf_.size(), 0),
+      counts_(std::make_shared<LiveCounts>()) {}
+
+sim::TimePoint OpenLoopWorkload::start() {
+  assert(!started_);
+  started_ = true;
+  start_time_ = testbed_.scheduler().now();
+  remaining_ = config_.total_transfers;
+  stats_.requested = remaining_;
+
+  assert(config_.account_offset + zipf_.size() <=
+             testbed_.user_accounts().size() &&
+         "testbed has too few user accounts for the open-loop population");
+
+  // Inclusion accounting from committed blocks: only workload senders
+  // (user-*) count; handshake/relayer traffic is excluded. The shared
+  // counts block keeps the un-unsubscribable engine callback safe if it
+  // outlives this object.
+  std::shared_ptr<LiveCounts> counts = counts_;
+  testbed_.chain_a().engine->subscribe_block(
+      [counts](const chain::Block& block,
+               const std::vector<chain::DeliverTxResult>& results) {
+        bool any = false;
+        for (std::size_t i = 0; i < block.txs.size(); ++i) {
+          const chain::Tx& tx = block.txs[i];
+          if (tx.sender.rfind("user-", 0) != 0) continue;
+          const auto msgs = static_cast<std::uint64_t>(tx.msgs.size());
+          if (results[i].status.is_ok()) {
+            counts->included += msgs;
+            any = true;
+          } else {
+            counts->included_failed += msgs;
+          }
+        }
+        if (any) ++counts->blocks_with_inclusions;
+      });
+
+  schedule_tick();
+  return start_time_;
+}
+
+void OpenLoopWorkload::schedule_tick() {
+  if (remaining_ == 0) return;
+  const double rate = std::max(config_.open_loop_tx_rate, 1e-3);
+  const sim::Duration step =
+      std::max<sim::Duration>(1, sim::seconds(1.0 / rate));
+  testbed_.scheduler().schedule_after(step, [this]() {
+    submit_next();
+    schedule_tick();
+  });
+}
+
+void OpenLoopWorkload::submit_next() {
+  if (remaining_ == 0) return;
+  const std::uint64_t count =
+      std::min<std::uint64_t>(remaining_, config_.msgs_per_tx);
+  remaining_ -= count;
+  ++outstanding_;
+
+  const std::size_t pick = zipf_.sample(rng_);
+  const chain::Address& sender =
+      testbed_.user_accounts()[config_.account_offset + pick];
+
+  chain::Tx tx;
+  tx.sender = sender;
+  tx.sequence = next_sequence_[pick]++;
+  tx.msgs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ibc::MsgTransfer t;
+    t.source_port = ibc::kTransferPort;
+    t.source_channel = channel_.channel_a;
+    t.denom = cosmos::kNativeDenom;
+    t.amount = config_.transfer_amount;
+    t.sender = sender;
+    t.receiver = "recv-" + sender;
+    t.timeout_height =
+        testbed_.chain_b().ledger->height() + config_.timeout_height_offset;
+    tx.msgs.push_back(t.to_msg());
+  }
+  tx.gas_limit = static_cast<std::uint64_t>(
+      std::ceil((69'000.0 + 36'000.0 * static_cast<double>(count)) * 1.10));
+  tx.fee = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(tx.gas_limit) * config_.gas_price));
+
+  // Round-robin the submissions over the machines' full nodes: one serial
+  // RPC queue would otherwise become the artificial bottleneck.
+  const auto& servers = testbed_.chain_a().servers;
+  const std::size_t m = (static_cast<std::size_t>(config_.machine) +
+                         submit_index_++) %
+                        servers.size();
+  const std::uint64_t seq = tx.sequence;
+  servers[m]->broadcast_tx_sync(
+      static_cast<net::MachineId>(m), std::move(tx),
+      [this, count, pick, seq](util::Status status) {
+        --outstanding_;
+        if (status.is_ok()) {
+          stats_.broadcast += count;
+        } else {
+          rejected_msgs_ += count;
+          // Resync the local sequence when no later submission for this
+          // account raced past the rejected one; otherwise the gap drains
+          // as further rejections (open-loop overload behaviour).
+          if (next_sequence_[pick] == seq + 1) next_sequence_[pick] = seq;
+        }
+      });
+}
+
+bool OpenLoopWorkload::finished() const {
+  if (!started_ || remaining_ != 0 || outstanding_ != 0) return false;
+  return counts_->included + counts_->included_failed + rejected_msgs_ >=
+         stats_.requested;
+}
+
+const TransferWorkload::Stats& OpenLoopWorkload::stats() const {
+  stats_.committed = counts_->included;
+  stats_.failed_submission = rejected_msgs_ + counts_->included_failed;
+  return stats_;
+}
+
 }  // namespace xcc

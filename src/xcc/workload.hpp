@@ -20,6 +20,7 @@
 #include <set>
 
 #include "relayer/events.hpp"
+#include "util/rng.hpp"
 #include "relayer/wallet.hpp"
 #include "xcc/handshake.hpp"
 #include "xcc/testbed.hpp"
@@ -44,6 +45,32 @@ struct WorkloadConfig {
   std::int64_t timeout_height_offset = 100'000;
   net::MachineId machine = 0;
   double gas_price = 0.01;
+
+  // --- open-loop mode (OpenLoopWorkload; the bench_scale_* family) -------
+  /// Selects OpenLoopWorkload in run_experiment(): fire-and-forget
+  /// submission at `open_loop_tx_rate`, senders drawn Zipf-distributed
+  /// from `open_loop_accounts` accounts, `total_transfers` in total.
+  bool open_loop = false;
+  /// Size of the account population senders are drawn from.
+  std::size_t open_loop_accounts = 1000;
+  /// Zipf exponent for account selection; 0 = uniform. Real user activity
+  /// is heavy-tailed, which concentrates sequence chains on hot accounts.
+  double zipf_exponent = 1.0;
+  /// Transactions (not transfers) submitted per virtual second.
+  double open_loop_tx_rate = 40.0;
+};
+
+/// Deterministic Zipf(s) sampler over {0..n-1} via a precomputed CDF table
+/// and binary search. rank probability ~ 1/(rank+1)^s; s = 0 is uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+  std::size_t sample(util::Rng& rng) const;
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> cdf_;  // empty when exponent == 0 (uniform)
 };
 
 class TransferWorkload {
@@ -103,6 +130,62 @@ class TransferWorkload {
   rpc::Server::SubscriptionId sub_ = 0;
 
   Stats stats_;
+};
+
+/// Open-loop submission harness for the scale benches: transactions are
+/// broadcast fire-and-forget at a fixed virtual-time rate (no per-account
+/// wait-for-commit), with senders drawn from a Zipf-distributed account
+/// population and per-account sequence numbers tracked locally — the
+/// mempool admits consecutive sequences, so hot accounts build chains.
+/// Inclusion is counted from committed blocks via the consensus engine's
+/// block subscription. If the mempool overflows, rejected transfers are
+/// counted as failed (that is the open-loop contract) and the sender's
+/// local sequence resyncs when no later submission raced past it.
+class OpenLoopWorkload {
+ public:
+  OpenLoopWorkload(Testbed& testbed, const ChannelSetupResult& channel,
+                   WorkloadConfig config);
+
+  OpenLoopWorkload(const OpenLoopWorkload&) = delete;
+  OpenLoopWorkload& operator=(const OpenLoopWorkload&) = delete;
+
+  sim::TimePoint start();
+
+  /// Everything submitted and every outcome known (committed, failed on
+  /// delivery, or rejected at broadcast).
+  bool finished() const;
+
+  const TransferWorkload::Stats& stats() const;
+  std::uint64_t blocks_with_inclusions() const {
+    return counts_->blocks_with_inclusions;
+  }
+
+ private:
+  // Shared with the engine block subscription, which cannot be
+  // unsubscribed and may outlive this workload within a run.
+  struct LiveCounts {
+    std::uint64_t included = 0;         // transfers in successful txs
+    std::uint64_t included_failed = 0;  // transfers in failed-delivery txs
+    std::uint64_t blocks_with_inclusions = 0;
+  };
+
+  void submit_next();
+  void schedule_tick();
+
+  Testbed& testbed_;
+  ChannelSetupResult channel_;
+  WorkloadConfig config_;
+  util::Rng rng_;
+  ZipfSampler zipf_;
+  std::vector<std::uint64_t> next_sequence_;  // per account-population index
+  std::shared_ptr<LiveCounts> counts_;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t outstanding_ = 0;  // broadcasts awaiting admission outcome
+  std::uint64_t submit_index_ = 0;
+  std::uint64_t rejected_msgs_ = 0;
+  bool started_ = false;
+  sim::TimePoint start_time_ = 0;
+  mutable TransferWorkload::Stats stats_;
 };
 
 }  // namespace xcc

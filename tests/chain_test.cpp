@@ -403,6 +403,74 @@ TEST(MempoolTest, RecheckEvictsStaleSequences) {
   EXPECT_EQ(pool.evicted_recheck(), 1u);
 }
 
+// The pool shards by sender internally; reap must still return the exact
+// global admission order (k-way merge by admission ticket), interleaved
+// across many senders that land in different shards.
+TEST(MempoolTest, ReapPreservesGlobalFifoAcrossShards) {
+  CountingApp app;
+  chain::Mempool pool(app, 1'000);
+  std::vector<chain::TxHash> admitted;
+  std::map<std::string, std::uint64_t> next_seq;
+  // 100 admissions over 37 senders, round-robined so adjacent admissions
+  // land in different shards.
+  for (int i = 0; i < 100; ++i) {
+    const std::string sender = "sender-" + std::to_string(i % 37);
+    const chain::Tx tx = make_tx(sender, next_seq[sender]++);
+    admitted.push_back(tx.hash());
+    ASSERT_TRUE(pool.add(tx).is_ok());
+  }
+  const auto reaped = pool.reap(1'000'000'000'000ULL, 1 << 30);
+  ASSERT_EQ(reaped.size(), admitted.size());
+  for (std::size_t i = 0; i < reaped.size(); ++i) {
+    EXPECT_EQ(reaped[i].hash(), admitted[i]) << "position " << i;
+  }
+}
+
+// Pending-per-sender accounting must span shards and survive commits: a
+// sender's later txs stay admissible exactly when the earlier ones are
+// still pending or already committed.
+TEST(MempoolTest, PendingCountsSurviveInterleavedCommits) {
+  CountingApp app;
+  chain::Mempool pool(app, 1'000);
+  std::vector<chain::Tx> alices;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    alices.push_back(make_tx("alice", s));
+    ASSERT_TRUE(pool.add(alices.back()).is_ok());
+    ASSERT_TRUE(pool.add(make_tx("other-" + std::to_string(s), 0)).is_ok());
+  }
+  // Commit alice's first two txs (plus one bystander) in one block.
+  app.mark_committed(alices[0]);
+  app.mark_committed(alices[1]);
+  app.mark_committed(make_tx("other-0", 0));
+  pool.update_after_commit({alices[0], alices[1], make_tx("other-0", 0)});
+  EXPECT_EQ(pool.size(), 7u);
+  EXPECT_FALSE(pool.contains(alices[0].hash()));
+  EXPECT_TRUE(pool.contains(alices[2].hash()));
+  // The next sequence for alice is 5: 2 committed + 3 pending.
+  EXPECT_TRUE(pool.add(make_tx("alice", 5)).is_ok());
+  EXPECT_EQ(pool.add(make_tx("alice", 7)).code(),
+            util::ErrorCode::kSequenceMismatch);
+}
+
+// Recheck runs per shard and all of a sender's txs live in one shard, so
+// a stale head evicts while the still-consecutive suffix re-anchors.
+TEST(MempoolTest, RecheckEvictsStaleHeadKeepsConsecutiveSuffix) {
+  CountingApp app;
+  chain::Mempool pool(app, 1'000);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(pool.add(make_tx("bob", s)).is_ok());
+  }
+  ASSERT_TRUE(pool.add(make_tx("carol", 0)).is_ok());
+  // Someone else consumed bob's sequence 0 (e.g. a competing node's block).
+  app.mark_committed(make_tx("bob", 0));
+  pool.update_after_commit({});
+  // bob@0 is stale; bob@1..3 re-anchor on the committed counter (1): the
+  // recheck keeps exactly the still-consecutive suffix.
+  EXPECT_EQ(pool.evicted_recheck(), 1u);
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_TRUE(pool.contains(make_tx("carol", 0).hash()));
+}
+
 // --- Ledger -----------------------------------------------------------------------
 
 TEST(LedgerTest, AppendAndLookup) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "crypto/merkle.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/signature.hpp"
@@ -49,6 +52,71 @@ TEST(Sha256Test, IncrementalMatchesOneShot) {
     h.update(util::BytesView(bytes.data() + off, bytes.size() - off));
   }
   EXPECT_EQ(h.finalize(), crypto::sha256(bytes));
+}
+
+// Every length around the block/padding boundaries (0..130 covers one-block,
+// exactly-one-block, padding-overflow and two-block cases) must agree
+// between the one-shot path, byte-at-a-time incremental hashing, and the
+// batch helper.
+TEST(Sha256Test, AllSmallLengthsIncrementalAndBatchAgree) {
+  util::Bytes data(130);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  crypto::Sha256 h;  // deliberately reused across all lengths
+  std::vector<util::BytesView> views;
+  std::vector<crypto::Digest> oneshot;
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    const util::BytesView view(data.data(), len);
+    const crypto::Digest expect = crypto::sha256(view);
+    for (std::size_t i = 0; i < len; ++i) {
+      h.update(util::BytesView(data.data() + i, 1));
+    }
+    EXPECT_EQ(h.finalize(), expect) << "len " << len;
+    views.push_back(view);
+    oneshot.push_back(expect);
+  }
+  std::vector<crypto::Digest> batched(views.size());
+  crypto::sha256_batch(views.data(), views.size(), batched.data());
+  EXPECT_EQ(batched, oneshot);
+}
+
+// finalize() must fully reset the hasher: reuse without an explicit reset()
+// produces the same digest as a fresh object (the wallet/store hot paths
+// rely on this).
+TEST(Sha256Test, ReuseAfterFinalizeEqualsFresh) {
+  const util::Bytes a = util::to_bytes("first message");
+  const util::Bytes b = util::to_bytes("second, longer message: " +
+                                       std::string(100, 'z'));
+  crypto::Sha256 reused;
+  reused.update(a);
+  const crypto::Digest first = reused.finalize();
+  reused.update(b);
+  const crypto::Digest second = reused.finalize();
+
+  crypto::Sha256 fresh_a;
+  fresh_a.update(a);
+  EXPECT_EQ(first, fresh_a.finalize());
+  crypto::Sha256 fresh_b;
+  fresh_b.update(b);
+  EXPECT_EQ(second, fresh_b.finalize());
+
+  // An explicit reset mid-stream discards buffered input.
+  reused.update(a);
+  reused.reset();
+  reused.update(b);
+  EXPECT_EQ(reused.finalize(), crypto::sha256(b));
+}
+
+TEST(Sha256Test, DigestHexRoundTrip) {
+  const crypto::Digest d = crypto::sha256(util::to_bytes("abc"));
+  const std::string hex = crypto::digest_hex(d);
+  ASSERT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex,
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
 }
 
 TEST(Sha256Test, ShortHexIsPrefix) {

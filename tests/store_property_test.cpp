@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "chain/store.hpp"
 #include "util/rng.hpp"
@@ -16,9 +19,39 @@ std::string random_key(util::Rng& rng) {
 }
 
 util::Bytes random_value(util::Rng& rng) {
-  util::Bytes v(1 + rng.next_below(16));
+  // Straddle the store's 32-byte inline-value threshold: small values hit
+  // the inline path, the tail of this range exercises spill storage.
+  util::Bytes v(1 + rng.next_below(48));
   for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_below(256));
   return v;
+}
+
+/// scan_prefix must agree with the model exactly: same keys (sorted), same
+/// value bytes, and get_view must serve the same bytes as get.
+void expect_scan_matches_model(const chain::KvStore& store,
+                               const std::map<std::string, util::Bytes>& model,
+                               const std::string& prefix, int step) {
+  std::vector<std::pair<std::string, util::Bytes>> expected;
+  for (const auto& [k, v] : model) {
+    if (k.compare(0, prefix.size(), prefix) == 0) expected.emplace_back(k, v);
+  }
+  std::size_t i = 0;
+  for (auto it = store.scan_prefix(prefix); it.next(); ++i) {
+    ASSERT_LT(i, expected.size()) << "step " << step << " extra key "
+                                  << it.key();
+    EXPECT_EQ(it.key(), expected[i].first) << "step " << step;
+    EXPECT_TRUE(std::equal(it.value().begin(), it.value().end(),
+                           expected[i].second.begin(),
+                           expected[i].second.end()))
+        << "step " << step << " key " << it.key();
+    const auto view = store.get_view(expected[i].first);
+    ASSERT_TRUE(view.has_value()) << "step " << step;
+    EXPECT_TRUE(std::equal(view->begin(), view->end(),
+                           expected[i].second.begin(),
+                           expected[i].second.end()))
+        << "step " << step;
+  }
+  EXPECT_EQ(i, expected.size()) << "step " << step << " prefix " << prefix;
 }
 
 void expect_matches_model(const chain::KvStore& store,
@@ -75,12 +108,17 @@ TEST_P(StoreModelProperty, RandomOpsMatchReferenceModel) {
       store.revert_tx();
       model = model_backup;
       in_tx = false;
-    } else {
+    } else if (dice < 0.97) {
       // Proof spot check on a random key (present or absent).
       const std::string k = random_key(rng);
       const chain::StoreProof proof = store.prove(k);
       EXPECT_EQ(proof.exists, model.contains(k)) << "step " << step;
       EXPECT_TRUE(chain::verify_store_proof(proof, store.root()));
+    } else {
+      expect_scan_matches_model(store, model, "k/", step);
+      expect_scan_matches_model(store, model,
+                                "k/" + std::to_string(rng.next_below(4)),
+                                step);
     }
 
     expect_matches_model(store, model, step);
@@ -98,6 +136,77 @@ TEST_P(StoreModelProperty, RandomOpsMatchReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// Heavy erase/reinsert churn pushes the store through tombstone purges and
+// full compactions (threshold: thousands of dead entries); contents, scans,
+// proofs and the root must stay consistent with the model throughout.
+TEST(StorePropertyTest, CompactionChurnKeepsModelAndRoot) {
+  util::Rng rng(4242);
+  chain::KvStore store;
+  std::map<std::string, util::Bytes> model;
+
+  crypto::Digest root_when_empty = store.root();
+  for (int round = 0; round < 6; ++round) {
+    // Fill a few thousand keys, then erase most of them.
+    for (int i = 0; i < 3'000; ++i) {
+      const std::string k =
+          "churn/" + std::to_string(round % 2) + "/" + std::to_string(i);
+      util::Bytes v = random_value(rng);
+      store.set(k, v);
+      model[k] = std::move(v);
+    }
+    for (int i = 0; i < 3'000; ++i) {
+      if (rng.next_below(8) == 0) continue;  // keep ~1/8 alive
+      const std::string k =
+          "churn/" + std::to_string(round % 2) + "/" + std::to_string(i);
+      store.erase(k);
+      model.erase(k);
+    }
+    ASSERT_EQ(store.size(), model.size()) << "round " << round;
+    expect_scan_matches_model(store, model, "churn/", round);
+    // Spot-check membership + proofs after the churn.
+    for (int i = 0; i < 50; ++i) {
+      const std::string k = "churn/" + std::to_string(round % 2) + "/" +
+                            std::to_string(rng.next_below(3'000));
+      const auto got = store.get(k);
+      ASSERT_EQ(got.has_value(), model.contains(k)) << "round " << round;
+      const chain::StoreProof proof = store.prove(k);
+      EXPECT_EQ(proof.exists, model.contains(k));
+      EXPECT_TRUE(chain::verify_store_proof(proof, store.root()));
+    }
+  }
+
+  // Erasing everything must return the root to the empty-set hash: the
+  // XOR set-hash (and thus compaction bookkeeping) leaks nothing.
+  for (const auto& [k, v] : model) store.erase(k);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.root(), root_when_empty);
+}
+
+// Journal semantics across erase-heavy transactions: revert must restore
+// exact pre-tx contents and root even when the tx erased spilled values.
+TEST(StorePropertyTest, RevertRestoresSpilledValues) {
+  chain::KvStore store;
+  util::Bytes big(100, 0x5a);
+  store.set("a", big);
+  store.set("b", util::to_bytes("small"));
+  const crypto::Digest root_before = store.root();
+
+  store.begin_tx();
+  store.erase("a");
+  store.set("b", util::Bytes(64, 0x11));
+  store.set("c", util::Bytes(33, 0x22));
+  store.revert_tx();
+
+  EXPECT_EQ(store.root(), root_before);
+  const auto a = store.get("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, big);
+  const auto b = store.get_view("b");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(util::Bytes(b->begin(), b->end()), util::to_bytes("small"));
+  EXPECT_FALSE(store.contains("c"));
+}
 
 TEST(StorePropertyTest, PrefixScanMatchesModel) {
   util::Rng rng(99);
