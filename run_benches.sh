@@ -64,12 +64,36 @@ if [ "$1" = "--check" ]; then
   phase "ASan+UBSan: invariant checker + fuzz scenarios + relayer + store property"
   cmake -B build-asan -S . -DADDRESS_SANITIZER=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j --target test_invariants test_faults fuzz_scenarios \
-    test_relayer_behavior test_query_cache test_rpc_relayer
+    test_relayer_behavior test_query_cache test_rpc_relayer test_campaigns test_lifecycle
   # StoreModelProperty/StoreProperty run the randomized-op store model tests
   # (hash index, arena, spill values, compaction) under ASan.
   (cd build-asan && ctest --output-on-failure \
-    -R 'InvariantChecker|NetworkFault|TimeoutPath|CodecProperty|RelayerFixture|QueryCache|StoreModelProperty|StoreProperty')
+    -R 'InvariantChecker|NetworkFault|TimeoutPath|CodecProperty|RelayerFixture|QueryCache|StoreModelProperty|StoreProperty|Campaign|ClientLifecycleFixture|RestartFixture|FrameFixture')
   ./build-asan/src/check/fuzz_scenarios --seeds=40
+  phase_ok
+
+  phase "chaos campaigns: families under ASan+UBSan, identity diff, TSan pool"
+  # Short horizon per family (the 1000-block versions are ctest targets);
+  # ASan+UBSan catches lifetime bugs in the fault/recovery paths.
+  for f in halt-restart client-expiry client-freeze relayer-crash \
+           censorship frame-storm; do
+    ./build-asan/src/check/fuzz_scenarios --campaign="$f" --blocks=160
+  done
+  # The planted expired-client bug must be detected.
+  ./build-asan/src/check/fuzz_scenarios --campaign=client-expiry --blocks=300 \
+    --mutate=skip-expiry-check --expect-violation
+  # Same-seed reruns must be byte-identical (CSV incl. final app hashes),
+  # independent of worker count.
+  cdir=$(mktemp -d)
+  ./build-asan/src/check/fuzz_scenarios --campaign=all --blocks=160 --jobs=2 \
+    | grep -v 'worker(s)\|^ran ' > "$cdir/a.txt"
+  ./build-asan/src/check/fuzz_scenarios --campaign=all --blocks=160 --jobs=6 \
+    | grep -v 'worker(s)\|^ran ' > "$cdir/b.txt"
+  diff "$cdir/a.txt" "$cdir/b.txt"
+  rm -rf "$cdir"
+  # All families through the parallel runner under TSan.
+  cmake --build build-tsan -j --target fuzz_scenarios
+  ./build-tsan/src/check/fuzz_scenarios --campaign=all --blocks=160 --jobs=4
   phase_ok
 
   phase "golden-figure regression suite"

@@ -1,0 +1,79 @@
+#include "chain/evidence.hpp"
+
+namespace chain {
+
+namespace {
+
+void append_digest(util::Bytes& out, const crypto::Digest& d) {
+  util::append(out, util::BytesView(d.data(), d.size()));
+}
+
+bool read_digest(util::BytesView data, std::size_t& off, crypto::Digest& d) {
+  if (off + d.size() > data.size()) return false;
+  std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+            data.begin() + static_cast<std::ptrdiff_t>(off + d.size()),
+            d.begin());
+  off += d.size();
+  return true;
+}
+
+}  // namespace
+
+util::Bytes Evidence::encode() const {
+  util::Bytes out;
+  append_digest(out, validator.id);
+  util::append_u64_be(out, static_cast<std::uint64_t>(height));
+  util::append_u32_be(out, static_cast<std::uint32_t>(round));
+  append_digest(out, block_id_a.hash);
+  append_digest(out, block_id_b.hash);
+  append_digest(out, sig_a.mac);
+  append_digest(out, sig_b.mac);
+  return out;
+}
+
+bool Evidence::decode(util::BytesView data, Evidence& out) {
+  std::size_t off = 0;
+  if (!read_digest(data, off, out.validator.id)) return false;
+  if (off + 12 > data.size()) return false;
+  out.height = static_cast<Height>(util::read_u64_be(data, off));
+  off += 8;
+  out.round = static_cast<int>(util::read_u32_be(data, off));
+  off += 4;
+  if (!read_digest(data, off, out.block_id_a.hash) ||
+      !read_digest(data, off, out.block_id_b.hash) ||
+      !read_digest(data, off, out.sig_a.mac) ||
+      !read_digest(data, off, out.sig_b.mac)) {
+    return false;
+  }
+  return off == data.size();
+}
+
+bool Evidence::verify(const ChainId& chain_id) const {
+  if (block_id_a == block_id_b) return false;  // not conflicting votes
+  const util::Bytes bytes_a =
+      vote_sign_bytes(chain_id, height, round, block_id_a);
+  const util::Bytes bytes_b =
+      vote_sign_bytes(chain_id, height, round, block_id_b);
+  return crypto::verify(validator, bytes_a, sig_a) &&
+         crypto::verify(validator, bytes_b, sig_b);
+}
+
+Evidence make_duplicate_vote(const ChainId& chain_id,
+                             const crypto::PrivateKey& priv,
+                             const crypto::PublicKey& pub, Height height,
+                             int round, const BlockId& block_id_a,
+                             const BlockId& block_id_b) {
+  Evidence ev;
+  ev.validator = pub;
+  ev.height = height;
+  ev.round = round;
+  ev.block_id_a = block_id_a;
+  ev.block_id_b = block_id_b;
+  ev.sig_a =
+      crypto::sign(priv, vote_sign_bytes(chain_id, height, round, block_id_a));
+  ev.sig_b =
+      crypto::sign(priv, vote_sign_bytes(chain_id, height, round, block_id_b));
+  return ev;
+}
+
+}  // namespace chain

@@ -1,0 +1,48 @@
+#pragma once
+// Validator misbehaviour evidence (Tendermint duplicate-vote equivocation).
+//
+// A validator that signs precommits for two different blocks at the same
+// height/round is provably Byzantine: the two signatures over
+// vote_sign_bytes() with conflicting BlockIds are self-authenticating and
+// can be carried in Block::evidence, verified by any full node, and used by
+// a counterparty light client as misbehaviour proof (freezing the client).
+
+#include "chain/block.hpp"
+#include "chain/types.hpp"
+#include "crypto/signature.hpp"
+#include "util/bytes.hpp"
+
+namespace chain {
+
+/// Proof that `validator` precommit-signed two conflicting blocks at the
+/// same height/round.
+struct Evidence {
+  crypto::PublicKey validator;
+  Height height = 0;
+  int round = 0;
+  BlockId block_id_a;
+  BlockId block_id_b;
+  crypto::Signature sig_a;  // over vote_sign_bytes(..., block_id_a)
+  crypto::Signature sig_b;  // over vote_sign_bytes(..., block_id_b)
+
+  bool operator==(const Evidence&) const = default;
+
+  /// Fixed-layout canonical encoding (fits Block::evidence's raw bytes).
+  util::Bytes encode() const;
+  static bool decode(util::BytesView data, Evidence& out);
+
+  /// True iff the block ids differ and both signatures verify against the
+  /// canonical vote sign-bytes for `chain_id` — i.e. this is a genuine
+  /// equivocation, not a forgery.
+  bool verify(const ChainId& chain_id) const;
+};
+
+/// Builds (and signs) duplicate-vote evidence with the validator's private
+/// key. Test/simulation helper: the testbed plays the Byzantine validator.
+Evidence make_duplicate_vote(const ChainId& chain_id,
+                             const crypto::PrivateKey& priv,
+                             const crypto::PublicKey& pub, Height height,
+                             int round, const BlockId& block_id_a,
+                             const BlockId& block_id_b);
+
+}  // namespace chain

@@ -46,6 +46,11 @@ util::Status Mempool::add(const Tx& tx) {
     return util::Status::error(util::ErrorCode::kResourceExhausted,
                                "mempool is full");
   }
+  if (censor_ && censor_(tx)) {
+    ++censored_;
+    return util::Status::error(util::ErrorCode::kUnavailable,
+                               "censored by mempool filter");
+  }
   // Mempool-aware sequence check (the SDK's check-state): a sender may queue
   // consecutive sequences without waiting for commits. A gap or reuse still
   // fails with "account sequence mismatch".

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -40,6 +41,14 @@ class Mempool {
 
   /// CheckTx + admission. Duplicates (by hash) are rejected.
   util::Status add(const Tx& tx);
+
+  /// Censorship fault injection: while set, any tx for which the predicate
+  /// returns true is refused admission (UNAVAILABLE), as if every node's
+  /// mempool filtered it. Pass nullptr to lift the censorship window.
+  void set_censor(std::function<bool(const Tx&)> censor) {
+    censor_ = std::move(censor);
+  }
+  std::uint64_t censored() const { return censored_; }
 
   /// Selects transactions for a proposal, FIFO, while both budgets hold.
   /// Does not remove them (they leave the pool on commit).
@@ -89,9 +98,11 @@ class Mempool {
   std::unordered_map<Address, std::uint64_t> pending_per_sender_;
   std::uint64_t next_ticket_ = 0;
   std::size_t count_ = 0;
+  std::function<bool(const Tx&)> censor_;
   std::uint64_t rejected_full_ = 0;
   std::uint64_t rejected_checktx_ = 0;
   std::uint64_t evicted_recheck_ = 0;
+  std::uint64_t censored_ = 0;
   telemetry::Counter* admitted_ctr_ = nullptr;
   telemetry::Counter* rejected_full_ctr_ = nullptr;
   telemetry::Counter* rejected_checktx_ctr_ = nullptr;

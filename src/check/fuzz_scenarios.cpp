@@ -1,10 +1,14 @@
-// Seed-deterministic scenario fuzzer (see DESIGN.md "Invariant checking").
+// Seed-deterministic scenario fuzzer (see DESIGN.md "Invariant checking")
+// and chaos campaign runner (DESIGN.md §4g).
 //
 //   fuzz_scenarios --seeds=200 --jobs=8     fuzz 200 seeds across 8 workers
 //   fuzz_scenarios --seed=1234567           reproduce one seed, verbosely
 //   fuzz_scenarios --seeds=12 --mutate=skip-replay-check --expect-violation
 //                                           prove the checker catches a
 //                                           deliberately broken keeper
+//   fuzz_scenarios --campaign=client-expiry --blocks=1000
+//                                           one long-horizon chaos campaign
+//   fuzz_scenarios --campaign=all --jobs=6  every family, in parallel
 //
 // Exit status: 0 when no violations were found (or, with
 // --expect-violation, when at least one was), 1 otherwise, 2 on bad usage.
@@ -15,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "check/campaign.hpp"
 #include "check/scenario.hpp"
 #include "xcc/parallel.hpp"
 
@@ -29,6 +34,10 @@ struct Options {
   bool verbose = false;
   bool expect_violation = false;
   check::ScenarioOptions scenario;
+  /// Campaign mode: a family name from check::kCampaignFamilies, or "all".
+  std::string campaign;
+  std::uint64_t blocks = 1'000;
+  bool mutate_skip_expiry = false;
 };
 
 void usage() {
@@ -42,6 +51,12 @@ void usage() {
          "concurrency)\n"
          "  --mutate=skip-replay-check\n"
          "                        inject a broken recvPacket replay check\n"
+         "  --mutate=skip-expiry-check\n"
+         "                        inject a broken client-expiry check\n"
+         "  --campaign=FAMILY     run one chaos campaign (or 'all'):\n"
+         "                        halt-restart client-expiry client-freeze\n"
+         "                        relayer-crash censorship frame-storm\n"
+         "  --blocks=N            campaign horizon in blocks (default 1000)\n"
          "  --expect-violation    exit 0 iff at least one violation found\n"
          "  --verbose             one line per scenario\n";
 }
@@ -67,10 +82,22 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const std::string what = value("--mutate=");
       if (what == "skip-replay-check") {
         opt.scenario.mutate_skip_replay = true;
+      } else if (what == "skip-expiry-check") {
+        opt.mutate_skip_expiry = true;
       } else {
         std::cerr << "unknown mutation: " << what << "\n";
         return false;
       }
+    } else if (arg.rfind("--campaign=", 0) == 0) {
+      opt.campaign = value("--campaign=");
+      if (opt.campaign != "all" &&
+          !check::campaign_family_known(opt.campaign)) {
+        std::cerr << "unknown campaign family: " << opt.campaign << "\n";
+        return false;
+      }
+    } else if (arg.rfind("--blocks=", 0) == 0) {
+      opt.blocks = std::strtoull(value("--blocks=").c_str(), nullptr, 0);
+      if (opt.blocks == 0) return false;
     } else if (arg == "--expect-violation") {
       opt.expect_violation = true;
     } else if (arg == "--verbose") {
@@ -92,6 +119,68 @@ std::string repro_command(const Options& opt, std::uint64_t seed) {
   return cmd;
 }
 
+/// Campaign mode: one long-horizon chaos storyline per family, each under
+/// the invariant checker, each ending in a drain-to-zero check. Families are
+/// independent testbeds, so "--campaign=all" parallelises across them.
+int run_campaigns(const Options& opt) {
+  std::vector<std::string> families;
+  if (opt.campaign == "all") {
+    families.assign(check::kCampaignFamilies,
+                    check::kCampaignFamilies + check::kCampaignFamilyCount);
+  } else {
+    families.push_back(opt.campaign);
+  }
+
+  std::vector<check::CampaignResult> results(families.size());
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(families.size());
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    jobs.push_back([&results, &families, &opt, i] {
+      check::CampaignOptions copt;
+      copt.family = families[i];
+      copt.seed = opt.single_seed ? opt.seed : opt.base_seed;
+      copt.min_blocks = opt.blocks;
+      copt.mutate_skip_expiry = opt.mutate_skip_expiry;
+      copt.mutate_skip_replay = opt.scenario.mutate_skip_replay;
+      results[i] = check::run_campaign(copt);
+    });
+  }
+  const int workers = xcc::clamp_workers(
+      opt.jobs > 0 ? opt.jobs : xcc::default_workers(), jobs.size());
+  std::cout << "running " << families.size() << " campaign(s) on " << workers
+            << " worker(s), horizon " << opt.blocks << " blocks\n";
+  xcc::SweepStats stats;
+  xcc::run_jobs(jobs, workers, &stats);
+
+  std::size_t setup_failures = 0, total_violations = 0;
+  for (const check::CampaignResult& r : results) {
+    if (!r.setup_ok) {
+      ++setup_failures;
+      std::cout << "campaign " << r.family << ": SETUP FAILED ("
+                << r.setup_error << ")\n";
+      continue;
+    }
+    std::cout << r.csv();
+    total_violations += r.violations.size();
+    for (const check::Violation& v : r.violations) {
+      std::cout << "    " << v.to_string() << "\n";
+    }
+  }
+  std::cout << "ran " << families.size() << " campaign(s) in "
+            << stats.wall_seconds << " s: " << total_violations
+            << " violation(s), " << setup_failures << " setup failure(s)\n";
+
+  if (opt.expect_violation) {
+    if (total_violations > 0) {
+      std::cout << "mutation detected as expected\n";
+      return 0;
+    }
+    std::cout << "ERROR: mutation was NOT detected by any campaign\n";
+    return 1;
+  }
+  return (setup_failures == 0 && total_violations == 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +189,11 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (opt.mutate_skip_expiry && opt.campaign.empty()) {
+    std::cerr << "--mutate=skip-expiry-check requires --campaign\n";
+    return 2;
+  }
+  if (!opt.campaign.empty()) return run_campaigns(opt);
 
   std::vector<std::uint64_t> seeds;
   if (opt.single_seed) {

@@ -25,7 +25,10 @@ void Engine::start() {
   assert(!running_);
   running_ = true;
   last_block_time_ = sched_.now();
-  last_commit_done_ = sched_.now();
+  // A block committed just before a stop() still executes (its exec event is
+  // already scheduled); a restart must not propose that height again, so
+  // never move last_commit_done_ backwards past the in-flight execution.
+  last_commit_done_ = std::max(last_commit_done_, sched_.now());
   schedule_next_height();
 }
 
@@ -40,6 +43,23 @@ void Engine::subscribe_block(BlockCallback cb) {
 void Engine::set_validator_live(std::size_t index, bool live) {
   assert(index < live_.size());
   live_[index] = live;
+}
+
+void Engine::report_equivocation(std::size_t validator_idx) {
+  assert(validator_idx < validators_.size());
+  const chain::Validator& v = validators_.at(validator_idx);
+  const chain::Height height = std::max<chain::Height>(ledger_.height(), 1);
+  chain::BlockId real{};
+  if (const chain::Block* b = ledger_.block_at(height)) real = b->id();
+  // The conflicting vote target is a forged fork id derived deterministically
+  // from the real block id and the offending validator.
+  util::Bytes forged_src = util::to_bytes("equivocation-fork/");
+  util::append(forged_src, util::BytesView(real.hash.data(), real.hash.size()));
+  util::append(forged_src,
+               util::BytesView(v.keys.pub.id.data(), v.keys.pub.id.size()));
+  const chain::BlockId forged{crypto::sha256(forged_src)};
+  pending_evidence_.push_back(chain::make_duplicate_vote(
+      ledger_.chain_id(), v.keys.priv, v.keys.pub, height, 0, real, forged));
 }
 
 void Engine::set_telemetry(telemetry::Hub* hub, const std::string& name) {
@@ -125,6 +145,11 @@ void Engine::propose(chain::Height height, int round) {
   if (block->txs.empty()) {
     ++empty_blocks_;
     if (empty_blocks_ctr_) empty_blocks_ctr_->add();
+  }
+  // Carry any reported misbehaviour evidence in the block's Evidence field.
+  block->evidence.reserve(pending_evidence_.size());
+  for (const chain::Evidence& ev : pending_evidence_) {
+    block->evidence.push_back(ev.encode());
   }
 
   chain::BlockHeader& h = block->header;
@@ -281,6 +306,16 @@ void Engine::commit_block(chain::Height height, int round) {
 
   chain::Block block = *current_block_;
   current_block_.reset();
+
+  // Re-verify carried evidence at commit (as every full node would) and
+  // retire it from the pending pool so each proof is committed exactly once.
+  for (const util::Bytes& raw : block.evidence) {
+    chain::Evidence ev;
+    if (chain::Evidence::decode(raw, ev) && ev.verify(block.header.chain_id)) {
+      ++evidence_committed_;
+      std::erase(pending_evidence_, ev);
+    }
+  }
 
   // Estimate the execution duration up front (from declared gas plus the
   // superlinear per-block overhead: indexing, recheck, state growth). The

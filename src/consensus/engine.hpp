@@ -29,6 +29,7 @@
 
 #include "chain/app.hpp"
 #include "chain/block.hpp"
+#include "chain/evidence.hpp"
 #include "chain/ledger.hpp"
 #include "chain/mempool.hpp"
 #include "chain/validator.hpp"
@@ -75,8 +76,16 @@ class Engine {
 
   /// Starts producing blocks; the first proposal fires after one interval.
   void start();
-  /// Stops after the in-flight height completes.
+  /// Stops after the in-flight height completes. The engine can be
+  /// start()ed again later (chain halt/restart): mempool, store and ledger
+  /// are owned elsewhere and survive untouched.
   void stop();
+  bool running() const { return running_; }
+
+  /// Byzantine-fault injection: synthesizes duplicate-vote evidence for the
+  /// given validator (signed with its real key against the latest committed
+  /// block plus a forged fork id) and queues it for the next proposal.
+  void report_equivocation(std::size_t validator_idx);
 
   /// Invoked (in subscription order) when a block commits and has been
   /// executed; RPC servers and metrics hook in here.
@@ -101,6 +110,8 @@ class Engine {
   std::uint64_t empty_blocks() const { return empty_blocks_; }
   std::uint64_t total_rounds() const { return total_rounds_; }
   std::uint64_t failed_rounds() const { return failed_rounds_; }
+  /// Verified misbehaviour proofs carried in committed blocks.
+  std::uint64_t evidence_committed() const { return evidence_committed_; }
   sim::Duration last_exec_duration() const { return last_exec_duration_; }
 
  private:
@@ -148,9 +159,12 @@ class Engine {
   sim::TimePoint last_block_time_ = 0;
   sim::TimePoint last_commit_done_ = 0;
 
+  std::vector<chain::Evidence> pending_evidence_;
+
   std::uint64_t empty_blocks_ = 0;
   std::uint64_t total_rounds_ = 0;
   std::uint64_t failed_rounds_ = 0;
+  std::uint64_t evidence_committed_ = 0;
   sim::Duration last_exec_duration_ = 0;
 
   telemetry::Hub* hub_ = nullptr;

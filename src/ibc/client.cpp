@@ -151,16 +151,20 @@ util::Result<ConsensusState> ClientKeeper::consensus_state(
   return cs;
 }
 
-util::Status ClientKeeper::update_client(const ClientId& id,
-                                         const Header& header) {
-  auto state_res = client_state(id);
-  if (!state_res.is_ok()) return state_res.status();
-  ClientState state = state_res.take();
+namespace {
 
-  if (state.frozen) {
-    return util::Status::error(util::ErrorCode::kFailedPrecondition,
-                               "client is frozen: " + id);
-  }
+/// True iff the consensus state is older than the client's trusting period
+/// relative to `now`. `now == 0` means "expiry not evaluated" — callers
+/// outside block execution (and the skip-expiry-check mutation) pass 0.
+bool consensus_expired(const ClientState& state, const ConsensusState& cs,
+                       sim::TimePoint now) {
+  return now != 0 && now - cs.timestamp > state.trusting_period;
+}
+
+}  // namespace
+
+util::Status ClientKeeper::verify_header_commit(const ClientState& state,
+                                                const Header& header) const {
   if (header.chain_id != state.chain_id) {
     return util::Status::error(util::ErrorCode::kInvalidArgument,
                                "header chain id mismatch");
@@ -200,6 +204,34 @@ util::Status ClientKeeper::update_client(const ClientId& id,
         "insufficient voting power in commit: " + std::to_string(signed_power) +
             " < " + std::to_string(state.quorum_power()));
   }
+  return util::Status::ok();
+}
+
+util::Status ClientKeeper::update_client(const ClientId& id,
+                                         const Header& header,
+                                         sim::TimePoint now) {
+  auto state_res = client_state(id);
+  if (!state_res.is_ok()) return state_res.status();
+  ClientState state = state_res.take();
+
+  if (state.frozen) {
+    return util::Status::error(util::ErrorCode::kFailedPrecondition,
+                               "client is frozen: " + id);
+  }
+  // An expired client (tracked head older than trusting_period) can no
+  // longer distinguish honest updates from long-range forgeries; it must be
+  // recovered before accepting anything.
+  if (auto head = consensus_state(id, state.latest_height); head.is_ok()) {
+    if (consensus_expired(state, head.value(), now)) {
+      return util::Status::error(
+          util::ErrorCode::kFailedPrecondition,
+          "client expired: " + id + " last trusted header is older than the "
+                                    "trusting period; recover the client");
+    }
+  }
+  if (util::Status s = verify_header_commit(state, header); !s.is_ok()) {
+    return s;
+  }
 
   ConsensusState cs;
   cs.app_hash = header.app_hash_after;
@@ -213,11 +245,92 @@ util::Status ClientKeeper::update_client(const ClientId& id,
   return util::Status::ok();
 }
 
-util::Status ClientKeeper::check_proof_root(
-    const ClientId& id, std::int64_t proof_height,
-    const chain::StoreProof& proof) const {
+util::Status ClientKeeper::submit_misbehaviour(const ClientId& id,
+                                               const Header& header_1,
+                                               const Header& header_2) {
+  auto state_res = client_state(id);
+  if (!state_res.is_ok()) return state_res.status();
+  ClientState state = state_res.take();
+  if (state.frozen) {
+    return util::Status::error(util::ErrorCode::kFailedPrecondition,
+                               "client is already frozen: " + id);
+  }
+  if (header_1.height != header_2.height) {
+    return util::Status::error(util::ErrorCode::kInvalidArgument,
+                               "misbehaviour headers are for different "
+                               "heights");
+  }
+  if (header_1.block_id.hash == header_2.block_id.hash) {
+    return util::Status::error(util::ErrorCode::kInvalidArgument,
+                               "misbehaviour headers do not conflict");
+  }
+  // Both headers must independently carry a valid +2/3 commit: the tracked
+  // validator set provably finalized two different blocks at one height.
+  if (util::Status s = verify_header_commit(state, header_1); !s.is_ok()) {
+    return s;
+  }
+  if (util::Status s = verify_header_commit(state, header_2); !s.is_ok()) {
+    return s;
+  }
+  state.frozen = true;
+  store_.set(host::client_state_key(id), state.encode());
+  return util::Status::ok();
+}
+
+util::Status ClientKeeper::freeze_client(const ClientId& id) {
+  auto state_res = client_state(id);
+  if (!state_res.is_ok()) return state_res.status();
+  ClientState state = state_res.take();
+  state.frozen = true;
+  store_.set(host::client_state_key(id), state.encode());
+  return util::Status::ok();
+}
+
+util::Status ClientKeeper::recover_client(
+    const ClientId& id, ClientState substitute, std::int64_t substitute_height,
+    const ConsensusState& substitute_consensus, sim::TimePoint now) {
+  auto state_res = client_state(id);
+  if (!state_res.is_ok()) return state_res.status();
+  const ClientState state = state_res.take();
+  bool inactive = state.frozen;
+  if (!inactive) {
+    if (auto head = consensus_state(id, state.latest_height); head.is_ok()) {
+      inactive = consensus_expired(state, head.value(), now);
+    } else {
+      inactive = true;  // no trusted head at all
+    }
+  }
+  if (!inactive) {
+    return util::Status::error(util::ErrorCode::kFailedPrecondition,
+                               "cannot recover an active client: " + id);
+  }
+  substitute.frozen = false;
+  substitute.latest_height = substitute_height;
+  store_.set(host::client_state_key(id), substitute.encode());
+  store_.set(host::consensus_state_key(id, substitute_height),
+             substitute_consensus.encode());
+  return util::Status::ok();
+}
+
+util::Status ClientKeeper::check_proof_root(const ClientId& id,
+                                            std::int64_t proof_height,
+                                            const chain::StoreProof& proof,
+                                            sim::TimePoint now) const {
+  auto state_res = client_state(id);
+  if (!state_res.is_ok()) return state_res.status();
+  const ClientState& state = state_res.value();
+  if (state.frozen) {
+    return util::Status::error(util::ErrorCode::kFailedPrecondition,
+                               "client is frozen: " + id);
+  }
   auto cs = consensus_state(id, proof_height);
   if (!cs.is_ok()) return cs.status();
+  if (consensus_expired(state, cs.value(), now)) {
+    return util::Status::error(
+        util::ErrorCode::kFailedPrecondition,
+        "client expired: consensus state at height " +
+            std::to_string(proof_height) + " is outside the trusting period");
+  }
   if (!chain::verify_store_proof(proof, cs.value().app_hash)) {
     return util::Status::error(util::ErrorCode::kInvalidArgument,
                                "store proof does not verify against consensus "
@@ -230,8 +343,9 @@ util::Status ClientKeeper::check_proof_root(
 util::Status ClientKeeper::verify_membership(
     const ClientId& id, std::int64_t proof_height,
     const chain::StoreProof& proof, const std::string& expected_key,
-    util::BytesView expected_value) const {
-  if (util::Status s = check_proof_root(id, proof_height, proof); !s.is_ok()) {
+    util::BytesView expected_value, sim::TimePoint now) const {
+  if (util::Status s = check_proof_root(id, proof_height, proof, now);
+      !s.is_ok()) {
     return s;
   }
   if (!proof.exists || proof.key != expected_key) {
@@ -250,8 +364,10 @@ util::Status ClientKeeper::verify_membership(
 
 util::Status ClientKeeper::verify_non_membership(
     const ClientId& id, std::int64_t proof_height,
-    const chain::StoreProof& proof, const std::string& expected_key) const {
-  if (util::Status s = check_proof_root(id, proof_height, proof); !s.is_ok()) {
+    const chain::StoreProof& proof, const std::string& expected_key,
+    sim::TimePoint now) const {
+  if (util::Status s = check_proof_root(id, proof_height, proof, now);
+      !s.is_ok()) {
     return s;
   }
   if (proof.exists || proof.key != expected_key) {

@@ -83,8 +83,32 @@ class ClientKeeper {
                          ConsensusState initial);
 
   /// Verifies the header's commit against the client's validator set and
-  /// records a consensus state at the header height.
-  util::Status update_client(const ClientId& id, const Header& header);
+  /// records a consensus state at the header height. `now` is the host
+  /// chain's current (virtual) block time; when non-zero, updates are
+  /// rejected once the tracked head is older than `trusting_period` (the
+  /// client has expired and must be recovered). `now == 0` skips the expiry
+  /// check (legacy callers and the `skip-expiry-check` mutation).
+  util::Status update_client(const ClientId& id, const Header& header,
+                             sim::TimePoint now = 0);
+
+  /// Freezes `id` given two valid, conflicting headers for the same height
+  /// (ICS-02 misbehaviour): both must carry +2/3 commits of the tracked
+  /// validator set but commit different block ids. A frozen client rejects
+  /// updates and proof verification until recovered.
+  util::Status submit_misbehaviour(const ClientId& id, const Header& header_1,
+                                   const Header& header_2);
+
+  /// Unconditionally freezes `id` (host-side governance/test hook).
+  util::Status freeze_client(const ClientId& id);
+
+  /// Governance-style recovery: replaces the subject client's state with
+  /// `substitute` (unfrozen) and seeds a fresh consensus state at
+  /// `substitute_height`. Only frozen or expired (relative to `now`)
+  /// clients may be recovered.
+  util::Status recover_client(const ClientId& id, ClientState substitute,
+                              std::int64_t substitute_height,
+                              const ConsensusState& substitute_consensus,
+                              sim::TimePoint now);
 
   bool client_exists(const ClientId& id) const;
   util::Result<ClientState> client_state(const ClientId& id) const;
@@ -92,21 +116,29 @@ class ClientKeeper {
                                                std::int64_t height) const;
 
   /// Verifies a counterparty store proof against the consensus state the
-  /// client tracked for `proof_height`.
+  /// client tracked for `proof_height`. When `now` is non-zero the client
+  /// must be unfrozen and the proof's consensus state within
+  /// `trusting_period` of `now`.
   util::Status verify_membership(const ClientId& id, std::int64_t proof_height,
                                  const chain::StoreProof& proof,
                                  const std::string& expected_key,
-                                 util::BytesView expected_value) const;
+                                 util::BytesView expected_value,
+                                 sim::TimePoint now = 0) const;
 
   /// Verifies a proof that `expected_key` is absent at `proof_height`.
   util::Status verify_non_membership(const ClientId& id,
                                      std::int64_t proof_height,
                                      const chain::StoreProof& proof,
-                                     const std::string& expected_key) const;
+                                     const std::string& expected_key,
+                                     sim::TimePoint now = 0) const;
 
  private:
   util::Status check_proof_root(const ClientId& id, std::int64_t proof_height,
-                                const chain::StoreProof& proof) const;
+                                const chain::StoreProof& proof,
+                                sim::TimePoint now) const;
+  /// Shared +2/3-commit verification for update_client / submit_misbehaviour.
+  util::Status verify_header_commit(const ClientState& state,
+                                    const Header& header) const;
 
   chain::KvStore& store_;
   std::uint64_t next_client_ = 0;

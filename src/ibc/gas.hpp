@@ -16,6 +16,8 @@ namespace ibc {
 struct GasTable {
   std::uint64_t create_client = 180'000;
   std::uint64_t update_client = 100'000;
+  std::uint64_t submit_misbehaviour = 120'000;
+  std::uint64_t recover_client = 120'000;
   std::uint64_t handshake_msg = 90'000;
 
   std::uint64_t transfer = 36'000;

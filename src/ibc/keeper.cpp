@@ -20,12 +20,12 @@ IbcKeeper::IbcKeeper(cosmos::CosmosApp& app, GasTable gas)
       connections_(store_),
       channels_(store_) {
   for (const std::string* url :
-       {&kMsgCreateClientUrl, &kMsgUpdateClientUrl, &kMsgConnOpenInitUrl,
-        &kMsgConnOpenTryUrl, &kMsgConnOpenAckUrl, &kMsgConnOpenConfirmUrl,
-        &kMsgChanOpenInitUrl, &kMsgChanOpenTryUrl, &kMsgChanOpenAckUrl,
-        &kMsgChanOpenConfirmUrl, &kMsgChanCloseInitUrl,
-        &kMsgChanCloseConfirmUrl, &kMsgRecvPacketUrl, &kMsgAcknowledgementUrl,
-        &kMsgTimeoutUrl}) {
+       {&kMsgCreateClientUrl, &kMsgUpdateClientUrl, &kMsgSubmitMisbehaviourUrl,
+        &kMsgRecoverClientUrl, &kMsgConnOpenInitUrl, &kMsgConnOpenTryUrl,
+        &kMsgConnOpenAckUrl, &kMsgConnOpenConfirmUrl, &kMsgChanOpenInitUrl,
+        &kMsgChanOpenTryUrl, &kMsgChanOpenAckUrl, &kMsgChanOpenConfirmUrl,
+        &kMsgChanCloseInitUrl, &kMsgChanCloseConfirmUrl, &kMsgRecvPacketUrl,
+        &kMsgAcknowledgementUrl, &kMsgTimeoutUrl}) {
     app_.register_handler(*url, this);
   }
 }
@@ -48,6 +48,10 @@ util::Status IbcKeeper::handle(const chain::Msg& msg, cosmos::MsgContext& ctx) {
     return handle_update_client(msg, ctx);
   if (msg.type_url == kMsgCreateClientUrl)
     return handle_create_client(msg, ctx);
+  if (msg.type_url == kMsgSubmitMisbehaviourUrl)
+    return handle_submit_misbehaviour(msg, ctx);
+  if (msg.type_url == kMsgRecoverClientUrl)
+    return handle_recover_client(msg, ctx);
   if (msg.type_url == kMsgConnOpenInitUrl)
     return handle_conn_open_init(msg, ctx);
   if (msg.type_url == kMsgConnOpenTryUrl) return handle_conn_open_try(msg, ctx);
@@ -92,12 +96,49 @@ util::Status IbcKeeper::handle_update_client(const chain::Msg& msg,
     return err(util::ErrorCode::kInvalidArgument, "malformed MsgUpdateClient");
   }
   ctx.gas_used += gas_.update_client;
-  util::Status s = clients_.update_client(m.client_id, m.header);
+  util::Status s =
+      clients_.update_client(m.client_id, m.header, verify_now(ctx));
   if (!s.is_ok()) return s;
   ctx.events->push_back(chain::Event{
       "update_client",
       {{"client_id", m.client_id},
        {"consensus_height", std::to_string(m.header.height)}}});
+  return util::Status::ok();
+}
+
+util::Status IbcKeeper::handle_submit_misbehaviour(const chain::Msg& msg,
+                                                   cosmos::MsgContext& ctx) {
+  MsgSubmitMisbehaviour m;
+  if (!MsgSubmitMisbehaviour::from_msg(msg, m)) {
+    return err(util::ErrorCode::kInvalidArgument,
+               "malformed MsgSubmitMisbehaviour");
+  }
+  ctx.gas_used += gas_.submit_misbehaviour;
+  util::Status s =
+      clients_.submit_misbehaviour(m.client_id, m.header_1, m.header_2);
+  if (!s.is_ok()) return s;
+  ctx.events->push_back(chain::Event{
+      "client_misbehaviour",
+      {{"client_id", m.client_id},
+       {"misbehaviour_height", std::to_string(m.header_1.height)}}});
+  return util::Status::ok();
+}
+
+util::Status IbcKeeper::handle_recover_client(const chain::Msg& msg,
+                                              cosmos::MsgContext& ctx) {
+  MsgRecoverClient m;
+  if (!MsgRecoverClient::from_msg(msg, m)) {
+    return err(util::ErrorCode::kInvalidArgument, "malformed MsgRecoverClient");
+  }
+  ctx.gas_used += gas_.recover_client;
+  util::Status s = clients_.recover_client(
+      m.subject_client_id, m.substitute_state, m.substitute_height,
+      m.substitute_consensus, verify_now(ctx));
+  if (!s.is_ok()) return s;
+  ctx.events->push_back(chain::Event{
+      "recover_client",
+      {{"subject_client_id", m.subject_client_id},
+       {"substitute_height", std::to_string(m.substitute_height)}}});
   return util::Status::ok();
 }
 
@@ -139,7 +180,8 @@ util::Status IbcKeeper::handle_conn_open_try(const chain::Msg& msg,
   expected.counterparty_client_id = m.client_id;
   util::Status s = clients_.verify_membership(
       m.client_id, m.proof_height, m.proof_init,
-      host::connection_key(m.counterparty_connection), expected.encode());
+      host::connection_key(m.counterparty_connection), expected.encode(),
+      verify_now(ctx));
   if (!s.is_ok()) return s;
 
   const ConnectionId id = connections_.generate_id();
@@ -177,7 +219,8 @@ util::Status IbcKeeper::handle_conn_open_ack(const chain::Msg& msg,
   expected.counterparty_connection = m.connection_id;
   util::Status s = clients_.verify_membership(
       end.client_id, m.proof_height, m.proof_try,
-      host::connection_key(m.counterparty_connection), expected.encode());
+      host::connection_key(m.counterparty_connection), expected.encode(),
+      verify_now(ctx));
   if (!s.is_ok()) return s;
 
   end.phase = ConnectionPhase::kOpen;
@@ -209,7 +252,8 @@ util::Status IbcKeeper::handle_conn_open_confirm(const chain::Msg& msg,
   expected.counterparty_connection = m.connection_id;
   util::Status s = clients_.verify_membership(
       end.client_id, m.proof_height, m.proof_ack,
-      host::connection_key(end.counterparty_connection), expected.encode());
+      host::connection_key(end.counterparty_connection), expected.encode(),
+      verify_now(ctx));
   if (!s.is_ok()) return s;
 
   end.phase = ConnectionPhase::kOpen;
@@ -276,7 +320,7 @@ util::Status IbcKeeper::handle_chan_open_try(const chain::Msg& msg,
   util::Status s = clients_.verify_membership(
       conn.value().client_id, m.proof_height, m.proof_init,
       host::channel_key(m.counterparty_port, m.counterparty_channel),
-      expected.encode());
+      expected.encode(), verify_now(ctx));
   if (!s.is_ok()) return s;
 
   const ChannelId id = channels_.generate_id();
@@ -325,7 +369,7 @@ util::Status IbcKeeper::handle_chan_open_ack(const chain::Msg& msg,
   util::Status s = clients_.verify_membership(
       conn.value().client_id, m.proof_height, m.proof_try,
       host::channel_key(chan.counterparty_port, m.counterparty_channel),
-      expected.encode());
+      expected.encode(), verify_now(ctx));
   if (!s.is_ok()) return s;
 
   chan.phase = ChannelPhase::kOpen;
@@ -363,7 +407,7 @@ util::Status IbcKeeper::handle_chan_open_confirm(const chain::Msg& msg,
   util::Status s = clients_.verify_membership(
       conn.value().client_id, m.proof_height, m.proof_ack,
       host::channel_key(chan.counterparty_port, chan.counterparty_channel),
-      expected.encode());
+      expected.encode(), verify_now(ctx));
   if (!s.is_ok()) return s;
 
   chan.phase = ChannelPhase::kOpen;
@@ -422,7 +466,7 @@ util::Status IbcKeeper::handle_chan_close_confirm(const chain::Msg& msg,
   util::Status s = clients_.verify_membership(
       conn.value().client_id, m.proof_height, m.proof_init,
       host::channel_key(chan.counterparty_port, chan.counterparty_channel),
-      expected.encode());
+      expected.encode(), verify_now(ctx));
   if (!s.is_ok()) return s;
 
   chan.phase = ChannelPhase::kClosed;
@@ -573,7 +617,7 @@ util::Status IbcKeeper::handle_recv_packet(const chain::Msg& msg,
   util::Status s = clients_.verify_membership(
       client.value(), m.proof_height, m.proof_commitment,
       host::packet_commitment_key(p.source_port, p.source_channel, p.sequence),
-      crypto::digest_to_bytes(commitment));
+      crypto::digest_to_bytes(commitment), verify_now(ctx));
   if (!s.is_ok()) return s;
 
   // Route to the application module and write receipt + acknowledgement.
@@ -650,7 +694,7 @@ util::Status IbcKeeper::handle_acknowledgement(const chain::Msg& msg,
       client.value(), m.proof_height, m.proof_ack,
       host::packet_ack_key(p.destination_port, p.destination_channel,
                            p.sequence),
-      crypto::digest_to_bytes(m.ack.commitment()));
+      crypto::digest_to_bytes(m.ack.commitment()), verify_now(ctx));
   if (!s.is_ok()) return s;
 
   IbcModule* module = module_for(p.source_port);
@@ -732,12 +776,13 @@ util::Status IbcKeeper::handle_timeout(const chain::Msg& msg,
         client.value(), m.proof_height, m.proof_unreceived,
         host::next_sequence_recv_key(p.destination_port,
                                      p.destination_channel),
-        expected);
+        expected, verify_now(ctx));
   } else {
     s = clients_.verify_non_membership(
         client.value(), m.proof_height, m.proof_unreceived,
         host::packet_receipt_key(p.destination_port, p.destination_channel,
-                                 p.sequence));
+                                 p.sequence),
+        verify_now(ctx));
   }
   if (!s.is_ok()) return s;
 

@@ -28,6 +28,10 @@ struct KeeperFaults {
   /// Bypass the exactly-once replay check in recvPacket: redundant relays
   /// mutate state again (double-mint on ICS-20) instead of failing.
   bool skip_replay_check = false;
+  /// Bypass the trusting-period expiry check on client updates and proof
+  /// verification: an expired client silently keeps accepting headers (the
+  /// pre-fix behaviour; the chaos campaigns must detect this).
+  bool skip_expiry_check = false;
 };
 
 class IbcKeeper : public cosmos::MsgHandler {
@@ -73,6 +77,10 @@ class IbcKeeper : public cosmos::MsgHandler {
                                     cosmos::MsgContext& ctx);
   util::Status handle_update_client(const chain::Msg& msg,
                                     cosmos::MsgContext& ctx);
+  util::Status handle_submit_misbehaviour(const chain::Msg& msg,
+                                          cosmos::MsgContext& ctx);
+  util::Status handle_recover_client(const chain::Msg& msg,
+                                     cosmos::MsgContext& ctx);
   util::Status handle_conn_open_init(const chain::Msg& msg,
                                      cosmos::MsgContext& ctx);
   util::Status handle_conn_open_try(const chain::Msg& msg,
@@ -102,6 +110,12 @@ class IbcKeeper : public cosmos::MsgHandler {
   /// Resolves the client id behind a channel's connection.
   util::Result<ClientId> channel_client(const PortId& port,
                                         const ChannelId& channel) const;
+
+  /// Virtual "now" passed to client expiry checks: the executing block's
+  /// time, or 0 (= expiry not evaluated) under the skip-expiry mutation.
+  sim::TimePoint verify_now(const cosmos::MsgContext& ctx) const {
+    return faults_.skip_expiry_check ? 0 : ctx.block_time;
+  }
 
   /// Packet event attribute boilerplate shared by the life-cycle events.
   static chain::Event packet_event(const std::string& type,

@@ -68,6 +68,52 @@ bool MsgUpdateClient::from_msg(const chain::Msg& msg, MsgUpdateClient& out) {
   return Header::decode(header_raw, out.header);
 }
 
+// --- MsgSubmitMisbehaviour -------------------------------------------------
+
+chain::Msg MsgSubmitMisbehaviour::to_msg() const {
+  Writer w;
+  w.str(client_id);
+  w.bytes(header_1.encode());
+  w.bytes(header_2.encode());
+  return envelope(kMsgSubmitMisbehaviourUrl, std::move(w));
+}
+
+bool MsgSubmitMisbehaviour::from_msg(const chain::Msg& msg,
+                                     MsgSubmitMisbehaviour& out) {
+  if (!check_url(msg, kMsgSubmitMisbehaviourUrl)) return false;
+  Reader r(msg.value);
+  util::Bytes h1_raw, h2_raw;
+  if (!r.str(out.client_id) || !r.bytes(h1_raw) || !r.bytes(h2_raw) ||
+      !r.done()) {
+    return false;
+  }
+  return Header::decode(h1_raw, out.header_1) &&
+         Header::decode(h2_raw, out.header_2);
+}
+
+// --- MsgRecoverClient ------------------------------------------------------
+
+chain::Msg MsgRecoverClient::to_msg() const {
+  Writer w;
+  w.str(subject_client_id);
+  w.bytes(substitute_state.encode());
+  w.i64(substitute_height);
+  w.bytes(substitute_consensus.encode());
+  return envelope(kMsgRecoverClientUrl, std::move(w));
+}
+
+bool MsgRecoverClient::from_msg(const chain::Msg& msg, MsgRecoverClient& out) {
+  if (!check_url(msg, kMsgRecoverClientUrl)) return false;
+  Reader r(msg.value);
+  util::Bytes state_raw, cons_raw;
+  if (!r.str(out.subject_client_id) || !r.bytes(state_raw) ||
+      !r.i64(out.substitute_height) || !r.bytes(cons_raw) || !r.done()) {
+    return false;
+  }
+  return ClientState::decode(state_raw, out.substitute_state) &&
+         ConsensusState::decode(cons_raw, out.substitute_consensus);
+}
+
 // --- Connection handshake ---------------------------------------------------
 
 chain::Msg MsgConnOpenInit::to_msg() const {

@@ -22,6 +22,8 @@ namespace ibc {
 // Type URLs.
 inline const std::string kMsgCreateClientUrl = "/ibc.core.client.v1.MsgCreateClient";
 inline const std::string kMsgUpdateClientUrl = "/ibc.core.client.v1.MsgUpdateClient";
+inline const std::string kMsgSubmitMisbehaviourUrl = "/ibc.core.client.v1.MsgSubmitMisbehaviour";
+inline const std::string kMsgRecoverClientUrl = "/ibc.core.client.v1.MsgRecoverClient";
 inline const std::string kMsgConnOpenInitUrl = "/ibc.core.connection.v1.MsgConnectionOpenInit";
 inline const std::string kMsgConnOpenTryUrl = "/ibc.core.connection.v1.MsgConnectionOpenTry";
 inline const std::string kMsgConnOpenAckUrl = "/ibc.core.connection.v1.MsgConnectionOpenAck";
@@ -56,6 +58,28 @@ struct MsgUpdateClient {
 
   chain::Msg to_msg() const;
   static bool from_msg(const chain::Msg& msg, MsgUpdateClient& out);
+};
+
+/// Two valid conflicting headers for one height: freezes the client.
+struct MsgSubmitMisbehaviour {
+  ClientId client_id;
+  Header header_1;
+  Header header_2;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgSubmitMisbehaviour& out);
+};
+
+/// Governance-style recovery of a frozen/expired client: overwrites the
+/// subject's state with the substitute and seeds a fresh consensus state.
+struct MsgRecoverClient {
+  ClientId subject_client_id;
+  ClientState substitute_state;
+  std::int64_t substitute_height = 0;
+  ConsensusState substitute_consensus;
+
+  chain::Msg to_msg() const;
+  static bool from_msg(const chain::Msg& msg, MsgRecoverClient& out);
 };
 
 struct MsgConnOpenInit {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "ibc/host.hpp"
 #include "telemetry/profiler.hpp"
@@ -39,6 +40,40 @@ Relayer::~Relayer() {
 void Relayer::start() {
   assert(!running_);
   running_ = true;
+  // A fresh process has a fresh event source: a wedge inherited from a
+  // previous life would be a bug, not §V behaviour.
+  ws_wedged_a_ = false;
+  ws_wedged_b_ = false;
+  // Likewise a fresh op queue: a stop() mid-op dropped that op's done()
+  // continuation, so op_running_ would stay true forever and the lane would
+  // never pump again (the startup rescan below would sit queued behind it).
+  ++lane_epoch_;
+  for (int lane = 0; lane < 2; ++lane) {
+    ops_[lane].clear();
+    op_running_[lane] = false;
+  }
+  // Nothing is genuinely in flight after a restart: every op and wallet
+  // callback of the previous life dropped its continuation. Surviving table
+  // entries parked in transient stages would otherwise be skipped by both
+  // the clear pass and the ack scan and strand forever.
+  for (auto& [seq, ps] : packets_) {
+    (void)seq;
+    switch (ps.stage) {
+      case Stage::kRecvInFlight:
+        // Recv outcome unknown; re-relaying is safe (redundant at worst).
+        ps.stage = Stage::kPulled;
+        break;
+      case Stage::kAckInFlight:
+        ps.stage = Stage::kRecvDone;
+        ps.ack_tx_failed = true;  // clear redrives; no-op if ack committed
+        break;
+      case Stage::kRecvDone:
+        if (ps.packet && ps.ack) ps.ack_tx_failed = true;
+        break;
+      default:
+        break;
+    }
+  }
   sub_a_ = a_.server->subscribe_new_block(
       config_.machine, [this](const rpc::NewBlockFrame& f) {
         if (running_) on_frame_a(f);
@@ -47,6 +82,36 @@ void Relayer::start() {
       config_.machine, [this](const rpc::NewBlockFrame& f) {
         if (running_) on_frame_b(f);
       });
+  if (!config_.startup_rescan) return;
+  // Crash recovery: the packet table is in-memory only, so everything
+  // in flight when the previous instance died is gone. Rebuild it from
+  // queryable chain state — outstanding commitments on the source (a clear
+  // pass over a bounded window) and recent write_acknowledgement events on
+  // the destination (packets delivered but never acknowledged).
+  a_.server->status(config_.machine, [this](rpc::Server::StatusInfo info) {
+    if (!running_ || info.height == 0) return;
+    const chain::Height from =
+        info.height > config_.startup_rescan_depth
+            ? info.height - config_.startup_rescan_depth + 1
+            : 1;
+    Op op;
+    op.kind = Op::Kind::kClear;
+    op.clear = ClearOp{from, info.height};
+    last_clear_height_ = info.height;
+    enqueue(std::move(op));
+  });
+  b_.server->status(config_.machine, [this](rpc::Server::StatusInfo info) {
+    if (!running_ || info.height == 0) return;
+    last_seen_b_height_ = std::max(last_seen_b_height_, info.height);
+    const chain::Height from =
+        info.height > config_.startup_rescan_depth
+            ? info.height - config_.startup_rescan_depth + 1
+            : 1;
+    Op op;
+    op.kind = Op::Kind::kAckScan;
+    op.ack_scan = ClearOp{from, info.height};
+    enqueue(std::move(op));
+  });
 }
 
 void Relayer::stop() {
@@ -58,9 +123,10 @@ void Relayer::stop() {
 
 namespace {
 // Indexed by Op::Kind; span + counter names for the worker-lane telemetry.
-constexpr const char* kOpNames[6] = {"relay_batch", "ack_batch",
+constexpr const char* kOpNames[7] = {"relay_batch",   "ack_batch",
                                      "timeout_batch", "clear",
-                                     "retry_recv", "retry_ack"};
+                                     "retry_recv",    "retry_ack",
+                                     "ack_scan"};
 }  // namespace
 
 void Relayer::set_telemetry(telemetry::Hub* hub, const std::string& name) {
@@ -70,7 +136,7 @@ void Relayer::set_telemetry(telemetry::Hub* hub, const std::string& name) {
     lane_track_[1] = t->track(name, "ack/timeout");
   }
   if (auto* m = telemetry::metrics(hub_)) {
-    for (int i = 0; i < 6; ++i) {
+    for (int i = 0; i < 7; ++i) {
       op_ctr_[i] = m->counter(name + ".ops." + kOpNames[i]);
     }
     const std::vector<double> bounds = {1, 2, 5, 10, 20, 50, 100, 200};
@@ -274,7 +340,10 @@ void Relayer::pump(int lane) {
   ops_[lane].pop_front();
   const int kind_idx = static_cast<int>(op.kind);
   if (op_ctr_[kind_idx]) op_ctr_[kind_idx]->add();
-  std::function<void()> done = [this, lane]() {
+  std::function<void()> done = [this, lane, epoch = lane_epoch_]() {
+    // A done() surviving from before a restart must not unlock the lane the
+    // new life is using.
+    if (epoch != lane_epoch_) return;
     op_running_[lane] = false;
     // Defer through the scheduler so deep op chains do not recurse.
     sched_.schedule_after(0, [this, lane] { pump(lane); });
@@ -309,6 +378,9 @@ void Relayer::pump(int lane) {
       break;
     case Op::Kind::kRetryAck:
       build_and_send_ack(std::move(op.retry.seqs), std::move(done));
+      break;
+    case Op::Kind::kAckScan:
+      run_ack_scan(std::move(op.ack_scan), std::move(done));
       break;
   }
 }
@@ -937,14 +1009,28 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
                       ps.stage = Stage::kRecvDone;  // rebuild + resubmit
                       retry_seqs.push_back(s);
                     } else {
-                      ps.stage = Stage::kDone;  // other relayer completed it
+                      // Most likely another relayer completed it — but a
+                      // single genuinely-redundant msg fails the whole tx,
+                      // so batch-mates may NOT be acked yet. Park at
+                      // kRecvDone flagged for clearing: the clear pass only
+                      // sees still-outstanding commitments, so truly
+                      // completed packets drop out and stragglers get a
+                      // clean redrive.
+                      ps.stage = Stage::kRecvDone;
+                      ps.ack_tx_failed = true;
                     }
                   } else {
                     ++stats_.ack_txs_failed;
                     IBC_LOG(kWarn, "relayer")
                         << "ack tx failed: " << out.status.to_string();
+                    // A censored/unreachable mempool fails submit before
+                    // broadcast, leaving the stage at kRecvDone; flag both
+                    // shapes so run_clear redrives the ack either way.
                     if (ps.stage == Stage::kAckInFlight) {
                       ps.stage = Stage::kRecvDone;
+                    }
+                    if (ps.stage == Stage::kRecvDone) {
+                      ps.ack_tx_failed = true;
                     }
                   }
                 }
@@ -1142,6 +1228,8 @@ void Relayer::run_clear(ClearOp op, std::function<void()> done) {
       [this, op, done = std::move(done)](std::vector<std::string> keys) mutable {
         if (!running_) return;
         std::vector<ibc::Sequence> unknown;
+        std::vector<ibc::Sequence> stuck_acks;
+        bool ackless = false;
         const std::string prefix =
             ibc::host::packet_commitment_prefix(path_.port, path_.channel_a);
         for (const std::string& key : keys) {
@@ -1162,7 +1250,48 @@ void Relayer::run_clear(ClearOp op, std::function<void()> done) {
             // (every chunk query for it errored); without this the packet
             // was stuck forever while its commitment sat on chain.
             unknown.push_back(seq);
+          } else if (it->second.stage == Stage::kRecvDone &&
+                     it->second.packet && it->second.ack &&
+                     it->second.ack_tx_failed) {
+            // Recv committed but the ack tx failed (e.g. censored or
+            // unreachable source mempool) and nothing re-drives it: the
+            // write_ack event fires exactly once. The commitment is still
+            // outstanding, so clearing redelivers the ack — Hermes' clear
+            // sweeps unreceived acks for the same reason. The ack_tx_failed
+            // gate matters: kRecvDone with packet+ack is also the transient
+            // state of a healthy ack mid-build (stage only advances at
+            // broadcast), and redriving those duplicates work on every
+            // clear pass without bound.
+            it->second.ack_tx_failed = false;
+            stuck_acks.push_back(seq);
+          } else if (it->second.stage == Stage::kRecvDone &&
+                     !it->second.ack) {
+            // Recv committed but the write_ack event was missed (crash
+            // window, dropped frame, or another relayer delivered it while
+            // this one was down) so the ack value was never pulled. It is
+            // sitting on the destination chain — recover it with an ack
+            // scan, same as the startup path.
+            ackless = true;
           }
+        }
+        if (ackless) {
+          const chain::Height to =
+              last_seen_b_height_ > 0 ? last_seen_b_height_ : 1;
+          Op scan;
+          scan.kind = Op::Kind::kAckScan;
+          scan.ack_scan = ClearOp{
+              to > config_.startup_rescan_depth
+                  ? to - config_.startup_rescan_depth + 1
+                  : 1,
+              to};
+          enqueue(std::move(scan));
+        }
+        if (!stuck_acks.empty()) {
+          std::sort(stuck_acks.begin(), stuck_acks.end());
+          done = [this, acks = std::move(stuck_acks),
+                  next = std::move(done)]() mutable {
+            build_and_send_ack(std::move(acks), std::move(next));
+          };
         }
         if (unknown.empty()) {
           done();
@@ -1218,6 +1347,65 @@ void Relayer::run_clear(ClearOp op, std::function<void()> done) {
               }
               build_and_send_recv(std::move(ready), std::move(done));
             });
+      });
+}
+
+// --- Startup ack re-scan ----------------------------------------------------------
+
+void Relayer::run_ack_scan(ClearOp op, std::function<void()> done) {
+  // Packets whose recv committed before the crash left a
+  // write_acknowledgement event on the destination but no ack on the
+  // source — and a restarted relayer has no in-memory PacketState for them,
+  // so clearing would resubmit the recv (failing as redundant) instead of
+  // the ack. Walk the window once and restore them to kRecvDone with their
+  // decoded ack, then drive the acks.
+  b_.server->query_packet_events_range(
+      config_.machine, op.scan_from, op.scan_to, "write_acknowledgement",
+      /*seq_begin=*/1, /*seq_end=*/std::numeric_limits<std::uint64_t>::max(),
+      [this, done = std::move(done)](
+          util::Result<rpc::TxSearchPage> res) mutable {
+        if (!running_) return;
+        if (!res.is_ok()) {
+          ++stats_.pull_query_failures;
+          if (pull_failures_ctr_) pull_failures_ctr_->add();
+          IBC_LOG(kWarn, "relayer")
+              << "startup ack scan failed: " << res.status().to_string();
+          done();
+          return;
+        }
+        std::vector<ibc::Sequence> ready;
+        for (const rpc::TxResponse& tx : res.value().txs) {
+          for (const chain::Event& ev : tx.result.events) {
+            if (ev.type != "write_acknowledgement") continue;
+            auto pkt = ibc::packet_from_event(ev);
+            if (!pkt || pkt->source_channel != path_.channel_a) continue;
+            const ibc::Sequence seq = pkt->sequence;
+            PacketState& st = packets_[seq];  // inserts when unseen
+            if (st.stage == Stage::kAckInFlight || st.stage == Stage::kDone ||
+                st.stage == Stage::kTimedOut ||
+                st.stage == Stage::kAbandoned || st.ack.has_value()) {
+              continue;
+            }
+            ibc::Acknowledgement ack;
+            if (!ibc::Acknowledgement::decode(
+                    util::to_bytes(ev.attribute("packet_ack")), ack)) {
+              ++stats_.ack_decode_failures;
+              if (ack_decode_failures_ctr_) ack_decode_failures_ctr_->add();
+              continue;
+            }
+            st.packet = std::move(*pkt);
+            st.ack = std::move(ack);
+            st.stage = Stage::kRecvDone;
+            st.dst_height = tx.height;
+            ready.push_back(seq);
+          }
+        }
+        if (ready.empty()) {
+          done();
+          return;
+        }
+        std::sort(ready.begin(), ready.end());
+        build_and_send_ack(std::move(ready), std::move(done));
       });
 }
 

@@ -96,6 +96,18 @@ struct RelayerConfig {
   /// Delay before re-pulling ack data after a malformed packet_ack event
   /// (decode failure); the fresh query usually returns an intact payload.
   sim::Duration ack_repull_backoff = sim::seconds(5);
+  /// Crash-recovery: on start(), re-hydrate pending work from queryable
+  /// chain state instead of assuming a clean slate. The relayer's packet
+  /// table is in-memory only, so a restarted instance has lost every
+  /// in-flight packet; with this on, start() scans the source chain's
+  /// outstanding commitments (a clear pass) and the destination chain's
+  /// recent write_acknowledgement events (bounded by
+  /// `startup_rescan_depth` blocks) to rebuild it. Off by default: a
+  /// first start has nothing to recover and the extra queries would shift
+  /// every seeded timeline.
+  bool startup_rescan = false;
+  /// How many destination blocks the startup ack re-scan walks back.
+  chain::Height startup_rescan_depth = 1'000;
   WalletConfig wallet;  // accounts are filled per chain from ChainHandle
 };
 
@@ -170,6 +182,7 @@ class Relayer {
     std::uint8_t recv_failures = 0;    // non-redundant submit failures
     std::uint8_t ack_repulls = 0;      // malformed-ack re-pull attempts
     bool ack_decode_failed = false;    // last pull had an undecodable ack
+    bool ack_tx_failed = false;        // ack broadcast failed; clear redrives
   };
 
   // Operations executed sequentially by the path worker.
@@ -192,13 +205,21 @@ class Relayer {
     std::vector<ibc::Sequence> seqs;
   };
   struct Op {
-    enum class Kind { kRelay, kAck, kTimeout, kClear, kRetryRecv, kRetryAck }
-        kind;
+    enum class Kind {
+      kRelay,
+      kAck,
+      kTimeout,
+      kClear,
+      kRetryRecv,
+      kRetryAck,
+      kAckScan,  // startup re-scan of dst write_acknowledgement events
+    } kind;
     RelayBatchOp relay;
     AckBatchOp ack;
     TimeoutBatchOp timeout;
     ClearOp clear;
     RetryOp retry;
+    ClearOp ack_scan;  // height window for kAckScan
   };
 
   // Frame handling (Supervisor).
@@ -216,6 +237,11 @@ class Relayer {
   void run_ack_batch(AckBatchOp op, std::function<void()> done);
   void run_timeout_batch(TimeoutBatchOp op, std::function<void()> done);
   void run_clear(ClearOp op, std::function<void()> done);
+  /// Startup re-scan (RelayerConfig::startup_rescan): walks the destination
+  /// chain's write_acknowledgement events over a height window and restores
+  /// packets that were delivered but not yet acknowledged when the previous
+  /// instance crashed, then drives their acks.
+  void run_ack_scan(ClearOp op, std::function<void()> done);
 
   // Relay-batch stages.
   void pull_chunks(rpc::Server* server, chain::Height height,
@@ -269,7 +295,7 @@ class Relayer {
 
   telemetry::Hub* hub_ = nullptr;
   telemetry::TrackId lane_track_[2] = {0, 0};
-  telemetry::Counter* op_ctr_[6] = {};          // indexed by Op::Kind
+  telemetry::Counter* op_ctr_[7] = {};          // indexed by Op::Kind
   telemetry::Histogram* relay_batch_hist_ = nullptr;
   telemetry::Histogram* ack_batch_hist_ = nullptr;
   telemetry::Counter* chunk_queries_ctr_ = nullptr;
@@ -285,6 +311,11 @@ class Relayer {
   std::map<ibc::Sequence, PacketState> packets_;
   std::deque<Op> ops_[2];        // lane 0: relay/clear; lane 1: ack/timeout
   bool op_running_[2] = {false, false};
+  // Bumped on every start(): a stop() mid-op drops the op's done()
+  // continuation, so restart must clear op_running_ itself — and ignore any
+  // straggler done() from the previous life that would unlock a lane the
+  // new life is using.
+  std::uint64_t lane_epoch_ = 0;
   bool running_ = false;
   rpc::Server::SubscriptionId sub_a_ = 0;
   rpc::Server::SubscriptionId sub_b_ = 0;

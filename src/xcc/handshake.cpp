@@ -17,9 +17,11 @@ relayer::PathConfig ChannelSetupResult::path() const {
 namespace {
 
 ibc::ClientState make_client_state(const chain::ChainId& chain_id,
-                                   const chain::ValidatorSet& validators) {
+                                   const chain::ValidatorSet& validators,
+                                   sim::Duration trusting_period) {
   ibc::ClientState cs;
   cs.chain_id = chain_id;
+  if (trusting_period > 0) cs.trusting_period = trusting_period;
   for (const chain::Validator& v : validators.validators()) {
     cs.validators.push_back(ibc::ClientValidator{v.keys.pub, v.power});
   }
@@ -167,7 +169,8 @@ struct HandshakeDriver::Flow : std::enable_shared_from_this<Flow> {
             ibc::MsgCreateClient msg;
             msg.client_state = make_client_state(
                 self->driver->testbed_.chain_b().id,
-                self->driver->testbed_.chain_b().engine->validators());
+                self->driver->testbed_.chain_b().engine->validators(),
+                self->driver->trusting_period_);
             msg.initial_height = res.value().header.height;
             msg.initial_consensus.app_hash = res.value().app_hash_after;
             msg.initial_consensus.timestamp = res.value().header.time;
@@ -199,7 +202,8 @@ struct HandshakeDriver::Flow : std::enable_shared_from_this<Flow> {
             ibc::MsgCreateClient msg;
             msg.client_state = make_client_state(
                 self->driver->testbed_.chain_a().id,
-                self->driver->testbed_.chain_a().engine->validators());
+                self->driver->testbed_.chain_a().engine->validators(),
+                self->driver->trusting_period_);
             msg.initial_height = res.value().header.height;
             msg.initial_consensus.app_hash = res.value().app_hash_after;
             msg.initial_consensus.timestamp = res.value().header.time;
@@ -367,8 +371,11 @@ struct HandshakeDriver::Flow : std::enable_shared_from_this<Flow> {
 };
 
 HandshakeDriver::HandshakeDriver(Testbed& testbed, int relayer_wallet,
-                                 net::MachineId machine)
-    : testbed_(testbed), machine_(machine) {
+                                 net::MachineId machine,
+                                 sim::Duration trusting_period)
+    : testbed_(testbed),
+      machine_(machine),
+      trusting_period_(trusting_period) {
   relayer::WalletConfig wc;
   wc.optimistic_sequencing = false;  // handshakes wait for each commit
   wc.confirm_timeout = sim::seconds(60);

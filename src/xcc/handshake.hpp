@@ -34,9 +34,12 @@ struct ChannelSetupResult {
 class HandshakeDriver {
  public:
   /// Uses the given relayer wallet index's accounts for handshake txs,
-  /// talking to the full nodes on `machine`.
+  /// talking to the full nodes on `machine`. `trusting_period` overrides the
+  /// created clients' trusting period (0 keeps the ClientState default of 14
+  /// days); chaos campaigns shrink it to force client expiry.
   HandshakeDriver(Testbed& testbed, int relayer_wallet = 0,
-                  net::MachineId machine = 0);
+                  net::MachineId machine = 0,
+                  sim::Duration trusting_period = 0);
   ~HandshakeDriver();
 
   HandshakeDriver(const HandshakeDriver&) = delete;
@@ -56,6 +59,7 @@ class HandshakeDriver {
 
   Testbed& testbed_;
   net::MachineId machine_;
+  sim::Duration trusting_period_ = 0;  // 0 = ClientState default
   std::unique_ptr<relayer::Wallet> wallet_a_;
   std::unique_ptr<relayer::Wallet> wallet_b_;
   std::shared_ptr<Flow> flow_;

@@ -96,6 +96,16 @@ void Testbed::start_chains() {
   b_.engine->start();
 }
 
+void Testbed::halt_chain(int which) {
+  ChainDeployment& c = which == 0 ? a_ : b_;
+  if (c.engine->running()) c.engine->stop();
+}
+
+void Testbed::restart_chain(int which) {
+  ChainDeployment& c = which == 0 ? a_ : b_;
+  if (!c.engine->running()) c.engine->start();
+}
+
 bool Testbed::run_until_height(chain::Height height, sim::TimePoint limit) {
   while (sched_.now() < limit) {
     if (a_.ledger->height() >= height && b_.ledger->height() >= height) {

@@ -96,6 +96,13 @@ class Testbed {
   /// Starts both consensus engines.
   void start_chains();
 
+  /// Chaos hooks: halts / restarts one chain's consensus engine (0 = A,
+  /// 1 = B). Mempool, store and ledger survive the halt untouched — exactly
+  /// like a coordinated validator outage followed by a restart. No-ops when
+  /// already in the requested state.
+  void halt_chain(int which);
+  void restart_chain(int which);
+
   /// Runs the simulation until virtual time `t`.
   void run_until(sim::TimePoint t) { sched_.run_until(t); }
 

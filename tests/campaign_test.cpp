@@ -1,0 +1,88 @@
+// Chaos-campaign engine tests: same-seed byte-identity of the full campaign
+// report (CSV including both final app hashes), clean short campaigns for
+// every family, and the planted-bug detection path the ctest target
+// Campaign.MutationCaught exercises at full length.
+
+#include <gtest/gtest.h>
+
+#include "check/campaign.hpp"
+
+namespace {
+
+check::CampaignOptions opts(const std::string& family, std::uint64_t seed,
+                            std::uint64_t blocks = 120) {
+  check::CampaignOptions o;
+  o.family = family;
+  o.seed = seed;
+  o.min_blocks = blocks;
+  return o;
+}
+
+TEST(Campaign, UnknownFamilyFailsSetup) {
+  EXPECT_FALSE(check::campaign_family_known("no-such-family"));
+  const auto r = check::run_campaign(opts("no-such-family", 1));
+  EXPECT_FALSE(r.setup_ok);
+  EXPECT_NE(r.setup_error.find("unknown campaign family"), std::string::npos);
+}
+
+TEST(Campaign, EveryFamilyKnown) {
+  for (std::size_t i = 0; i < check::kCampaignFamilyCount; ++i) {
+    EXPECT_TRUE(check::campaign_family_known(check::kCampaignFamilies[i]));
+  }
+}
+
+// Every family must survive a short horizon violation-free with all packets
+// drained (the 1000-block versions run as their own ctest targets).
+TEST(Campaign, ShortCampaignsCleanAcrossFamilies) {
+  for (std::size_t i = 0; i < check::kCampaignFamilyCount; ++i) {
+    const std::string family = check::kCampaignFamilies[i];
+    const auto r = check::run_campaign(opts(family, 7));
+    ASSERT_TRUE(r.setup_ok) << family << ": " << r.setup_error;
+    EXPECT_TRUE(r.violations.empty())
+        << family << ":\n" << r.csv();
+    EXPECT_EQ(r.outstanding_commitments, 0u) << family;
+    for (const check::CampaignPhase& p : r.phases) {
+      EXPECT_TRUE(p.ok) << family << "/" << p.name << ": " << p.detail;
+    }
+    EXPECT_FALSE(r.app_hash_a.empty());
+    EXPECT_FALSE(r.app_hash_b.empty());
+  }
+}
+
+// The repo-wide determinism contract extended to campaigns: identical
+// options produce a byte-identical report, including final app hashes.
+TEST(Campaign, SameSeedRerunIsByteIdentical) {
+  const auto a = check::run_campaign(opts("halt-restart", 99));
+  const auto b = check::run_campaign(opts("halt-restart", 99));
+  ASSERT_TRUE(a.setup_ok);
+  EXPECT_EQ(a.csv(), b.csv());
+  EXPECT_EQ(a.app_hash_a, b.app_hash_a);
+  EXPECT_EQ(a.app_hash_b, b.app_hash_b);
+}
+
+TEST(Campaign, DifferentSeedsDiverge) {
+  const auto a = check::run_campaign(opts("halt-restart", 1));
+  const auto b = check::run_campaign(opts("halt-restart", 2));
+  ASSERT_TRUE(a.setup_ok);
+  ASSERT_TRUE(b.setup_ok);
+  EXPECT_NE(a.csv(), b.csv());
+}
+
+// The planted expired-client bug must surface as a recorded violation (this
+// is what --mutate=skip-expiry-check --expect-violation proves end to end).
+TEST(Campaign, SkipExpiryMutationDetected) {
+  check::CampaignOptions o = opts("client-expiry", 5);
+  o.mutate_skip_expiry = true;
+  const auto r = check::run_campaign(o);
+  ASSERT_TRUE(r.setup_ok) << r.setup_error;
+  bool found = false;
+  for (const check::Violation& v : r.violations) {
+    if (v.invariant.find("expired-client-accepted-update") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "mutation not detected:\n" << r.csv();
+}
+
+}  // namespace
