@@ -1,0 +1,314 @@
+// Stacked-ablation matrix over the three engineered mitigations for the
+// paper's bottlenecks (§V-§VI):
+//
+//   W  concurrent RPC service   rpc_query_workers = 4 (vs Tendermint's
+//                               serialized query handling, the ~69% share)
+//   I  indexed tx_search        commit-time packet-event index; queries cost
+//                               a probe + the returned page instead of a
+//                               superlinear block scan
+//   C  relayer coordination     sequence-range sharding between the two
+//                               relayers (vs Fig. 9's uncoordinated racing)
+//
+// The full 2^3 on/off matrix, plus the QueryCache-only row (the paper §VI
+// mitigation shipped earlier) and the stacked-all row (cache + W + I + C),
+// re-runs four fixed operating points:
+//
+//   fig8_300    Fig. 8 overload: 300 RPS, 1 relayer, 200 ms RTT
+//   fig9_100    Fig. 9 contention: 100 RPS, TWO relayers, 200 ms RTT
+//   fig12_burst Fig. 12 latency: one-block burst, drained to completion
+//   fig6_incl   Fig. 6 control: inclusion-only, no relayer (mitigations
+//               target the relay path, so this row must stay ~flat)
+//
+// plus one single-relayer reference at the fig9 point (fig9_ref), the bar
+// coordination has to clear: with sharding on, two relayers must be at
+// least as fast as one (the paper measures them 14-33% SLOWER).
+//
+//   --smoke   trimmed matrix (fig8/fig9 points only, short windows) for the
+//             sanitizer CI phase; self-checks still run.
+//
+// Self-checks (exit 1 on failure):
+//   * indexed tx_search alone cuts the fig12 burst latency
+//   * sharding alone beats uncoordinated two-relayer TFPS at fig9_100 and
+//     reaches the single-relayer reference (the Fig. 9 loss is eliminated)
+//   * stacked-all beats the QueryCache-only ceiling at the fig8 overload
+//     point (the headline: the engineered mitigations compose)
+//   * every coordination row actually partitioned work
+//     (coordination_skipped > 0) and cut redundant-message errors
+
+#include "common.hpp"
+
+namespace {
+
+struct Combo {
+  const char* name;
+  bool workers;         // W: rpc_query_workers = 4
+  bool indexed;         // I: indexed tx_search
+  const char* coord;    // C: "shard" (or "none")
+  bool cache;           // QueryCache + skip-satisfied-chunks
+};
+
+constexpr Combo kCombos[] = {
+    {"base", false, false, "none", false},
+    {"W", true, false, "none", false},
+    {"I", false, true, "none", false},
+    {"C", false, false, "shard", false},
+    {"W+I", true, true, "none", false},
+    {"W+C", true, false, "shard", false},
+    {"I+C", false, true, "shard", false},
+    {"W+I+C", true, true, "shard", false},
+    {"cache", false, false, "none", true},
+    {"all", true, true, "shard", true},
+};
+constexpr std::size_t kComboCount = sizeof(kCombos) / sizeof(kCombos[0]);
+
+void apply(xcc::ExperimentConfig& cfg, const Combo& c) {
+  cfg.testbed.rpc_query_workers = c.workers ? 4 : 1;
+  cfg.testbed.indexed_tx_search = c.indexed;
+  cfg.relayer.coordination.mode =
+      relayer::coordination_mode_from_string(c.coord);
+  if (c.cache) {
+    cfg.relayer.query_cache.enabled = true;
+    cfg.relayer.skip_satisfied_chunks = true;
+  }
+}
+
+xcc::ExperimentConfig fig8_config(const Combo& c, int blocks) {
+  xcc::ExperimentConfig cfg =
+      bench::relayer_config(300, /*relayers=*/1, sim::millis(200), /*rep=*/0,
+                            blocks);
+  apply(cfg, c);
+  return cfg;
+}
+
+xcc::ExperimentConfig fig9_config(const Combo& c, int blocks) {
+  xcc::ExperimentConfig cfg =
+      bench::relayer_config(100, /*relayers=*/2, sim::millis(200), /*rep=*/0,
+                            blocks);
+  apply(cfg, c);
+  return cfg;
+}
+
+xcc::ExperimentConfig fig12_config(const Combo& c, std::uint64_t transfers) {
+  xcc::ExperimentConfig cfg;
+  cfg.workload.total_transfers = transfers;
+  cfg.workload.spread_blocks = 1;
+  cfg.measure_blocks = 5;
+  cfg.wait_for_drain = true;
+  cfg.drain_no_progress_limit = sim::seconds(300);
+  cfg.max_sim_time = sim::seconds(5'000);
+  cfg.testbed.seed = bench::seed_for(0);
+  apply(cfg, c);
+  return cfg;
+}
+
+xcc::ExperimentConfig fig6_config(const Combo& c) {
+  xcc::ExperimentConfig cfg = bench::inclusion_config(300, /*rep=*/0, 10);
+  apply(cfg, c);
+  return cfg;
+}
+
+/// Burst completion latency: last ack confirmation minus first transfer
+/// broadcast, falling back to the last ack broadcast when the run ended
+/// between the final ack commit and the wallet's confirmation query (the
+/// QueryCache rows resolve fully within one drain poll).
+double burst_total(const xcc::ExperimentResult& res) {
+  const auto bcasts =
+      res.steps.completion_times_seconds(relayer::Step::kTransferBroadcast);
+  if (bcasts.empty()) return 0.0;
+  double end = res.steps.step_finish_seconds(relayer::Step::kAckConfirmation);
+  if (end <= 0) {
+    end = res.steps.step_finish_seconds(relayer::Step::kAckBroadcast);
+  }
+  return end - bcasts.front();
+}
+
+std::uint64_t sum_redundant(const xcc::ExperimentResult& res) {
+  std::uint64_t n = 0;
+  for (const auto& r : res.relayers) n += r.redundant_errors;
+  return n;
+}
+
+std::uint64_t sum_coord_skipped(const xcc::ExperimentResult& res) {
+  std::uint64_t n = 0;
+  for (const auto& r : res.relayers) n += r.coordination_skipped;
+  return n;
+}
+
+void add_row(util::Table& table, const std::string& combo,
+             const std::string& point, double rps,
+             const xcc::ExperimentResult& res) {
+  table.add_row({combo, point, util::fmt_double(rps, 0),
+                 util::fmt_double(res.tfps, 2),
+                 util::fmt_double(res.inclusion_tfps, 2),
+                 util::fmt_double(burst_total(res), 1),
+                 std::to_string(res.final_breakdown.completed),
+                 std::to_string(sum_redundant(res)),
+                 std::to_string(sum_coord_skipped(res)),
+                 std::to_string(res.query_cache.hits),
+                 std::to_string(res.query_cache.stale_rejections)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  const bench::Options opt = bench::parse_options(
+      argc, argv, "ablation_mitigations.csv",
+      {{"--smoke", false, "trimmed matrix for the sanitizer CI phase"}});
+
+  bench::print_header(
+      "Stacked ablation: concurrent RPC x indexed tx_search x coordination",
+      "bottlenecks from SV-SVI: serialized RPC (~69%), superlinear "
+      "tx_search, uncoordinated relayers (Fig. 9: -14%/-33%)",
+      opt);
+
+  const int blocks = smoke ? 5 : 12;
+  const std::uint64_t burst = opt.full ? 5'000 : 2'000;
+
+  // Flat config list: per combo [fig8, fig9, (fig12, fig6)], then the
+  // single-relayer fig9 reference. The first experiment — base fig8, the
+  // serialized-RPC overload — is the one --trace captures.
+  std::vector<xcc::ExperimentConfig> configs;
+  const std::size_t per_combo = smoke ? 2 : 4;
+  for (const Combo& c : kCombos) {
+    configs.push_back(fig8_config(c, blocks));
+    configs.push_back(fig9_config(c, blocks));
+    if (!smoke) {
+      configs.push_back(fig12_config(c, burst));
+      configs.push_back(fig6_config(c));
+    }
+  }
+  xcc::ExperimentConfig ref =
+      bench::relayer_config(100, /*relayers=*/1, sim::millis(200), /*rep=*/0,
+                            blocks);
+  configs.push_back(ref);
+
+  const auto results = bench::run_sweep(opt, configs);
+  for (const auto& r : results) {
+    if (!r.ok) {
+      std::cout << "experiment failed: " << r.error << "\n";
+      return 1;
+    }
+  }
+
+  util::Table table({"combo", "point", "rate_rps", "tfps", "incl_tfps",
+                     "burst_total_s", "completed", "redundant",
+                     "coord_skipped", "cache_hits", "stale_rejections"});
+  auto at = [&](std::size_t combo, std::size_t point) {
+    return &results[combo * per_combo + point];
+  };
+  for (std::size_t ci = 0; ci < kComboCount; ++ci) {
+    add_row(table, kCombos[ci].name, "fig8_300", 300, *at(ci, 0));
+    add_row(table, kCombos[ci].name, "fig9_100", 100, *at(ci, 1));
+    if (!smoke) {
+      add_row(table, kCombos[ci].name, "fig12_burst", 0, *at(ci, 2));
+      add_row(table, kCombos[ci].name, "fig6_incl", 300, *at(ci, 3));
+    }
+  }
+  const xcc::ExperimentResult& fig9_ref = results.back();
+  add_row(table, "base", "fig9_ref_1r", 100, fig9_ref);
+  table.print(std::cout);
+  table.write_csv(opt.csv);
+  bench::write_report(opt, table);
+  std::cout << "CSV written to " << opt.csv << "\n";
+
+  // Named rows the checks below read.
+  auto combo_index = [&](const std::string& name) {
+    for (std::size_t i = 0; i < kComboCount; ++i) {
+      if (name == kCombos[i].name) return i;
+    }
+    return kComboCount;  // unreachable: names are compile-time constants
+  };
+  const auto& base_fig8 = *at(combo_index("base"), 0);
+  const auto& base_fig9 = *at(combo_index("base"), 1);
+  const auto& coord_fig9 = *at(combo_index("C"), 1);
+  const auto& cache_fig8 = *at(combo_index("cache"), 0);
+  const auto& all_fig8 = *at(combo_index("all"), 0);
+  const auto& all_fig9 = *at(combo_index("all"), 1);
+
+  std::cout << "\nfig8 overload (300 RPS): base "
+            << util::fmt_double(base_fig8.tfps, 1) << " -> cache-only "
+            << util::fmt_double(cache_fig8.tfps, 1) << " -> stacked-all "
+            << util::fmt_double(all_fig8.tfps, 1) << " TFPS\n";
+  std::cout << "fig9 two relayers (100 RPS): uncoordinated "
+            << util::fmt_double(base_fig9.tfps, 1) << " vs sharded "
+            << util::fmt_double(coord_fig9.tfps, 1)
+            << " vs 1-relayer reference "
+            << util::fmt_double(fig9_ref.tfps, 1) << " TFPS ("
+            << sum_redundant(base_fig9) << " -> "
+            << sum_redundant(coord_fig9) << " redundant errors)\n";
+  if (!smoke) {
+    const auto& base_fig12 = *at(combo_index("base"), 2);
+    const auto& idx_fig12 = *at(combo_index("I"), 2);
+    const auto& all_fig12 = *at(combo_index("all"), 2);
+    std::cout << "fig12 burst latency: base "
+              << util::fmt_double(burst_total(base_fig12), 1)
+              << " s -> indexed " << util::fmt_double(burst_total(idx_fig12), 1)
+              << " s -> stacked-all "
+              << util::fmt_double(burst_total(all_fig12), 1) << " s\n";
+  }
+
+  bool failed = false;
+  auto check = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::cout << "MITIGATION CHECK FAILED: " << what << "\n";
+      failed = true;
+    }
+  };
+
+  // Coordination must have actually partitioned work in every sharded row,
+  // and must not leave packets behind relative to the uncoordinated run.
+  for (std::size_t ci = 0; ci < kComboCount; ++ci) {
+    if (std::string(kCombos[ci].coord) == "none") continue;
+    const auto& r = *at(ci, 1);
+    check(sum_coord_skipped(r) > 0,
+          std::string(kCombos[ci].name) +
+              " fig9 row never skipped a peer-owned packet");
+    check(sum_redundant(r) < sum_redundant(base_fig9),
+          std::string(kCombos[ci].name) + " fig9 redundant errors " +
+              std::to_string(sum_redundant(r)) + " not below base " +
+              std::to_string(sum_redundant(base_fig9)));
+  }
+  // Fig. 9 loss eliminated: sharded two-relayer TFPS beats the uncoordinated
+  // pair and reaches the single-relayer reference.
+  check(coord_fig9.tfps > base_fig9.tfps,
+        "sharded fig9 TFPS not above uncoordinated");
+  check(coord_fig9.tfps >= 0.98 * fig9_ref.tfps,
+        "sharded fig9 TFPS below the 1-relayer reference");
+  check(all_fig9.tfps >= 0.98 * fig9_ref.tfps,
+        "stacked-all fig9 TFPS below the 1-relayer reference");
+  if (!smoke) {
+    // The concurrent-RPC pool's isolated gain shows where queries contend
+    // hardest: the two-relayer point, where both relayers' scans share each
+    // machine's server. (The smoke window is too short for the ordering to
+    // stabilise, so this check needs the full windows.)
+    const auto& workers_fig9 = *at(combo_index("W"), 1);
+    check(workers_fig9.tfps > base_fig9.tfps,
+          "worker pool alone did not lift fig9 TFPS");
+    const auto& idx_fig12 = *at(combo_index("I"), 2);
+    const auto& base_fig12 = *at(combo_index("base"), 2);
+    check(burst_total(idx_fig12) < burst_total(base_fig12),
+          "indexed tx_search did not cut the fig12 burst latency");
+    check(idx_fig12.final_breakdown.completed ==
+              base_fig12.final_breakdown.completed,
+          "indexed fig12 run lost transfers");
+    // The headline: the engineered mitigations stack above the QueryCache
+    // ceiling at the overload point.
+    check(all_fig8.tfps > cache_fig8.tfps,
+          "stacked-all fig8 TFPS not above the QueryCache-only ceiling");
+    // Control: inclusion throughput is consensus-bound; the relay-path
+    // mitigations must not distort it (2% band).
+    const auto& base_fig6 = *at(combo_index("base"), 3);
+    const auto& all_fig6 = *at(combo_index("all"), 3);
+    check(all_fig6.inclusion_tfps >= 0.98 * base_fig6.inclusion_tfps &&
+              all_fig6.inclusion_tfps <= 1.02 * base_fig6.inclusion_tfps,
+          "stacked-all moved the fig6 inclusion control");
+  }
+
+  if (failed) return 1;
+  std::cout << "\nmitigation matrix checks passed\n";
+  return 0;
+}

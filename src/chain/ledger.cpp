@@ -1,6 +1,8 @@
 #include "chain/ledger.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 namespace chain {
 
@@ -21,6 +23,62 @@ void Ledger::append(Block block, std::vector<DeliverTxResult> results,
   results_.push_back(std::move(results));
   app_hashes_.push_back(app_hash_after);
   seen_commits_.push_back(std::move(seen_commit));
+  if (packet_index_enabled_) {
+    packet_index_.emplace_back();
+    index_block(results_.size() - 1);
+  }
+}
+
+void Ledger::index_block(std::size_t block_idx) {
+  std::vector<PacketEventEntry>& rows = packet_index_[block_idx];
+  const std::vector<DeliverTxResult>& results = results_[block_idx];
+  for (std::uint32_t i = 0; i < results.size(); ++i) {
+    for (const Event& ev : results[i].events) {
+      const std::string seq_str = ev.attribute("packet_sequence");
+      if (seq_str.empty()) continue;
+      const auto [it, inserted] = event_type_ids_.try_emplace(
+          ev.type, static_cast<std::uint32_t>(event_type_ids_.size()));
+      rows.push_back(PacketEventEntry{
+          it->second, std::strtoull(seq_str.c_str(), nullptr, 10), i});
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+}
+
+void Ledger::enable_packet_index() {
+  if (packet_index_enabled_) return;
+  packet_index_enabled_ = true;
+  packet_index_.assign(results_.size(), {});
+  for (std::size_t b = 0; b < results_.size(); ++b) index_block(b);
+}
+
+std::vector<std::uint32_t> Ledger::indexed_packet_txs(
+    Height h, const std::string& event_type, std::uint64_t seq_begin,
+    std::uint64_t seq_end) const {
+  std::vector<std::uint32_t> out;
+  if (h < 1 || static_cast<std::size_t>(h) > packet_index_.size()) return out;
+  const auto type_it = event_type_ids_.find(event_type);
+  if (type_it == event_type_ids_.end()) return out;
+  const std::vector<PacketEventEntry>& rows =
+      packet_index_[static_cast<std::size_t>(h - 1)];
+  const auto lo = std::lower_bound(
+      rows.begin(), rows.end(),
+      PacketEventEntry{type_it->second, seq_begin, 0});
+  for (auto it = lo; it != rows.end() && it->type_id == type_it->second &&
+                     it->seq <= seq_end;
+       ++it) {
+    out.push_back(it->tx_index);
+  }
+  // A tx can emit several in-range events; the scan path reports each tx
+  // once, in ascending tx order.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t Ledger::packet_index_entries(Height h) const {
+  if (h < 1 || static_cast<std::size_t>(h) > packet_index_.size()) return 0;
+  return packet_index_[static_cast<std::size_t>(h - 1)].size();
 }
 
 const Commit* Ledger::seen_commit(Height h) const {

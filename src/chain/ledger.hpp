@@ -20,6 +20,22 @@ struct TxLocation {
   std::uint32_t index = 0;
 };
 
+/// One row of the opt-in packet-event index: an event of type `type_id`
+/// carrying packet_sequence `seq`, emitted by transaction `tx_index` of its
+/// block. Rows are kept sorted by (type_id, seq, tx_index) per block so
+/// lookups are a binary search plus a contiguous walk of the matches.
+struct PacketEventEntry {
+  std::uint32_t type_id = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t tx_index = 0;
+
+  friend bool operator<(const PacketEventEntry& a, const PacketEventEntry& b) {
+    if (a.type_id != b.type_id) return a.type_id < b.type_id;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.tx_index < b.tx_index;
+  }
+};
+
 class Ledger {
  public:
   explicit Ledger(ChainId chain_id) : chain_id_(std::move(chain_id)) {}
@@ -62,7 +78,32 @@ class Ledger {
   /// Block interval series (time between consecutive headers) for Fig. 7.
   std::vector<double> block_intervals_seconds() const;
 
+  // --- packet-event index (indexed tx_search mitigation) -------------------
+  // Tendermint's tx indexer re-scans a block's full event payload for every
+  // query — the superlinear cost the paper measures in §V. The mitigation
+  // maintains a height → (event type, packet_sequence) → tx index at commit
+  // time, so packet-event queries cost O(result page). Off by default; the
+  // query results are identical either way (only the modelled service time
+  // changes), which the equivalence property test pins.
+
+  /// Turns the index on, retroactively indexing already-committed blocks;
+  /// subsequent append() calls maintain it incrementally.
+  void enable_packet_index();
+  bool packet_index_enabled() const { return packet_index_enabled_; }
+
+  /// Tx indices in block `h` with at least one `event_type` event whose
+  /// packet_sequence lies in [seq_begin, seq_end] — ascending and unique,
+  /// byte-identical to what the full scan produces.
+  std::vector<std::uint32_t> indexed_packet_txs(Height h,
+                                                const std::string& event_type,
+                                                std::uint64_t seq_begin,
+                                                std::uint64_t seq_end) const;
+
+  /// Total index rows for block `h` (diagnostics / cost assertions).
+  std::size_t packet_index_entries(Height h) const;
+
  private:
+  void index_block(std::size_t block_idx);
   ChainId chain_id_;
   std::vector<Block> blocks_;
   std::vector<std::vector<DeliverTxResult>> results_;
@@ -71,6 +112,9 @@ class Ledger {
   std::vector<std::size_t> event_bytes_;  // cached per-block event payload
   std::map<TxHash, TxLocation> tx_index_;
   std::uint64_t total_txs_ = 0;
+  bool packet_index_enabled_ = false;
+  std::map<std::string, std::uint32_t> event_type_ids_;
+  std::vector<std::vector<PacketEventEntry>> packet_index_;  // per block
 };
 
 }  // namespace chain

@@ -53,6 +53,10 @@ void usage() {
          "                        inject a broken recvPacket replay check\n"
          "  --mutate=skip-expiry-check\n"
          "                        inject a broken client-expiry check\n"
+         "  --rpc-workers=N       RPC query workers per server (default 1;\n"
+         "                        the concurrent-RPC mitigation)\n"
+         "  --coordination=MODE   relayer coordination for two-relayer\n"
+         "                        scenarios: none (default) | shard | lease\n"
          "  --campaign=FAMILY     run one chaos campaign (or 'all'):\n"
          "                        halt-restart client-expiry client-freeze\n"
          "                        relayer-crash censorship frame-storm\n"
@@ -88,6 +92,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
         std::cerr << "unknown mutation: " << what << "\n";
         return false;
       }
+    } else if (arg.rfind("--rpc-workers=", 0) == 0) {
+      const int n = std::atoi(value("--rpc-workers=").c_str());
+      if (n <= 0) return false;
+      opt.scenario.rpc_query_workers = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--coordination=", 0) == 0) {
+      const std::string mode = value("--coordination=");
+      if (mode != "none" && mode != "shard" && mode != "lease") {
+        std::cerr << "unknown coordination mode: " << mode << "\n";
+        return false;
+      }
+      opt.scenario.coordination = mode;
     } else if (arg.rfind("--campaign=", 0) == 0) {
       opt.campaign = value("--campaign=");
       if (opt.campaign != "all" &&
@@ -116,6 +131,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
 std::string repro_command(const Options& opt, std::uint64_t seed) {
   std::string cmd = "fuzz_scenarios --seed=" + std::to_string(seed);
   if (opt.scenario.mutate_skip_replay) cmd += " --mutate=skip-replay-check";
+  if (opt.scenario.rpc_query_workers > 1) {
+    cmd += " --rpc-workers=" + std::to_string(opt.scenario.rpc_query_workers);
+  }
+  if (opt.scenario.coordination != "none") {
+    cmd += " --coordination=" + opt.scenario.coordination;
+  }
   return cmd;
 }
 

@@ -37,6 +37,7 @@ ScenarioResult run_scenario(std::uint64_t seed,
 
   xcc::TestbedConfig tb_cfg;
   tb_cfg.seed = seed;
+  tb_cfg.rpc_query_workers = options.rpc_query_workers;
   tb_cfg.rtt = sim::millis(pick(rng, kRttsMs));
   tb_cfg.min_block_interval = sim::seconds(pick(rng, kBlockIntervalsS));
   tb_cfg.user_accounts = 64;
@@ -117,6 +118,10 @@ ScenarioResult run_scenario(std::uint64_t seed,
     relayer::RelayerConfig rc;
     rc.machine = static_cast<net::MachineId>(machine);
     rc.clear_interval = clear_interval;
+    rc.coordination.mode =
+        relayer::coordination_mode_from_string(options.coordination);
+    rc.coordination.relayer_index = k;
+    rc.coordination.relayer_count = relayers;
     relayer_instances.push_back(std::make_unique<relayer::Relayer>(
         tb.scheduler(), ha, hb, channel.path(), rc, nullptr));
     relayer_instances.back()->start();

@@ -23,6 +23,14 @@ struct ScenarioOptions {
   /// Throw check::InvariantViolation at the first violation instead of
   /// collecting them into ScenarioResult::violations.
   bool fail_fast = false;
+  /// RPC query workers per server (concurrent-RPC mitigation); 1 keeps the
+  /// historical seed→scenario mapping byte-identical. The mitigation CI
+  /// phase re-fuzzes with 4 to prove the invariants hold when the worker
+  /// pool reorders query completions.
+  std::size_t rpc_query_workers = 1;
+  /// Relayer coordination mode for multi-relayer scenarios ("none" | "shard"
+  /// | "lease"); "none" is the historical racing behaviour.
+  std::string coordination = "none";
 };
 
 struct ScenarioResult {

@@ -1,5 +1,6 @@
 #include "relayer/query_cache.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace relayer {
@@ -177,10 +178,21 @@ void QueryCache::abci_query(
   count_miss();
   server.abci_query(
       client, key_str, prove,
-      [this, probe = std::move(probe), cb = std::move(cb)](
+      [this, &server, probe = std::move(probe), cb = std::move(cb)](
           util::Result<rpc::Server::AbciQueryResult> res) mutable {
         if (res.is_ok()) {
-          insert(std::move(probe), res.value(), abci_bytes(res.value()));
+          // Guard against caching a response the chain has already moved
+          // past: when this query was queued the height watermark may have
+          // advanced (the worker pool reorders completions freely), and
+          // on_height_advance has already swept — a late insert would pin a
+          // stale proof until the next advance.
+          const auto seen = observed_height_.find(&server);
+          if (seen != observed_height_.end() &&
+              res.value().height < seen->second) {
+            ++stats_.stale_rejections;
+          } else {
+            insert(std::move(probe), res.value(), abci_bytes(res.value()));
+          }
         }
         cb(std::move(res));
       });
@@ -189,6 +201,8 @@ void QueryCache::abci_query(
 void QueryCache::on_height_advance(const rpc::Server& server,
                                    chain::Height height) {
   if (!config_.enabled) return;
+  chain::Height& seen = observed_height_[&server];
+  seen = std::max(seen, height);
   for (auto it = index_.begin(); it != index_.end();) {
     const Key& k = it->first;
     if (k.kind == Kind::kAbci && k.server == &server &&

@@ -96,6 +96,9 @@ class QueryCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;      // LRU byte-budget pressure
     std::uint64_t invalidations = 0;  // height advance + explicit drops
+    /// ABCI responses whose payload height was already below the observed
+    /// chain height when they completed — never cached (see abci_query).
+    std::uint64_t stale_rejections = 0;
     std::size_t bytes = 0;            // current estimated footprint
 
     void merge(const Stats& o) {
@@ -104,6 +107,7 @@ class QueryCache {
       insertions += o.insertions;
       evictions += o.evictions;
       invalidations += o.invalidations;
+      stale_rejections += o.stale_rejections;
       bytes += o.bytes;
     }
   };
@@ -153,6 +157,13 @@ class QueryCache {
   std::list<Entry> lru_;  // front = hottest
   Index index_;
   Stats stats_;
+  /// Latest chain height observed per server (on_height_advance). ABCI
+  /// responses answering below this watermark are stale by the time they
+  /// arrive and must not be cached: an in-flight query started before a
+  /// height advance completes after it — a reorder the concurrent-RPC
+  /// worker pool makes routine — and on_height_advance has already run, so
+  /// the stale entry would survive until the *next* advance, serving hits.
+  std::map<const void*, chain::Height> observed_height_;
 
   telemetry::Hub* hub_ = nullptr;
   telemetry::TrackId track_ = 0;

@@ -19,7 +19,8 @@ Relayer::Relayer(sim::Scheduler& sched, ChainHandle a, ChainHandle b,
       path_(std::move(path)),
       config_(std::move(config)),
       step_log_(step_log),
-      cache_(sched, config_.query_cache) {
+      cache_(sched, config_.query_cache),
+      coordination_(config_.coordination) {
   WalletConfig wa = config_.wallet;
   wa.accounts = a_.wallet_accounts;
   wa.gas_price = config_.gas_price;
@@ -165,6 +166,7 @@ void Relayer::on_frame_a(const rpc::NewBlockFrame& frame) {
   // Chain A advanced: cached latest-height store responses (commitment
   // proofs) against its full node are stale. No-op when caching is off.
   cache_.on_height_advance(*a_.server, frame.height);
+  last_seen_a_height_ = std::max(last_seen_a_height_, frame.height);
   if (!frame.events_ok) {
     // Paper §V: "Failed to collect events" — the event payload exceeded the
     // WebSocket frame limit. The packets in this block are invisible to the
@@ -197,6 +199,12 @@ void Relayer::on_frame_a(const rpc::NewBlockFrame& frame) {
       const std::uint64_t seq =
           std::strtoull(ev.attribute("packet_sequence").c_str(), nullptr, 10);
       if (seq == 0 || packets_.contains(seq)) continue;
+      if (!coordination_.owns(seq, frame.height)) {
+        // A coordinated peer owns this packet; never enter it in the table
+        // so no lane (pull, recv, ack, timeout, retry) ever touches it.
+        ++stats_.coordination_skipped;
+        continue;
+      }
       PacketState st;
       st.stage = Stage::kExtracted;
       st.src_height = frame.height;
@@ -1238,7 +1246,13 @@ void Relayer::run_clear(ClearOp op, std::function<void()> done) {
           if (seq == 0) continue;
           const auto it = packets_.find(seq);
           if (it == packets_.end()) {
-            // Never seen (e.g. lost in an oversized WebSocket frame).
+            // Never seen (e.g. lost in an oversized WebSocket frame). Under
+            // coordination, only adopt strays this instance owns — the
+            // owning peer's own clear pass covers the rest.
+            if (!coordination_.owns(seq, last_seen_a_height_)) {
+              ++stats_.coordination_skipped;
+              continue;
+            }
             PacketState ps;
             ps.stage = Stage::kExtracted;
             packets_.emplace(seq, std::move(ps));
@@ -1380,6 +1394,12 @@ void Relayer::run_ack_scan(ClearOp op, std::function<void()> done) {
             auto pkt = ibc::packet_from_event(ev);
             if (!pkt || pkt->source_channel != path_.channel_a) continue;
             const ibc::Sequence seq = pkt->sequence;
+            if (!packets_.contains(seq) &&
+                !coordination_.owns(seq, last_seen_a_height_)) {
+              // An unowned, unseen packet is a peer's to acknowledge.
+              ++stats_.coordination_skipped;
+              continue;
+            }
             PacketState& st = packets_[seq];  // inserts when unseen
             if (st.stage == Stage::kAckInFlight || st.stage == Stage::kDone ||
                 st.stage == Stage::kTimedOut ||

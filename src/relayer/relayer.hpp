@@ -27,6 +27,7 @@
 
 #include "ibc/gas.hpp"
 #include "ibc/msgs.hpp"
+#include "relayer/coordination.hpp"
 #include "relayer/events.hpp"
 #include "relayer/query_cache.hpp"
 #include "relayer/wallet.hpp"
@@ -108,6 +109,10 @@ struct RelayerConfig {
   bool startup_rescan = false;
   /// How many destination blocks the startup ack re-scan walks back.
   chain::Height startup_rescan_depth = 1'000;
+  /// Fleet coordination (mitigation for Fig. 9's redundant-work loss):
+  /// partitions packet ownership across relayer instances. kNone by default
+  /// — ICS-18 relayers race, exactly as the paper measured.
+  CoordinationConfig coordination;
   WalletConfig wallet;  // accounts are filled per chain from ChainHandle
 };
 
@@ -151,6 +156,7 @@ class Relayer {
     std::uint64_t pull_query_failures = 0;    // chunk queries that errored
     std::uint64_t ack_decode_failures = 0;    // malformed packet_ack payloads
     std::uint64_t abandoned_packets = 0;      // gave up after bounded retries
+    std::uint64_t coordination_skipped = 0;   // packets owned by a peer
   };
   const Stats& stats() const { return stats_; }
   Wallet& wallet_a() { return *wallet_a_; }
@@ -317,8 +323,10 @@ class Relayer {
   // new life is using.
   std::uint64_t lane_epoch_ = 0;
   bool running_ = false;
+  CoordinationPolicy coordination_;
   rpc::Server::SubscriptionId sub_a_ = 0;
   rpc::Server::SubscriptionId sub_b_ = 0;
+  chain::Height last_seen_a_height_ = 0;
   chain::Height last_seen_b_height_ = 0;
   chain::Height last_clear_height_ = 0;
   bool ws_wedged_a_ = false;  // §V sticky event-collection failure

@@ -57,6 +57,21 @@ struct CostModel {
   sim::Duration abci_query_service = sim::micros(1'500);
   sim::Duration proof_generation = sim::micros(1'000);
 
+  /// Indexed tx_search mitigation (paper §VI suggestions): when true — and
+  /// the chain's Ledger has its packet-event index enabled — packet-event
+  /// queries are priced off a commit-time height→packet-events index instead
+  /// of a full scan of the block's event payload. Results are identical; the
+  /// superlinear scan term disappears, leaving O(result page). Off by
+  /// default: the paper's measured Tendermint has no such index.
+  bool indexed_tx_search = false;
+
+  /// Per-block index probe (B-tree descent + range positioning).
+  sim::Duration index_probe_service = sim::micros(150);
+
+  /// Per matched transaction: index-row fetch and result-row assembly,
+  /// before marshalling (still paid per returned byte).
+  double index_ns_per_match = 2'000.0;
+
   /// Serving a memoized data-pull response from the relayer-side QueryCache
   /// (paper §VI's proposed mitigation): a local in-memory lookup plus decode,
   /// no network round trip and no indexer scan. Only consulted when the cache
@@ -83,6 +98,15 @@ struct CostModel {
         1000.0;
     const double quad_us = scan_quad_ms_per_mb2 * mb * mb * 1000.0;
     return static_cast<sim::Duration>(linear_us + quad_us);
+  }
+  /// Indexed-path replacement for scan_cost(): independent of block size,
+  /// linear in the page actually returned.
+  sim::Duration indexed_scan_cost(std::size_t blocks_probed,
+                                  std::size_t matched_txs) const {
+    const std::size_t probes = blocks_probed > 0 ? blocks_probed : 1;
+    return index_probe_service * static_cast<sim::Duration>(probes) +
+           static_cast<sim::Duration>(
+               index_ns_per_match * static_cast<double>(matched_txs) / 1000.0);
   }
   sim::Duration marshal_cost(std::size_t returned_bytes) const {
     return static_cast<sim::Duration>(

@@ -198,9 +198,16 @@ void Server::query_packet_events(
     std::uint64_t seq_begin, std::uint64_t seq_end,
     std::function<void(util::Result<TxSearchPage>)> cb) {
   // The indexer evaluates the query against every event in the block, then
-  // marshals only the matching transactions.
-  auto matches = [this, height, event_type, seq_begin,
-                  seq_end]() -> std::vector<std::uint32_t> {
+  // marshals only the matching transactions. With the indexed-tx_search
+  // mitigation on, the match set comes from the ledger's commit-time packet
+  // index instead — identical results, O(page) service time.
+  const bool indexed = cost_.indexed_tx_search && ledger_.packet_index_enabled();
+  auto matches = [this, height, event_type, seq_begin, seq_end,
+                  indexed]() -> std::vector<std::uint32_t> {
+    if (indexed) {
+      return ledger_.indexed_packet_txs(height, event_type, seq_begin,
+                                        seq_end);
+    }
     std::vector<std::uint32_t> out;
     const auto* results = ledger_.results_at(height);
     if (!results) return out;
@@ -219,17 +226,20 @@ void Server::query_packet_events(
     return out;
   };
 
-  auto service = [this, height, matches]() -> sim::Duration {
-    const std::size_t block_bytes = ledger_.block_event_bytes(height);
+  auto service = [this, height, matches, indexed]() -> sim::Duration {
     std::size_t matched_bytes = 0;
+    std::size_t matched_txs = 0;
     const auto* results = ledger_.results_at(height);
     if (results) {
       for (std::uint32_t i : matches()) {
         matched_bytes += (*results)[i].encoded_size();
+        ++matched_txs;
       }
     }
-    return cost_.base_service + cost_.scan_cost(block_bytes) +
-           cost_.marshal_cost(matched_bytes);
+    const sim::Duration scan =
+        indexed ? cost_.indexed_scan_cost(1, matched_txs)
+                : cost_.scan_cost(ledger_.block_event_bytes(height));
+    return cost_.base_service + scan + cost_.marshal_cost(matched_bytes);
   };
 
   roundtrip(
@@ -265,11 +275,19 @@ void Server::query_packet_events_range(
     net::MachineId client, chain::Height height_begin, chain::Height height_end,
     const std::string& event_type, std::uint64_t seq_begin,
     std::uint64_t seq_end, std::function<void(util::Result<TxSearchPage>)> cb) {
+  const bool indexed = cost_.indexed_tx_search && ledger_.packet_index_enabled();
   auto matches = [this, height_begin, height_end, event_type, seq_begin,
-                  seq_end]() {
+                  seq_end, indexed]() {
     std::vector<std::pair<chain::Height, std::uint32_t>> out;
     for (chain::Height h = std::max<chain::Height>(height_begin, 1);
          h <= std::min(height_end, ledger_.height()); ++h) {
+      if (indexed) {
+        for (std::uint32_t i :
+             ledger_.indexed_packet_txs(h, event_type, seq_begin, seq_end)) {
+          out.emplace_back(h, i);
+        }
+        continue;
+      }
       const auto* results = ledger_.results_at(h);
       if (!results) continue;
       for (std::uint32_t i = 0; i < results->size(); ++i) {
@@ -289,18 +307,28 @@ void Server::query_packet_events_range(
     return out;
   };
 
-  auto service = [this, height_begin, height_end, matches]() -> sim::Duration {
-    std::size_t scanned = 0;
-    for (chain::Height h = std::max<chain::Height>(height_begin, 1);
-         h <= std::min(height_end, ledger_.height()); ++h) {
-      scanned += ledger_.block_event_bytes(h);
-    }
+  auto service = [this, height_begin, height_end, matches,
+                  indexed]() -> sim::Duration {
+    const chain::Height lo = std::max<chain::Height>(height_begin, 1);
+    const chain::Height hi = std::min(height_end, ledger_.height());
+    const auto matched = matches();
     std::size_t matched_bytes = 0;
-    for (const auto& [h, i] : matches()) {
+    for (const auto& [h, i] : matched) {
       matched_bytes += (*ledger_.results_at(h))[i].encoded_size();
     }
-    return cost_.base_service + cost_.scan_cost(scanned) +
-           cost_.marshal_cost(matched_bytes);
+    sim::Duration scan = sim::kDurationZero;
+    if (indexed) {
+      const std::size_t probed =
+          hi >= lo ? static_cast<std::size_t>(hi - lo + 1) : 0;
+      scan = cost_.indexed_scan_cost(probed, matched.size());
+    } else {
+      std::size_t scanned = 0;
+      for (chain::Height h = lo; h <= hi; ++h) {
+        scanned += ledger_.block_event_bytes(h);
+      }
+      scan = cost_.scan_cost(scanned);
+    }
+    return cost_.base_service + scan + cost_.marshal_cost(matched_bytes);
   };
 
   roundtrip(

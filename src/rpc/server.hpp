@@ -80,9 +80,26 @@ class Server {
   /// labelled by endpoint. Also registers websocket frame counters.
   void set_telemetry(telemetry::Hub* hub, const std::string& track_name);
 
-  /// Ablation hook: services N requests in parallel (paper's bottleneck is
-  /// N=1; the ablation bench raises it).
-  void set_parallel_requests(std::size_t n) { queue_.set_servers(n); }
+  /// Concurrent-RPC mitigation: a pool of N query workers draining the
+  /// shared FIFO (the paper's bottleneck is N=1 — Tendermint serializes
+  /// query execution). Worker assignment is deterministic (lowest free
+  /// index), so N=1 is byte-identical to the original serialized queue.
+  void set_query_workers(std::size_t n) { queue_.set_servers(n); }
+  std::size_t query_workers() const { return queue_.servers(); }
+
+  /// Back-compat alias used by the parallel-RPC ablation.
+  void set_parallel_requests(std::size_t n) { set_query_workers(n); }
+
+  /// Per-worker utilisation (completed jobs + busy time) for worker `w` in
+  /// [0, query_workers()).
+  sim::ServiceQueue::WorkerStats worker_stats(std::size_t w) const {
+    return queue_.worker_stats(w);
+  }
+
+  /// Indexed tx_search mitigation: price packet-event queries off the
+  /// ledger's commit-time packet-event index (the caller must also enable it
+  /// on the Ledger). Results are unchanged — only service time drops.
+  void set_indexed_tx_search(bool on) { cost_.indexed_tx_search = on; }
 
   /// Fault-injection hook for tests: runs on every packet-event query
   /// response (single-block and range form) after the page is assembled but

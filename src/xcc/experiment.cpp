@@ -84,6 +84,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                             {tb.relayer_account_b(k)}};
     relayer::RelayerConfig rc = config.relayer;
     rc.machine = static_cast<net::MachineId>(machine);
+    // Fleet position for the coordination policy (inert under kNone).
+    rc.coordination.relayer_index = k;
+    rc.coordination.relayer_count = config.relayer_count;
     // Only the first relayer feeds the step log (Fig. 12's per-step series
     // is a single-relayer analysis).
     relayer::StepLog* log = (k == 0 && collect_steps) ? &steps : nullptr;

@@ -58,6 +58,7 @@ void Testbed::deploy_chain(ChainDeployment& c, const std::string& id,
   cosmos::AppConfig app_cfg = config_.app_config;
   c.app = std::make_unique<cosmos::CosmosApp>(id, app_cfg);
   c.ledger = std::make_unique<chain::Ledger>(id);
+  if (config_.indexed_tx_search) c.ledger->enable_packet_index();
   c.mempool = std::make_unique<chain::Mempool>(*c.app, /*max_txs=*/100'000);
 
   consensus::EngineConfig ec = config_.engine_config;
@@ -75,12 +76,17 @@ void Testbed::deploy_chain(ChainDeployment& c, const std::string& id,
 
   // One full-node RPC endpoint per machine, all wired to block events.
   c.servers.reserve(static_cast<std::size_t>(config_.machines));
+  rpc::CostModel rpc_cost = config_.rpc_cost;
+  if (config_.indexed_tx_search) rpc_cost.indexed_tx_search = true;
   for (int m = 0; m < config_.machines; ++m) {
     auto server = std::make_unique<rpc::Server>(
-        sched_, *network_, m, *c.ledger, *c.mempool, *c.app, config_.rpc_cost,
+        sched_, *network_, m, *c.ledger, *c.mempool, *c.app, rpc_cost,
         config_.seed * 1315423911u + static_cast<std::uint64_t>(m) +
             (id == "ibc-source" ? 0u : 7'919u));
     server->set_telemetry(&hub_, prefix + ".m" + std::to_string(m) + ".rpc");
+    if (config_.rpc_query_workers > 1) {
+      server->set_query_workers(config_.rpc_query_workers);
+    }
     rpc::Server* raw = server.get();
     c.engine->subscribe_block(
         [raw](const chain::Block& block,

@@ -43,6 +43,16 @@ struct TestbedConfig {
   cosmos::AppConfig app_config;
   consensus::EngineConfig engine_config;
 
+  /// Concurrent-RPC mitigation: query workers per RPC server (1 = the
+  /// paper's serialized Tendermint, byte-identical to the pre-mitigation
+  /// simulator).
+  std::size_t rpc_query_workers = 1;
+
+  /// Indexed-tx_search mitigation: maintain the commit-time packet-event
+  /// index on both ledgers and price packet-event queries off it. Off by
+  /// default (full scan with the superlinear term, as measured in §V).
+  bool indexed_tx_search = false;
+
   /// Run the IBC invariant checker on every commit of both chains. On by
   /// default so every test and bench is checked; opt out for perf-sensitive
   /// runs.

@@ -158,6 +158,122 @@ TEST_F(QueryCacheFixture, ProofEntriesInvalidateOnHeightAdvance) {
   EXPECT_EQ(cache.stats().invalidations, 1u);
 }
 
+TEST_F(QueryCacheFixture, LateAbciResponseIsNotCachedPastTheWatermark) {
+  boot();
+  relayer::QueryCacheConfig qc;
+  qc.enabled = true;
+  relayer::QueryCache cache(tb->scheduler(), qc);
+
+  // Launch the query, then observe a newer height BEFORE the response lands
+  // — exactly the reorder window the RPC worker pool widens: with several
+  // queries in service at once, a response priced before a commit can
+  // complete after the relayer already saw the next block's frame.
+  chain::Height answered = 0;
+  bool done = false;
+  cache.abci_query(server(), /*client=*/0, "commitments/late", /*prove=*/true,
+                   [&](util::Result<rpc::Server::AbciQueryResult> res) {
+                     ASSERT_TRUE(res.is_ok());
+                     answered = res.value().height;
+                     done = true;
+                   });
+  cache.on_height_advance(server(), tb->chain_a().ledger->height() + 3);
+  while (!done && tb->scheduler().step()) {
+  }
+  ASSERT_TRUE(done);
+  ASSERT_GT(answered, 0u);
+
+  // The stale response was delivered to the caller but NOT cached: caching
+  // it would pin a proof the chain has moved past until the next advance.
+  EXPECT_EQ(cache.stats().stale_rejections, 1u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+
+  // The follow-up query must therefore miss (fresh server round trip), not
+  // serve the rejected stale payload.
+  const std::uint64_t misses_before = cache.stats().misses;
+  proof_query(cache, "commitments/late");
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(QueryCacheFixture, FreshInsertSurvivesEarlierWatermark) {
+  boot();
+  relayer::QueryCacheConfig qc;
+  qc.enabled = true;
+  relayer::QueryCache cache(tb->scheduler(), qc);
+
+  // A watermark at (or below) the response height must not reject the
+  // insert: only responses the chain has strictly moved past are stale.
+  cache.on_height_advance(server(), 2);
+  const chain::Height answered = proof_query(cache, "commitments/fresh");
+  ASSERT_GE(answered, 2u);
+  EXPECT_EQ(cache.stats().stale_rejections, 0u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  proof_query(cache, "commitments/fresh");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(QueryCacheFixture, WatermarksAreTrackedPerServer) {
+  boot();
+  relayer::QueryCacheConfig qc;
+  qc.enabled = true;
+  relayer::QueryCache cache(tb->scheduler(), qc);
+  rpc::Server& other = *tb->chain_b().servers[0];
+
+  // Advancing chain B's watermark far ahead must not poison inserts for
+  // chain A's server: the two-chain relayer drives both through one cache.
+  cache.on_height_advance(other, 1'000);
+  proof_query(cache, "commitments/per-server");
+  EXPECT_EQ(cache.stats().stale_rejections, 0u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST_F(QueryCacheFixture, PageHitsStayConsistentUnderWorkerPool) {
+  boot();
+  server().set_query_workers(4);
+  relayer::QueryCacheConfig qc;
+  qc.enabled = true;
+  relayer::QueryCache cache(tb->scheduler(), qc);
+
+  // Two distinct page queries in flight at once (the pool serves them
+  // concurrently), then re-issue both: each must hit, and the pages served
+  // from cache must match what the server returned — committed blocks are
+  // immutable, so height-keyed pages never go stale.
+  std::vector<std::uint32_t> first_counts;
+  int pending = 2;
+  for (chain::Height h = 2; h <= 3; ++h) {
+    cache.query_packet_events(server(), /*client=*/0, h, "send_packet", 1,
+                              100,
+                              [&](util::Result<rpc::TxSearchPage> res) {
+                                ASSERT_TRUE(res.is_ok());
+                                first_counts.push_back(
+                                    res.value().total_count);
+                                --pending;
+                              });
+  }
+  while (pending > 0 && tb->scheduler().step()) {
+  }
+  ASSERT_EQ(pending, 0);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  std::vector<std::uint32_t> again_counts;
+  pending = 2;
+  for (chain::Height h = 2; h <= 3; ++h) {
+    cache.query_packet_events(server(), /*client=*/0, h, "send_packet", 1,
+                              100,
+                              [&](util::Result<rpc::TxSearchPage> res) {
+                                ASSERT_TRUE(res.is_ok());
+                                again_counts.push_back(
+                                    res.value().total_count);
+                                --pending;
+                              });
+  }
+  while (pending > 0 && tb->scheduler().step()) {
+  }
+  ASSERT_EQ(pending, 0);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(first_counts, again_counts);
+}
+
 TEST_F(QueryCacheFixture, LruEvictionKeepsBytesUnderBudget) {
   boot(8);
   relayer::QueryCacheConfig qc;
