@@ -27,8 +27,14 @@
 #                               under TSan, invariant fuzzing with the RPC
 #                               worker pool and coordination on, and a fresh
 #                               smoke report bench_compare'd against the
-#                               committed bench/baselines/ reference. Ends
-#                               with a phase summary table.
+#                               committed bench/baselines/ reference, and the
+#                               mesh-routing phase: the hub/mesh/hop-sweep
+#                               bench smoke under ASan+UBSan, a parallel
+#                               multi-hop fuzz sweep under TSan, topology
+#                               fuzzing (line/hub/mesh) on the ASan build,
+#                               and a fresh smoke report bench_compare'd
+#                               against bench/baselines/. Ends with a phase
+#                               summary table.
 cd "$(dirname "$0")"
 
 if [ "$1" = "--check" ]; then
@@ -268,6 +274,40 @@ EOF
   fi
   [ "$rc" -eq 1 ] && echo "note: host-time noise vs baseline (expected across machines)"
   rm -rf "$mdir"
+  phase_ok
+
+  phase "mesh routing: bench smoke ASan, multi-hop fuzz TSan, baseline compare"
+  # The mesh-routing bench (hub vs full mesh, hop sweep, relayer placement)
+  # under ASan+UBSan: the forward middleware's escrow/mint/unwind paths and
+  # the bench's own self-checks all run sanitized.
+  cmake --build build-asan -j --target bench_mesh_routing
+  xdir=$(mktemp -d -t ibc_mesh_XXXXXX)
+  ./build-asan/bench/bench_mesh_routing --smoke --csv "$xdir/asan.csv" \
+    >/dev/null
+  echo "mesh-routing smoke passed under ASan+UBSan"
+  # Multi-hop forwarding under TSan with a parallel fuzz sweep: the per-hop
+  # relayer fleet and the threaded runner race against each other.
+  cmake --build build-tsan -j --target fuzz_scenarios
+  ./build-tsan/src/check/fuzz_scenarios --seeds=8 --jobs=4 --topology=line3
+  # Invariant checker across topology shapes (line / hub / full mesh) on the
+  # ASan build: trace prefixing, refund unwinding and per-channel
+  # coordination all fuzz clean.
+  ./build-asan/src/check/fuzz_scenarios --seeds=10 --topology=hub4
+  ./build-asan/src/check/fuzz_scenarios --seeds=10 --topology=mesh4 --coordination=shard
+  # Fresh smoke report vs the committed reference: seed-deterministic
+  # virtual sections, so drift (exit 2) is a routing behaviour change.
+  cmake --build build -j --target bench_mesh_routing bench_compare
+  ./build/bench/bench_mesh_routing --smoke --csv "$xdir/fresh.csv" \
+    --json "$xdir/BENCH_fresh.json" >/dev/null
+  rc=0
+  ./build/tools/bench_compare --noise 10 \
+    bench/baselines/BENCH_mesh_routing.json "$xdir/BENCH_fresh.json" || rc=$?
+  if [ "$rc" -ge 2 ]; then
+    echo "ERROR: mesh-routing smoke report drifted from bench/baselines (rc=$rc)"
+    exit 1
+  fi
+  [ "$rc" -eq 1 ] && echo "note: host-time noise vs baseline (expected across machines)"
+  rm -rf "$xdir"
   phase_ok
 
   exit 0

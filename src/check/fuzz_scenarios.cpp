@@ -22,6 +22,7 @@
 #include "check/campaign.hpp"
 #include "check/scenario.hpp"
 #include "xcc/parallel.hpp"
+#include "xcc/topology.hpp"
 
 namespace {
 
@@ -57,6 +58,9 @@ void usage() {
          "                        the concurrent-RPC mitigation)\n"
          "  --coordination=MODE   relayer coordination for two-relayer\n"
          "                        scenarios: none (default) | shard | lease\n"
+         "  --topology=T          connection graph: pair (default) | line<k>\n"
+         "                        | hub<k> | mesh<k> — non-pair topologies\n"
+         "                        fuzz the multi-hop forwarding path\n"
          "  --campaign=FAMILY     run one chaos campaign (or 'all'):\n"
          "                        halt-restart client-expiry client-freeze\n"
          "                        relayer-crash censorship frame-storm\n"
@@ -103,6 +107,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.scenario.coordination = mode;
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      opt.scenario.topology = value("--topology=");
+      if (opt.scenario.topology != "pair" &&
+          !xcc::TopologyConfig::from_name(opt.scenario.topology).is_ok()) {
+        std::cerr << "unknown topology: " << opt.scenario.topology << "\n";
+        return false;
+      }
     } else if (arg.rfind("--campaign=", 0) == 0) {
       opt.campaign = value("--campaign=");
       if (opt.campaign != "all" &&
@@ -136,6 +147,9 @@ std::string repro_command(const Options& opt, std::uint64_t seed) {
   }
   if (opt.scenario.coordination != "none") {
     cmd += " --coordination=" + opt.scenario.coordination;
+  }
+  if (opt.scenario.topology != "pair") {
+    cmd += " --topology=" + opt.scenario.topology;
   }
   return cmd;
 }

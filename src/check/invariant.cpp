@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "ibc/client.hpp"
+#include "ibc/connection.hpp"
 #include "ibc/host.hpp"
 #include "ibc/packet.hpp"
 #include "ibc/transfer.hpp"
@@ -93,18 +94,58 @@ bool InvariantChecker::SeqWindow::contains(ibc::Sequence s) const {
   return (s >= 1 && s <= contiguous) || sparse.count(s) > 0;
 }
 
-InvariantChecker::InvariantChecker(ChainHandles a, ChainHandles b,
+InvariantChecker::InvariantChecker(std::vector<ChainHandles> chains,
                                    CheckerConfig config)
-    : config_(config) {
-  chains_[0].h = a;
-  chains_[1].h = b;
-  for (std::size_t i = 0; i < 2; ++i) {
+    : config_(config), chains_(chains.size()) {
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    chains_[i].h = chains[i];
+    chain_index_[chains_[i].h.id] = i;
     chains_[i].h.engine->subscribe_block(
         [this, i](const chain::Block& block,
                   const std::vector<chain::DeliverTxResult>& results) {
           on_block(i, block, results);
         });
   }
+}
+
+InvariantChecker::InvariantChecker(ChainHandles a, ChainHandles b,
+                                   CheckerConfig config)
+    : InvariantChecker(std::vector<ChainHandles>{a, b}, config) {}
+
+InvariantChecker::ChainState* InvariantChecker::counterparty_of(
+    ChainState& c, const std::string& port, const std::string& channel,
+    chain::Height height) {
+  ibc::ChannelKeeper channels(c.h.app->store());
+  auto end = channels.get(port, channel);
+  if (!end.is_ok()) {
+    fail(c.h.id, height, "unknown-counterparty",
+         chan_str(port, channel) + " has no channel end");
+    return nullptr;
+  }
+  ibc::ConnectionKeeper connections(c.h.app->store());
+  auto conn = connections.get(end.value().connection);
+  if (!conn.is_ok()) {
+    fail(c.h.id, height, "unknown-counterparty",
+         chan_str(port, channel) + " references missing connection " +
+             end.value().connection);
+    return nullptr;
+  }
+  ibc::ClientKeeper clients(c.h.app->store());
+  auto client = clients.client_state(conn.value().client_id);
+  if (!client.is_ok()) {
+    fail(c.h.id, height, "unknown-counterparty",
+         chan_str(port, channel) + " references missing client " +
+             conn.value().client_id);
+    return nullptr;
+  }
+  const auto it = chain_index_.find(client.value().chain_id);
+  if (it == chain_index_.end()) {
+    fail(c.h.id, height, "unknown-counterparty",
+         chan_str(port, channel) + " client tracks unknown chain " +
+             client.value().chain_id);
+    return nullptr;
+  }
+  return &chains_[it->second];
 }
 
 std::string InvariantChecker::report() const {
@@ -132,14 +173,13 @@ void InvariantChecker::on_block(
     std::size_t chain_idx, const chain::Block& block,
     const std::vector<chain::DeliverTxResult>& results) {
   ChainState& c = chains_[chain_idx];
-  ChainState& other = chains_[1 - chain_idx];
   const chain::Height height = block.header.height;
   ++blocks_checked_;
 
   check_account_sequences(c, block, results);
   for (const chain::DeliverTxResult& res : results) {
     if (!res.status.is_ok()) continue;  // failed txs mutate nothing
-    process_events(c, other, height, res.events);
+    process_events(c, height, res.events);
   }
   check_channel_counters(c, height);
   check_client_heights(c, height);
@@ -147,11 +187,11 @@ void InvariantChecker::on_block(
   check_escrow_model(c, height);
 }
 
-void InvariantChecker::process_events(ChainState& c, ChainState& other,
-                                      chain::Height height,
+void InvariantChecker::process_events(ChainState& c, chain::Height height,
                                       const std::vector<chain::Event>& events) {
   ibc::ChannelKeeper channels(c.h.app->store());
-  for (const chain::Event& ev : events) {
+  for (std::size_t ev_idx = 0; ev_idx < events.size(); ++ev_idx) {
+    const chain::Event& ev = events[ev_idx];
     if (ev.type != "send_packet" && ev.type != "recv_packet" &&
         ev.type != "write_acknowledgement" &&
         ev.type != "acknowledge_packet" && ev.type != "timeout_packet") {
@@ -207,12 +247,17 @@ void InvariantChecker::process_events(ChainState& c, ChainState& other,
       }
       // The counterparty must have sent it first (commits are totally
       // ordered in virtual time, so its send event was already observed).
-      const ChannelTrack& src = other.channels[{p.src_port, p.src_channel}];
-      if (p.sequence > src.last_send) {
-        fail(c.h.id, height, "recv-unsent",
-             chan_str(p.dst_port, p.dst_channel) + " received sequence " +
-                 std::to_string(p.sequence) + " but counterparty only sent " +
-                 std::to_string(src.last_send));
+      if (ChainState* other =
+              counterparty_of(c, p.dst_port, p.dst_channel, height)) {
+        const ChannelTrack& src =
+            other->channels[{p.src_port, p.src_channel}];
+        if (p.sequence > src.last_send) {
+          fail(c.h.id, height, "recv-unsent",
+               chan_str(p.dst_port, p.dst_channel) + " received sequence " +
+                   std::to_string(p.sequence) +
+                   " but counterparty only sent " +
+                   std::to_string(src.last_send));
+        }
       }
       auto end = channels.get(p.dst_port, p.dst_channel);
       if (end.is_ok() &&
@@ -222,6 +267,32 @@ void InvariantChecker::process_events(ChainState& c, ChainState& other,
              chan_str(p.dst_port, p.dst_channel) + " delivered sequence " +
                  std::to_string(p.sequence) + " out of order (expected " +
                  std::to_string(prev_contiguous + 1) + ")");
+      }
+
+      // When the acknowledgement is deferred past this transaction (async
+      // ack, packet-forward middleware), the mint/unescrow has already
+      // happened here at recv: account for it optimistically and remember
+      // to reverse if the eventual ack reports failure.
+      ibc::FungibleTokenPacketData data;
+      if (p.dst_port == ibc::kTransferPort &&
+          parse_transfer_data(p.data, data)) {
+        bool acked_in_tx = false;
+        const std::string seq_str = std::to_string(p.sequence);
+        for (std::size_t j = ev_idx + 1; j < events.size(); ++j) {
+          if (events[j].type == "write_acknowledgement" &&
+              events[j].attribute("packet_sequence") == seq_str &&
+              events[j].attribute("packet_dst_port") == p.dst_port &&
+              events[j].attribute("packet_dst_channel") == p.dst_channel) {
+            acked_in_tx = true;
+            break;
+          }
+        }
+        if (!acked_in_tx) {
+          account_recv_success(c, p.src_port, p.src_channel, p.dst_port,
+                               p.dst_channel, data.amount, data.denom,
+                               height);
+          ch.async_recv[p.sequence] = AsyncRecv{data.amount, data.denom};
+        }
       }
 
     } else if (ev.type == "write_acknowledgement") {
@@ -236,27 +307,40 @@ void InvariantChecker::process_events(ChainState& c, ChainState& other,
       }
       ch.ack_success[p.sequence] = ack.success;
 
-      ibc::FungibleTokenPacketData data;
-      if (ack.success && p.dst_port == ibc::kTransferPort &&
-          parse_transfer_data(p.data, data)) {
-        if (is_returning(data.denom, p.src_port, p.src_channel)) {
-          // Token came home: the local escrow released the inner denom.
-          const std::string inner =
-              data.denom.substr(p.src_port.size() + p.src_channel.size() + 2);
-          auto& escrow = c.escrow[{
-              ibc::escrow_address(p.dst_port, p.dst_channel),
-              held_denom(inner)}];
-          if (escrow < data.amount) {
-            fail(c.h.id, height, "token-conservation",
-                 "unescrowed more " + inner + " than was escrowed");
-            escrow = 0;
+      const auto async_it = ch.async_recv.find(p.sequence);
+      if (async_it != ch.async_recv.end()) {
+        // Deferred ack resolving: the recv already accounted optimistically;
+        // a failure means the middleware unwound its delivery (burn /
+        // re-escrow) in this same transaction, so reverse the model too.
+        if (!ack.success && p.dst_port == ibc::kTransferPort) {
+          const AsyncRecv& ar = async_it->second;
+          if (is_returning(ar.denom_path, p.src_port, p.src_channel)) {
+            const std::string inner = ar.denom_path.substr(
+                p.src_port.size() + p.src_channel.size() + 2);
+            c.escrow[{ibc::escrow_address(p.dst_port, p.dst_channel),
+                      held_denom(inner)}] += ar.amount;
           } else {
-            escrow -= data.amount;
+            const std::string path =
+                p.dst_port + "/" + p.dst_channel + "/" + ar.denom_path;
+            auto& supply = c.voucher_supply[ibc::voucher_denom(path)];
+            if (supply < ar.amount) {
+              fail(c.h.id, height, "token-conservation",
+                   "unwound more " + ar.denom_path +
+                       " than the deferred recv minted");
+              supply = 0;
+            } else {
+              supply -= ar.amount;
+            }
           }
-        } else {
-          const std::string path =
-              p.dst_port + "/" + p.dst_channel + "/" + data.denom;
-          c.voucher_supply[ibc::voucher_denom(path)] += data.amount;
+        }
+        ch.async_recv.erase(async_it);
+      } else {
+        ibc::FungibleTokenPacketData data;
+        if (ack.success && p.dst_port == ibc::kTransferPort &&
+            parse_transfer_data(p.data, data)) {
+          account_recv_success(c, p.src_port, p.src_channel, p.dst_port,
+                               p.dst_channel, data.amount, data.denom,
+                               height);
         }
       }
 
@@ -273,18 +357,25 @@ void InvariantChecker::process_events(ChainState& c, ChainState& other,
                  std::to_string(p.sequence) +
                  " acknowledged after timing out");
       }
-      ChannelTrack& dst = other.channels[{p.dst_port, p.dst_channel}];
-      const auto outcome = dst.ack_success.find(p.sequence);
-      if (outcome == dst.ack_success.end()) {
-        fail(c.h.id, height, "ack-without-write",
-             chan_str(p.src_port, p.src_channel) + " sequence " +
-                 std::to_string(p.sequence) +
-                 " acknowledged but counterparty never wrote an ack");
+      ChainState* other =
+          counterparty_of(c, p.src_port, p.src_channel, height);
+      bool wrote_ack = false, ack_ok = false;
+      if (other != nullptr) {
+        const ChannelTrack& dst =
+            other->channels[{p.dst_port, p.dst_channel}];
+        const auto outcome = dst.ack_success.find(p.sequence);
+        wrote_ack = outcome != dst.ack_success.end();
+        ack_ok = wrote_ack && outcome->second;
+        if (!wrote_ack) {
+          fail(c.h.id, height, "ack-without-write",
+               chan_str(p.src_port, p.src_channel) + " sequence " +
+                   std::to_string(p.sequence) +
+                   " acknowledged but counterparty never wrote an ack");
+        }
       }
       const auto pending = ch.pending.find(p.sequence);
       if (pending != ch.pending.end()) {
-        const bool success =
-            outcome != dst.ack_success.end() && outcome->second;
+        const bool success = ack_ok;
         if (!success) {
           // Failed transfer: the module refunds the sender.
           if (pending->second.returning) {
@@ -319,12 +410,16 @@ void InvariantChecker::process_events(ChainState& c, ChainState& other,
              chan_str(p.src_port, p.src_channel) + " sequence " +
                  std::to_string(p.sequence) + " timed out after an ack");
       }
-      const ChannelTrack& dst = other.channels[{p.dst_port, p.dst_channel}];
-      if (dst.recvs.contains(p.sequence)) {
-        fail(c.h.id, height, "timeout-after-recv",
-             chan_str(p.src_port, p.src_channel) + " sequence " +
-                 std::to_string(p.sequence) +
-                 " timed out although the counterparty received it");
+      if (ChainState* other =
+              counterparty_of(c, p.src_port, p.src_channel, height)) {
+        const ChannelTrack& dst =
+            other->channels[{p.dst_port, p.dst_channel}];
+        if (dst.recvs.contains(p.sequence)) {
+          fail(c.h.id, height, "timeout-after-recv",
+               chan_str(p.src_port, p.src_channel) + " sequence " +
+                   std::to_string(p.sequence) +
+                   " timed out although the counterparty received it");
+        }
       }
       const auto pending = ch.pending.find(p.sequence);
       if (pending != ch.pending.end()) {
@@ -347,6 +442,32 @@ void InvariantChecker::process_events(ChainState& c, ChainState& other,
         ch.pending.erase(pending);
       }
     }
+  }
+}
+
+void InvariantChecker::account_recv_success(
+    ChainState& c, const std::string& src_port, const std::string& src_channel,
+    const std::string& dst_port, const std::string& dst_channel,
+    std::uint64_t amount, const std::string& denom_path,
+    chain::Height height) {
+  if (is_returning(denom_path, src_port, src_channel)) {
+    // Token came home: the local escrow released the inner denom.
+    const std::string inner =
+        denom_path.substr(src_port.size() + src_channel.size() + 2);
+    auto& escrow = c.escrow[{ibc::escrow_address(dst_port, dst_channel),
+                             held_denom(inner)}];
+    if (escrow < amount) {
+      fail(c.h.id, height, "token-conservation",
+           "unescrowed more " + inner + " than was escrowed");
+      escrow = 0;
+    } else {
+      escrow -= amount;
+    }
+  } else {
+    // We are the sink: the trace extends by this hop, so a denom forwarded
+    // A->B->C and one sent A->C directly mint *different* vouchers.
+    const std::string path = dst_port + "/" + dst_channel + "/" + denom_path;
+    c.voucher_supply[ibc::voucher_denom(path)] += amount;
   }
 }
 
@@ -390,8 +511,6 @@ void InvariantChecker::check_account_sequences(
 void InvariantChecker::check_channel_counters(ChainState& c,
                                               chain::Height height) {
   ibc::ChannelKeeper channels(c.h.app->store());
-  ibc::ChannelKeeper other_channels(chains_[&c == &chains_[0] ? 1 : 0]
-                                        .h.app->store());
   const std::string prefix = "ibc/channelEnds/ports/";
   for (auto it = c.h.app->store().scan_prefix(prefix); it.next();) {
     const std::string_view key = it.key();
@@ -454,22 +573,27 @@ void InvariantChecker::check_channel_counters(ChainState& c,
                  std::to_string(ch.acks.contiguous));
       }
       // Cross-chain: the counterparty cannot have received or acked past
-      // what this end sent/the counterparty received.
-      if (other_channels.exists(end.counterparty_port,
-                                end.counterparty_channel)) {
-        const ibc::Sequence other_r = other_channels.next_sequence_recv(
-            end.counterparty_port, end.counterparty_channel);
-        if (other_r > s) {
-          fail(c.h.id, height, "ordered-recv-ahead-of-send",
-               chan_str(port, channel) + " counterparty nextSequenceRecv " +
-                   std::to_string(other_r) + " exceeds nextSequenceSend " +
-                   std::to_string(s));
-        }
-        if (other_r >= 1 && a > other_r) {
-          fail(c.h.id, height, "ordered-ack-ahead-of-recv",
-               chan_str(port, channel) + " nextSequenceAck " +
-                   std::to_string(a) + " exceeds counterparty recv " +
-                   std::to_string(other_r));
+      // what this end sent/the counterparty received. Resolved per channel
+      // through the connection's client, not "the other chain".
+      ChainState* other = counterparty_of(c, port, channel, height);
+      if (other != nullptr) {
+        ibc::ChannelKeeper other_channels(other->h.app->store());
+        if (other_channels.exists(end.counterparty_port,
+                                  end.counterparty_channel)) {
+          const ibc::Sequence other_r = other_channels.next_sequence_recv(
+              end.counterparty_port, end.counterparty_channel);
+          if (other_r > s) {
+            fail(c.h.id, height, "ordered-recv-ahead-of-send",
+                 chan_str(port, channel) + " counterparty nextSequenceRecv " +
+                     std::to_string(other_r) + " exceeds nextSequenceSend " +
+                     std::to_string(s));
+          }
+          if (other_r >= 1 && a > other_r) {
+            fail(c.h.id, height, "ordered-ack-ahead-of-recv",
+                 chan_str(port, channel) + " nextSequenceAck " +
+                     std::to_string(a) + " exceeds counterparty recv " +
+                     std::to_string(other_r));
+          }
         }
       }
     }

@@ -65,8 +65,15 @@ struct ChainHandles {
 
 class InvariantChecker {
  public:
-  /// Subscribes to both engines' block events. The handles must outlive the
-  /// checker (in the Testbed both are members of the same object).
+  /// Subscribes to every chain's block events. The handles must outlive the
+  /// checker (in the Testbed all are members of the same object).
+  /// Counterparties are resolved per channel through the connection's light
+  /// client (channel -> connection -> client -> tracked chain id), never by
+  /// "the other chain" — a 2-chain shortcut that aliases channels once a
+  /// third chain exists.
+  explicit InvariantChecker(std::vector<ChainHandles> chains,
+                            CheckerConfig config = {});
+  /// Two-chain convenience (the paper's deployment).
   InvariantChecker(ChainHandles a, ChainHandles b, CheckerConfig config = {});
 
   InvariantChecker(const InvariantChecker&) = delete;
@@ -97,6 +104,14 @@ class InvariantChecker {
     bool returning = false;  // burnt a voucher on send (vs escrowed)
   };
 
+  /// A receive whose acknowledgement was deferred (packet-forward
+  /// middleware): the mint/unescrow already happened at recv, so the model
+  /// is updated optimistically and reversed if the eventual ack fails.
+  struct AsyncRecv {
+    std::uint64_t amount = 0;
+    std::string denom_path;  // on-wire trace path from the packet data
+  };
+
   struct ChannelTrack {
     // Event-derived.
     ibc::Sequence last_send = 0;  // send_packet events must run 1,2,3,...
@@ -105,6 +120,8 @@ class InvariantChecker {
     /// On the destination side: ack success per received sequence (decoded
     /// from write_acknowledgement), consumed by the source's ack handling.
     std::map<ibc::Sequence, bool> ack_success;
+    /// Receives still awaiting their deferred acknowledgement.
+    std::map<ibc::Sequence, AsyncRecv> async_recv;
 
     // Store-snapshot from the previous commit (0 = not yet seen).
     ibc::Sequence snap_send = 0, snap_recv = 0, snap_ack = 0;
@@ -126,8 +143,28 @@ class InvariantChecker {
 
   void on_block(std::size_t chain_idx, const chain::Block& block,
                 const std::vector<chain::DeliverTxResult>& results);
-  void process_events(ChainState& c, ChainState& other, chain::Height height,
+  void process_events(ChainState& c, chain::Height height,
                       const std::vector<chain::Event>& events);
+
+  /// Chain hosting the counterparty end of `c`'s channel (port, channel),
+  /// resolved through the channel's connection and light client. Reports an
+  /// "unknown-counterparty" violation and returns nullptr when any link of
+  /// the chain is missing — cross-chain assertions are then skipped.
+  ChainState* counterparty_of(ChainState& c, const std::string& port,
+                              const std::string& channel,
+                              chain::Height height);
+
+  /// Applies the escrow/voucher model for a successfully delivered ICS-20
+  /// packet (unescrow the returning inner denom, or mint the extended-trace
+  /// voucher). Shared by the sync path (at write_acknowledgement) and the
+  /// async path (optimistically at recv_packet).
+  void account_recv_success(ChainState& c, const std::string& src_port,
+                            const std::string& src_channel,
+                            const std::string& dst_port,
+                            const std::string& dst_channel,
+                            std::uint64_t amount,
+                            const std::string& denom_path,
+                            chain::Height height);
   void check_account_sequences(ChainState& c, const chain::Block& block,
                                const std::vector<chain::DeliverTxResult>& res);
   void check_channel_counters(ChainState& c, chain::Height height);
@@ -139,7 +176,9 @@ class InvariantChecker {
             std::string invariant, std::string detail);
 
   CheckerConfig config_;
-  ChainState chains_[2];
+  std::vector<ChainState> chains_;
+  /// chain id -> index into chains_, for counterparty resolution.
+  std::map<chain::ChainId, std::size_t> chain_index_;
   std::uint64_t blocks_checked_ = 0;
   std::vector<Violation> violations_;
   bool overflowed_ = false;  // violations_ hit max_violations

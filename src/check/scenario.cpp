@@ -1,10 +1,13 @@
 #include "check/scenario.hpp"
 
 #include <memory>
+#include <utility>
 
 #include "util/rng.hpp"
 #include "xcc/handshake.hpp"
+#include "xcc/mesh.hpp"
 #include "xcc/testbed.hpp"
+#include "xcc/topology.hpp"
 #include "xcc/workload.hpp"
 
 namespace check {
@@ -15,6 +18,140 @@ namespace {
 template <typename T, std::size_t N>
 T pick(util::Rng& rng, const T (&options)[N]) {
   return options[rng.next_below(N)];
+}
+
+/// The multi-hop route a mesh scenario forwards its transfers along: the
+/// full line for "line<k>", spoke-hub-spoke for "hub<k>", and a deliberate
+/// two-hop detour for "mesh<k>" (the direct channel exists — forwarding past
+/// it is exactly the case that must stay conservation-clean).
+std::vector<int> scenario_route(const xcc::TopologyConfig& topo) {
+  if (topo.name.rfind("line", 0) == 0) {
+    std::vector<int> route(static_cast<std::size_t>(topo.chain_count));
+    for (int i = 0; i < topo.chain_count; ++i) {
+      route[static_cast<std::size_t>(i)] = i;
+    }
+    return route;
+  }
+  if (topo.name.rfind("hub", 0) == 0 && topo.chain_count >= 3) {
+    return {1, 0, 2};
+  }
+  if (topo.name.rfind("mesh", 0) == 0 && topo.chain_count >= 3) {
+    return {0, 1, 2};
+  }
+  return {0, 1};
+}
+
+/// Scenario path for non-"pair" topologies: same seed-derived faults and
+/// workload shape, but a relayer fleet per directed edge and a forwarded
+/// multi-hop workload under the topology-aware invariant checker.
+ScenarioResult run_mesh_scenario(const ScenarioOptions& options,
+                                 ScenarioResult result,
+                                 xcc::TestbedConfig tb_cfg,
+                                 const xcc::WorkloadConfig& wl_cfg,
+                                 const net::FaultProfile& faults, int relayers,
+                                 bool restart_relayer, bool validator_blip,
+                                 std::int64_t clear_interval, util::Rng& rng) {
+  auto topo = xcc::TopologyConfig::from_name(options.topology);
+  if (!topo.is_ok()) {
+    result.setup_error = topo.status().to_string();
+    return result;
+  }
+  tb_cfg.topology = topo.value();
+  tb_cfg.fund_users_on_all_chains = true;  // routes may originate off chain 0
+  const int edges = static_cast<int>(tb_cfg.topology.edges.size());
+  tb_cfg.relayer_wallets = 2 * edges * relayers;
+  const std::vector<int> route = scenario_route(tb_cfg.topology);
+
+  result.summary += " topo=" + options.topology +
+                    " hops=" + std::to_string(route.size() - 1);
+
+  xcc::Testbed tb(tb_cfg);
+  tb.start_chains();
+  if (!tb.run_until_height(2, sim::seconds(300))) {
+    result.setup_error = "chains failed to start";
+    return result;
+  }
+  xcc::MeshSetupResult mesh = xcc::establish_mesh(
+      tb, tb.scheduler().now() + sim::seconds(600) * edges);
+  if (!mesh.ok) {
+    result.setup_error = mesh.error;
+    return result;
+  }
+  result.setup_ok = true;
+
+  if (options.mutate_skip_replay) {
+    for (int i = 0; i < tb.chain_count(); ++i) {
+      tb.chain(i).ibc->set_faults(ibc::KeeperFaults{true});
+    }
+  }
+
+  xcc::MeshRelayerOptions ro;
+  ro.relayers_per_channel = relayers;
+  ro.coordination.mode =
+      relayer::coordination_mode_from_string(options.coordination);
+  ro.base.clear_interval = clear_interval;
+  ro.route = route;
+  xcc::MeshRelayerFleet fleet =
+      xcc::deploy_mesh_relayers(tb, mesh, nullptr, ro);
+  fleet.start();
+
+  const sim::TimePoint t0 = tb.scheduler().now();
+  tb.network().set_fault_profile(faults);
+  if (restart_relayer) {
+    relayer::Relayer* victim = fleet.relayers[0].get();
+    const sim::TimePoint down = t0 + sim::seconds(10 + rng.next_below(50));
+    const sim::TimePoint up = down + sim::seconds(5 + rng.next_below(40));
+    tb.scheduler().schedule_at(down, [victim] { victim->stop(); });
+    tb.scheduler().schedule_at(up, [victim] { victim->start(); });
+  }
+  if (validator_blip) {
+    consensus::Engine* engine =
+        tb.chain(static_cast<int>(
+                     rng.next_below(static_cast<std::uint64_t>(
+                         tb.chain_count()))))
+            .engine.get();
+    const std::size_t idx =
+        1 + rng.next_below(
+                static_cast<std::uint64_t>(tb_cfg.validators_per_chain - 1));
+    const sim::TimePoint down = t0 + sim::seconds(10 + rng.next_below(60));
+    const sim::TimePoint up = down + sim::seconds(10 + rng.next_below(40));
+    tb.scheduler().schedule_at(
+        down, [engine, idx] { engine->set_validator_live(idx, false); });
+    tb.scheduler().schedule_at(
+        up, [engine, idx] { engine->set_validator_live(idx, true); });
+  }
+
+  xcc::MeshWorkloadConfig mw_cfg;
+  mw_cfg.total_transfers = wl_cfg.total_transfers;
+  mw_cfg.msgs_per_tx = wl_cfg.msgs_per_tx;
+  mw_cfg.accounts = 4;
+  mw_cfg.transfer_amount = wl_cfg.transfer_amount;
+  mw_cfg.timeout_height_offset = wl_cfg.timeout_height_offset;
+  xcc::MeshWorkload workload(tb, mesh, route, mw_cfg, nullptr);
+  if (!workload.init_status().is_ok()) {
+    result.setup_ok = false;
+    result.setup_error = workload.init_status().to_string();
+    return result;
+  }
+  workload.start();
+  tb.run_until(t0 + sim::seconds(400));
+
+  tb.network().set_fault_profile(net::FaultProfile{});
+  tb.run_until(tb.scheduler().now() + sim::seconds(100));
+
+  fleet.stop();
+
+  result.blocks_checked = tb.checker()->blocks_checked();
+  result.transfers_requested = workload.requested();
+  for (int i = 0; i < tb.chain_count(); ++i) {
+    result.packets_received += tb.chain(i).ibc->packets_received();
+    result.packets_timed_out += tb.chain(i).ibc->packets_timed_out();
+    result.redundant_messages += tb.chain(i).ibc->redundant_messages();
+  }
+  result.messages_dropped = tb.network().messages_dropped();
+  result.messages_duplicated = tb.network().messages_duplicated();
+  result.violations = tb.checker()->violations();
+  return result;
 }
 
 }  // namespace
@@ -82,6 +219,12 @@ ScenarioResult run_scenario(std::uint64_t seed,
       (restart_relayer ? " relayer-restart" : "") +
       (validator_blip ? " validator-blip" : "") +
       (options.mutate_skip_replay ? " MUTATED" : "");
+
+  if (options.topology != "pair") {
+    return run_mesh_scenario(options, std::move(result), tb_cfg, wl_cfg,
+                             faults, relayers, restart_relayer,
+                             validator_blip, clear_interval, rng);
+  }
 
   // --- Deploy and establish the channel (fault-free: setup is not the
   // subject under test, and a wedged handshake would just time out). -------

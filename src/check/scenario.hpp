@@ -31,6 +31,12 @@ struct ScenarioOptions {
   /// Relayer coordination mode for multi-relayer scenarios ("none" | "shard"
   /// | "lease"); "none" is the historical racing behaviour.
   std::string coordination = "none";
+  /// Connection-graph topology ("pair" | "line<k>" | "hub<k>" | "mesh<k>").
+  /// "pair" keeps the historical seed→scenario mapping byte-identical; any
+  /// other value runs the multi-hop mesh scenario path: a relayer fleet per
+  /// directed edge and a forwarded workload along the topology's longest
+  /// route, still under the same seed-derived fault schedule.
+  std::string topology = "pair";
 };
 
 struct ScenarioResult {

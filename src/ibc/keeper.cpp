@@ -629,16 +629,57 @@ util::Status IbcKeeper::handle_recv_packet(const chain::Msg& msg,
   if (chan.ordering != ChannelOrdering::kOrdered) {
     store_.set(receipt_key, util::Bytes{1});
   }
-  Acknowledgement ack = module->on_recv_packet(p, ctx);
-  store_.set(host::packet_ack_key(p.destination_port, p.destination_channel,
-                                  p.sequence),
-             crypto::digest_to_bytes(ack.commitment()));
+  // The module may defer its acknowledgement (nullopt): the receipt above
+  // still guards exactly-once delivery, but no ack is stored or announced
+  // until the module calls write_acknowledgement — the forward middleware's
+  // hold-until-next-hop-resolves behaviour.
+  std::optional<Acknowledgement> ack = module->on_recv_packet(p, ctx);
+  if (ack.has_value()) {
+    store_.set(host::packet_ack_key(p.destination_port, p.destination_channel,
+                                    p.sequence),
+               crypto::digest_to_bytes(ack->commitment()));
+  }
   ++packets_received_;
 
   ctx.events->push_back(packet_event("recv_packet", p, true));
+  if (ack.has_value()) {
+    chain::Event ack_ev = packet_event("write_acknowledgement", p, true);
+    ack_ev.attributes.emplace_back("packet_ack",
+                                   util::to_string(ack->encode()));
+    ctx.events->push_back(std::move(ack_ev));
+  }
+  return util::Status::ok();
+}
+
+util::Status IbcKeeper::write_acknowledgement(const Packet& packet,
+                                              const Acknowledgement& ack,
+                                              cosmos::MsgContext& ctx) {
+  const Packet& p = packet;
+  const std::string ack_key = host::packet_ack_key(
+      p.destination_port, p.destination_channel, p.sequence);
+  if (store_.contains(ack_key)) {
+    return err(util::ErrorCode::kFailedPrecondition,
+               "acknowledgement already written for sequence " +
+                   std::to_string(p.sequence));
+  }
+  auto chan_res = channels_.get(p.destination_port, p.destination_channel);
+  if (!chan_res.is_ok()) return chan_res.status();
+  // The packet must actually have been received here (receipt for UNORDERED
+  // channels, an advanced nextSequenceRecv for ORDERED ones).
+  const bool received =
+      chan_res.value().ordering == ChannelOrdering::kOrdered
+          ? channels_.next_sequence_recv(p.destination_port,
+                                         p.destination_channel) > p.sequence
+          : store_.contains(host::packet_receipt_key(
+                p.destination_port, p.destination_channel, p.sequence));
+  if (!received) {
+    return err(util::ErrorCode::kFailedPrecondition,
+               "cannot acknowledge unreceived sequence " +
+                   std::to_string(p.sequence));
+  }
+  store_.set(ack_key, crypto::digest_to_bytes(ack.commitment()));
   chain::Event ack_ev = packet_event("write_acknowledgement", p, true);
-  ack_ev.attributes.emplace_back("packet_ack",
-                                 util::to_string(ack.encode()));
+  ack_ev.attributes.emplace_back("packet_ack", util::to_string(ack.encode()));
   ctx.events->push_back(std::move(ack_ev));
   return util::Status::ok();
 }

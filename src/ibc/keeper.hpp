@@ -63,6 +63,14 @@ class IbcKeeper : public cosmos::MsgHandler {
                                      std::int64_t timeout_timestamp,
                                      cosmos::MsgContext& ctx);
 
+  /// Called by a module that deferred its acknowledgement (returned nullopt
+  /// from on_recv_packet) once the packet's fate is known — ICS-04
+  /// writeAcknowledgement. Fails if the packet was never received here or an
+  /// acknowledgement was already written.
+  util::Status write_acknowledgement(const Packet& packet,
+                                     const Acknowledgement& ack,
+                                     cosmos::MsgContext& ctx);
+
   /// Installs test-only fault injection (see KeeperFaults).
   void set_faults(KeeperFaults faults) { faults_ = faults; }
 

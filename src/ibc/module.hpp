@@ -4,6 +4,8 @@
 // Port-bound application modules (ICS-20 transfer being the one the paper
 // exercises) receive packet life-cycle callbacks from the core IBC keeper.
 
+#include <optional>
+
 #include "cosmos/app.hpp"
 #include "ibc/packet.hpp"
 #include "util/status.hpp"
@@ -15,9 +17,13 @@ class IbcModule {
   virtual ~IbcModule() = default;
 
   /// Packet delivered to this module's port; returns the acknowledgement to
-  /// write (success or application error).
-  virtual Acknowledgement on_recv_packet(const Packet& packet,
-                                         cosmos::MsgContext& ctx) = 0;
+  /// write (success or application error), or nullopt to defer it — the
+  /// module then resolves the packet later via
+  /// IbcKeeper::write_acknowledgement (asynchronous acknowledgements, used
+  /// by the packet-forward middleware to hold a hop's ack until the next
+  /// hop succeeds or unwinds).
+  virtual std::optional<Acknowledgement> on_recv_packet(
+      const Packet& packet, cosmos::MsgContext& ctx) = 0;
 
   /// Counterparty acknowledged a packet this module sent.
   virtual util::Status on_acknowledgement_packet(const Packet& packet,

@@ -147,6 +147,11 @@ TransferModule::TransferModule(cosmos::CosmosApp& app, IbcKeeper& ibc)
 
 TransferModule::~TransferModule() = default;
 
+std::string TransferModule::local_denom(const std::string& trace_path) {
+  return trace_path.find('/') == std::string::npos ? trace_path
+                                                   : voucher_denom(trace_path);
+}
+
 util::Status TransferModule::handle_transfer(const chain::Msg& msg,
                                              cosmos::MsgContext& ctx) {
   MsgTransfer m;
@@ -154,6 +159,11 @@ util::Status TransferModule::handle_transfer(const chain::Msg& msg,
     return util::Status::error(util::ErrorCode::kInvalidArgument,
                                "malformed MsgTransfer");
   }
+  return send_transfer(m, ctx);
+}
+
+util::Status TransferModule::send_transfer(const MsgTransfer& m,
+                                           cosmos::MsgContext& ctx) {
   const GasTable& gas = ibc_.gas();
   // Sequence-keyed jitter uses the upcoming send sequence.
   const Sequence seq =
@@ -208,8 +218,8 @@ util::Status TransferModule::handle_transfer(const chain::Msg& msg,
   return util::Status::ok();
 }
 
-Acknowledgement TransferModule::on_recv_packet(const Packet& packet,
-                                               cosmos::MsgContext& ctx) {
+std::optional<Acknowledgement> TransferModule::on_recv_packet(
+    const Packet& packet, cosmos::MsgContext& ctx) {
   FungibleTokenPacketData data;
   if (!FungibleTokenPacketData::from_json(packet.data, data)) {
     return Acknowledgement{false, "cannot unmarshal ICS-20 packet data"};
@@ -221,13 +231,9 @@ Acknowledgement TransferModule::on_recv_packet(const Packet& packet,
     const std::string prefix =
         packet.source_port + "/" + packet.source_channel + "/";
     const std::string inner = data.denom.substr(prefix.size());
-    std::string local_denom = inner;
-    if (inner.find('/') != std::string::npos) {
-      local_denom = voucher_denom(inner);  // still a multi-hop voucher here
-    }
     util::Status s = app_.bank().send(
         escrow_address(packet.destination_port, packet.destination_channel),
-        data.receiver, cosmos::Coin{local_denom, data.amount});
+        data.receiver, cosmos::Coin{local_denom(inner), data.amount});
     if (!s.is_ok()) {
       return Acknowledgement{false, s.message()};
     }
@@ -264,10 +270,13 @@ util::Status TransferModule::refund(const Packet& packet,
     (void)ctx;
     return util::Status::ok();
   }
-  // We escrowed natives on send; release them back.
+  // We escrowed on send; release back. The escrow holds the LOCAL denom —
+  // the voucher hash when a multi-hop token was forwarded onward, not the
+  // on-wire trace path (refunding data.denom verbatim would conjure a
+  // denomination this chain never held).
   return app_.bank().send(
       escrow_address(packet.source_port, packet.source_channel), data.sender,
-      cosmos::Coin{data.denom, data.amount});
+      cosmos::Coin{local_denom(data.denom), data.amount});
 }
 
 util::Status TransferModule::on_acknowledgement_packet(

@@ -47,13 +47,33 @@ class TransferModule : public IbcModule {
   TransferModule& operator=(const TransferModule&) = delete;
 
   // IbcModule.
-  Acknowledgement on_recv_packet(const Packet& packet,
-                                 cosmos::MsgContext& ctx) override;
+  std::optional<Acknowledgement> on_recv_packet(const Packet& packet,
+                                                cosmos::MsgContext& ctx) override;
   util::Status on_acknowledgement_packet(const Packet& packet,
                                          const Acknowledgement& ack,
                                          cosmos::MsgContext& ctx) override;
   util::Status on_timeout_packet(const Packet& packet,
                                  cosmos::MsgContext& ctx) override;
+
+  /// Escrows/burns and emits the packet for a validated MsgTransfer. Exposed
+  /// so the packet-forward middleware can originate next-hop sends without
+  /// fabricating a chain::Msg round trip.
+  util::Status send_transfer(const MsgTransfer& m, cosmos::MsgContext& ctx);
+
+  /// Undoes a send (failed ack or timeout): re-mints a burnt returning
+  /// voucher or releases the escrowed local denom. Public for the forward
+  /// middleware's mid-route unwinding.
+  util::Status refund(const Packet& packet, cosmos::MsgContext& ctx);
+
+  /// True when `denom_path` is a voucher that entered through (port,
+  /// channel) — i.e. the trace starts with "port/channel/" — meaning a
+  /// transfer back through that channel returns the token to its origin.
+  static bool is_returning(const std::string& denom_path, const PortId& port,
+                           const ChannelId& channel);
+
+  /// Denomination held locally for an on-wire trace path: the base denom
+  /// itself when the path has no hops, else its voucher hash.
+  static std::string local_denom(const std::string& trace_path);
 
   /// Resolves a denomination trace hash back to its path ("" if unknown).
   std::string trace_path(const std::string& voucher) const;
@@ -66,13 +86,6 @@ class TransferModule : public IbcModule {
                   // route by URL without a second dispatch)
 
   util::Status handle_transfer(const chain::Msg& msg, cosmos::MsgContext& ctx);
-  util::Status refund(const Packet& packet, cosmos::MsgContext& ctx);
-
-  /// True when `denom` is a voucher that entered through (port, channel) —
-  /// i.e. the trace starts with "port/channel/" — meaning a transfer back
-  /// through that channel returns the token to its origin.
-  static bool is_returning(const std::string& denom_path, const PortId& port,
-                           const ChannelId& channel);
 
   cosmos::CosmosApp& app_;
   IbcKeeper& ibc_;

@@ -47,10 +47,18 @@ util::Status StepLog::write_csv(const std::string& path) const {
     return util::Status::error(util::ErrorCode::kUnavailable,
                                "cannot open step log for writing: " + path);
   }
-  f << "time_s,step,sequence\n";
-  for (const StepRecord& r : records_) {
-    f << sim::to_seconds(r.time) << ',' << step_name(r.step) << ','
-      << r.sequence << '\n';
+  if (has_hops_) {
+    f << "time_s,step,sequence,hop\n";
+    for (const StepRecord& r : records_) {
+      f << sim::to_seconds(r.time) << ',' << step_name(r.step) << ','
+        << r.sequence << ',' << r.hop << '\n';
+    }
+  } else {
+    f << "time_s,step,sequence\n";
+    for (const StepRecord& r : records_) {
+      f << sim::to_seconds(r.time) << ',' << step_name(r.step) << ','
+        << r.sequence << '\n';
+    }
   }
   f.flush();
   if (!f) {
@@ -60,25 +68,32 @@ util::Status StepLog::write_csv(const std::string& path) const {
   return util::Status::ok();
 }
 
-void StepLog::trace(Step step, ibc::Sequence sequence, sim::TimePoint t) {
-  // One async span per packet: opened by whichever step is seen first (the
-  // workload's broadcast in a traced run; extraction if only the relayer
-  // logs), annotated at every step, closed at ack confirmation. The span id
-  // is the packet sequence, so Perfetto groups all 13 markers on one row.
-  if (closed_spans_.count(sequence) > 0) {
+void StepLog::trace(Step step, ibc::Sequence sequence, sim::TimePoint t,
+                    std::uint16_t hop) {
+  // One async span per packet *per hop*: opened by whichever step is seen
+  // first (the workload's broadcast in a traced run; extraction if only the
+  // relayer logs), annotated at every step, closed at ack confirmation. The
+  // span id is the packet sequence — salted with the hop index in the high
+  // bits for multi-hop routes, whose hops reuse per-channel sequences — so
+  // Perfetto groups all 13 markers of one hop on one row.
+  const std::uint64_t id =
+      sequence | (static_cast<std::uint64_t>(hop) << 48);
+  const std::string span =
+      hop == 0 ? "packet" : "packet-hop" + std::to_string(hop);
+  if (closed_spans_.count(id) > 0) {
     // Late record (e.g. ack extraction surfacing from the data pull after
     // the wallet already confirmed the ack): annotate, don't re-open.
-    tracer_->async_instant(step_name(step), sequence, t);
+    tracer_->async_instant(step_name(step), id, t);
     return;
   }
-  if (open_spans_.insert(sequence).second) {
-    tracer_->async_begin("packet", sequence, t);
+  if (open_spans_.insert(id).second) {
+    tracer_->async_begin(span, id, t);
   }
-  tracer_->async_instant(step_name(step), sequence, t);
+  tracer_->async_instant(step_name(step), id, t);
   if (step == Step::kAckConfirmation) {
-    tracer_->async_end("packet", sequence, t);
-    open_spans_.erase(sequence);
-    closed_spans_.insert(sequence);
+    tracer_->async_end(span, id, t);
+    open_spans_.erase(id);
+    closed_spans_.insert(id);
   }
 }
 

@@ -42,11 +42,14 @@ constexpr std::size_t kStepCount = 13;
 
 std::string_view step_name(Step s);
 
-/// One per-packet step completion.
+/// One per-packet step completion. `hop` is the route-hop lane the record
+/// belongs to: 0 for the classic single-hop transfer, h >= 1 for hop h of a
+/// multi-hop forwarded route (each hop runs its own 13-step pipeline).
 struct StepRecord {
   sim::TimePoint time = 0;
   Step step = Step::kTransferBroadcast;
   ibc::Sequence sequence = 0;
+  std::uint16_t hop = 0;
 };
 
 /// Append-only log shared between the workload submitter and the relayer(s).
@@ -55,9 +58,11 @@ struct StepRecord {
 /// not arise — noted in DESIGN.md.)
 class StepLog {
  public:
-  void record(Step step, ibc::Sequence sequence, sim::TimePoint t) {
-    records_.push_back(StepRecord{t, step, sequence});
-    if (tracer_) trace(step, sequence, t);
+  void record(Step step, ibc::Sequence sequence, sim::TimePoint t,
+              std::uint16_t hop = 0) {
+    records_.push_back(StepRecord{t, step, sequence, hop});
+    if (hop != 0) has_hops_ = true;
+    if (tracer_) trace(step, sequence, t, hop);
   }
 
   /// Mirrors every record into `tracer` as one async "packet" span per
@@ -81,13 +86,17 @@ class StepLog {
 
   /// Exports the raw records as CSV (time_s, step, sequence) — the
   /// simulator's stand-in for the paper's 158 GB execution-log dataset.
+  /// Single-hop logs keep the legacy 3-column layout byte-for-byte; a log
+  /// with any multi-hop record grows a fourth `hop` column.
   /// Reports open/write failures (bad directory, full disk) in the status.
   util::Status write_csv(const std::string& path) const;
 
  private:
-  void trace(Step step, ibc::Sequence sequence, sim::TimePoint t);
+  void trace(Step step, ibc::Sequence sequence, sim::TimePoint t,
+             std::uint16_t hop);
 
   std::vector<StepRecord> records_;
+  bool has_hops_ = false;
   telemetry::Tracer* tracer_ = nullptr;
   /// Sequences whose async span is currently open (begin emitted, end not).
   std::unordered_set<ibc::Sequence> open_spans_;

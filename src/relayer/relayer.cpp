@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ibc/forward.hpp"
 #include "ibc/host.hpp"
 #include "telemetry/profiler.hpp"
 #include "util/log.hpp"
@@ -21,6 +22,12 @@ Relayer::Relayer(sim::Scheduler& sched, ChainHandle a, ChainHandle b,
       step_log_(step_log),
       cache_(sched, config_.query_cache),
       coordination_(config_.coordination) {
+  serves_path_ = config_.served_channels.empty() ||
+                 config_.served_channels.count(path_.channel_a) > 0;
+  fee_ok_ = config_.per_hop_fee_budget <= 0 ||
+            static_cast<double>(estimate_gas(1, 1, gas_.recv_packet)) *
+                    config_.gas_price <=
+                config_.per_hop_fee_budget;
   WalletConfig wa = config_.wallet;
   wa.accounts = a_.wallet_accounts;
   wa.gas_price = config_.gas_price;
@@ -153,7 +160,8 @@ void Relayer::set_telemetry(telemetry::Hub* hub, const std::string& name) {
 }
 
 void Relayer::record(Step step, ibc::Sequence seq) {
-  if (step_log_) step_log_->record(step, seq, sched_.now());
+  if (step_log_)
+    step_log_->record(step, seq, sched_.now(), config_.telemetry_hop);
 }
 
 void Relayer::release_later(std::shared_ptr<std::function<void()>> fn) {
@@ -199,7 +207,13 @@ void Relayer::on_frame_a(const rpc::NewBlockFrame& frame) {
       const std::uint64_t seq =
           std::strtoull(ev.attribute("packet_sequence").c_str(), nullptr, 10);
       if (seq == 0 || packets_.contains(seq)) continue;
-      if (!coordination_.owns(seq, frame.height)) {
+      if (!relays_packets()) {
+        // Routing policy: this instance does not serve the channel (or the
+        // hop's fee exceeds its budget) — another placement covers it.
+        ++stats_.routing_skipped;
+        continue;
+      }
+      if (!coordination_.owns(path_.channel_a, seq, frame.height)) {
         // A coordinated peer owns this packet; never enter it in the table
         // so no lane (pull, recv, ack, timeout, retry) ever touches it.
         ++stats_.coordination_skipped;
@@ -521,10 +535,12 @@ void Relayer::pull_chunks(rpc::Server* server, chain::Height height,
 
 std::uint64_t Relayer::estimate_gas(std::size_t updates,
                                     std::size_t packet_msgs,
-                                    std::uint64_t per_packet_gas) const {
+                                    std::uint64_t per_packet_gas,
+                                    std::uint64_t extra_gas) const {
   const double raw =
       69'000.0 + static_cast<double>(updates) * static_cast<double>(gas_.update_client) +
-      static_cast<double>(packet_msgs) * static_cast<double>(per_packet_gas);
+      static_cast<double>(packet_msgs) * static_cast<double>(per_packet_gas) +
+      static_cast<double>(extra_gas);
   return static_cast<std::uint64_t>(std::ceil(raw * config_.gas_headroom));
 }
 
@@ -691,12 +707,20 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
           // Assemble and submit the tx.
           std::vector<chain::Msg> msgs = *updates;
           std::vector<ibc::Sequence> tx_seqs;
+          // A packet whose receiver encodes a forward route executes an
+          // onward transfer inside the destination's recv handler; without
+          // budgeting it the tx runs out of gas on every middle-chain hop.
+          std::uint64_t forward_gas = 0;
           for (std::size_t i = begin; i < end; ++i) {
+            if (ibc::ForwardMiddleware::is_forward_packet(
+                    send->msgs[i].packet.data)) {
+              forward_gas += gas_.transfer;
+            }
             msgs.push_back(send->msgs[i].to_msg());
             tx_seqs.push_back(send->msgs[i].packet.sequence);
           }
           const std::uint64_t gas = estimate_gas(
-              updates->size(), end - begin, gas_.recv_packet);
+              updates->size(), end - begin, gas_.recv_packet, forward_gas);
           // The pipeline advances to the next tx as soon as this one is in
           // the mempool (optimistic submission); the commit callback only
           // does bookkeeping. `advanced` guards the pipeline continuation if
@@ -1249,7 +1273,12 @@ void Relayer::run_clear(ClearOp op, std::function<void()> done) {
             // Never seen (e.g. lost in an oversized WebSocket frame). Under
             // coordination, only adopt strays this instance owns — the
             // owning peer's own clear pass covers the rest.
-            if (!coordination_.owns(seq, last_seen_a_height_)) {
+            if (!relays_packets()) {
+              ++stats_.routing_skipped;
+              continue;
+            }
+            if (!coordination_.owns(path_.channel_a, seq,
+                                    last_seen_a_height_)) {
               ++stats_.coordination_skipped;
               continue;
             }
@@ -1394,8 +1423,13 @@ void Relayer::run_ack_scan(ClearOp op, std::function<void()> done) {
             auto pkt = ibc::packet_from_event(ev);
             if (!pkt || pkt->source_channel != path_.channel_a) continue;
             const ibc::Sequence seq = pkt->sequence;
+            if (!packets_.contains(seq) && !relays_packets()) {
+              ++stats_.routing_skipped;
+              continue;
+            }
             if (!packets_.contains(seq) &&
-                !coordination_.owns(seq, last_seen_a_height_)) {
+                !coordination_.owns(path_.channel_a, seq,
+                                    last_seen_a_height_)) {
               // An unowned, unseen packet is a peer's to acknowledge.
               ++stats_.coordination_skipped;
               continue;

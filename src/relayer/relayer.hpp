@@ -113,6 +113,18 @@ struct RelayerConfig {
   /// partitions packet ownership across relayer instances. kNone by default
   /// — ICS-18 relayers race, exactly as the paper measured.
   CoordinationConfig coordination;
+  /// Mesh routing/placement policy: source-channel ids (on chain A) this
+  /// instance relays packets for. Empty = serve every channel on the path
+  /// (the single-channel behaviour).
+  std::set<ibc::ChannelId> served_channels;
+  /// Maximum fee (gas * gas_price) this instance will pay for a single
+  /// recv-packet message; 0 = unlimited. A hop whose estimated relay fee
+  /// exceeds the budget is left for better-funded instances.
+  double per_hop_fee_budget = 0;
+  /// Route-hop index this instance's 13-step records are tagged with (0 =
+  /// the classic single-hop lane; hop h of a multi-hop route gets its own
+  /// telemetry lane in the StepLog CSV and trace spans).
+  std::uint16_t telemetry_hop = 0;
   WalletConfig wallet;  // accounts are filled per chain from ChainHandle
 };
 
@@ -157,6 +169,7 @@ class Relayer {
     std::uint64_t ack_decode_failures = 0;    // malformed packet_ack payloads
     std::uint64_t abandoned_packets = 0;      // gave up after bounded retries
     std::uint64_t coordination_skipped = 0;   // packets owned by a peer
+    std::uint64_t routing_skipped = 0;        // unserved channel / over budget
   };
   const Stats& stats() const { return stats_; }
   Wallet& wallet_a() { return *wallet_a_; }
@@ -282,14 +295,22 @@ class Relayer {
   void record(Step step, ibc::Sequence seq);
   void check_timeouts();
 
+  /// Routing policy gate: does this instance relay packets of its path's
+  /// source channel at all (served_channels membership + per-hop fee
+  /// budget)? Computed once at construction; checked before coordination.
+  bool relays_packets() const { return serves_path_ && fee_ok_; }
+
   /// Clears a self-referential step closure once its chain has finished
   /// (deferred one tick so the currently-executing function is not destroyed
   /// under itself). Without this the recursive shared_ptr<function> cycles
   /// leak.
   void release_later(std::shared_ptr<std::function<void()>> fn);
 
+  /// `extra_gas` covers work the destination executes beyond the packet
+  /// handler itself (e.g. the forward middleware's onward transfer).
   std::uint64_t estimate_gas(std::size_t updates, std::size_t packet_msgs,
-                             std::uint64_t per_packet_gas) const;
+                             std::uint64_t per_packet_gas,
+                             std::uint64_t extra_gas = 0) const;
 
   sim::Scheduler& sched_;
   ChainHandle a_;
@@ -324,6 +345,8 @@ class Relayer {
   std::uint64_t lane_epoch_ = 0;
   bool running_ = false;
   CoordinationPolicy coordination_;
+  bool serves_path_ = true;  // path_.channel_a in served_channels (or empty)
+  bool fee_ok_ = true;       // estimated recv fee within per_hop_fee_budget
   rpc::Server::SubscriptionId sub_a_ = 0;
   rpc::Server::SubscriptionId sub_b_ = 0;
   chain::Height last_seen_a_height_ = 0;

@@ -38,13 +38,17 @@ struct HandshakeDriver::Flow : std::enable_shared_from_this<Flow> {
   ChannelSetupResult result;
   bool finished = false;
 
+  ChainDeployment& ca() const {
+    return driver->testbed_.chain(driver->chain_x_);
+  }
+  ChainDeployment& cb_chain() const {
+    return driver->testbed_.chain(driver->chain_y_);
+  }
   rpc::Server* sa() const {
-    return driver->testbed_.chain_a().servers[static_cast<std::size_t>(
-        driver->machine_)].get();
+    return ca().servers[static_cast<std::size_t>(driver->machine_)].get();
   }
   rpc::Server* sb() const {
-    return driver->testbed_.chain_b().servers[static_cast<std::size_t>(
-        driver->machine_)].get();
+    return cb_chain().servers[static_cast<std::size_t>(driver->machine_)].get();
   }
   net::MachineId machine() const { return driver->machine_; }
 
@@ -168,8 +172,7 @@ struct HandshakeDriver::Flow : std::enable_shared_from_this<Flow> {
             }
             ibc::MsgCreateClient msg;
             msg.client_state = make_client_state(
-                self->driver->testbed_.chain_b().id,
-                self->driver->testbed_.chain_b().engine->validators(),
+                self->cb_chain().id, self->cb_chain().engine->validators(),
                 self->driver->trusting_period_);
             msg.initial_height = res.value().header.height;
             msg.initial_consensus.app_hash = res.value().app_hash_after;
@@ -201,8 +204,7 @@ struct HandshakeDriver::Flow : std::enable_shared_from_this<Flow> {
             }
             ibc::MsgCreateClient msg;
             msg.client_state = make_client_state(
-                self->driver->testbed_.chain_a().id,
-                self->driver->testbed_.chain_a().engine->validators(),
+                self->ca().id, self->ca().engine->validators(),
                 self->driver->trusting_period_);
             msg.initial_height = res.value().header.height;
             msg.initial_consensus.app_hash = res.value().app_hash_after;
@@ -294,7 +296,7 @@ struct HandshakeDriver::Flow : std::enable_shared_from_this<Flow> {
     msg.port = ibc::kTransferPort;
     msg.connection = result.connection_a;
     msg.counterparty_port = ibc::kTransferPort;
-    msg.ordering = ibc::ChannelOrdering::kUnordered;
+    msg.ordering = driver->ordering_;
     msg.version = "ics20-1";
     submit_and_read(*driver->wallet_a_, sa(), {msg.to_msg()},
                     handshake_gas(1), "channel_open_init", "channel_id",
@@ -315,7 +317,7 @@ struct HandshakeDriver::Flow : std::enable_shared_from_this<Flow> {
           msg.connection = self->result.connection_b;
           msg.counterparty_port = ibc::kTransferPort;
           msg.counterparty_channel = self->result.channel_a;
-          msg.ordering = ibc::ChannelOrdering::kUnordered;
+          msg.ordering = self->driver->ordering_;
           msg.version = "ics20-1";
           msg.proof_init = std::move(proof);
           msg.proof_height = h;
@@ -372,32 +374,55 @@ struct HandshakeDriver::Flow : std::enable_shared_from_this<Flow> {
 
 HandshakeDriver::HandshakeDriver(Testbed& testbed, int relayer_wallet,
                                  net::MachineId machine,
-                                 sim::Duration trusting_period)
+                                 sim::Duration trusting_period, int chain_x,
+                                 int chain_y, ibc::ChannelOrdering ordering)
     : testbed_(testbed),
       machine_(machine),
-      trusting_period_(trusting_period) {
+      trusting_period_(trusting_period),
+      chain_x_(chain_x),
+      chain_y_(chain_y),
+      ordering_(ordering) {
+  if (chain_x < 0 || chain_x >= testbed.chain_count() || chain_y < 0 ||
+      chain_y >= testbed.chain_count() || chain_x == chain_y) {
+    init_error_ = "handshake references unknown chain pair (" +
+                  std::to_string(chain_x) + ", " + std::to_string(chain_y) +
+                  ") in a " + std::to_string(testbed.chain_count()) +
+                  "-chain testbed";
+    return;
+  }
   relayer::WalletConfig wc;
   wc.optimistic_sequencing = false;  // handshakes wait for each commit
   wc.confirm_timeout = sim::seconds(60);
-  wc.accounts = {testbed.relayer_account_a(relayer_wallet)};
+  wc.accounts = {testbed.relayer_account(chain_x, relayer_wallet)};
   wallet_a_ = std::make_unique<relayer::Wallet>(
       testbed.scheduler(),
-      *testbed.chain_a().servers[static_cast<std::size_t>(machine)], machine,
-      wc);
-  wc.accounts = {testbed.relayer_account_b(relayer_wallet)};
+      *testbed.chain(chain_x).servers[static_cast<std::size_t>(machine)],
+      machine, wc);
+  wc.accounts = {testbed.relayer_account(chain_y, relayer_wallet)};
   wallet_b_ = std::make_unique<relayer::Wallet>(
       testbed.scheduler(),
-      *testbed.chain_b().servers[static_cast<std::size_t>(machine)], machine,
-      wc);
+      *testbed.chain(chain_y).servers[static_cast<std::size_t>(machine)],
+      machine, wc);
 }
 
 HandshakeDriver::~HandshakeDriver() = default;
 
 void HandshakeDriver::establish_channel(
     std::function<void(ChannelSetupResult)> cb) {
+  if (!init_error_.empty()) {
+    ChannelSetupResult failed;
+    failed.ok = false;
+    failed.error = init_error_;
+    failed.chain_x = chain_x_;
+    failed.chain_y = chain_y_;
+    if (cb) cb(std::move(failed));
+    return;
+  }
   flow_ = std::make_shared<Flow>();
   flow_->driver = this;
   flow_->cb = std::move(cb);
+  flow_->result.chain_x = chain_x_;
+  flow_->result.chain_y = chain_y_;
   flow_->start();
 }
 

@@ -20,6 +20,9 @@ namespace xcc {
 struct ChannelSetupResult {
   bool ok = false;
   std::string error;
+  /// Testbed chain indices of the channel's two ends ("A" / "B" below).
+  int chain_x = 0;
+  int chain_y = 1;
   ibc::ClientId client_on_a;  // client of chain B hosted on A
   ibc::ClientId client_on_b;  // client of chain A hosted on B
   ibc::ConnectionId connection_a;
@@ -36,10 +39,17 @@ class HandshakeDriver {
   /// Uses the given relayer wallet index's accounts for handshake txs,
   /// talking to the full nodes on `machine`. `trusting_period` overrides the
   /// created clients' trusting period (0 keeps the ClientState default of 14
-  /// days); chaos campaigns shrink it to force client expiry.
+  /// days); chaos campaigns shrink it to force client expiry. `chain_x` /
+  /// `chain_y` select which testbed chains host the channel's two ends
+  /// (defaults reproduce the paper's A/B pair); `ordering` sets the channel
+  /// ordering. Invalid chain indices surface as a failed
+  /// ChannelSetupResult, never as a silent fallback to chain 0.
   HandshakeDriver(Testbed& testbed, int relayer_wallet = 0,
                   net::MachineId machine = 0,
-                  sim::Duration trusting_period = 0);
+                  sim::Duration trusting_period = 0, int chain_x = 0,
+                  int chain_y = 1,
+                  ibc::ChannelOrdering ordering =
+                      ibc::ChannelOrdering::kUnordered);
   ~HandshakeDriver();
 
   HandshakeDriver(const HandshakeDriver&) = delete;
@@ -60,6 +70,10 @@ class HandshakeDriver {
   Testbed& testbed_;
   net::MachineId machine_;
   sim::Duration trusting_period_ = 0;  // 0 = ClientState default
+  int chain_x_ = 0;
+  int chain_y_ = 1;
+  ibc::ChannelOrdering ordering_ = ibc::ChannelOrdering::kUnordered;
+  std::string init_error_;  // set when the chain indices are invalid
   std::unique_ptr<relayer::Wallet> wallet_a_;
   std::unique_ptr<relayer::Wallet> wallet_b_;
   std::shared_ptr<Flow> flow_;

@@ -1,8 +1,30 @@
 #include "xcc/testbed.hpp"
 
+#include <stdexcept>
+
 namespace xcc {
 
+namespace {
+
+std::string chain_id_for(int index) {
+  if (index == 0) return "ibc-source";
+  if (index == 1) return "ibc-destination";
+  return "ibc-chain-" + std::to_string(index);
+}
+
+std::string prefix_for(int index) {
+  if (index == 0) return "src";
+  if (index == 1) return "dst";
+  return "c" + std::to_string(index);
+}
+
+}  // namespace
+
 Testbed::Testbed(TestbedConfig config) : config_(config) {
+  util::Status topo = config_.topology.validate();
+  if (!topo.is_ok()) {
+    throw std::invalid_argument("bad topology: " + topo.message());
+  }
   if (config_.telemetry) hub_.enable();
 
   net::NetworkConfig nc;
@@ -12,48 +34,77 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   network_ = std::make_unique<net::Network>(sched_, nc);
   network_->set_telemetry(&hub_);
 
-  deploy_chain(a_, "ibc-source", "src");
-  deploy_chain(b_, "ibc-destination", "dst");
+  const int n = config_.topology.chain_count;
+  chains_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    chains_.push_back(std::make_unique<ChainDeployment>());
+    deploy_chain(*chains_.back(), i);
+  }
 
   if (config_.invariant_checks) {
     check::CheckerConfig cc;
     cc.fail_fast = config_.invariant_fail_fast;
-    checker_ = std::make_unique<check::InvariantChecker>(
-        check::ChainHandles{a_.id, a_.app.get(), a_.engine.get()},
-        check::ChainHandles{b_.id, b_.app.get(), b_.engine.get()}, cc);
+    std::vector<check::ChainHandles> handles;
+    handles.reserve(chains_.size());
+    for (auto& c : chains_) {
+      handles.push_back(
+          check::ChainHandles{c->id, c->app.get(), c->engine.get()});
+    }
+    checker_ = std::make_unique<check::InvariantChecker>(std::move(handles),
+                                                         cc);
   }
 
-  // Workload sender accounts live on the source chain. The bulk path
-  // produces the same genesis state (and app hash) as per-account funding
-  // but scales to millions of accounts.
+  // Workload sender accounts live on the source chain (every chain for mesh
+  // workloads). The bulk path produces the same genesis state (and app
+  // hash) as per-account funding but scales to millions of accounts.
   users_.reserve(static_cast<std::size_t>(config_.user_accounts));
   for (int i = 0; i < config_.user_accounts; ++i) {
     users_.push_back("user-" + std::to_string(i));
   }
-  a_.app->add_genesis_accounts(users_, config_.user_balance);
+  chains_[0]->app->add_genesis_accounts(users_, config_.user_balance);
+  if (config_.fund_users_on_all_chains) {
+    for (int i = 1; i < n; ++i) {
+      chains_[static_cast<std::size_t>(i)]->app->add_genesis_accounts(
+          users_, config_.user_balance);
+    }
+  }
 
-  // Relayer wallets funded on both chains.
+  // Relayer wallets funded on every chain.
   for (int r = 0; r < config_.relayer_wallets; ++r) {
-    a_.app->add_genesis_account(relayer_account_a(r), config_.relayer_balance);
-    b_.app->add_genesis_account(relayer_account_b(r), config_.relayer_balance);
+    for (int i = 0; i < n; ++i) {
+      chains_[static_cast<std::size_t>(i)]->app->add_genesis_account(
+          relayer_account(i, r), config_.relayer_balance);
+    }
   }
 }
 
 Testbed::~Testbed() {
-  a_.engine->stop();
-  b_.engine->stop();
+  for (auto& c : chains_) c->engine->stop();
+}
+
+chain::Address Testbed::relayer_account(int chain_idx, int relayer_idx) const {
+  std::string suffix;
+  if (chain_idx == 0) {
+    suffix = "a";
+  } else if (chain_idx == 1) {
+    suffix = "b";
+  } else {
+    suffix = "c" + std::to_string(chain_idx);
+  }
+  return "relayer-" + std::to_string(relayer_idx) + "-" + suffix;
 }
 
 chain::Address Testbed::relayer_account_a(int relayer_idx) const {
-  return "relayer-" + std::to_string(relayer_idx) + "-a";
+  return relayer_account(0, relayer_idx);
 }
 
 chain::Address Testbed::relayer_account_b(int relayer_idx) const {
-  return "relayer-" + std::to_string(relayer_idx) + "-b";
+  return relayer_account(1, relayer_idx);
 }
 
-void Testbed::deploy_chain(ChainDeployment& c, const std::string& id,
-                           const std::string& prefix) {
+void Testbed::deploy_chain(ChainDeployment& c, int index) {
+  const std::string id = chain_id_for(index);
+  const std::string prefix = prefix_for(index);
   c.id = id;
   cosmos::AppConfig app_cfg = config_.app_config;
   c.app = std::make_unique<cosmos::CosmosApp>(id, app_cfg);
@@ -73,8 +124,14 @@ void Testbed::deploy_chain(ChainDeployment& c, const std::string& id,
 
   c.ibc = std::make_unique<ibc::IbcKeeper>(*c.app);
   c.transfer = std::make_unique<ibc::TransferModule>(*c.app, *c.ibc);
+  if (config_.packet_forwarding || config_.topology.chain_count > 2) {
+    c.forward = std::make_unique<ibc::ForwardMiddleware>(
+        *c.app, *c.ibc, *c.transfer, config_.forward_hop_timeout_blocks);
+  }
 
-  // One full-node RPC endpoint per machine, all wired to block events.
+  // One full-node RPC endpoint per machine, all wired to block events. The
+  // per-chain seed salt 7919 * index reduces to the historical 0 / 7919
+  // split for the two-chain pair.
   c.servers.reserve(static_cast<std::size_t>(config_.machines));
   rpc::CostModel rpc_cost = config_.rpc_cost;
   if (config_.indexed_tx_search) rpc_cost.indexed_tx_search = true;
@@ -82,7 +139,7 @@ void Testbed::deploy_chain(ChainDeployment& c, const std::string& id,
     auto server = std::make_unique<rpc::Server>(
         sched_, *network_, m, *c.ledger, *c.mempool, *c.app, rpc_cost,
         config_.seed * 1315423911u + static_cast<std::uint64_t>(m) +
-            (id == "ibc-source" ? 0u : 7'919u));
+            7'919u * static_cast<std::uint64_t>(index));
     server->set_telemetry(&hub_, prefix + ".m" + std::to_string(m) + ".rpc");
     if (config_.rpc_query_workers > 1) {
       server->set_query_workers(config_.rpc_query_workers);
@@ -98,28 +155,31 @@ void Testbed::deploy_chain(ChainDeployment& c, const std::string& id,
 }
 
 void Testbed::start_chains() {
-  a_.engine->start();
-  b_.engine->start();
+  for (auto& c : chains_) c->engine->start();
 }
 
 void Testbed::halt_chain(int which) {
-  ChainDeployment& c = which == 0 ? a_ : b_;
+  ChainDeployment& c = chain(which);
   if (c.engine->running()) c.engine->stop();
 }
 
 void Testbed::restart_chain(int which) {
-  ChainDeployment& c = which == 0 ? a_ : b_;
+  ChainDeployment& c = chain(which);
   if (!c.engine->running()) c.engine->start();
 }
 
 bool Testbed::run_until_height(chain::Height height, sim::TimePoint limit) {
-  while (sched_.now() < limit) {
-    if (a_.ledger->height() >= height && b_.ledger->height() >= height) {
-      return true;
+  auto all_at = [&] {
+    for (auto& c : chains_) {
+      if (c->ledger->height() < height) return false;
     }
+    return true;
+  };
+  while (sched_.now() < limit) {
+    if (all_at()) return true;
     if (!sched_.step()) return false;
   }
-  return a_.ledger->height() >= height && b_.ledger->height() >= height;
+  return all_at();
 }
 
 }  // namespace xcc

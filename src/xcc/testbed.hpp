@@ -15,6 +15,7 @@
 #include "check/invariant.hpp"
 #include "consensus/engine.hpp"
 #include "cosmos/app.hpp"
+#include "ibc/forward.hpp"
 #include "ibc/keeper.hpp"
 #include "ibc/transfer.hpp"
 #include "net/network.hpp"
@@ -22,6 +23,7 @@
 #include "rpc/server.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
+#include "xcc/topology.hpp"
 
 namespace xcc {
 
@@ -65,6 +67,20 @@ struct TestbedConfig {
   /// component into it. Off by default: instrumented call sites then cost
   /// one null-check each.
   bool telemetry = false;
+
+  /// Connection graph to deploy. Defaults to the paper's two-chain pair;
+  /// chains 0/1 keep their "ibc-source"/"ibc-destination" identities so the
+  /// default topology is byte-identical to the pre-mesh testbed.
+  TopologyConfig topology;
+  /// Installs the packet-forward middleware on every chain (implied for
+  /// topologies with more than two chains).
+  bool packet_forwarding = false;
+  /// Per-hop timeout budget (destination-chain blocks) for forwarded
+  /// packets.
+  std::int64_t forward_hop_timeout_blocks = 60;
+  /// Funds the workload user accounts on every chain instead of only chain
+  /// 0 — mesh workloads originate transfers from several chains.
+  bool fund_users_on_all_chains = false;
 };
 
 /// One deployed chain: app + consensus + per-machine RPC servers.
@@ -76,12 +92,18 @@ struct ChainDeployment {
   std::unique_ptr<consensus::Engine> engine;
   std::unique_ptr<ibc::IbcKeeper> ibc;
   std::unique_ptr<ibc::TransferModule> transfer;
+  /// Packet-forward middleware wrapping `transfer` (nullptr on plain
+  /// two-chain deployments).
+  std::unique_ptr<ibc::ForwardMiddleware> forward;
   /// servers[m] is the full-node RPC endpoint on machine m.
   std::vector<std::unique_ptr<rpc::Server>> servers;
 };
 
 class Testbed {
  public:
+  /// Throws std::invalid_argument when config.topology fails to validate
+  /// (unknown chain index, self-loop, ...): a misconfigured graph must not
+  /// silently collapse onto chain 0.
   explicit Testbed(TestbedConfig config);
   ~Testbed();
 
@@ -92,10 +114,16 @@ class Testbed {
   net::Network& network() { return *network_; }
   const TestbedConfig& config() const { return config_; }
 
-  ChainDeployment& chain_a() { return a_; }
-  ChainDeployment& chain_b() { return b_; }
+  /// Deployed chain by topology index (0 = "ibc-source", 1 =
+  /// "ibc-destination", i >= 2 = "ibc-chain-<i>").
+  ChainDeployment& chain(int i) { return *chains_[static_cast<std::size_t>(i)]; }
+  int chain_count() const { return static_cast<int>(chains_.size()); }
 
-  /// The invariant checker watching both chains (nullptr when
+  // The paper's two-chain aliases.
+  ChainDeployment& chain_a() { return chain(0); }
+  ChainDeployment& chain_b() { return chain(1); }
+
+  /// The invariant checker watching every chain (nullptr when
   /// TestbedConfig::invariant_checks is off).
   check::InvariantChecker* checker() { return checker_.get(); }
 
@@ -103,39 +131,41 @@ class Testbed {
   /// Per-testbed, like the scheduler: parallel experiments never share one.
   telemetry::Hub* hub() { return &hub_; }
 
-  /// Starts both consensus engines.
+  /// Starts every consensus engine.
   void start_chains();
 
-  /// Chaos hooks: halts / restarts one chain's consensus engine (0 = A,
-  /// 1 = B). Mempool, store and ledger survive the halt untouched — exactly
-  /// like a coordinated validator outage followed by a restart. No-ops when
-  /// already in the requested state.
+  /// Chaos hooks: halts / restarts one chain's consensus engine (by
+  /// topology index). Mempool, store and ledger survive the halt untouched —
+  /// exactly like a coordinated validator outage followed by a restart.
+  /// No-ops when already in the requested state.
   void halt_chain(int which);
   void restart_chain(int which);
 
   /// Runs the simulation until virtual time `t`.
   void run_until(sim::TimePoint t) { sched_.run_until(t); }
 
-  /// Runs until both chains have produced at least `height` blocks (bounded
+  /// Runs until every chain has produced at least `height` blocks (bounded
   /// by `limit`). Returns false on limit.
   bool run_until_height(chain::Height height, sim::TimePoint limit);
 
-  /// Workload sender addresses on chain A ("user-<i>").
+  /// Workload sender addresses ("user-<i>"), funded on chain 0 (and every
+  /// chain under fund_users_on_all_chains).
   const std::vector<chain::Address>& user_accounts() const { return users_; }
-  /// Relayer wallet addresses, one pair per relayer instance.
+  /// Relayer wallet address on chain `chain_idx` for relayer instance
+  /// `relayer_idx` ("relayer-<r>-a" / "-b" / "-c<i>").
+  chain::Address relayer_account(int chain_idx, int relayer_idx) const;
+  // Two-chain aliases.
   chain::Address relayer_account_a(int relayer_idx) const;
   chain::Address relayer_account_b(int relayer_idx) const;
 
  private:
-  void deploy_chain(ChainDeployment& c, const std::string& id,
-                    const std::string& prefix);
+  void deploy_chain(ChainDeployment& c, int index);
 
   TestbedConfig config_;
   telemetry::Hub hub_;
   sim::Scheduler sched_;
   std::unique_ptr<net::Network> network_;
-  ChainDeployment a_;
-  ChainDeployment b_;
+  std::vector<std::unique_ptr<ChainDeployment>> chains_;
   std::unique_ptr<check::InvariantChecker> checker_;
   std::vector<chain::Address> users_;
 };

@@ -1,0 +1,105 @@
+#include "xcc/topology.hpp"
+
+#include <cstdlib>
+
+namespace xcc {
+
+TopologyConfig TopologyConfig::two_chain() {
+  return TopologyConfig{};
+}
+
+TopologyConfig TopologyConfig::line(int n) {
+  TopologyConfig t;
+  t.chain_count = n;
+  t.name = "line" + std::to_string(n);
+  t.edges.clear();
+  for (int i = 0; i + 1 < n; ++i) {
+    t.edges.push_back(TopologyEdge{i, i + 1});
+  }
+  return t;
+}
+
+TopologyConfig TopologyConfig::hub_and_spoke(int n) {
+  TopologyConfig t;
+  t.chain_count = n;
+  t.name = "hub" + std::to_string(n);
+  t.edges.clear();
+  for (int i = 1; i < n; ++i) {
+    t.edges.push_back(TopologyEdge{0, i});
+  }
+  return t;
+}
+
+TopologyConfig TopologyConfig::full_mesh(int n) {
+  TopologyConfig t;
+  t.chain_count = n;
+  t.name = "mesh" + std::to_string(n);
+  t.edges.clear();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      t.edges.push_back(TopologyEdge{i, j});
+    }
+  }
+  return t;
+}
+
+util::Result<TopologyConfig> TopologyConfig::from_name(
+    const std::string& name) {
+  if (name.empty() || name == "pair") return two_chain();
+  auto sized = [&](const std::string& prefix) -> int {
+    if (name.rfind(prefix, 0) != 0) return -1;
+    const std::string k = name.substr(prefix.size());
+    if (k.empty()) return -1;
+    char* end = nullptr;
+    const long n = std::strtol(k.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 2 || n > 64) return -1;
+    return static_cast<int>(n);
+  };
+  if (const int n = sized("line"); n > 0) return line(n);
+  if (const int n = sized("hub"); n > 0) return hub_and_spoke(n);
+  if (const int n = sized("mesh"); n > 0) return full_mesh(n);
+  return util::Status::error(util::ErrorCode::kInvalidArgument,
+                             "unknown topology: " + name);
+}
+
+util::Status TopologyConfig::validate() const {
+  if (chain_count < 2) {
+    return util::Status::error(util::ErrorCode::kInvalidArgument,
+                               "topology needs at least 2 chains, got " +
+                                   std::to_string(chain_count));
+  }
+  if (edges.empty()) {
+    return util::Status::error(util::ErrorCode::kInvalidArgument,
+                               "topology has no edges");
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const TopologyEdge& e = edges[i];
+    if (e.chain_a < 0 || e.chain_a >= chain_count || e.chain_b < 0 ||
+        e.chain_b >= chain_count) {
+      return util::Status::error(
+          util::ErrorCode::kInvalidArgument,
+          "edge " + std::to_string(i) + " references unknown chain (" +
+              std::to_string(e.chain_a) + ", " + std::to_string(e.chain_b) +
+              ") in a " + std::to_string(chain_count) + "-chain topology");
+    }
+    if (e.chain_a == e.chain_b) {
+      return util::Status::error(util::ErrorCode::kInvalidArgument,
+                                 "edge " + std::to_string(i) +
+                                     " is a self-loop on chain " +
+                                     std::to_string(e.chain_a));
+    }
+  }
+  return util::Status::ok();
+}
+
+int TopologyConfig::edge_between(int x, int y) const {
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if ((edges[i].chain_a == x && edges[i].chain_b == y) ||
+        (edges[i].chain_a == y && edges[i].chain_b == x)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace xcc

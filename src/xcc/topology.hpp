@@ -1,0 +1,57 @@
+#pragma once
+// N-chain connection-graph topologies (ROADMAP open item: generalize the
+// Setup module beyond the paper's two-chain/one-channel deployment).
+//
+// A TopologyConfig is an edge list over `chain_count` chains; every edge
+// becomes one client/connection/channel triple established by the
+// HandshakeDriver. Chains 0 and 1 keep the paper's "ibc-source" /
+// "ibc-destination" identities, so the default two-chain topology is the
+// N=2 special case of the same code path, byte-identical to the seed
+// simulator — not a parallel implementation.
+
+#include <string>
+#include <vector>
+
+#include "ibc/channel.hpp"
+#include "sim/time.hpp"
+#include "util/status.hpp"
+
+namespace xcc {
+
+/// One channel-bearing edge of the connection graph.
+struct TopologyEdge {
+  int chain_a = 0;  // testbed chain index of the channel's A side
+  int chain_b = 1;
+  ibc::ChannelOrdering ordering = ibc::ChannelOrdering::kUnordered;
+  /// Overrides the edge's light clients' trusting period (0 = default).
+  sim::Duration trusting_period = 0;
+};
+
+struct TopologyConfig {
+  int chain_count = 2;
+  std::vector<TopologyEdge> edges{TopologyEdge{}};
+  /// Label carried into reports ("pair", "line4", "hub3", "mesh5", ...).
+  std::string name = "pair";
+
+  /// The paper's deployment: chains {0, 1}, one unordered channel.
+  static TopologyConfig two_chain();
+  /// Chains 0-1-2-...-(n-1) connected consecutively: n-1 edges, so a
+  /// transfer from 0 to n-1 traverses n-2 intermediate hops.
+  static TopologyConfig line(int n);
+  /// Chain 0 is the hub; every spoke 1..n-1 connects only to it.
+  static TopologyConfig hub_and_spoke(int n);
+  /// Every unordered pair of chains gets a direct channel.
+  static TopologyConfig full_mesh(int n);
+  /// Parses "pair" | "line<k>" | "hub<k>" | "mesh<k>" (k = chain count).
+  static util::Result<TopologyConfig> from_name(const std::string& name);
+
+  /// Fails loudly on an edge referencing an unknown chain index or a
+  /// self-loop — the silent chains[0] fallback this replaces masked exactly
+  /// this class of misconfiguration.
+  util::Status validate() const;
+
+  /// Index into `edges` of the (x, y) or (y, x) edge, -1 when absent.
+  int edge_between(int x, int y) const;
+};
+
+}  // namespace xcc
