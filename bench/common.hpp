@@ -23,6 +23,14 @@
 //                  section. Also arms the host-time profiler for the run.
 //                  Unlike --trace it does NOT force step collection, so the
 //                  virtual results are identical to a plain run.
+//   --series FILE  sample the first experiment's metrics + component probes
+//                  over virtual time (one row per source block interval)
+//                  and write the time-series CSV to FILE; with --json the
+//                  report gains a virtual `series` summary section.
+//   --flight FILE  arm the flight recorder on the first experiment; the
+//                  first failure trigger (invariant violation, abandoned
+//                  packet) dumps journal + metrics + series to FILE
+//                  (render with tools/run_report).
 //
 // Unknown options are an error (usage + exit 1): a typoed flag must not
 // silently fall back to default behaviour. Bench-specific flags register a
@@ -48,8 +56,10 @@ struct Options {
   int reps = 0;  // 0 = per-bench default
   int jobs = 0;  // 0 = hardware concurrency
   std::string csv;
-  std::string trace;  // --trace FILE: trace the sweep's first experiment
-  std::string json;   // --json PATH: write the machine-readable report
+  std::string trace;   // --trace FILE: trace the sweep's first experiment
+  std::string json;    // --json PATH: write the machine-readable report
+  std::string series;  // --series FILE: time-series CSV, first experiment
+  std::string flight;  // --flight FILE: flight-dump path, first experiment
   /// Bench id, derived from the default CSV name ("fig8_relayer_throughput").
   std::string bench;
   /// Bench-specific flags actually passed, in command-line order; value-less
@@ -73,6 +83,9 @@ struct ReportState {
   xcc::SweepStats sweep{};
   telemetry::MetricsSnapshot metrics;
   bool have_metrics = false;
+  telemetry::SeriesSnapshot series;
+  std::vector<telemetry::WatchdogWarning> warnings;
+  bool have_series = false;
 
   void add_sweep(const xcc::SweepStats& s) {
     sweep.workers = std::max(sweep.workers, s.workers);
@@ -103,8 +116,15 @@ inline Options parse_options(int argc, char** argv,
        << "  --jobs N      worker threads (default: hardware concurrency)\n"
        << "  --csv PATH    write the result table as CSV (default: "
        << (default_csv.empty() ? "none" : default_csv) << ")\n"
-       << "  --trace FILE  trace the first experiment (Chrome trace JSON)\n"
-       << "  --json PATH   write the machine-readable bench report\n"
+       << "  --trace FILE  telemetry on the first experiment: Chrome trace\n"
+       << "                JSON to FILE + metrics CSV to FILE.metrics.csv\n"
+       << "                (forces step collection — observer effect)\n"
+       << "  --json PATH   write the machine-readable bench report (virtual\n"
+       << "                + host sections); arms the host-time profiler\n"
+       << "  --series FILE sample the first experiment over virtual time;\n"
+       << "                time-series CSV to FILE\n"
+       << "  --flight FILE arm the flight recorder on the first experiment;\n"
+       << "                a failure dumps journal+metrics+series to FILE\n"
        << "  --help        show this help\n";
     for (const FlagSpec& f : extra_flags) {
       os << "  " << f.name << (f.takes_value ? " V" : "") << "  " << f.help
@@ -144,6 +164,10 @@ inline Options parse_options(int argc, char** argv,
       opt.trace = take_value();
     } else if (arg == "--json") {
       opt.json = take_value();
+    } else if (arg == "--series") {
+      opt.series = take_value();
+    } else if (arg == "--flight") {
+      opt.flight = take_value();
     } else if (arg == "--help") {
       usage(std::cout);
       std::exit(0);
@@ -205,27 +229,54 @@ inline void print_sweep_summary(const xcc::SweepStats& stats) {
             << util::fmt_double(stats.speedup(), 2) << "x\n\n";
 }
 
-/// Applies --trace to a sweep: the FIRST experiment gets telemetry and
-/// writes the trace JSON + metrics CSV. Only one, so the output stays a
-/// single byte-identical file regardless of --jobs.
+/// Applies --trace/--series/--flight to a sweep: the FIRST experiment gets
+/// telemetry and writes the requested artifacts. Only one experiment, so
+/// every output stays a single byte-identical file regardless of --jobs.
 inline void apply_trace(const Options& opt,
                         std::vector<xcc::ExperimentConfig>& configs) {
-  if (opt.trace.empty() || configs.empty()) return;
-  configs.front().trace_path = opt.trace;
-  configs.front().metrics_csv_path = opt.trace + ".metrics.csv";
+  if (configs.empty()) return;
+  if (!opt.trace.empty()) {
+    configs.front().trace_path = opt.trace;
+    configs.front().metrics_csv_path = opt.trace + ".metrics.csv";
+  }
+  if (!opt.series.empty()) configs.front().series_csv_path = opt.series;
+  if (!opt.flight.empty()) configs.front().flight_dump_path = opt.flight;
 }
 
-/// Prints the outcome of an --trace run (first result of the sweep).
+/// Prints the outcome of the --trace/--series/--flight artifacts (all taken
+/// from the sweep's first result).
 inline void print_trace_summary(const Options& opt,
                                 const std::vector<xcc::ExperimentResult>& rs) {
-  if (opt.trace.empty() || rs.empty()) return;
-  if (!rs.front().telemetry_error.empty()) {
-    std::cout << "[trace] FAILED: " << rs.front().telemetry_error << "\n\n";
-  } else {
-    std::cout << "[trace] wrote " << opt.trace << " and " << opt.trace
-              << ".metrics.csv (" << rs.front().metrics.size()
-              << " metrics)\n\n";
+  if (rs.empty() ||
+      (opt.trace.empty() && opt.series.empty() && opt.flight.empty())) {
+    return;
   }
+  const xcc::ExperimentResult& first = rs.front();
+  if (!first.telemetry_error.empty()) {
+    std::cout << "[telemetry] FAILED: " << first.telemetry_error << "\n";
+  }
+  if (!opt.trace.empty() && first.telemetry_error.empty()) {
+    std::cout << "[trace] wrote " << opt.trace << " and " << opt.trace
+              << ".metrics.csv (" << first.metrics.size() << " metrics)\n";
+  }
+  if (!opt.series.empty()) {
+    std::cout << "[series] wrote " << opt.series << " ("
+              << first.series.samples() << " samples, "
+              << first.series.columns.size() << " columns)\n";
+    for (const auto& w : first.warnings) {
+      std::cout << "[watchdog] " << w.rule << " on " << w.column << " at t="
+                << w.t << "us: " << w.detail << "\n";
+    }
+  }
+  if (!opt.flight.empty()) {
+    if (first.flight_dump_triggers > 0) {
+      std::cout << "[flight] dump written to " << opt.flight << " ("
+                << first.flight_dump_triggers << " trigger(s))\n";
+    } else {
+      std::cout << "[flight] armed, no failure trigger (no dump)\n";
+    }
+  }
+  std::cout << "\n";
 }
 
 /// Runs a whole sweep through the parallel pool (submission order ==
@@ -248,6 +299,12 @@ inline std::vector<xcc::ExperimentResult> run_sweep(
         results.front().ok) {
       detail::g_report.metrics = results.front().metrics;
       detail::g_report.have_metrics = true;
+    }
+    if (!detail::g_report.have_series && !opt.series.empty() &&
+        !results.empty() && results.front().ok) {
+      detail::g_report.series = results.front().series;
+      detail::g_report.warnings = results.front().warnings;
+      detail::g_report.have_series = true;
     }
   }
   print_sweep_summary(stats);
@@ -287,6 +344,9 @@ inline void write_report(
   in.seed_base = seed_for(0);
   in.table = &table;
   in.metrics = detail::g_report.metrics;
+  in.have_series = detail::g_report.have_series;
+  in.series = detail::g_report.series;
+  in.warnings = detail::g_report.warnings;
   in.sweep = detail::g_report.sweep;
   in.profile = detail::g_report.profiler.merged();
   auto report = xcc::build_bench_report(in);

@@ -33,8 +33,17 @@
 #                               multi-hop fuzz sweep under TSan, topology
 #                               fuzzing (line/hub/mesh) on the ASan build,
 #                               and a fresh smoke report bench_compare'd
-#                               against bench/baselines/. Ends with a phase
-#                               summary table.
+#                               against bench/baselines/, and the
+#                               observability phase: the sampler/watchdog
+#                               suite under TSan with a 4-worker sweep, a
+#                               planted campaign bug auto-dumping a flight
+#                               record that tools/run_report renders,
+#                               --series byte-identity across --jobs, the
+#                               virtual.series report section validated by
+#                               bench_report_schema.py, and an
+#                               -DIBC_TELEMETRY=OFF build whose default
+#                               bench CSV stays byte-identical. Ends with a
+#                               phase summary table.
 cd "$(dirname "$0")"
 
 if [ "$1" = "--check" ]; then
@@ -308,6 +317,63 @@ EOF
   fi
   [ "$rc" -eq 1 ] && echo "note: host-time noise vs baseline (expected across machines)"
   rm -rf "$xdir"
+  phase_ok
+
+  phase "observability: series TSan, planted-bug flight dump, schema, OFF build"
+  # Sampler + watchdogs under TSan: the sampled experiment runs inside a
+  # 4-worker sweep (SeriesDeterminism), and the campaign dump path runs its
+  # whole testbed with journaling armed.
+  cmake --build build-tsan -j --target test_observability
+  (cd build-tsan && ctest --output-on-failure \
+    -R 'SeriesDeterminism|PlantedAnomaly|CampaignFlightDump')
+  # Planted invariant violation -> the run must auto-dump a flight record
+  # that tools/run_report parses and renders end to end.
+  cmake --build build -j --target fuzz_scenarios run_report \
+    bench_fig8_relayer_throughput
+  odir=$(mktemp -d -t ibc_obs_XXXXXX)
+  ./build/src/check/fuzz_scenarios --campaign=client-expiry --blocks=300 \
+    --mutate=skip-expiry-check --expect-violation \
+    --flight="$odir/expiry.flight" --sample-blocks=50
+  [ -s "$odir/expiry.flight" ] || {
+    echo "ERROR: planted violation produced no flight dump"; exit 1; }
+  ./build/tools/run_report --flight "$odir/expiry.flight" \
+    --out "$odir/expiry.md"
+  grep -q '^## Failure' "$odir/expiry.md"
+  grep -q 'campaign-phase:' "$odir/expiry.md"
+  echo "flight dump renders: $(wc -l < "$odir/expiry.md") markdown lines"
+  # --series at two worker counts must be byte-identical, and with --json
+  # the report grows a virtual.series section the schema validator accepts.
+  ./build/bench/bench_fig8_relayer_throughput --reps 1 --jobs 1 \
+    --series "$odir/s1.csv" --json "$odir/BENCH_series.json" >/dev/null
+  ./build/bench/bench_fig8_relayer_throughput --reps 1 --jobs 4 \
+    --series "$odir/s4.csv" >/dev/null
+  diff "$odir/s1.csv" "$odir/s4.csv"
+  echo "series CSV byte-identical at --jobs 1 vs --jobs 4"
+  python3 tools/bench_report_schema.py "$odir/BENCH_series.json"
+  python3 - "$odir/BENCH_series.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+series = doc["virtual"]["series"]
+assert series["samples"] > 0 and series["columns"], "empty series section"
+print(f"series section OK: {series['samples']} samples, "
+      f"{len(series['columns'])} columns, "
+      f"{len(series['warnings'])} warning(s)")
+EOF
+  # The compile-time kill switch: an -DIBC_TELEMETRY=OFF build must stay
+  # green (unit suites for the pillar's passive classes included) and its
+  # default bench CSV must be byte-identical to the instrumented build's.
+  cmake -B build-notel -S . -DIBC_TELEMETRY=OFF
+  cmake --build build-notel -j --target bench_fig8_relayer_throughput \
+    test_observability
+  (cd build-notel && ctest --output-on-failure \
+    -R 'FlightRecorder|Watchdog|Sampler')
+  ./build/bench/bench_fig8_relayer_throughput --reps 1 \
+    --csv "$odir/on.csv" >/dev/null
+  ./build-notel/bench/bench_fig8_relayer_throughput --reps 1 \
+    --csv "$odir/off.csv" >/dev/null
+  diff "$odir/on.csv" "$odir/off.csv"
+  echo "default fig8 CSV byte-identical with telemetry compiled out"
+  rm -rf "$odir"
   phase_ok
 
   exit 0

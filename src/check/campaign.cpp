@@ -125,6 +125,11 @@ class CampaignRun {
   }
 
   void commit_phase(CampaignPhase p) {
+    if (auto* f = telemetry::flight(tb_->hub())) {
+      f->record(now(), "campaign",
+                "phase " + p.name + (p.ok ? " ok" : " FAILED") +
+                    (p.detail.empty() ? "" : " (" + p.detail + ")"));
+    }
     result_.phases.push_back(std::move(p));
   }
 
@@ -142,6 +147,11 @@ class CampaignRun {
     v.height = tb_->chain_a().ledger->height();
     v.detail = p.name + ": " + detail;
     result_.violations.push_back(std::move(v));
+    // A failed campaign phase is a flight-dump trigger (first one wins), so
+    // the post-mortem shows what led into the first broken expectation.
+    if (telemetry::metrics(tb_->hub()) != nullptr) {
+      tb_->hub()->trigger_flight_dump("campaign-phase:" + what, now());
+    }
   }
 
   /// Submits `msgs` through the given probe wallet and runs the simulation
@@ -181,6 +191,10 @@ class CampaignRun {
       rc.machine = static_cast<net::MachineId>(machine);
       relayers_.push_back(std::make_unique<relayer::Relayer>(
           tb_->scheduler(), ha, hb, channel_.path(), rc, nullptr));
+      // No-op without telemetry; with it the relayer's counters land in the
+      // sampled series and its steps in the flight journal.
+      relayers_.back()->set_telemetry(tb_->hub(),
+                                      "relayer" + std::to_string(k));
       relayers_.back()->start();
     }
   }
@@ -279,8 +293,48 @@ CampaignResult CampaignRun::run() {
     cfg.rpc_cost.websocket_max_frame_bytes = 16 * 1024;
   }
   if (opts_.family == "client-expiry") trusting_ = sim::seconds(180);
+  const bool observability =
+      !opts_.flight_dump_path.empty() || opts_.sample_every_blocks > 0;
+  cfg.telemetry = cfg.telemetry || observability;
 
   tb_ = std::make_unique<xcc::Testbed>(cfg);
+  if (!opts_.flight_dump_path.empty() &&
+      telemetry::metrics(tb_->hub()) != nullptr) {
+    tb_->hub()->flight().arm(opts_.flight_capacity);
+    tb_->hub()->set_flight_dump_path(opts_.flight_dump_path);
+  }
+  if (opts_.sample_every_blocks > 0) {
+    if (auto* smp = telemetry::sampler(tb_->hub())) {
+      // Campaign probe: the chain-side backlog the drain phase asserts on.
+      // Guarded because samples can fire before the channel handshake lands.
+      smp->add_probe("probe.src.outstanding_commitments", [this] {
+        return channel_.ok
+                   ? static_cast<double>(outstanding_commitments())
+                   : 0.0;
+      });
+      // Per-block cadence: sample on every Nth source-chain commit, then
+      // evaluate the watchdogs on the same rows.
+      tb_->chain_a().engine->subscribe_block(
+          [this, smp](const chain::Block& block,
+                      const std::vector<chain::DeliverTxResult>&) {
+            if (static_cast<std::uint64_t>(block.header.height) %
+                    opts_.sample_every_blocks !=
+                0) {
+              return;
+            }
+            smp->sample(now());
+            if (auto* wd = telemetry::watchdog(tb_->hub())) {
+              wd->evaluate(now());
+            }
+          });
+      if (auto* wd = telemetry::watchdog(tb_->hub())) {
+        // Zero-progress window: commitments pile up while the fleet relays
+        // nothing — the campaign-scale stall signature.
+        wd->watch_stuck("probe.src.outstanding_commitments",
+                        "relayer0.packets_relayed", 20);
+      }
+    }
+  }
   tb_->start_chains();
   if (!tb_->run_until_height(2, sim::seconds(300))) {
     result_.setup_error = "chains failed to start";

@@ -56,6 +56,16 @@ struct CampaignOptions {
   /// Planted bugs, to prove the campaign expectations detect them.
   bool mutate_skip_expiry = false;
   bool mutate_skip_replay = false;
+
+  /// Observability: when non-empty, enables telemetry, arms the flight
+  /// recorder, and writes the post-mortem dump (event journal + metrics +
+  /// series) here at the first failed expectation or invariant violation.
+  std::string flight_dump_path;
+  /// Ring capacity when the recorder is armed.
+  std::size_t flight_capacity = 512;
+  /// Per-block sampling cadence: snapshot the registry + probes every N
+  /// source-chain commits (0 = sampling off). Enables telemetry.
+  std::uint64_t sample_every_blocks = 0;
 };
 
 /// One step of the fault timeline, with the virtual time and chain heights

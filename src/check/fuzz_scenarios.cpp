@@ -39,6 +39,11 @@ struct Options {
   std::string campaign;
   std::uint64_t blocks = 1'000;
   bool mutate_skip_expiry = false;
+  /// Campaign observability: flight-dump path ("<path>" gains a
+  /// "-<family>" suffix when running several families) and per-block
+  /// sampling cadence.
+  std::string flight;
+  std::uint64_t sample_blocks = 0;
 };
 
 void usage() {
@@ -65,6 +70,12 @@ void usage() {
          "                        halt-restart client-expiry client-freeze\n"
          "                        relayer-crash censorship frame-storm\n"
          "  --blocks=N            campaign horizon in blocks (default 1000)\n"
+         "  --flight=PATH         campaign mode: arm the flight recorder; a\n"
+         "                        failed phase or invariant violation dumps\n"
+         "                        journal+metrics+series to PATH (with a\n"
+         "                        -<family> suffix under --campaign=all)\n"
+         "  --sample-blocks=N     campaign mode: sample metrics every N\n"
+         "                        source-chain blocks into the dump's series\n"
          "  --expect-violation    exit 0 iff at least one violation found\n"
          "  --verbose             one line per scenario\n";
 }
@@ -123,6 +134,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       }
     } else if (arg.rfind("--blocks=", 0) == 0) {
       opt.blocks = std::strtoull(value("--blocks=").c_str(), nullptr, 0);
+    } else if (arg.rfind("--flight=", 0) == 0) {
+      opt.flight = value("--flight=");
+    } else if (arg.rfind("--sample-blocks=", 0) == 0) {
+      opt.sample_blocks =
+          std::strtoull(value("--sample-blocks=").c_str(), nullptr, 0);
       if (opt.blocks == 0) return false;
     } else if (arg == "--expect-violation") {
       opt.expect_violation = true;
@@ -177,6 +193,13 @@ int run_campaigns(const Options& opt) {
       copt.min_blocks = opt.blocks;
       copt.mutate_skip_expiry = opt.mutate_skip_expiry;
       copt.mutate_skip_replay = opt.scenario.mutate_skip_replay;
+      copt.sample_every_blocks = opt.sample_blocks;
+      if (!opt.flight.empty()) {
+        // One dump file per family so parallel campaigns never collide.
+        copt.flight_dump_path = families.size() > 1
+                                    ? opt.flight + "-" + families[i]
+                                    : opt.flight;
+      }
       results[i] = check::run_campaign(copt);
     });
   }

@@ -161,6 +161,7 @@ std::string InvariantChecker::report() const {
 void InvariantChecker::fail(const chain::ChainId& chain, chain::Height height,
                             std::string invariant, std::string detail) {
   Violation v{std::move(invariant), chain, height, std::move(detail)};
+  if (hook_) hook_(v);
   if (config_.fail_fast) throw InvariantViolation(v);
   if (violations_.size() >= config_.max_violations) {
     overflowed_ = true;

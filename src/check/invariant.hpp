@@ -15,6 +15,7 @@
 // (fuzz_scenarios) runs it with fail_fast=false and collects violations.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -78,6 +79,14 @@ class InvariantChecker {
 
   InvariantChecker(const InvariantChecker&) = delete;
   InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Observability hook: runs for every Violation before it is thrown
+  /// (fail_fast) or recorded — including violations the collection cap would
+  /// suppress. The Testbed wires this to the telemetry hub's flight-dump
+  /// trigger so a post-mortem journal lands on disk even when the violation
+  /// aborts the run. The hook must not throw.
+  using ViolationHook = std::function<void(const Violation&)>;
+  void set_violation_hook(ViolationHook hook) { hook_ = std::move(hook); }
 
   std::uint64_t blocks_checked() const { return blocks_checked_; }
   const std::vector<Violation>& violations() const { return violations_; }
@@ -182,6 +191,7 @@ class InvariantChecker {
   std::uint64_t blocks_checked_ = 0;
   std::vector<Violation> violations_;
   bool overflowed_ = false;  // violations_ hit max_violations
+  ViolationHook hook_;
 };
 
 }  // namespace check

@@ -39,6 +39,8 @@ void QueryCache::set_telemetry(telemetry::Hub* hub, const std::string& name) {
     misses_ctr_ = m->counter(name + ".query_cache.misses");
     evictions_ctr_ = m->counter(name + ".query_cache.evictions");
     invalidations_ctr_ = m->counter(name + ".query_cache.invalidations");
+    insertions_ctr_ = m->counter(name + ".query_cache.insertions");
+    stale_rejections_ctr_ = m->counter(name + ".query_cache.stale_rejections");
     bytes_gauge_ = m->gauge(name + ".query_cache.bytes");
   }
 }
@@ -57,6 +59,7 @@ void QueryCache::insert(Key key, Payload payload, std::size_t bytes) {
   index_[lru_.front().key] = lru_.begin();
   stats_.bytes += bytes;
   ++stats_.insertions;
+  if (insertions_ctr_) insertions_ctr_->add();
   while (stats_.bytes > config_.max_bytes) evict_coldest();
   if (bytes_gauge_) bytes_gauge_->set(static_cast<double>(stats_.bytes));
 }
@@ -190,6 +193,7 @@ void QueryCache::abci_query(
           if (seen != observed_height_.end() &&
               res.value().height < seen->second) {
             ++stats_.stale_rejections;
+            if (stale_rejections_ctr_) stale_rejections_ctr_->add();
           } else {
             insert(std::move(probe), res.value(), abci_bytes(res.value()));
           }

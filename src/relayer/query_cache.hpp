@@ -171,6 +171,8 @@ class QueryCache {
   telemetry::Counter* misses_ctr_ = nullptr;
   telemetry::Counter* evictions_ctr_ = nullptr;
   telemetry::Counter* invalidations_ctr_ = nullptr;
+  telemetry::Counter* insertions_ctr_ = nullptr;
+  telemetry::Counter* stale_rejections_ctr_ = nullptr;
   telemetry::Gauge* bytes_gauge_ = nullptr;
 };
 

@@ -155,13 +155,65 @@ void Relayer::set_telemetry(telemetry::Hub* hub, const std::string& name) {
     pull_failures_ctr_ = m->counter(name + ".pull.query_failures");
     ack_decode_failures_ctr_ = m->counter(name + ".pull.ack_decode_failures");
     abandoned_ctr_ = m->counter(name + ".abandoned_packets");
+    relayed_ctr_ = m->counter(name + ".packets_relayed");
+    completed_ctr_ = m->counter(name + ".packets_completed");
+    timed_out_ctr_ = m->counter(name + ".packets_timed_out");
+    redundant_ctr_ = m->counter(name + ".redundant_errors");
+    frames_failed_ctr_ = m->counter(name + ".frames_failed");
+    recv_failed_ctr_ = m->counter(name + ".recv_txs_failed");
+    ack_failed_ctr_ = m->counter(name + ".ack_txs_failed");
+    routing_skipped_ctr_ = m->counter(name + ".routing_skipped");
+    coordination_skipped_ctr_ = m->counter(name + ".coordination_skipped");
   }
+  flight_name_ = name;
   cache_.set_telemetry(hub, name);
+}
+
+Relayer::StageCounts Relayer::stage_counts() const {
+  StageCounts c;
+  for (const auto& [seq, ps] : packets_) {
+    switch (ps.stage) {
+      case Stage::kExtracted: ++c.extracted; break;
+      case Stage::kPulled: ++c.pulled; break;
+      case Stage::kRecvInFlight: ++c.recv_in_flight; break;
+      case Stage::kRecvDone: ++c.recv_done; break;
+      case Stage::kAckInFlight: ++c.ack_in_flight; break;
+      case Stage::kDone: ++c.done; break;
+      case Stage::kTimedOut: ++c.timed_out; break;
+      case Stage::kAbandoned: ++c.abandoned; break;
+    }
+  }
+  return c;
+}
+
+std::size_t Relayer::lane_depth(int lane) const {
+  return ops_[lane].size() + (op_running_[lane] ? 1 : 0);
+}
+
+chain::Height Relayer::oldest_pending_blocks() const {
+  chain::Height oldest = 0;
+  for (const auto& [seq, ps] : packets_) {
+    if (ps.stage == Stage::kDone || ps.stage == Stage::kTimedOut ||
+        ps.stage == Stage::kAbandoned) {
+      continue;
+    }
+    if (ps.src_height > 0 && last_seen_a_height_ >= ps.src_height) {
+      oldest = std::max(oldest, last_seen_a_height_ - ps.src_height);
+    }
+  }
+  return oldest;
 }
 
 void Relayer::record(Step step, ibc::Sequence seq) {
   if (step_log_)
     step_log_->record(step, seq, sched_.now(), config_.telemetry_hop);
+  if (auto* f = telemetry::flight(hub_)) {
+    // Every per-packet lifecycle transition funnels through here, so this
+    // one site journals the relayer's recent history for the flight dump.
+    f->record(sched_.now(), "relayer",
+              flight_name_ + " " + std::string(step_name(step)) +
+                  " seq=" + std::to_string(seq));
+  }
 }
 
 void Relayer::release_later(std::shared_ptr<std::function<void()>> fn) {
@@ -181,6 +233,7 @@ void Relayer::on_frame_a(const rpc::NewBlockFrame& frame) {
     // relayer until (if ever) a clear pass rediscovers them; with the
     // sticky-failure behaviour the event source stays broken afterwards.
     ++stats_.frames_failed;
+    if (frames_failed_ctr_) frames_failed_ctr_->add();
     if (config_.websocket_failure_sticky) ws_wedged_a_ = true;
     IBC_LOG(kWarn, "relayer") << "failed to collect events at height "
                               << frame.height;
@@ -211,12 +264,14 @@ void Relayer::on_frame_a(const rpc::NewBlockFrame& frame) {
         // Routing policy: this instance does not serve the channel (or the
         // hop's fee exceeds its budget) — another placement covers it.
         ++stats_.routing_skipped;
+        if (routing_skipped_ctr_) routing_skipped_ctr_->add();
         continue;
       }
       if (!coordination_.owns(path_.channel_a, seq, frame.height)) {
         // A coordinated peer owns this packet; never enter it in the table
         // so no lane (pull, recv, ack, timeout, retry) ever touches it.
         ++stats_.coordination_skipped;
+        if (coordination_skipped_ctr_) coordination_skipped_ctr_->add();
         continue;
       }
       PacketState st;
@@ -268,6 +323,7 @@ void Relayer::on_frame_b(const rpc::NewBlockFrame& frame) {
   last_seen_b_height_ = std::max(last_seen_b_height_, frame.height);
   if (!frame.events_ok) {
     ++stats_.frames_failed;
+    if (frames_failed_ctr_) frames_failed_ctr_->add();
     if (config_.websocket_failure_sticky) ws_wedged_b_ = true;
   }
   if (ws_wedged_b_) return;  // ack extraction disabled; commit-callback path
@@ -353,6 +409,16 @@ void Relayer::abandon_packet(ibc::Sequence seq, PacketState& ps,
   IBC_LOG(kWarn, "relayer")
       << "abandoning packet " << seq << " after bounded retries (" << why
       << ")";
+  if (auto* f = telemetry::flight(hub_)) {
+    f->record(sched_.now(), "relayer",
+              flight_name_ + " abandon seq=" + std::to_string(seq) + " (" +
+                  why + ")");
+  }
+  // An abandoned packet is a terminal failure: emit the post-mortem dump
+  // (first trigger wins; disabled builds fold this away entirely).
+  if (telemetry::metrics(hub_) != nullptr) {
+    hub_->trigger_flight_dump("abandoned-packet", sched_.now());
+  }
 }
 
 void Relayer::pump(int lane) {
@@ -739,6 +805,7 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
                   if (out.status.is_ok()) {
                     record(Step::kRecvConfirmation, s);
                     ++stats_.packets_relayed;
+                    if (relayed_ctr_) relayed_ctr_->add();
                     if (ps.stage == Stage::kRecvInFlight) {
                       ps.stage = Stage::kRecvDone;
                       ps.dst_height = out.height;
@@ -747,6 +814,7 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
                   } else if (out.status.code() ==
                              util::ErrorCode::kRedundantPacket) {
                     ++stats_.redundant_errors;
+                    if (redundant_ctr_) redundant_ctr_->add();
                     if (ps.stage == Stage::kRecvInFlight) {
                       if (ps.recv_retries <
                           static_cast<std::uint8_t>(config_.max_packet_retries)) {
@@ -771,6 +839,7 @@ void Relayer::build_and_send_recv(std::vector<ibc::Sequence> seqs,
                     }
                   } else {
                     ++stats_.recv_txs_failed;
+                    if (recv_failed_ctr_) recv_failed_ctr_->add();
                     IBC_LOG(kWarn, "relayer")
                         << "recv tx failed: " << out.status.to_string();
                     if (ps.stage == Stage::kRecvInFlight) {
@@ -1029,10 +1098,12 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
                   if (out.status.is_ok()) {
                     record(Step::kAckConfirmation, s);
                     ++stats_.packets_completed;
+                    if (completed_ctr_) completed_ctr_->add();
                     ps.stage = Stage::kDone;
                   } else if (out.status.code() ==
                              util::ErrorCode::kRedundantPacket) {
                     ++stats_.redundant_errors;
+                    if (redundant_ctr_) redundant_ctr_->add();
                     if (ps.stage == Stage::kAckInFlight &&
                         ps.ack_retries <
                             static_cast<std::uint8_t>(
@@ -1053,6 +1124,7 @@ void Relayer::build_and_send_ack(std::vector<ibc::Sequence> seqs,
                     }
                   } else {
                     ++stats_.ack_txs_failed;
+                    if (ack_failed_ctr_) ack_failed_ctr_->add();
                     IBC_LOG(kWarn, "relayer")
                         << "ack tx failed: " << out.status.to_string();
                     // A censored/unreachable mempool fails submit before
@@ -1203,10 +1275,12 @@ void Relayer::run_timeout_batch(TimeoutBatchOp op, std::function<void()> done) {
                 if (it == packets_.end()) continue;
                 if (out.status.is_ok()) {
                   ++stats_.packets_timed_out;
+                  if (timed_out_ctr_) timed_out_ctr_->add();
                   it->second.stage = Stage::kTimedOut;
                 } else if (out.status.code() ==
                            util::ErrorCode::kRedundantPacket) {
                   ++stats_.redundant_errors;
+                  if (redundant_ctr_) redundant_ctr_->add();
                   it->second.stage = Stage::kTimedOut;
                 }
                 timeout_candidates_.erase(s);
@@ -1275,11 +1349,13 @@ void Relayer::run_clear(ClearOp op, std::function<void()> done) {
             // owning peer's own clear pass covers the rest.
             if (!relays_packets()) {
               ++stats_.routing_skipped;
+              if (routing_skipped_ctr_) routing_skipped_ctr_->add();
               continue;
             }
             if (!coordination_.owns(path_.channel_a, seq,
                                     last_seen_a_height_)) {
               ++stats_.coordination_skipped;
+              if (coordination_skipped_ctr_) coordination_skipped_ctr_->add();
               continue;
             }
             PacketState ps;
@@ -1425,6 +1501,7 @@ void Relayer::run_ack_scan(ClearOp op, std::function<void()> done) {
             const ibc::Sequence seq = pkt->sequence;
             if (!packets_.contains(seq) && !relays_packets()) {
               ++stats_.routing_skipped;
+              if (routing_skipped_ctr_) routing_skipped_ctr_->add();
               continue;
             }
             if (!packets_.contains(seq) &&
@@ -1432,6 +1509,7 @@ void Relayer::run_ack_scan(ClearOp op, std::function<void()> done) {
                                     last_seen_a_height_)) {
               // An unowned, unseen packet is a peer's to acknowledge.
               ++stats_.coordination_skipped;
+              if (coordination_skipped_ctr_) coordination_skipped_ctr_->add();
               continue;
             }
             PacketState& st = packets_[seq];  // inserts when unseen

@@ -176,6 +176,31 @@ class Relayer {
   Wallet& wallet_b() { return *wallet_b_; }
   const QueryCache& query_cache() const { return cache_; }
 
+  /// Pending-table occupancy by lifecycle stage — the sampler's per-stage
+  /// probe columns (paper Fig. 8's backlog, split by where packets sit).
+  struct StageCounts {
+    std::size_t extracted = 0;
+    std::size_t pulled = 0;
+    std::size_t recv_in_flight = 0;
+    std::size_t recv_done = 0;
+    std::size_t ack_in_flight = 0;
+    std::size_t done = 0;
+    std::size_t timed_out = 0;
+    std::size_t abandoned = 0;
+    /// Entries still moving through the pipeline (non-terminal stages).
+    std::size_t in_flight() const {
+      return extracted + pulled + recv_in_flight + recv_done + ack_in_flight;
+    }
+  };
+  StageCounts stage_counts() const;
+  /// Operations held by worker lane 0 (recv) or 1 (ack/timeout): queued
+  /// plus the one executing. A wedged lane shows as a depth that never
+  /// drains.
+  std::size_t lane_depth(int lane) const;
+  /// Source-block age of the oldest packet still in flight (0 when the
+  /// table has no non-terminal entry) — the stalled-packet watchdog input.
+  chain::Height oldest_pending_blocks() const;
+
  private:
   // The relayer tracks each packet through these stages.
   enum class Stage : std::uint8_t {
@@ -330,6 +355,19 @@ class Relayer {
   telemetry::Counter* pull_failures_ctr_ = nullptr;
   telemetry::Counter* ack_decode_failures_ctr_ = nullptr;
   telemetry::Counter* abandoned_ctr_ = nullptr;
+  // Registry mirrors of the remaining Stats counters, so metrics.csv and
+  // the virtual-time sampler see them (Stats itself is only read at the end
+  // of a run).
+  telemetry::Counter* relayed_ctr_ = nullptr;
+  telemetry::Counter* completed_ctr_ = nullptr;
+  telemetry::Counter* timed_out_ctr_ = nullptr;
+  telemetry::Counter* redundant_ctr_ = nullptr;
+  telemetry::Counter* frames_failed_ctr_ = nullptr;
+  telemetry::Counter* recv_failed_ctr_ = nullptr;
+  telemetry::Counter* ack_failed_ctr_ = nullptr;
+  telemetry::Counter* routing_skipped_ctr_ = nullptr;
+  telemetry::Counter* coordination_skipped_ctr_ = nullptr;
+  std::string flight_name_;  // journal tag for the flight recorder
 
   QueryCache cache_;
   std::unique_ptr<Wallet> wallet_a_;

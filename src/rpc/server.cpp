@@ -22,6 +22,8 @@ Server::Server(sim::Scheduler& sched, net::Network& network,
       queue_(sched, cost.request_queue_capacity) {}
 
 void Server::set_telemetry(telemetry::Hub* hub, const std::string& track_name) {
+  hub_ = hub;
+  flight_name_ = track_name;
   queue_.set_telemetry(hub, track_name);
   if (auto* m = telemetry::metrics(hub)) {
     frames_pushed_ctr_ = m->counter(track_name + ".ws_frames");
@@ -80,6 +82,13 @@ void Server::roundtrip(net::MachineId client, std::uint64_t request_bytes,
                         });
         },
         label);
+    if (auto* f = telemetry::flight(hub_)) {
+      // Journal the admission decision (the interesting outcome): a rejected
+      // request is the overload signature the post-mortem needs to show.
+      f->record(sched_.now(), "rpc",
+                flight_name_ + " " + (label ? label : "request") +
+                    (accepted ? " accepted" : " rejected"));
+    }
     if (!accepted && on_reject) {
       network_.send(machine_, client, 128,
                     [delivered, on_reject = std::move(on_reject)]() mutable {

@@ -197,6 +197,11 @@ class Server {
   std::uint64_t requests_served() const { return queue_.completed(); }
   std::uint64_t requests_rejected() const { return queue_.rejected(); }
   sim::Duration busy_time() const { return queue_.total_busy_time(); }
+  /// Requests currently held by this server: waiting in the FIFO plus in
+  /// service — the sampler's per-endpoint queue-depth probe.
+  std::size_t queue_depth() const {
+    return queue_.queued() + queue_.in_service();
+  }
   std::uint64_t frames_dropped_oversize() const {
     return frames_dropped_oversize_;
   }
@@ -237,6 +242,8 @@ class Server {
   SubscriptionId next_subscription_ = 1;
   QueryTamper tamper_;
   std::uint64_t frames_dropped_oversize_ = 0;
+  telemetry::Hub* hub_ = nullptr;  // flight-recorder journaling only
+  std::string flight_name_;        // this endpoint's journal tag
   telemetry::Counter* frames_pushed_ctr_ = nullptr;
   telemetry::Counter* frames_oversize_ctr_ = nullptr;
 };

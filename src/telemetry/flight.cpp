@@ -1,0 +1,53 @@
+#include "telemetry/flight.hpp"
+
+#include <sstream>
+
+namespace telemetry {
+
+void FlightRecorder::arm(std::size_t capacity) {
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  total_ = 0;
+}
+
+void FlightRecorder::record(sim::TimePoint t, std::string_view category,
+                            std::string detail) {
+  if (capacity_ == 0) return;
+  FlightEntry entry;
+  entry.index = total_++;
+  entry.t = t;
+  entry.category.assign(category);
+  entry.detail = std::move(detail);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_] = std::move(entry);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<FlightEntry> FlightRecorder::entries() const {
+  std::vector<FlightEntry> out;
+  out.reserve(ring_.size());
+  // Until the first wraparound ring_ is already oldest-first; afterwards the
+  // oldest entry sits at next_ (the slot the following record would claim).
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::journal_csv() const {
+  std::ostringstream os;
+  os << "index,time_us,category,detail\n";
+  for (const auto& e : entries()) {
+    os << e.index << ',' << e.t << ',' << e.category << ',' << e.detail
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace telemetry

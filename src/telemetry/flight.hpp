@@ -1,0 +1,72 @@
+#pragma once
+// Flight recorder: a bounded ring buffer of recent structured events.
+//
+// Post-mortem telemetry for the failure modes the invariant checker and the
+// chaos campaigns catch: when something trips mid-run ("what was the system
+// doing at block 840 when the invariant fired?"), the metrics registry only
+// has end-of-run totals and the full trace is too expensive to keep armed on
+// thousand-block campaigns. The recorder journals the last N structured
+// events — relayer stage/step transitions, RPC request outcomes, consensus
+// commits, network fault injections, campaign phases — and on a trigger
+// (invariant Violation, failed campaign phase, abandoned packet) the Hub
+// dumps the journal plus a metrics snapshot and the sampled time series into
+// one flight-dump file that tools/run_report renders.
+//
+// Recording is a ring-slot overwrite (no allocation churn beyond the detail
+// string); the ring is sized at arm() time and the recorder is off — a
+// single branch per site — until armed. Deterministic: entries carry virtual
+// time and a global sequence number, so same-seed runs dump byte-identical
+// journals. NOT thread-safe: one recorder per experiment, like the Registry.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/status.hpp"
+
+namespace telemetry {
+
+struct FlightEntry {
+  std::uint64_t index = 0;  // global record number (wraparound-visible)
+  sim::TimePoint t = 0;
+  std::string category;  // "relayer" | "rpc" | "consensus" | "net" | ...
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Sizes the ring and starts recording. Re-arming clears the journal.
+  void arm(std::size_t capacity);
+  bool armed() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Journals one event, overwriting the oldest entry when full. No-op (one
+  /// branch) while unarmed.
+  void record(sim::TimePoint t, std::string_view category,
+              std::string detail);
+
+  /// Total events ever recorded (>= entries().size(); the difference is what
+  /// the ring overwrote).
+  std::uint64_t total_recorded() const { return total_; }
+
+  /// Retained entries, oldest first.
+  std::vector<FlightEntry> entries() const;
+
+  /// Journal as CSV: "index,time_us,category,detail" rows, oldest first.
+  /// Detail commas are preserved (the detail field is the CSV row tail).
+  std::string journal_csv() const;
+
+ private:
+  std::vector<FlightEntry> ring_;
+  std::size_t capacity_ = 0;  // 0 = unarmed
+  std::size_t next_ = 0;      // ring slot the next record lands in
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace telemetry

@@ -137,6 +137,18 @@ class Registry {
   /// Name-sorted rows; byte-identical across identical runs.
   MetricsSnapshot snapshot() const;
 
+  /// Calls `fn(name, value)` for every counter, then every gauge (each group
+  /// in name order). The cheap path for per-sample reads: no allocation, no
+  /// histogram quantile work (the sampler records totals-so-far, not
+  /// distributions).
+  template <typename Fn>
+  void for_each_scalar(Fn&& fn) const {
+    for (const auto& [name, c] : counters_) {
+      fn(name, static_cast<double>(c.value()));
+    }
+    for (const auto& [name, g] : gauges_) fn(name, g.value());
+  }
+
   /// Writes snapshot_to_csv() to `path`. Reports I/O failure (unwritable
   /// directory, disk error) instead of silently succeeding.
   util::Status write_csv(const std::string& path) const;

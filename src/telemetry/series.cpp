@@ -1,0 +1,101 @@
+#include "telemetry/series.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace telemetry {
+
+namespace {
+
+/// Deterministic number formatting, identical policy to the metrics CSV.
+std::string fmt_num(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string series_to_csv(const SeriesSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "time_us";
+  for (const auto& [name, values] : snapshot.columns) os << ',' << name;
+  os << '\n';
+  for (std::size_t row = 0; row < snapshot.times_us.size(); ++row) {
+    os << snapshot.times_us[row];
+    for (const auto& [name, values] : snapshot.columns) {
+      os << ',' << (row < values.size() ? fmt_num(values[row]) : "0");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Sampler::add_probe(std::string_view name, std::function<double()> fn) {
+  probes_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+std::vector<double>& Sampler::column_for(const std::string& name) {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    it = columns_.emplace(name, std::vector<double>()).first;
+    // Backfill: the instrument registered after sampling started, so every
+    // earlier sample would have read 0 (counters and gauges start at 0).
+    it->second.assign(times_.size(), 0.0);
+  }
+  return it->second;
+}
+
+void Sampler::sample(sim::TimePoint t) {
+  if (times_.size() >= sample_limit_) {
+    ++dropped_;
+    return;
+  }
+  if (registry_ != nullptr) {
+    registry_->for_each_scalar([this](const std::string& name, double value) {
+      column_for(name).push_back(value);
+    });
+  }
+  for (const auto& [name, fn] : probes_) {
+    column_for(name).push_back(fn());
+  }
+  times_.push_back(t);
+  // A column can only fall behind when its instrument disappeared, which the
+  // registry never does — but keep rows rectangular regardless.
+  for (auto& [name, values] : columns_) {
+    if (values.size() < times_.size()) values.resize(times_.size(), 0.0);
+  }
+}
+
+const std::vector<double>* Sampler::column(std::string_view name) const {
+  const auto it = columns_.find(name);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+SeriesSnapshot Sampler::snapshot() const {
+  SeriesSnapshot snap;
+  snap.times_us = times_;
+  snap.columns.reserve(columns_.size());
+  for (const auto& [name, values] : columns_) {
+    snap.columns.emplace_back(name, values);
+  }
+  return snap;
+}
+
+util::Status Sampler::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kUnavailable,
+                               "cannot open series csv for writing: " + path);
+  }
+  f << to_csv();
+  f.flush();
+  if (!f) {
+    return util::Status::error(util::ErrorCode::kInternal,
+                               "write failed for series csv: " + path);
+  }
+  return util::Status::ok();
+}
+
+}  // namespace telemetry

@@ -1,0 +1,94 @@
+#pragma once
+// Virtual-time metric sampler.
+//
+// The registry answers "what were the totals at the end of the run"; the
+// sampler answers "what was the system doing at block 840". On a configurable
+// sim-time (or per-block) cadence it snapshots every registered counter and
+// gauge plus a set of caller-installed probes (RPC queue depth, relayer
+// pending-table occupancy by stage, mempool size, outstanding commitments —
+// values that live in component state rather than in the registry) into an
+// in-memory time series, exported as a deterministic CSV and summarized in
+// the `series` section of BENCH_*.json.
+//
+// Like the Registry and Tracer, the sampler is passive storage below sim:
+// callers pass timestamps explicitly and a scheduler tick (wired by the
+// experiment runner / campaign engine) drives sample(). Columns are
+// discovered as instruments register; earlier rows of a late column are
+// backfilled with 0, which is exact for counters and gauges (both start at
+// 0). NOT thread-safe: one sampler per experiment, like sim::Scheduler.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/status.hpp"
+
+namespace telemetry {
+
+/// Value-oriented copy of a sampler's contents; lives in ExperimentResult so
+/// the series outlives the testbed that produced it.
+struct SeriesSnapshot {
+  /// Sample timestamps, microseconds of virtual time.
+  std::vector<sim::TimePoint> times_us;
+  /// name -> one value per sample, sorted by name, all the same length as
+  /// times_us.
+  std::vector<std::pair<std::string, std::vector<double>>> columns;
+
+  std::size_t samples() const { return times_us.size(); }
+  bool empty() const { return times_us.empty(); }
+};
+
+/// Renders a snapshot as CSV: "time_us,<col>,<col>,..." header, one row per
+/// sample. Byte-identical for identical snapshots.
+std::string series_to_csv(const SeriesSnapshot& snapshot);
+
+class Sampler {
+ public:
+  /// `registry` may be nullptr (probe-only sampling, used by unit tests).
+  explicit Sampler(const Registry* registry) : registry_(registry) {}
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Installs a probe column: `fn` is evaluated at every sample(). Probes
+  /// read component state the registry cannot see (queue depths, table
+  /// sizes). Installing the same name twice replaces the function.
+  void add_probe(std::string_view name, std::function<double()> fn);
+
+  /// Caps stored samples (runaway-series guard); further sample() calls are
+  /// counted in dropped_samples() and otherwise ignored.
+  void set_sample_limit(std::size_t n) { sample_limit_ = n; }
+
+  /// Takes one sample at virtual time `t`: every registry counter/gauge and
+  /// every probe becomes (or extends) a column.
+  void sample(sim::TimePoint t);
+
+  std::size_t sample_count() const { return times_.size(); }
+  std::size_t dropped_samples() const { return dropped_; }
+
+  /// Values of `name` so far (empty when the column does not exist).
+  const std::vector<double>* column(std::string_view name) const;
+  const std::vector<sim::TimePoint>& times() const { return times_; }
+
+  SeriesSnapshot snapshot() const;
+  std::string to_csv() const { return series_to_csv(snapshot()); }
+  /// Writes to_csv() to `path`, reporting I/O failure via Status.
+  util::Status write_csv(const std::string& path) const;
+
+ private:
+  std::vector<double>& column_for(const std::string& name);
+
+  const Registry* registry_;
+  // std::map: deterministic column order in the CSV and stable addresses.
+  std::map<std::string, std::vector<double>, std::less<>> columns_;
+  std::map<std::string, std::function<double()>, std::less<>> probes_;
+  std::vector<sim::TimePoint> times_;
+  std::size_t sample_limit_ = 1'000'000;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace telemetry

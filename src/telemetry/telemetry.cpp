@@ -1,0 +1,44 @@
+#include "telemetry/telemetry.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace telemetry {
+
+std::string Hub::render_flight_dump(std::string_view reason,
+                                    sim::TimePoint t) const {
+  // Sectioned text with stable `== name ==` markers: grep-friendly, and
+  // tools/run_report splits on exactly these lines. Every section body is a
+  // CSV this module already emits deterministically, so the whole dump is
+  // byte-identical across same-seed runs.
+  std::ostringstream os;
+  os << "# ibc flight dump v1\n";
+  os << "reason: " << reason << '\n';
+  os << "time_us: " << t << '\n';
+  os << "journal_total: " << flight_.total_recorded() << '\n';
+  os << "journal_retained: " << flight_.entries().size() << '\n';
+  os << '\n';
+  os << "== journal ==\n" << flight_.journal_csv();
+  os << "\n== watchdogs ==\n";
+  os << "rule,column,time_us,detail\n";
+  for (const auto& w : watchdog_.warnings()) {
+    os << w.rule << ',' << w.column << ',' << w.t << ',' << w.detail << '\n';
+  }
+  os << "\n== metrics ==\n" << snapshot_to_csv(registry_.snapshot());
+  os << "\n== series ==\n" << sampler_.to_csv();
+  return os.str();
+}
+
+void Hub::trigger_flight_dump(std::string_view reason, sim::TimePoint t) {
+  ++dump_triggers_;
+  if (flight_dump_path_.empty()) return;
+  if (dump_triggers_ > 1) {
+    ++dumps_suppressed_;
+    return;
+  }
+  std::ofstream f(flight_dump_path_);
+  if (!f) return;  // dump is best-effort post-mortem; never fail the run
+  f << render_flight_dump(reason, t);
+}
+
+}  // namespace telemetry

@@ -1,0 +1,140 @@
+#include "telemetry/watchdog.hpp"
+
+#include <sstream>
+
+namespace telemetry {
+
+namespace {
+
+std::string fmt_num(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void Watchdog::watch_monotone_growth(std::string_view column,
+                                     std::size_t window, double min_growth) {
+  Rule r;
+  r.kind = Kind::kMonotoneGrowth;
+  r.column.assign(column);
+  r.window = window;
+  r.threshold = min_growth;
+  rules_.push_back(std::move(r));
+}
+
+void Watchdog::watch_threshold(std::string_view column, double threshold,
+                               std::size_t window) {
+  Rule r;
+  r.kind = Kind::kThreshold;
+  r.column.assign(column);
+  r.window = window;
+  r.threshold = threshold;
+  rules_.push_back(std::move(r));
+}
+
+void Watchdog::watch_stuck(std::string_view value_column,
+                           std::string_view progress_column,
+                           std::size_t window) {
+  Rule r;
+  r.kind = Kind::kStuck;
+  r.column.assign(value_column);
+  r.progress_column.assign(progress_column);
+  r.window = window;
+  rules_.push_back(std::move(r));
+}
+
+void Watchdog::evaluate(sim::TimePoint t) {
+  if (sampler_ == nullptr) return;
+  for (auto& rule : rules_) {
+    if (rule.tripped || rule.window == 0) continue;
+    const std::vector<double>* col = sampler_->column(rule.column);
+    if (col == nullptr || col->size() < rule.window) continue;
+    const std::size_t n = col->size();
+    const std::size_t begin = n - rule.window;
+
+    bool trip = false;
+    std::ostringstream detail;
+    switch (rule.kind) {
+      case Kind::kMonotoneGrowth: {
+        bool monotone = true;
+        for (std::size_t i = begin + 1; i < n; ++i) {
+          if ((*col)[i] <= (*col)[i - 1]) {
+            monotone = false;
+            break;
+          }
+        }
+        const double growth = (*col)[n - 1] - (*col)[begin];
+        if (monotone && growth >= rule.threshold) {
+          trip = true;
+          detail << "rose " << fmt_num((*col)[begin]) << " -> "
+                 << fmt_num((*col)[n - 1]) << " over " << rule.window
+                 << " samples";
+        }
+        break;
+      }
+      case Kind::kThreshold: {
+        bool above = true;
+        for (std::size_t i = begin; i < n; ++i) {
+          if ((*col)[i] < rule.threshold) {
+            above = false;
+            break;
+          }
+        }
+        if (above) {
+          trip = true;
+          detail << ">= " << fmt_num(rule.threshold) << " for " << rule.window
+                 << " samples (last " << fmt_num((*col)[n - 1]) << ")";
+        }
+        break;
+      }
+      case Kind::kStuck: {
+        const std::vector<double>* prog =
+            sampler_->column(rule.progress_column);
+        if (prog == nullptr || prog->size() < rule.window) break;
+        bool value_present = true;
+        for (std::size_t i = begin; i < n; ++i) {
+          if ((*col)[i] <= 0.0) {
+            value_present = false;
+            break;
+          }
+        }
+        const std::size_t pn = prog->size();
+        const bool no_progress =
+            (*prog)[pn - 1] == (*prog)[pn - rule.window];
+        if (value_present && no_progress) {
+          trip = true;
+          detail << rule.column << "=" << fmt_num((*col)[n - 1]) << " while "
+                 << rule.progress_column << " unchanged at "
+                 << fmt_num((*prog)[pn - 1]) << " for " << rule.window
+                 << " samples";
+        }
+        break;
+      }
+    }
+
+    if (trip) {
+      rule.tripped = true;
+      WatchdogWarning w;
+      switch (rule.kind) {
+        case Kind::kMonotoneGrowth:
+          w.rule = "monotone-growth";
+          break;
+        case Kind::kThreshold:
+          w.rule = "threshold";
+          break;
+        case Kind::kStuck:
+          w.rule = "stuck";
+          break;
+      }
+      w.column = rule.column;
+      w.t = t;
+      w.detail = detail.str();
+      warnings_.push_back(std::move(w));
+    }
+  }
+}
+
+}  // namespace telemetry

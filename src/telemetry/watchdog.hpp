@@ -1,0 +1,83 @@
+#pragma once
+// Anomaly watchdogs: rules evaluated over the sampled time series.
+//
+// The sampler turns the run into curves; the watchdogs read those curves for
+// the degradation signatures the paper's figures document — relayer backlog
+// growing monotonically past the saturation point (Fig. 8), packets stalled
+// past an age bound, a wedged worker lane, a zero-progress window — and
+// surface each one as a structured warning (rule, column, first-tripped
+// virtual time, evidence) in xcc::Report and, when tracing is armed, as a
+// trace instant. Watchdogs fire at most once per rule (the first trip is the
+// diagnostic; repeats are noise) and are evaluated on the same scheduler tick
+// that drives sample(), so they see every row. Deterministic by construction:
+// rules read only the sampled series, so same-seed runs trip identically.
+// NOT thread-safe: one watchdog set per experiment, like the Sampler.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "telemetry/series.hpp"
+
+namespace telemetry {
+
+/// One tripped watchdog. `rule` names the predicate, `column` the series it
+/// watched, `detail` the evidence (window, values) in stable text form.
+struct WatchdogWarning {
+  std::string rule;
+  std::string column;
+  sim::TimePoint t = 0;  // virtual time of the sample that tripped the rule
+  std::string detail;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(const Sampler* sampler) : sampler_(sampler) {}
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Trips when `column` rises strictly monotonically across the last
+  /// `window` samples AND grows by at least `min_growth` over that window —
+  /// the Fig. 8 saturation signature (backlog that only ever goes up).
+  void watch_monotone_growth(std::string_view column, std::size_t window,
+                             double min_growth);
+
+  /// Trips when `column` stays >= `threshold` for `window` consecutive
+  /// samples (e.g. oldest pending packet age in blocks: a stalled packet).
+  void watch_threshold(std::string_view column, double threshold,
+                       std::size_t window);
+
+  /// Trips when `value_column` stays above zero while `progress_column`
+  /// makes no progress (value unchanged) for `window` consecutive samples:
+  /// work exists but nothing is advancing — a wedged lane or a zero-progress
+  /// window, depending on which columns are wired.
+  void watch_stuck(std::string_view value_column,
+                   std::string_view progress_column, std::size_t window);
+
+  /// Evaluates every rule against the sampler's current series; appends any
+  /// newly tripped rules to warnings(). Call after each sample().
+  void evaluate(sim::TimePoint t);
+
+  const std::vector<WatchdogWarning>& warnings() const { return warnings_; }
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  enum class Kind { kMonotoneGrowth, kThreshold, kStuck };
+
+  struct Rule {
+    Kind kind;
+    std::string column;
+    std::string progress_column;  // kStuck only
+    std::size_t window = 0;
+    double threshold = 0.0;  // min_growth for kMonotoneGrowth
+    bool tripped = false;
+  };
+
+  const Sampler* sampler_;
+  std::vector<Rule> rules_;
+  std::vector<WatchdogWarning> warnings_;
+};
+
+}  // namespace telemetry

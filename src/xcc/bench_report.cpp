@@ -1,5 +1,6 @@
 #include "xcc/bench_report.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #ifdef __unix__
@@ -45,6 +46,47 @@ util::json::Value table_to_json(const util::Table* table,
   return points;
 }
 
+// Summary, not a dump: the full series already lives in the --series CSV;
+// the report keeps per-column endpoints/extrema so bench_compare can diff
+// series shape without carrying every row.
+util::json::Value series_to_json(const BenchReportInputs& in) {
+  auto series = util::json::Value::object();
+  series.set("samples", static_cast<std::uint64_t>(in.series.samples()));
+  series.set("first_time_us",
+             in.series.empty() ? 0 : in.series.times_us.front());
+  series.set("last_time_us", in.series.empty() ? 0 : in.series.times_us.back());
+  auto cols = util::json::Value::array();
+  for (const auto& [name, values] : in.series.columns) {
+    auto col = util::json::Value::object();
+    col.set("name", name);
+    double lo = 0.0, hi = 0.0;
+    if (!values.empty()) {
+      lo = hi = values.front();
+      for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    col.set("first", values.empty() ? 0.0 : values.front());
+    col.set("last", values.empty() ? 0.0 : values.back());
+    col.set("min", lo);
+    col.set("max", hi);
+    cols.push_back(std::move(col));
+  }
+  series.set("columns", std::move(cols));
+  auto warnings = util::json::Value::array();
+  for (const telemetry::WatchdogWarning& w : in.warnings) {
+    auto warn = util::json::Value::object();
+    warn.set("rule", w.rule);
+    warn.set("column", w.column);
+    warn.set("time_us", w.t);
+    warn.set("detail", w.detail);
+    warnings.push_back(std::move(warn));
+  }
+  series.set("warnings", std::move(warnings));
+  return series;
+}
+
 util::json::Value profile_to_json(const telemetry::ProfileReport& p) {
   auto prof = util::json::Value::object();
   prof.set("wall_seconds", p.wall_seconds());
@@ -87,6 +129,9 @@ util::json::Value build_bench_report(const BenchReportInputs& in) {
   virt.set("columns", std::move(columns));
   virt.set("points", std::move(points));
   virt.set("metrics", metrics_to_json(in.metrics));
+  // Only when --series sampled the run: plain reports keep the schema-v1
+  // layout byte-for-byte so committed baselines still compare clean.
+  if (in.have_series) virt.set("series", series_to_json(in));
   report.set("virtual", std::move(virt));
 
   auto host = util::json::Value::object();

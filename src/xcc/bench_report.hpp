@@ -26,6 +26,8 @@
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/series.hpp"
+#include "telemetry/watchdog.hpp"
 #include "util/json.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
@@ -51,6 +53,13 @@ struct BenchReportInputs {
   // Virtual-time results.
   const util::Table* table = nullptr;  // the bench's CSV table
   telemetry::MetricsSnapshot metrics;  // first experiment's registry
+
+  // Virtual-time series summary (only when --series sampled the first
+  // experiment; plain runs omit the section so committed baselines and
+  // bench_compare stay unchanged).
+  bool have_series = false;
+  telemetry::SeriesSnapshot series;
+  std::vector<telemetry::WatchdogWarning> warnings;
 
   // Host-time results.
   SweepStats sweep;                   // accumulated over all sweeps

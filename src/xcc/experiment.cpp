@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "ibc/host.hpp"
+
 namespace xcc {
 
 namespace {
@@ -33,8 +35,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ExperimentResult result;
 
   // --- Setup ---------------------------------------------------------------
+  const bool sampling_on =
+      config.sample_interval > 0 || !config.series_csv_path.empty();
+  const bool flight_on = !config.flight_dump_path.empty();
   const bool telemetry_on = config.telemetry || !config.trace_path.empty() ||
-                            !config.metrics_csv_path.empty();
+                            !config.metrics_csv_path.empty() || sampling_on ||
+                            flight_on;
   // Packet lifecycle spans are derived from the step log, so a traced run
   // must collect steps (observer effect documented at trace_path).
   const bool collect_steps = config.collect_steps || !config.trace_path.empty();
@@ -48,6 +54,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                     std::max(config.relayer_count, 1));
 
   Testbed tb(tb_cfg);
+  // Arm the flight recorder before anything runs so handshake-era events are
+  // journaled too. The metrics() guard folds this away in disabled builds.
+  if (flight_on && telemetry::metrics(tb.hub()) != nullptr) {
+    tb.hub()->flight().arm(config.flight_capacity);
+    tb.hub()->set_flight_dump_path(config.flight_dump_path);
+  }
   if (config.parallel_rpc_requests > 1) {
     for (auto& s : tb.chain_a().servers) {
       s->set_parallel_requests(config.parallel_rpc_requests);
@@ -94,6 +106,134 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         tb.scheduler(), ha, hb, channel.path(), rc, log));
     relayers.back()->set_telemetry(tb.hub(), "relayer" + std::to_string(k));
     relayers.back()->start();
+  }
+
+  // --- Observability: sampler probes, watchdogs, sampling tick --------------
+  // (see DESIGN.md §4j). Everything below folds away in disabled builds:
+  // sampler() is then constexpr nullptr.
+  telemetry::Sampler* smp =
+      sampling_on ? telemetry::sampler(tb.hub()) : nullptr;
+  auto tick = std::make_shared<std::function<void()>>();
+  if (smp != nullptr) {
+    for (int side = 0; side < 2; ++side) {
+      ChainDeployment& cd = side == 0 ? tb.chain_a() : tb.chain_b();
+      const std::string tag = side == 0 ? "src" : "dst";
+      // Aggregate RPC backlog across the chain's full nodes, plus the
+      // per-worker busy split on the machine-0 endpoint (the one the
+      // first relayer queries — the paper's bottleneck node).
+      smp->add_probe("probe." + tag + ".rpc_queue", [&cd] {
+        double depth = 0;
+        for (const auto& s : cd.servers) {
+          depth += static_cast<double>(s->queue_depth());
+        }
+        return depth;
+      });
+      smp->add_probe("probe." + tag + ".mempool", [&cd] {
+        return static_cast<double>(cd.mempool->size());
+      });
+      rpc::Server* s0 = cd.servers[0].get();
+      for (std::size_t w = 0; w < s0->query_workers(); ++w) {
+        smp->add_probe(
+            "probe." + tag + ".m0.w" + std::to_string(w) + ".busy_s",
+            [s0, w] { return sim::to_seconds(s0->worker_stats(w).busy_time); });
+      }
+    }
+    // Chain-side backlog: packet commitments not yet acked/timed out on the
+    // source end. Independent of any relayer's private table, so it still
+    // moves when every relayer ignores the channel (fee-starved fleets).
+    {
+      const ibc::PortId port = channel.path().port;
+      const ibc::ChannelId chan_a = channel.path().channel_a;
+      const cosmos::CosmosApp* app_a = tb.chain_a().app.get();
+      smp->add_probe(
+          "probe.src.outstanding_commitments", [app_a, port, chan_a] {
+            return static_cast<double>(
+                app_a->store()
+                    .keys_with_prefix(
+                        ibc::host::packet_commitment_prefix(port, chan_a))
+                    .size());
+          });
+    }
+    if (!relayers.empty()) {
+      relayer::Relayer* r0 = relayers.front().get();
+      smp->add_probe("probe.relayer0.in_flight", [r0] {
+        return static_cast<double>(r0->stage_counts().in_flight());
+      });
+      smp->add_probe("probe.relayer0.stage.extracted", [r0] {
+        return static_cast<double>(r0->stage_counts().extracted);
+      });
+      smp->add_probe("probe.relayer0.stage.pulled", [r0] {
+        return static_cast<double>(r0->stage_counts().pulled);
+      });
+      smp->add_probe("probe.relayer0.stage.recv_in_flight", [r0] {
+        return static_cast<double>(r0->stage_counts().recv_in_flight);
+      });
+      smp->add_probe("probe.relayer0.stage.recv_done", [r0] {
+        return static_cast<double>(r0->stage_counts().recv_done);
+      });
+      smp->add_probe("probe.relayer0.stage.ack_in_flight", [r0] {
+        return static_cast<double>(r0->stage_counts().ack_in_flight);
+      });
+      smp->add_probe("probe.relayer0.lane0_depth", [r0] {
+        return static_cast<double>(r0->lane_depth(0));
+      });
+      smp->add_probe("probe.relayer0.lane1_depth", [r0] {
+        return static_cast<double>(r0->lane_depth(1));
+      });
+      smp->add_probe("probe.relayer0.oldest_pending_blocks", [r0] {
+        return static_cast<double>(r0->oldest_pending_blocks());
+      });
+      smp->add_probe("probe.relayer0.cache_hit_rate", [r0] {
+        const auto& cs = r0->query_cache().stats();
+        const double total = static_cast<double>(cs.hits + cs.misses);
+        return total > 0 ? static_cast<double>(cs.hits) / total : 0.0;
+      });
+    }
+
+    // Default watchdog rules — one per anomaly class the paper's failure
+    // analysis motivates (see watchdog.hpp). Windows are in samples.
+    telemetry::Watchdog* wd = telemetry::watchdog(tb.hub());
+    if (!relayers.empty()) {
+      // Fig. 8 saturation: the relayer's in-flight table only ever grows.
+      wd->watch_monotone_growth("probe.relayer0.in_flight", 8, 8.0);
+      // Stalled packet: something has been stuck in flight for 30+ source
+      // blocks across consecutive samples.
+      wd->watch_threshold("probe.relayer0.oldest_pending_blocks", 30.0, 3);
+      // Wedged worker lane: ops queued but no relay batch starting.
+      wd->watch_stuck("probe.relayer0.lane0_depth", "relayer0.ops.relay_batch",
+                      12);
+      // Zero-progress window: chain-side backlog exists but nothing is
+      // being relayed (catches fee-starved / routing-skipped fleets whose
+      // private tables stay empty).
+      wd->watch_stuck("probe.src.outstanding_commitments",
+                      "relayer0.packets_relayed", 12);
+    }
+
+    const sim::Duration interval = config.sample_interval > 0
+                                       ? config.sample_interval
+                                       : tb_cfg.min_block_interval;
+    sim::Scheduler& sched = tb.scheduler();
+    telemetry::Tracer* tr = telemetry::tracer(tb.hub());
+    const telemetry::TrackId wd_track =
+        tr != nullptr ? tr->track("watchdog", "anomalies") : 0;
+    // Self-rescheduling sampling tick. The shared function is nulled at
+    // collection time, which both stops the cadence and breaks the
+    // self-reference cycle; a straggler scheduled event then sees the null.
+    *tick = [smp, wd, tr, wd_track, &sched, tick, interval] {
+      smp->sample(sched.now());
+      const std::size_t before = wd->warnings().size();
+      wd->evaluate(sched.now());
+      if (tr != nullptr) {
+        for (std::size_t i = before; i < wd->warnings().size(); ++i) {
+          const telemetry::WatchdogWarning& w = wd->warnings()[i];
+          tr->instant(wd_track, w.rule + ":" + w.column, sched.now());
+        }
+      }
+      sched.schedule_after(interval, [tick] {
+        if (*tick) (*tick)();
+      });
+    };
+    (*tick)();  // row 0: state right after setup, before the workload
   }
 
   // --- Benchmark -------------------------------------------------------------
@@ -231,6 +371,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.steps.set_tracer(nullptr);
 
   // --- Telemetry export ---------------------------------------------------------
+  if (smp != nullptr) {
+    *tick = nullptr;  // stop the cadence and break the closure cycle
+    smp->sample(tb.scheduler().now());  // final row: end-of-run state
+    if (auto* wd = telemetry::watchdog(tb.hub())) {
+      wd->evaluate(tb.scheduler().now());
+      result.warnings = wd->warnings();
+    }
+    result.series = smp->snapshot();
+    if (!config.series_csv_path.empty()) {
+      const util::Status st = smp->write_csv(config.series_csv_path);
+      if (!st.is_ok()) {
+        if (!result.telemetry_error.empty()) result.telemetry_error += "; ";
+        result.telemetry_error += st.to_string();
+      }
+    }
+  }
+  if (telemetry::metrics(tb.hub()) != nullptr) {
+    result.flight_dump_triggers = tb.hub()->dump_triggers();
+  }
   if (telemetry_on) {
     result.metrics = tb.hub()->registry().snapshot();
   }

@@ -55,6 +55,23 @@ struct ExperimentConfig {
   /// When non-empty, the metrics snapshot is also written here as CSV.
   std::string metrics_csv_path;
 
+  // --- observability pillar (sampler / flight recorder / watchdogs) -------
+  /// Virtual-time sampling cadence (0 = sampling off unless series_csv_path
+  /// is set, then one sample per source-chain block interval). Each tick
+  /// snapshots every registry counter/gauge plus the component probes (RPC
+  /// queue depths, relayer pending table by stage, mempool sizes, cache hit
+  /// rate, outstanding commitments) and evaluates the anomaly watchdogs.
+  sim::Duration sample_interval = 0;
+  /// When non-empty, the sampled series is written here as CSV.
+  std::string series_csv_path;
+  /// When non-empty, arms the flight recorder: recent structured events
+  /// (relayer steps, RPC admissions, commits, faults) are journaled into a
+  /// bounded ring and the first failure trigger (invariant violation,
+  /// abandoned packet) auto-dumps journal + metrics + series here.
+  std::string flight_dump_path;
+  /// Ring capacity (retained journal entries) when the recorder is armed.
+  std::size_t flight_capacity = 512;
+
   sim::Duration max_sim_time = sim::seconds(14'400);
 };
 
@@ -106,6 +123,12 @@ struct ExperimentResult {
 
   /// Registry snapshot (empty unless the run had telemetry enabled).
   telemetry::MetricsSnapshot metrics;
+  /// Sampled virtual-time series (empty unless sampling was on).
+  telemetry::SeriesSnapshot series;
+  /// Anomaly-watchdog warnings tripped on the sampled series.
+  std::vector<telemetry::WatchdogWarning> warnings;
+  /// Failure triggers the flight recorder saw (dump written on the first).
+  std::size_t flight_dump_triggers = 0;
   /// Non-empty when writing trace_path / metrics_csv_path failed; the
   /// experiment itself still succeeds (ok stays true).
   std::string telemetry_error;

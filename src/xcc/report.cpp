@@ -105,6 +105,18 @@ void section_errors(std::ostringstream& os, const ExperimentResult& r) {
      << util::fmt_double(r.rpc_busy_seconds_b, 1) << " s |\n\n";
 }
 
+void section_anomalies(std::ostringstream& os, const ExperimentResult& r) {
+  if (r.warnings.empty()) return;
+  os << "## Anomaly watchdogs\n\n";
+  os << "| rule | series column | fired at | detail |\n|---|---|---|---|\n";
+  for (const telemetry::WatchdogWarning& w : r.warnings) {
+    os << "| " << w.rule << " | " << w.column << " | "
+       << util::fmt_double(sim::to_seconds(w.t), 1) << " s | " << w.detail
+       << " |\n";
+  }
+  os << "\n";
+}
+
 void section_metrics(std::ostringstream& os, const ExperimentResult& r) {
   if (r.metrics.empty()) return;
   os << "## Metrics\n\n";
@@ -151,6 +163,7 @@ std::string render_report(const ExperimentConfig& config,
   }
   section_steps(os, result.steps);
   section_errors(os, result);
+  section_anomalies(os, result);
   section_metrics(os, result);
   return os.str();
 }

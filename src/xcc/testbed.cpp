@@ -52,6 +52,20 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     }
     checker_ = std::make_unique<check::InvariantChecker>(std::move(handles),
                                                          cc);
+    // Observability: journal the violation and emit the post-mortem flight
+    // dump *before* fail_fast throws — the exception unwinds past every
+    // normal export path, so this hook is the only chance to get the
+    // journal/metrics/series state at the violating commit onto disk.
+    checker_->set_violation_hook([this](const check::Violation& v) {
+      if (auto* f = telemetry::flight(&hub_)) {
+        f->record(sched_.now(), "invariant",
+                  v.invariant + " " + v.chain + " h=" +
+                      std::to_string(v.height) + " " + v.detail);
+      }
+      if (telemetry::metrics(&hub_) != nullptr) {
+        hub_.trigger_flight_dump("invariant:" + v.invariant, sched_.now());
+      }
+    });
   }
 
   // Workload sender accounts live on the source chain (every chain for mesh
@@ -152,6 +166,20 @@ void Testbed::deploy_chain(ChainDeployment& c, int index) {
         });
     c.servers.push_back(std::move(server));
   }
+
+  // Flight-recorder journal: one entry per commit (height + tx count), so a
+  // dump shows chain progress interleaved with the relayer and RPC events.
+  // One branch per commit when no recorder is armed; folds away entirely in
+  // disabled builds.
+  c.engine->subscribe_block(
+      [this, id](const chain::Block& block,
+                 const std::vector<chain::DeliverTxResult>& results) {
+        if (auto* f = telemetry::flight(&hub_)) {
+          f->record(sched_.now(), "consensus",
+                    id + " commit h=" + std::to_string(block.header.height) +
+                        " txs=" + std::to_string(results.size()));
+        }
+      });
 }
 
 void Testbed::start_chains() {
@@ -160,12 +188,20 @@ void Testbed::start_chains() {
 
 void Testbed::halt_chain(int which) {
   ChainDeployment& c = chain(which);
-  if (c.engine->running()) c.engine->stop();
+  if (!c.engine->running()) return;
+  c.engine->stop();
+  if (auto* f = telemetry::flight(&hub_)) {
+    f->record(sched_.now(), "fault", "halt " + c.id);
+  }
 }
 
 void Testbed::restart_chain(int which) {
   ChainDeployment& c = chain(which);
-  if (!c.engine->running()) c.engine->start();
+  if (c.engine->running()) return;
+  c.engine->start();
+  if (auto* f = telemetry::flight(&hub_)) {
+    f->record(sched_.now(), "fault", "restart " + c.id);
+  }
 }
 
 bool Testbed::run_until_height(chain::Height height, sim::TimePoint limit) {

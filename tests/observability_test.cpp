@@ -1,0 +1,303 @@
+// Observability pillar regressions: flight-recorder ring semantics, anomaly
+// watchdog rules, sampler column discovery, the hub's first-trigger-wins
+// dump, and the two end-to-end properties the ISSUE pins down — same-seed
+// series CSVs are byte-identical whether the sweep ran serial or on four
+// workers, and a fee-starved relayer (work exists, nothing advances) trips
+// the stuck watchdog. The unit-level classes compile in both build
+// flavours; the hub/experiment tests are telemetry-build only.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "check/campaign.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/series.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/watchdog.hpp"
+#include "xcc/parallel.hpp"
+#include "xcc/report.hpp"
+
+namespace {
+
+// --- flight recorder ring --------------------------------------------------
+
+TEST(FlightRecorderTest, UnarmedRecorderDropsEverything) {
+  telemetry::FlightRecorder fr;
+  EXPECT_FALSE(fr.armed());
+  fr.record(10, "rpc", "dropped");
+  EXPECT_EQ(fr.total_recorded(), 0u);
+  EXPECT_TRUE(fr.entries().empty());
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestOldestFirst) {
+  telemetry::FlightRecorder fr;
+  fr.arm(4);
+  for (int i = 0; i < 10; ++i) {
+    fr.record(100 * i, "relayer", "seq=" + std::to_string(i));
+  }
+  EXPECT_EQ(fr.total_recorded(), 10u);
+  const auto entries = fr.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  // Last four events, oldest first, with their global indices intact.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(entries[i].index, 6 + i);
+    EXPECT_EQ(entries[i].t, static_cast<sim::TimePoint>(100 * (6 + i)));
+    EXPECT_EQ(entries[i].detail, "seq=" + std::to_string(6 + i));
+  }
+}
+
+TEST(FlightRecorderTest, JournalCsvIsStable) {
+  telemetry::FlightRecorder fr;
+  fr.arm(8);
+  fr.record(5, "fault", "halt ibc-source");
+  fr.record(7, "consensus", "ibc-source commit h=2 txs=0");
+  EXPECT_EQ(fr.journal_csv(),
+            "index,time_us,category,detail\n"
+            "0,5,fault,halt ibc-source\n"
+            "1,7,consensus,ibc-source commit h=2 txs=0\n");
+}
+
+TEST(FlightRecorderTest, RearmingClearsTheRing) {
+  telemetry::FlightRecorder fr;
+  fr.arm(2);
+  fr.record(1, "rpc", "a");
+  fr.arm(2);
+  EXPECT_EQ(fr.total_recorded(), 0u);
+  EXPECT_TRUE(fr.entries().empty());
+}
+
+// --- watchdog rules --------------------------------------------------------
+
+// A probe-only sampler (no registry) driven by a local variable.
+struct ProbeSeries {
+  telemetry::Sampler sampler{nullptr};
+  telemetry::Watchdog watchdog{&sampler};
+  double value = 0.0;
+  double progress = 0.0;
+  sim::TimePoint t = 0;
+
+  ProbeSeries() {
+    sampler.add_probe("value", [this] { return value; });
+    sampler.add_probe("progress", [this] { return progress; });
+  }
+  void tick() {
+    t += 1'000;
+    sampler.sample(t);
+    watchdog.evaluate(t);
+  }
+};
+
+TEST(WatchdogTest, MonotoneGrowthNeedsStrictRiseAndMinGrowth) {
+  ProbeSeries p;
+  p.watchdog.watch_monotone_growth("value", 3, 10.0);
+  // Strictly rising but total growth below min_growth: no trip.
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    p.value = v;
+    p.tick();
+  }
+  EXPECT_TRUE(p.watchdog.warnings().empty());
+  // A plateau breaks the strict-rise requirement.
+  p.value = 4.0;
+  p.tick();
+  EXPECT_TRUE(p.watchdog.warnings().empty());
+  // Strict rise with enough growth over the window trips exactly once.
+  for (double v : {10.0, 20.0, 30.0, 40.0}) {
+    p.value = v;
+    p.tick();
+  }
+  ASSERT_EQ(p.watchdog.warnings().size(), 1u);
+  EXPECT_EQ(p.watchdog.warnings()[0].rule, "monotone-growth");
+  EXPECT_EQ(p.watchdog.warnings()[0].column, "value");
+}
+
+TEST(WatchdogTest, ThresholdNeedsFullWindowAbove) {
+  ProbeSeries p;
+  p.watchdog.watch_threshold("value", 5.0, 3);
+  for (double v : {6.0, 7.0, 4.0, 6.0, 7.0}) {  // dip resets the window
+    p.value = v;
+    p.tick();
+  }
+  EXPECT_TRUE(p.watchdog.warnings().empty());
+  p.value = 8.0;
+  p.tick();
+  ASSERT_EQ(p.watchdog.warnings().size(), 1u);
+  EXPECT_EQ(p.watchdog.warnings()[0].rule, "threshold");
+}
+
+TEST(WatchdogTest, StuckNeedsWorkPresentAndZeroProgress) {
+  ProbeSeries p;
+  p.watchdog.watch_stuck("value", "progress", 3);
+  // Work present but progress still advancing: no trip.
+  p.value = 10.0;
+  for (double g : {1.0, 2.0, 3.0, 4.0}) {
+    p.progress = g;
+    p.tick();
+  }
+  EXPECT_TRUE(p.watchdog.warnings().empty());
+  // Progress freezes while work remains: trips after `window` flat samples.
+  p.tick();
+  p.tick();
+  ASSERT_EQ(p.watchdog.warnings().size(), 1u);
+  EXPECT_EQ(p.watchdog.warnings()[0].rule, "stuck");
+  EXPECT_EQ(p.watchdog.warnings()[0].column, "value");
+  // Fire-once: further flat samples do not repeat the warning.
+  p.tick();
+  EXPECT_EQ(p.watchdog.warnings().size(), 1u);
+}
+
+TEST(WatchdogTest, StuckIgnoresEmptyBacklog) {
+  ProbeSeries p;
+  p.watchdog.watch_stuck("value", "progress", 3);
+  // Zero progress forever, but no work either: never a warning.
+  for (int i = 0; i < 8; ++i) p.tick();
+  EXPECT_TRUE(p.watchdog.warnings().empty());
+}
+
+// --- sampler columns -------------------------------------------------------
+
+TEST(SamplerTest, LateColumnsBackfillWithZero) {
+  telemetry::Sampler s(nullptr);
+  double a = 1.0;
+  s.add_probe("a", [&a] { return a; });
+  s.sample(10);
+  double b = 5.0;
+  s.add_probe("b", [&b] { return b; });
+  a = 2.0;
+  s.sample(20);
+  EXPECT_EQ(s.to_csv(),
+            "time_us,a,b\n"
+            "10,1,0\n"
+            "20,2,5\n");
+}
+
+#ifndef IBC_TELEMETRY_DISABLED
+
+// --- hub dump: first trigger wins ------------------------------------------
+
+TEST(HubFlightDumpTest, FirstTriggerWritesLaterOnesAreSuppressed) {
+  telemetry::Hub hub;
+  hub.enable();
+  hub.flight().arm(16);
+  hub.flight().record(100, "fault", "halt chain");
+  const std::string path =
+      ::testing::TempDir() + "observability_hub_dump.txt";
+  hub.set_flight_dump_path(path);
+  hub.trigger_flight_dump("invariant:supply-conservation", 2'000);
+  hub.trigger_flight_dump("abandoned-packet", 3'000);
+  EXPECT_EQ(hub.dump_triggers(), 2u);
+  EXPECT_EQ(hub.dumps_suppressed(), 1u);
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string dump = ss.str();
+  std::remove(path.c_str());
+  EXPECT_NE(dump.find("# ibc flight dump v1"), std::string::npos);
+  // The dump records the FIRST trigger, not the later one.
+  EXPECT_NE(dump.find("reason: invariant:supply-conservation"),
+            std::string::npos);
+  EXPECT_EQ(dump.find("abandoned-packet"), std::string::npos);
+  for (const char* section :
+       {"== journal ==", "== watchdogs ==", "== metrics ==", "== series =="}) {
+    EXPECT_NE(dump.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(dump.find("halt chain"), std::string::npos);
+}
+
+// --- end-to-end: series determinism across worker counts --------------------
+
+TEST(SeriesDeterminismTest, SameSeedSerialAndParallelSweepsMatchByteForByte) {
+  std::vector<xcc::ExperimentConfig> configs(4);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    auto& cfg = configs[i];
+    cfg.workload.requests_per_second = 30;
+    cfg.measure_blocks = 6;
+    cfg.testbed.seed = 7'000 + i;
+    cfg.max_sim_time = sim::seconds(600);
+  }
+  configs.front().sample_interval = sim::seconds(5);
+  configs.front().flight_capacity = 64;
+  configs.front().telemetry = true;
+
+  const auto serial = xcc::run_experiments(configs, 1);
+  const auto parallel = xcc::run_experiments(configs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_TRUE(serial.front().ok && parallel.front().ok);
+  ASSERT_GT(serial.front().series.samples(), 0u);
+  EXPECT_EQ(telemetry::series_to_csv(serial.front().series),
+            telemetry::series_to_csv(parallel.front().series));
+  // Watchdog verdicts ride on the series, so they must agree too.
+  EXPECT_EQ(serial.front().warnings.size(), parallel.front().warnings.size());
+}
+
+// --- end-to-end: planted anomaly -------------------------------------------
+
+// Relaying is priced out (every recv fee exceeds the per-hop budget), so the
+// pending work — outstanding packet commitments on the source chain — only
+// grows while relayer0.packets_relayed never moves: the exact signature the
+// stuck watchdog is wired for in the experiment runner.
+TEST(PlantedAnomalyTest, FeeStarvedRelayerTripsStuckWatchdog) {
+  xcc::ExperimentConfig cfg;
+  cfg.workload.requests_per_second = 10;
+  cfg.measure_blocks = 16;
+  cfg.testbed.seed = 99;
+  cfg.relayer.per_hop_fee_budget = 1e-9;
+  cfg.sample_interval = sim::seconds(5);
+  cfg.max_sim_time = sim::seconds(600);
+
+  const auto r = xcc::run_experiment(cfg);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_GT(r.series.samples(), 12u);
+  bool stuck_on_backlog = false;
+  for (const auto& w : r.warnings) {
+    if (w.rule == "stuck" && w.column == "probe.src.outstanding_commitments") {
+      stuck_on_backlog = true;
+    }
+  }
+  EXPECT_TRUE(stuck_on_backlog)
+      << "expected the stuck watchdog on outstanding commitments; got "
+      << r.warnings.size() << " warning(s)";
+  // The warning also lands in the rendered markdown report.
+  const std::string report = xcc::render_report(cfg, r, "fee starved");
+  EXPECT_NE(report.find("## Anomaly watchdogs"), std::string::npos);
+  EXPECT_NE(report.find("probe.src.outstanding_commitments"),
+            std::string::npos);
+}
+
+// --- end-to-end: campaign failure auto-dumps -------------------------------
+
+TEST(CampaignFlightDumpTest, PlantedExpiryBugEmitsParseableDump) {
+  const std::string path =
+      ::testing::TempDir() + "observability_campaign_dump.txt";
+  check::CampaignOptions opt;
+  opt.family = "client-expiry";
+  opt.seed = 3;
+  opt.mutate_skip_expiry = true;
+  opt.flight_dump_path = path;
+  opt.sample_every_blocks = 100;
+  const auto result = check::run_campaign(opt);
+  ASSERT_TRUE(result.setup_ok) << result.setup_error;
+  ASSERT_FALSE(result.violations.empty());
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "campaign failure did not write the flight dump";
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string dump = ss.str();
+  std::remove(path.c_str());
+  EXPECT_EQ(dump.rfind("# ibc flight dump v1", 0), 0u);
+  EXPECT_NE(dump.find("reason: campaign-phase:"), std::string::npos);
+  EXPECT_NE(dump.find("== journal =="), std::string::npos);
+  EXPECT_NE(dump.find("== series =="), std::string::npos);
+  // The journal must hold real structured events from the run.
+  EXPECT_NE(dump.find(",consensus,"), std::string::npos);
+  EXPECT_NE(dump.find(",rpc,"), std::string::npos);
+}
+
+#endif  // IBC_TELEMETRY_DISABLED
+
+}  // namespace

@@ -79,6 +79,37 @@ def check(path):
                 need(errors, m, key, "number", where)
             need(errors, m, "buckets", "str", where)
 
+    # Optional: present only on --series runs (plain reports omit it so
+    # committed baselines keep the exact v1 layout).
+    if "series" in virt:
+        series = virt["series"]
+        if not typed(series, "object"):
+            errors.append("virtual.series: expected object")
+            series = {}
+        need(errors, series, "samples", "int", "virtual.series")
+        need(errors, series, "first_time_us", "int", "virtual.series")
+        need(errors, series, "last_time_us", "int", "virtual.series")
+        cols = need(errors, series, "columns", "array", "virtual.series") or []
+        for i, c in enumerate(cols):
+            where = f"virtual.series.columns[{i}]"
+            if not typed(c, "object"):
+                errors.append(f"{where}: expected object")
+                continue
+            need(errors, c, "name", "str", where)
+            for key in ("first", "last", "min", "max"):
+                need(errors, c, key, "number", where)
+        warns = need(errors, series, "warnings", "array",
+                     "virtual.series") or []
+        for i, w in enumerate(warns):
+            where = f"virtual.series.warnings[{i}]"
+            if not typed(w, "object"):
+                errors.append(f"{where}: expected object")
+                continue
+            need(errors, w, "rule", "str", where)
+            need(errors, w, "column", "str", where)
+            need(errors, w, "time_us", "int", where)
+            need(errors, w, "detail", "str", where)
+
     host = need(errors, doc, "host", "object", "$") or {}
     for key, kind in [("wall_seconds", "number"),
                       ("aggregate_seconds", "number"), ("workers", "int"),

@@ -1,0 +1,405 @@
+// run_report: fold a --series time-series CSV and/or a flight-recorder
+// post-mortem dump (the `== section ==` text written by
+// telemetry::Hub::trigger_flight_dump) into one human-readable markdown run
+// report. Companion to bench_compare: bench_compare diffs two runs,
+// run_report explains one.
+//
+//   run_report --flight DUMP [--series FILE.csv] [--out PATH] [--tail N]
+//
+// Either input alone is fine; a flight dump embeds its own series section,
+// and an explicit --series (the full-resolution CSV) overrides it. Output
+// goes to stdout unless --out is given.
+//
+// Exit codes: 0 report written, 1 malformed input, 2 usage error.
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Options {
+  std::string series;
+  std::string flight;
+  std::string out;
+  std::size_t tail = 20;  // journal rows shown
+};
+
+int usage(std::ostream& os) {
+  os << "usage: run_report [--flight DUMP] [--series FILE.csv] "
+        "[--out PATH] [--tail N]\n"
+        "  --flight DUMP    flight-recorder dump written at a failure "
+        "trigger\n"
+        "  --series FILE    time-series CSV from --series / "
+        "series_csv_path\n"
+        "  --out PATH       write the markdown report here (default: "
+        "stdout)\n"
+        "  --tail N         journal entries to show (default 20)\n"
+        "exit codes: 0 ok, 1 malformed input, 2 usage error\n";
+  return 2;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Splits a CSV row. The journal/watchdog `detail` column may itself contain
+/// commas, so `max_fields` folds the tail back into the last field.
+std::vector<std::string> split_csv(const std::string& line,
+                                   std::size_t max_fields) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',' && fields.size() + 1 < max_fields) {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+struct Series {
+  std::vector<std::string> columns;             // without leading time_us
+  std::vector<long long> times_us;
+  std::vector<std::vector<double>> values;      // [column][sample]
+  bool ok = false;
+  std::string error;
+};
+
+Series parse_series(const std::vector<std::string>& lines,
+                    const std::string& origin) {
+  Series s;
+  if (lines.empty()) {
+    s.error = origin + ": empty series";
+    return s;
+  }
+  const auto header = split_csv(lines.front(), SIZE_MAX);
+  if (header.empty() || header.front() != "time_us") {
+    s.error = origin + ": series header must start with time_us";
+    return s;
+  }
+  s.columns.assign(header.begin() + 1, header.end());
+  s.values.resize(s.columns.size());
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const auto cells = split_csv(lines[i], SIZE_MAX);
+    if (cells.size() != header.size()) {
+      s.error = origin + ": row " + std::to_string(i) + " has " +
+                std::to_string(cells.size()) + " fields, expected " +
+                std::to_string(header.size());
+      return s;
+    }
+    try {
+      s.times_us.push_back(std::stoll(cells.front()));
+      for (std::size_t c = 0; c < s.columns.size(); ++c) {
+        s.values[c].push_back(std::stod(cells[c + 1]));
+      }
+    } catch (const std::exception&) {
+      s.error = origin + ": row " + std::to_string(i) + " is not numeric";
+      return s;
+    }
+  }
+  s.ok = true;
+  return s;
+}
+
+struct FlightDump {
+  std::string reason;
+  std::string time_us;
+  std::string journal_total;
+  std::string journal_retained;
+  std::vector<std::string> journal;    // data rows (header stripped)
+  std::vector<std::string> watchdogs;  // data rows
+  std::vector<std::string> metrics;    // data rows
+  std::vector<std::string> series;     // full section incl. header
+  bool ok = false;
+  std::string error;
+};
+
+FlightDump parse_flight(const std::string& text, const std::string& origin) {
+  FlightDump d;
+  const auto lines = split_lines(text);
+  if (lines.empty() || lines.front() != "# ibc flight dump v1") {
+    d.error = origin + ": not a flight dump (missing v1 header)";
+    return d;
+  }
+  std::string section;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.rfind("== ", 0) == 0) {
+      section = line;
+      ++i;  // every section starts with its CSV header row...
+      if (section == "== series ==" && i < lines.size()) {
+        d.series.push_back(lines[i]);  // ...which the series parser needs
+      }
+      continue;
+    }
+    if (section.empty()) {
+      const auto field = [&](const char* key) {
+        const std::string prefix = std::string(key) + ": ";
+        return line.rfind(prefix, 0) == 0 ? line.substr(prefix.size())
+                                          : std::string();
+      };
+      if (auto v = field("reason"); !v.empty()) d.reason = v;
+      if (auto v = field("time_us"); !v.empty()) d.time_us = v;
+      if (auto v = field("journal_total"); !v.empty()) d.journal_total = v;
+      if (auto v = field("journal_retained"); !v.empty()) {
+        d.journal_retained = v;
+      }
+    } else if (line.empty()) {
+      continue;
+    } else if (section == "== journal ==") {
+      d.journal.push_back(line);
+    } else if (section == "== watchdogs ==") {
+      d.watchdogs.push_back(line);
+    } else if (section == "== metrics ==") {
+      d.metrics.push_back(line);
+    } else if (section == "== series ==") {
+      d.series.push_back(line);
+    } else {
+      d.error = origin + ": unknown section " + section;
+      return d;
+    }
+  }
+  if (d.reason.empty()) {
+    d.error = origin + ": dump has no reason header";
+    return d;
+  }
+  d.ok = true;
+  return d;
+}
+
+bool read_file(const std::string& path, std::string& out, std::string& err) {
+  std::ifstream f(path);
+  if (!f) {
+    err = "cannot open " + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+std::string seconds(const std::string& time_us) {
+  try {
+    return fmt(static_cast<double>(std::stoll(time_us)) / 1e6) + " s";
+  } catch (const std::exception&) {
+    return time_us + " us";
+  }
+}
+
+void render_journal(std::ostringstream& os,
+                    const std::vector<std::string>& rows, std::size_t tail) {
+  os << "## Event journal";
+  if (rows.size() > tail) os << " (last " << tail << " of " << rows.size()
+                             << " retained)";
+  os << "\n\n| # | t | category | event |\n|---|---|---|---|\n";
+  const std::size_t start = rows.size() > tail ? rows.size() - tail : 0;
+  for (std::size_t i = start; i < rows.size(); ++i) {
+    const auto f = split_csv(rows[i], 4);  // index,time_us,category,detail
+    if (f.size() != 4) continue;
+    os << "| " << f[0] << " | " << seconds(f[1]) << " | " << f[2] << " | "
+       << f[3] << " |\n";
+  }
+  os << "\n";
+}
+
+void render_watchdogs(std::ostringstream& os,
+                      const std::vector<std::string>& rows) {
+  os << "## Watchdog warnings\n\n";
+  if (rows.empty()) {
+    os << "none fired\n\n";
+    return;
+  }
+  os << "| rule | series column | fired at | detail |\n|---|---|---|---|\n";
+  for (const auto& row : rows) {
+    const auto f = split_csv(row, 4);  // rule,column,time_us,detail
+    if (f.size() != 4) continue;
+    os << "| " << f[0] << " | " << f[1] << " | " << seconds(f[2]) << " | "
+       << f[3] << " |\n";
+  }
+  os << "\n";
+}
+
+void render_series(std::ostringstream& os, const Series& s) {
+  os << "## Series summary\n\n";
+  if (s.times_us.empty()) {
+    os << "no samples\n\n";
+    return;
+  }
+  os << s.times_us.size() << " samples, "
+     << seconds(std::to_string(s.times_us.front())) << " to "
+     << seconds(std::to_string(s.times_us.back())) << ".\n\n";
+  os << "| column | first | last | min | max |\n|---|---|---|---|---|\n";
+  std::size_t all_zero = 0;
+  for (std::size_t c = 0; c < s.columns.size(); ++c) {
+    const auto& v = s.values[c];
+    const double lo = *std::min_element(v.begin(), v.end());
+    const double hi = *std::max_element(v.begin(), v.end());
+    if (lo == 0.0 && hi == 0.0) {
+      ++all_zero;  // flat-zero columns are noise in a post-mortem
+      continue;
+    }
+    os << "| " << s.columns[c] << " | " << fmt(v.front()) << " | "
+       << fmt(v.back()) << " | " << fmt(lo) << " | " << fmt(hi) << " |\n";
+  }
+  os << "\n";
+  if (all_zero > 0) {
+    os << all_zero << " column(s) that stayed 0 for the whole run omitted.\n\n";
+  }
+}
+
+void render_metrics(std::ostringstream& os,
+                    const std::vector<std::string>& rows) {
+  // name,kind,value,count,sum,min,max,buckets — show the non-zero scalars;
+  // the full snapshot stays in the dump itself.
+  std::size_t shown = 0, zero = 0;
+  std::ostringstream body;
+  for (const auto& row : rows) {
+    const auto f = split_csv(row, SIZE_MAX);
+    if (f.size() < 4) continue;
+    if (f[1] == "histogram") {
+      if (f[3] == "0") {
+        ++zero;
+        continue;
+      }
+      body << "| " << f[0] << " | " << f[1] << " | count=" << f[3]
+           << " sum=" << f[4] << " |\n";
+    } else {
+      if (f[2] == "0") {
+        ++zero;
+        continue;
+      }
+      body << "| " << f[0] << " | " << f[1] << " | " << f[2] << " |\n";
+    }
+    ++shown;
+  }
+  os << "## Final metrics (non-zero)\n\n";
+  if (shown == 0) {
+    os << "all " << rows.size() << " metrics are zero\n\n";
+    return;
+  }
+  os << "| name | kind | value |\n|---|---|---|\n" << body.str() << "\n";
+  if (zero > 0) os << zero << " zero-valued metric(s) omitted.\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::string& into) {
+      if (i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--series") {
+      if (!value(opt.series)) return usage(std::cerr);
+    } else if (arg == "--flight") {
+      if (!value(opt.flight)) return usage(std::cerr);
+    } else if (arg == "--out") {
+      if (!value(opt.out)) return usage(std::cerr);
+    } else if (arg == "--tail") {
+      std::string n;
+      if (!value(n)) return usage(std::cerr);
+      try {
+        opt.tail = std::stoul(n);
+      } catch (const std::exception&) {
+        return usage(std::cerr);
+      }
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(std::cerr);
+    }
+  }
+  if (opt.series.empty() && opt.flight.empty()) {
+    std::cerr << "need --flight and/or --series\n";
+    return usage(std::cerr);
+  }
+
+  std::string err;
+  FlightDump dump;
+  if (!opt.flight.empty()) {
+    std::string text;
+    if (!read_file(opt.flight, text, err)) {
+      std::cerr << "run_report: " << err << "\n";
+      return 1;
+    }
+    dump = parse_flight(text, opt.flight);
+    if (!dump.ok) {
+      std::cerr << "run_report: " << dump.error << "\n";
+      return 1;
+    }
+  }
+
+  Series series;
+  if (!opt.series.empty()) {
+    std::string text;
+    if (!read_file(opt.series, text, err)) {
+      std::cerr << "run_report: " << err << "\n";
+      return 1;
+    }
+    series = parse_series(split_lines(text), opt.series);
+  } else if (!dump.series.empty()) {
+    series = parse_series(dump.series, opt.flight + " series section");
+  }
+  if (!series.ok && !series.error.empty()) {
+    std::cerr << "run_report: " << series.error << "\n";
+    return 1;
+  }
+
+  std::ostringstream os;
+  os << "# Run report\n\n";
+  if (dump.ok) {
+    os << "## Failure\n\n";
+    os << "| | |\n|---|---|\n";
+    os << "| trigger | " << dump.reason << " |\n";
+    os << "| virtual time | " << seconds(dump.time_us) << " |\n";
+    os << "| journal events recorded | " << dump.journal_total << " |\n";
+    os << "| journal events retained | " << dump.journal_retained << " |\n\n";
+    render_journal(os, dump.journal, opt.tail);
+    render_watchdogs(os, dump.watchdogs);
+  }
+  if (series.ok) render_series(os, series);
+  if (dump.ok) render_metrics(os, dump.metrics);
+
+  if (opt.out.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream f(opt.out);
+    if (!f) {
+      std::cerr << "run_report: cannot open " << opt.out << "\n";
+      return 1;
+    }
+    f << os.str();
+    if (!f.flush()) {
+      std::cerr << "run_report: write failed for " << opt.out << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << opt.out << "\n";
+  }
+  return 0;
+}
